@@ -1,0 +1,51 @@
+//! Ablation 5 (DESIGN.md): criteria-balanced team formation vs random
+//! grouping, plus the cost of cohort generation and survey analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use classroom::roster::generate_cohort;
+use classroom::team::{balance_report, form_teams, form_teams_randomly};
+use classroom::{CohortData, StudyConfig};
+
+fn print_shape_once() {
+    let cohort = generate_cohort(278);
+    let drafted = balance_report(&cohort, &form_teams(&cohort));
+    let random = balance_report(&cohort, &form_teams_randomly(&cohort, 1));
+    eprintln!(
+        "team formation: drafted ability-spread {:.3}, teams-with-women {}; \
+         random spread {:.3}, teams-with-women {}",
+        drafted.ability_spread, drafted.teams_with_women, random.ability_spread, random.teams_with_women
+    );
+}
+
+fn bench_classroom(c: &mut Criterion) {
+    print_shape_once();
+    let mut group = c.benchmark_group("classroom");
+    group.sample_size(10);
+
+    group.bench_function("generate_cohort_124", |b| {
+        b.iter(|| generate_cohort(black_box(278)))
+    });
+
+    let cohort = generate_cohort(278);
+    group.bench_function("form_teams_criteria_draft", |b| {
+        b.iter(|| form_teams(black_box(&cohort)))
+    });
+    group.bench_function("form_teams_random", |b| {
+        b.iter(|| form_teams_randomly(black_box(&cohort), 1))
+    });
+    group.bench_function("balance_report", |b| {
+        let teams = form_teams(&cohort);
+        b.iter(|| balance_report(black_box(&cohort), black_box(&teams)))
+    });
+
+    group.bench_function("generate_both_survey_waves", |b| {
+        b.iter(|| CohortData::generate(black_box(&StudyConfig::default())))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_classroom);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! The Assignment 5 experiment: drug design, sequential vs OpenMP vs
+//! C++11 threads; 4 vs 5 threads; max ligand length 5 vs 7. Prints the
+//! regenerated report rows (virtual-Pi cycles), then benchmarks the
+//! real scoring kernels on this host.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use drugsim::harness::simulate;
+use drugsim::{assignment5_report, generate_ligands, run, score, Approach, DrugDesignConfig};
+
+fn print_rows_once() {
+    eprintln!("Assignment 5 rows (virtual quad-core Pi):");
+    for row in assignment5_report(&DrugDesignConfig::default()) {
+        eprintln!(
+            "  {:<14} threads={} max_len={} cycles={:>10} speedup={:.2} loc={}",
+            row.approach.name(),
+            row.threads,
+            row.max_ligand_len,
+            row.sim_cycles,
+            row.speedup_vs_sequential,
+            row.lines_of_code
+        );
+    }
+}
+
+fn bench_drugsim(c: &mut Criterion) {
+    print_rows_once();
+    let mut group = c.benchmark_group("drugsim");
+    group.sample_size(10);
+
+    let config = DrugDesignConfig::default();
+    let ligands = generate_ligands(&config);
+
+    group.bench_function("score_kernel_single_ligand", |b| {
+        b.iter(|| score(black_box(&ligands[0]), black_box(&config.protein)))
+    });
+
+    for approach in [Approach::Sequential, Approach::OpenMp, Approach::CxxThreads] {
+        group.bench_with_input(
+            BenchmarkId::new("real_run", approach.name()),
+            &approach,
+            |b, &approach| b.iter(|| run(black_box(&config), approach, 4)),
+        );
+    }
+
+    for (label, threads, max_len) in [
+        ("sim_omp_t4_len5", 4usize, 5usize),
+        ("sim_omp_t5_len5", 5, 5),
+        ("sim_omp_t4_len7", 4, 7),
+    ] {
+        let cfg = config.with_max_len(max_len);
+        group.bench_function(label, |b| {
+            b.iter(|| simulate(black_box(&cfg), Approach::OpenMp, threads))
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_drugsim);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! The Assignment 5 MapReduce examples: word count with and without the
+//! combiner, inverted index, grep, and the fault-recovery path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mapreduce::examples::{Grep, InvertedIndex, WordCount};
+use mapreduce::{run_job, JobConfig};
+
+fn corpus(docs: usize) -> Vec<String> {
+    (0..docs)
+        .map(|i| {
+            format!(
+                "the quick brown fox {} jumps over the lazy dog {} while students \
+                 assemble raspberry pi clusters and write openmp programs {}",
+                i,
+                i % 7,
+                i % 13
+            )
+        })
+        .collect()
+}
+
+fn print_shape_once() {
+    let plain = run_job(&WordCount, corpus(200), &JobConfig::default());
+    let combined = run_job(
+        &WordCount,
+        corpus(200),
+        &JobConfig {
+            use_combiner: true,
+            ..JobConfig::default()
+        },
+    );
+    eprintln!(
+        "word count over 200 docs: {} emitted pairs; shuffled {} plain vs {} combined",
+        plain.stats.emitted_pairs, plain.stats.shuffled_pairs, combined.stats.shuffled_pairs
+    );
+}
+
+fn bench_mapreduce(c: &mut Criterion) {
+    print_shape_once();
+    let mut group = c.benchmark_group("mapreduce");
+    group.sample_size(10);
+
+    for &docs in &[50usize, 200] {
+        let input = corpus(docs);
+        group.bench_with_input(BenchmarkId::new("word_count", docs), &input, |b, input| {
+            b.iter(|| run_job(&WordCount, black_box(input.clone()), &JobConfig::default()))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("word_count_combiner", docs),
+            &input,
+            |b, input| {
+                b.iter(|| {
+                    run_job(
+                        &WordCount,
+                        black_box(input.clone()),
+                        &JobConfig {
+                            use_combiner: true,
+                            ..JobConfig::default()
+                        },
+                    )
+                })
+            },
+        );
+    }
+
+    let indexed: Vec<(usize, String)> = corpus(100).into_iter().enumerate().collect();
+    group.bench_function("inverted_index_100", |b| {
+        b.iter(|| run_job(&InvertedIndex, black_box(indexed.clone()), &JobConfig::default()))
+    });
+
+    group.bench_function("grep_100", |b| {
+        let job = Grep {
+            pattern: "raspberry".to_string(),
+        };
+        b.iter(|| run_job(&job, black_box(indexed.clone()), &JobConfig::default()))
+    });
+
+    group.bench_function("word_count_with_two_failures", |b| {
+        let cfg = JobConfig {
+            fail_first_attempt_of: [0usize, 3].into_iter().collect(),
+            ..JobConfig::default()
+        };
+        b.iter(|| run_job(&WordCount, black_box(corpus(50)), &cfg))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_mapreduce);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! The future-work extension's message-passing costs: point-to-point
+//! round trips, collectives, the MPI patternlets, and the
+//! three-model sum comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mpi_rt::memory_models::sum_three_ways;
+use mpi_rt::patternlets::{distributed_sum, ring_pass};
+use mpi_rt::run;
+
+fn print_shape_once() {
+    let data: Vec<u64> = (1..=256).collect();
+    let [openmp, mpi, mapreduce] = sum_three_ways(&data, 4);
+    eprintln!(
+        "sum of 1..=256 three ways: OpenMP {openmp}, MPI {mpi}, MapReduce {mapreduce}"
+    );
+}
+
+fn bench_mpi(c: &mut Criterion) {
+    print_shape_once();
+    let mut group = c.benchmark_group("mpi");
+    group.sample_size(10);
+
+    group.bench_function("world_spawn_4_ranks", |b| {
+        b.iter(|| run(4, |rank| black_box(rank.rank())))
+    });
+
+    group.bench_function("p2p_pingpong_64", |b| {
+        b.iter(|| {
+            run(2, |rank| {
+                if rank.rank() == 0 {
+                    for i in 0..64u64 {
+                        rank.send(1, 1, i);
+                        let _ = rank.recv::<u64>(1, 2);
+                    }
+                } else {
+                    for _ in 0..64 {
+                        let (_, _, v) = rank.recv::<u64>(0, 1);
+                        rank.send(0, 2, v + 1);
+                    }
+                }
+            })
+        })
+    });
+
+    for &ranks in &[2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("allreduce", ranks), &ranks, |b, &n| {
+            b.iter(|| {
+                run(n, |rank| rank.allreduce(rank.rank() as u64, |a, b| a + b))
+            })
+        });
+    }
+
+    group.bench_function("ring_pass_8", |b| b.iter(|| ring_pass(8)));
+
+    group.bench_function("distributed_sum_4096", |b| {
+        let data: Vec<u64> = (0..4096).collect();
+        b.iter(|| distributed_sum(black_box(data.clone()), 4))
+    });
+
+    group.bench_function("sum_three_ways_1024", |b| {
+        let data: Vec<u64> = (0..1024).collect();
+        b.iter(|| sum_three_ways(black_box(&data), 4))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_mpi);
+criterion_main!(benches);

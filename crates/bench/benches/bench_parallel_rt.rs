@@ -1,0 +1,88 @@
+//! Ablations 2 and 3 (DESIGN.md): reduction strategy (serial combine vs
+//! tree vs per-iteration atomics, in virtual time) and barrier
+//! implementation (sense-reversing atomics vs mutex+condvar, real
+//! threads), plus core runtime construct costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use parallel_rt::barrier::{CondvarBarrier, SenseBarrier, TeamBarrier};
+use parallel_rt::reduction::Sum;
+use parallel_rt::sim::{simulate_reduction, ReductionStyle, SimOptions};
+use parallel_rt::{Schedule, Team};
+
+fn print_shape_once() {
+    let opts = SimOptions::default();
+    eprintln!("Reduction styles on the virtual Pi (20k iterations x 100 cycles, 4 threads):");
+    for style in [
+        ReductionStyle::SerialCombine,
+        ReductionStyle::Tree,
+        ReductionStyle::AtomicPerIteration,
+    ] {
+        eprintln!(
+            "  {style:?}: {} cycles",
+            simulate_reduction(20_000, 100, 4, style, &opts)
+        );
+    }
+}
+
+fn barrier_roundtrips(barrier: &dyn TeamBarrier, threads: usize, rounds: usize) {
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                for _ in 0..rounds {
+                    barrier.wait();
+                }
+            });
+        }
+    });
+}
+
+fn bench_parallel_rt(c: &mut Criterion) {
+    print_shape_once();
+    let mut group = c.benchmark_group("parallel_rt");
+    group.sample_size(10);
+
+    let opts = SimOptions::default();
+    for style in [
+        ReductionStyle::SerialCombine,
+        ReductionStyle::Tree,
+        ReductionStyle::AtomicPerIteration,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("sim_reduction", format!("{style:?}")),
+            &style,
+            |b, &s| b.iter(|| simulate_reduction(20_000, 100, 4, s, &opts)),
+        );
+    }
+
+    group.bench_function("barrier_sense_reversing_2x64", |b| {
+        b.iter(|| {
+            let barrier = SenseBarrier::new(2);
+            barrier_roundtrips(black_box(&barrier), 2, 64);
+        })
+    });
+    group.bench_function("barrier_condvar_2x64", |b| {
+        b.iter(|| {
+            let barrier = CondvarBarrier::new(2);
+            barrier_roundtrips(black_box(&barrier), 2, 64);
+        })
+    });
+
+    group.bench_function("fork_join_4_threads", |b| {
+        let team = Team::new(4);
+        b.iter(|| team.parallel(|ctx| black_box(ctx.id())))
+    });
+
+    group.bench_function("parallel_for_reduce_100k", |b| {
+        let team = Team::new(4);
+        b.iter(|| {
+            team.parallel_for_reduce(0..100_000, Schedule::StaticBlock, Sum, |i| i as u64)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_rt);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Ablation 1 (DESIGN.md): loop scheduling policy — static block,
+//! static/dynamic chunks of 1, 2, 3, and guided — on uniform and skewed
+//! loop bodies, measured in deterministic virtual time on the simulated
+//! Pi, plus the real-thread patternlet execution cost on this host.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use parallel_rt::sim::{simulate_parallel_loop, CostModel, SimOptions};
+use parallel_rt::Schedule;
+use patternlets::schedule_demo;
+
+fn print_shape_once() {
+    let opts = SimOptions::default();
+    eprintln!("Scheduling shapes on the virtual Pi (10k iterations, 4 threads):");
+    for (name, cost) in [
+        ("uniform", CostModel::Uniform(500)),
+        ("skewed", CostModel::Linear { base: 10, slope: 1 }),
+    ] {
+        for schedule in [
+            Schedule::StaticBlock,
+            Schedule::StaticChunk(1),
+            Schedule::StaticChunk(2),
+            Schedule::StaticChunk(3),
+            Schedule::Dynamic(1),
+            Schedule::Dynamic(3),
+            Schedule::Guided(2),
+        ] {
+            let out = simulate_parallel_loop(10_000, &cost, schedule, 4, &opts);
+            eprintln!(
+                "  {name:<8} {schedule:?}: {} cycles (imbalance {})",
+                out.cycles,
+                out.imbalance()
+            );
+        }
+    }
+}
+
+fn bench_patternlets(c: &mut Criterion) {
+    print_shape_once();
+    let mut group = c.benchmark_group("patternlets");
+    group.sample_size(10);
+
+    let opts = SimOptions::default();
+    let uniform = CostModel::Uniform(500);
+    let skewed = CostModel::Linear { base: 10, slope: 1 };
+
+    for schedule in [
+        Schedule::StaticBlock,
+        Schedule::StaticChunk(2),
+        Schedule::Dynamic(3),
+        Schedule::Guided(2),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("sim_uniform", format!("{schedule:?}")),
+            &schedule,
+            |b, &s| b.iter(|| simulate_parallel_loop(10_000, black_box(&uniform), s, 4, &opts)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sim_skewed", format!("{schedule:?}")),
+            &schedule,
+            |b, &s| b.iter(|| simulate_parallel_loop(10_000, black_box(&skewed), s, 4, &opts)),
+        );
+    }
+
+    group.bench_function("real_loop_map_static_chunk1", |b| {
+        b.iter(|| schedule_demo::run(black_box(512), 4, Schedule::StaticChunk(1)))
+    });
+    group.bench_function("real_loop_map_dynamic3", |b| {
+        b.iter(|| schedule_demo::run(black_box(512), 4, Schedule::Dynamic(3)))
+    });
+    group.bench_function("trapezoid_parallel_65536", |b| {
+        b.iter(|| {
+            patternlets::trapezoid::integrate_parallel(|x| x * x, 0.0, 1.0, 1 << 16, 4)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_patternlets);
+criterion_main!(benches);

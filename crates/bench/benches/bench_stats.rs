@@ -1,0 +1,76 @@
+//! The statistics engine's own cost: special functions, the tests the
+//! study pipeline runs at n = 124, and the resampling extensions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use stats::anova::anova_one_way;
+use stats::resample::{bootstrap_ci, permutation_test_paired};
+use stats::special::{incomplete_beta, ln_gamma, t_sf_two_sided};
+use stats::{pearson, t_test_paired, wilcoxon_signed_rank};
+
+fn cohort_like_samples() -> (Vec<f64>, Vec<f64>) {
+    let first: Vec<f64> = (0..124)
+        .map(|i| 4.0 + 0.2 * ((i * 37 % 17) as f64 / 17.0 - 0.5))
+        .collect();
+    let second: Vec<f64> = first
+        .iter()
+        .enumerate()
+        .map(|(i, x)| x + 0.1 + 0.05 * ((i * 13 % 11) as f64 / 11.0 - 0.5))
+        .collect();
+    (first, second)
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stats");
+    group.sample_size(20);
+
+    group.bench_function("ln_gamma", |b| {
+        b.iter(|| ln_gamma(black_box(61.5)))
+    });
+
+    group.bench_function("incomplete_beta", |b| {
+        b.iter(|| incomplete_beta(black_box(61.5), black_box(0.5), black_box(0.93)).unwrap())
+    });
+
+    group.bench_function("t_sf_df123", |b| {
+        b.iter(|| t_sf_two_sided(black_box(2.63), black_box(123.0)).unwrap())
+    });
+
+    let (first, second) = cohort_like_samples();
+    group.bench_function("paired_ttest_n124", |b| {
+        b.iter(|| t_test_paired(black_box(&first), black_box(&second)).unwrap())
+    });
+    group.bench_function("pearson_n124", |b| {
+        b.iter(|| pearson(black_box(&first), black_box(&second)).unwrap())
+    });
+    group.bench_function("wilcoxon_n124", |b| {
+        b.iter(|| wilcoxon_signed_rank(black_box(&first), black_box(&second)).unwrap())
+    });
+    group.bench_function("anova_7x124", |b| {
+        let groups: Vec<Vec<f64>> = (0..7)
+            .map(|g| first.iter().map(|x| x + g as f64 * 0.1).collect())
+            .collect();
+        b.iter(|| anova_one_way(black_box(&groups)).unwrap())
+    });
+    group.bench_function("permutation_test_2000", |b| {
+        b.iter(|| permutation_test_paired(black_box(&first), black_box(&second), 2_000, 42).unwrap())
+    });
+    group.bench_function("bootstrap_ci_2000", |b| {
+        b.iter(|| {
+            bootstrap_ci(
+                black_box(&first),
+                |d| d.iter().sum::<f64>() / d.len() as f64,
+                0.95,
+                2_000,
+                42,
+            )
+            .unwrap()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_stats);
+criterion_main!(benches);

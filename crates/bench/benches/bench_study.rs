@@ -1,0 +1,65 @@
+//! Regenerates Tables 1–6 (the paper's whole statistical evaluation)
+//! and benchmarks each stage of the pipeline: cohort simulation, the
+//! paired t-tests (Table 1), Cohen's d (Tables 2–3), the fourteen
+//! Pearson correlations (Table 4), and the composite rankings
+//! (Tables 5–6).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use classroom::response::Category;
+use classroom::{CohortData, StudyConfig, ALL_ELEMENTS};
+use pbl_core::{experiments, PblStudy};
+use stats::{cohen_d_independent, pearson, t_test_paired};
+
+fn print_shape_once() {
+    // The regenerated rows (shape check lives in tests; this is the
+    // visible artefact for bench logs).
+    let report = PblStudy::new().run();
+    eprintln!("{}", experiments::table1(&report).render_ascii());
+    eprintln!("{}", experiments::table2(&report).render_ascii());
+    eprintln!("{}", experiments::table3(&report).render_ascii());
+}
+
+fn bench_study(c: &mut Criterion) {
+    print_shape_once();
+    let mut group = c.benchmark_group("study");
+    group.sample_size(10);
+
+    group.bench_function("simulate_cohort_124", |b| {
+        b.iter(|| CohortData::generate(black_box(&StudyConfig::default())))
+    });
+
+    let cohort = CohortData::generate(&StudyConfig::default());
+    let e1 = cohort.student_scores(Category::ClassEmphasis, 1);
+    let e2 = cohort.student_scores(Category::ClassEmphasis, 2);
+
+    group.bench_function("table1_paired_ttest", |b| {
+        b.iter(|| t_test_paired(black_box(&e1), black_box(&e2)).unwrap())
+    });
+
+    group.bench_function("table2_cohens_d", |b| {
+        b.iter(|| cohen_d_independent(black_box(&e1), black_box(&e2)).unwrap())
+    });
+
+    group.bench_function("table4_fourteen_correlations", |b| {
+        b.iter(|| {
+            for wave in [1usize, 2] {
+                for idx in 0..ALL_ELEMENTS.len() {
+                    let x = cohort.wave(wave).element_scores(Category::ClassEmphasis, idx);
+                    let y = cohort.wave(wave).element_scores(Category::PersonalGrowth, idx);
+                    black_box(pearson(&x, &y).unwrap());
+                }
+            }
+        })
+    });
+
+    group.bench_function("full_study_tables1_to_6", |b| {
+        b.iter(|| PblStudy::new().run())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_study);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Regenerates the paper's tables and figures on the simulated cohort.
+//!
+//! Usage: `report [artefact]` where artefact is one of fig1, fig2,
+//! descriptive, table1..table6, gaps, assignment5, race, or all
+//! (default).
+
+use pbl_core::experiments;
+use pbl_core::hypotheses;
+use pbl_core::PblStudy;
+
+fn main() {
+    let what = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "all".to_string())
+        .to_lowercase();
+    if !pbl_bench::is_artefact(&what) {
+        eprintln!(
+            "unknown artefact {what:?}; expected one of {:?} or \"all\"",
+            pbl_bench::ARTEFACTS
+        );
+        std::process::exit(2);
+    }
+
+    let report = PblStudy::new().run();
+    match what.as_str() {
+        "fig1" => print!("{}", experiments::fig1()),
+        "fig2" => print!("{}", experiments::fig2()),
+        "descriptive" => print!("{}", experiments::descriptive(&report).render_ascii()),
+        "table1" => print!("{}", experiments::table1(&report).render_ascii()),
+        "table2" => print!("{}", experiments::table2(&report).render_ascii()),
+        "table3" => print!("{}", experiments::table3(&report).render_ascii()),
+        "table4" => print!("{}", experiments::table4(&report).render_ascii()),
+        "table5" => print!("{}", experiments::table5(&report).render_ascii()),
+        "table6" => print!("{}", experiments::table6(&report).render_ascii()),
+        "gaps" => print!("{}", experiments::gap_analysis(&report).render_ascii()),
+        "assignment5" => print!("{}", experiments::assignment5().render_ascii()),
+        "race" => print!("{}", experiments::race_demo().render_ascii()),
+        "spring2019" => print!("{}", experiments::spring2019().1.render_ascii()),
+        "robustness" => print!("{}", experiments::robustness(&report).render_ascii()),
+        "sections" => print!("{}", experiments::section_equivalence(&report).render_ascii()),
+        "assessment" => print!("{}", experiments::assessment_table(&report).render_ascii()),
+        "anova" => print!("{}", experiments::element_anova(&report).render_ascii()),
+        _ => {
+            print!("{}", experiments::full_report(&report));
+            println!("Hypotheses:");
+            for v in hypotheses::evaluate_all(&report) {
+                println!(
+                    "  H{} {}: {} — {}",
+                    v.hypothesis,
+                    if v.supported { "SUPPORTED" } else { "NOT SUPPORTED" },
+                    v.statement,
+                    v.evidence
+                );
+            }
+        }
+    }
+}

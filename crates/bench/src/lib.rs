@@ -1,0 +1,59 @@
+//! # pbl-bench — the benchmark harness
+//!
+//! One Criterion bench target per paper artefact family (see
+//! `benches/`), plus the `report` binary that regenerates every table
+//! and figure:
+//!
+//! ```text
+//! cargo run -p pbl-bench --bin report              # everything
+//! cargo run -p pbl-bench --bin report -- table4    # one artefact
+//! ```
+//!
+//! This library crate only hosts small shared helpers; the substance is
+//! in the bench targets and the binary.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+/// The artefact names the report binary accepts.
+pub const ARTEFACTS: [&str; 17] = [
+    "fig1",
+    "fig2",
+    "descriptive",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "gaps",
+    "assignment5",
+    "race",
+    "spring2019",
+    "robustness",
+    "sections",
+    "assessment",
+    "anova",
+];
+
+/// True if `name` is a known artefact (case-insensitive).
+pub fn is_artefact(name: &str) -> bool {
+    let lower = name.to_lowercase();
+    ARTEFACTS.contains(&lower.as_str()) || lower == "all"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artefact_names() {
+        assert!(is_artefact("table1"));
+        assert!(is_artefact("Table4"));
+        assert!(is_artefact("ALL"));
+        assert!(!is_artefact("table9"));
+        assert_eq!(ARTEFACTS.len(), 17);
+        assert!(is_artefact("robustness"));
+        assert!(is_artefact("spring2019"));
+    }
+}

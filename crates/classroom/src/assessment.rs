@@ -1,0 +1,177 @@
+//! Individual assessment (§II "PBL Module evaluation"): one quiz after
+//! each assignment's due date (five total), a midterm, and a final.
+//!
+//! Scores are generated from each student's placement ability plus the
+//! technical growth their survey responses report, so individual
+//! assessment trends cohere with the team-level survey findings: quiz
+//! scores climb across the semester, and final-exam performance
+//! correlates with reported personal growth.
+
+use stats::rng::Xoshiro256;
+
+use crate::cohort::CohortData;
+use crate::response::Category;
+
+/// Number of quizzes (one per assignment).
+pub const NUM_QUIZZES: usize = 5;
+
+/// One student's semester of individual assessment, all on 0–100.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StudentAssessment {
+    /// Student id.
+    pub student: usize,
+    /// Quiz scores in assignment order.
+    pub quizzes: [f64; NUM_QUIZZES],
+    /// Midterm exam (week 8).
+    pub midterm: f64,
+    /// Final exam (week 15).
+    pub final_exam: f64,
+}
+
+impl StudentAssessment {
+    /// Mean quiz score.
+    pub fn quiz_mean(&self) -> f64 {
+        self.quizzes.iter().sum::<f64>() / NUM_QUIZZES as f64
+    }
+
+    /// Final-minus-midterm improvement.
+    pub fn exam_improvement(&self) -> f64 {
+        self.final_exam - self.midterm
+    }
+}
+
+/// Generates the cohort's individual assessments, deterministically.
+///
+/// Quiz k's expected score is `base + trend·k` where `base` reflects
+/// placement ability and `trend` the student's reported second-half
+/// growth; the midterm draws on first-half state, the final on
+/// second-half state.
+pub fn generate_assessments(cohort: &CohortData, seed: u64) -> Vec<StudentAssessment> {
+    let mut rng = Xoshiro256::seed_from_u64(seed ^ 0xA55E_55ED);
+    let growth1 = cohort.student_scores(Category::PersonalGrowth, 1);
+    let growth2 = cohort.student_scores(Category::PersonalGrowth, 2);
+    cohort
+        .students
+        .iter()
+        .map(|student| {
+            let ability = student.ability(); // 0..1
+            // Normalise reported growth (≈3..4.5) to roughly 0..1.
+            let g1 = ((growth1[student.id] - 3.0) / 1.5).clamp(0.0, 1.0);
+            let g2 = ((growth2[student.id] - 3.0) / 1.5).clamp(0.0, 1.0);
+            let base = 52.0 + 28.0 * ability;
+            let trend = 2.0 + 6.0 * g2;
+            let mut quizzes = [0.0; NUM_QUIZZES];
+            for (k, q) in quizzes.iter_mut().enumerate() {
+                let expected = base + trend * k as f64;
+                *q = (expected + 6.0 * rng.next_normal()).clamp(0.0, 100.0);
+            }
+            let midterm =
+                (base + 4.0 * g1 + trend + 7.0 * rng.next_normal()).clamp(0.0, 100.0);
+            let final_exam = (base + 10.0 * g2 + trend * (NUM_QUIZZES - 1) as f64 * 0.8
+                + 7.0 * rng.next_normal())
+            .clamp(0.0, 100.0);
+            StudentAssessment {
+                student: student.id,
+                quizzes,
+                midterm,
+                final_exam,
+            }
+        })
+        .collect()
+}
+
+/// Class mean of each quiz, in order — the trajectory the instructor
+/// watches across the five assignments.
+pub fn quiz_trajectory(assessments: &[StudentAssessment]) -> [f64; NUM_QUIZZES] {
+    let mut means = [0.0; NUM_QUIZZES];
+    for a in assessments {
+        for (m, q) in means.iter_mut().zip(&a.quizzes) {
+            *m += q;
+        }
+    }
+    for m in &mut means {
+        *m /= assessments.len().max(1) as f64;
+    }
+    means
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cohort::StudyConfig;
+
+    fn assessments() -> (CohortData, Vec<StudentAssessment>) {
+        let cohort = CohortData::generate(&StudyConfig::default());
+        let a = generate_assessments(&cohort, 7);
+        (cohort, a)
+    }
+
+    #[test]
+    fn one_record_per_student_in_range() {
+        let (cohort, a) = assessments();
+        assert_eq!(a.len(), cohort.n());
+        for record in &a {
+            for &q in &record.quizzes {
+                assert!((0.0..=100.0).contains(&q));
+            }
+            assert!((0.0..=100.0).contains(&record.midterm));
+            assert!((0.0..=100.0).contains(&record.final_exam));
+        }
+    }
+
+    #[test]
+    fn quiz_scores_climb_across_the_semester() {
+        let (_, a) = assessments();
+        let trajectory = quiz_trajectory(&a);
+        assert!(
+            trajectory.windows(2).all(|w| w[1] > w[0] - 1.0),
+            "{trajectory:?}"
+        );
+        assert!(trajectory[4] > trajectory[0] + 5.0, "{trajectory:?}");
+    }
+
+    #[test]
+    fn finals_exceed_midterms_on_average() {
+        let (_, a) = assessments();
+        let improvement: f64 =
+            a.iter().map(|r| r.exam_improvement()).sum::<f64>() / a.len() as f64;
+        assert!(improvement > 0.0, "mean improvement {improvement}");
+    }
+
+    #[test]
+    fn final_exam_correlates_with_reported_growth() {
+        let (cohort, a) = assessments();
+        let growth2 = cohort.student_scores(Category::PersonalGrowth, 2);
+        let finals: Vec<f64> = a.iter().map(|r| r.final_exam).collect();
+        let r = stats::pearson(&growth2, &finals).unwrap();
+        assert!(r.r > 0.2, "r = {}", r.r);
+        assert!(r.p_two_sided < 0.01);
+    }
+
+    #[test]
+    fn ability_matters_for_quiz_means() {
+        let (cohort, a) = assessments();
+        let abilities: Vec<f64> = cohort.students.iter().map(|s| s.ability()).collect();
+        let quiz_means: Vec<f64> = a.iter().map(|r| r.quiz_mean()).collect();
+        let r = stats::pearson(&abilities, &quiz_means).unwrap();
+        assert!(r.r > 0.4, "r = {}", r.r);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cohort = CohortData::generate(&StudyConfig::default());
+        assert_eq!(
+            generate_assessments(&cohort, 3),
+            generate_assessments(&cohort, 3)
+        );
+        assert_ne!(
+            generate_assessments(&cohort, 3),
+            generate_assessments(&cohort, 4)
+        );
+    }
+
+    #[test]
+    fn trajectory_of_empty_cohort_is_zero() {
+        assert_eq!(quiz_trajectory(&[]), [0.0; NUM_QUIZZES]);
+    }
+}

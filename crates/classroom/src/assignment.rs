@@ -1,0 +1,269 @@
+//! The five two-week assignments: focus, materials, tasks,
+//! deliverables, and the grading / peer-rating policy (§II of the
+//! paper).
+
+/// The six learning materials handed out with the assignments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Material {
+    /// MIT Sloan "Teamwork Basics" notes.
+    TeamworkBasics,
+    /// CSinParallel Raspberry Pi multicore architecture workshop.
+    PiMulticoreArchitecture,
+    /// CSinParallel "Shared Memory Parallel Patternlets in OpenMP".
+    OpenMpPatternlets,
+    /// Barney, "Introduction to Parallel Computing" (LLNL).
+    IntroParallelComputing,
+    /// Zlatanov, "CPU vs. SOC — the battle for the future of computing".
+    CpuVsSoc,
+    /// Google, "Introduction to Parallel Programming and MapReduce".
+    IntroMapReduce,
+}
+
+/// What an assignment primarily develops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Focus {
+    /// Teamwork, communication, planning (Assignment 1).
+    SoftSkills,
+    /// Parallel programming concepts and practice (Assignments 2–5).
+    TechnicalSkills,
+}
+
+/// The deliverables every assignment requires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Deliverable {
+    /// Work-breakdown structure: assignee, task, duration, dependency,
+    /// due date.
+    PlanningAndScheduling,
+    /// Evidence of collaboration (Slack/GitHub/Docs activity).
+    Collaboration,
+    /// The written report with screenshots, code, and explanations.
+    WrittenReport,
+    /// The 5–10-minute YouTube video with every member presenting.
+    VideoPresentation,
+}
+
+/// One of the five assignments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assignment {
+    /// Assignment number, 1–5.
+    pub number: u8,
+    /// Primary skill focus.
+    pub focus: Focus,
+    /// Materials provided.
+    pub materials: Vec<Material>,
+    /// Headline tasks (programs to write or questions to answer).
+    pub tasks: Vec<&'static str>,
+}
+
+/// Required length of the video presentation, minutes.
+pub const VIDEO_MINUTES: std::ops::RangeInclusive<u8> = 5..=10;
+
+/// All four deliverables, required of every assignment.
+pub fn required_deliverables() -> [Deliverable; 4] {
+    [
+        Deliverable::PlanningAndScheduling,
+        Deliverable::Collaboration,
+        Deliverable::WrittenReport,
+        Deliverable::VideoPresentation,
+    ]
+}
+
+/// Builds the five assignments as the paper describes them.
+pub fn assignments() -> Vec<Assignment> {
+    vec![
+        Assignment {
+            number: 1,
+            focus: Focus::SoftSkills,
+            materials: vec![Material::TeamworkBasics],
+            tasks: vec![
+                "learn and apply team ground rules: work, facilitator, communication, and meeting norms",
+                "handle difficult behaviour and group problems",
+                "set up and report on Slack, GitHub, Google Docs, and a YouTube channel",
+            ],
+        },
+        Assignment {
+            number: 2,
+            focus: Focus::TechnicalSkills,
+            materials: vec![
+                Material::PiMulticoreArchitecture,
+                Material::OpenMpPatternlets,
+                Material::IntroParallelComputing,
+            ],
+            tasks: vec![
+                "identify the Raspberry Pi components and core count",
+                "install RASPBIAN on microSD and set up the Pi",
+                "run and modify the fork-join patternlet",
+                "run and modify the SPMD patternlet",
+                "observe shared-memory concerns: variable scope and the data race",
+            ],
+        },
+        Assignment {
+            number: 3,
+            focus: Focus::TechnicalSkills,
+            materials: vec![
+                Material::PiMulticoreArchitecture,
+                Material::OpenMpPatternlets,
+                Material::IntroParallelComputing,
+                Material::CpuVsSoc,
+            ],
+            tasks: vec![
+                "classify parallel computers by Flynn's taxonomy",
+                "explain SoC vs discrete CPU/GPU/RAM",
+                "run loops in parallel with equal chunks",
+                "schedule parallel loops statically and dynamically with chunks 1, 2, 3",
+                "parallelise a loop with dependencies using the reduction clause",
+            ],
+        },
+        Assignment {
+            number: 4,
+            focus: Focus::TechnicalSkills,
+            materials: vec![Material::OpenMpPatternlets, Material::IntroParallelComputing],
+            tasks: vec![
+                "explain the race condition, why it is hard to reproduce, and how to fix it",
+                "compare barrier with reduction, and master-worker with fork-join",
+                "integrate with the trapezoidal rule using private, shared, and reduction",
+                "coordinate with a barrier, controlling the thread count from the command line",
+                "implement the master-worker strategy",
+            ],
+        },
+        Assignment {
+            number: 5,
+            focus: Focus::TechnicalSkills,
+            materials: vec![Material::IntroMapReduce, Material::PiMulticoreArchitecture],
+            tasks: vec![
+                "explain MapReduce: map, reduce, execution model, and three example computations",
+                "when to use OpenMP vs MPI vs MapReduce",
+                "solve drug design sequentially, with OpenMP, and with C++11 threads",
+                "measure running times; compare program sizes",
+                "rerun with 5 threads and with maximum ligand length 7",
+            ],
+        },
+    ]
+}
+
+/// Grading policy (§II "PBL Module evaluation").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GradingPolicy {
+    /// PBL module share of the course grade.
+    pub module_weight: f64,
+    /// Each assignment's share of the module.
+    pub per_assignment_weight: f64,
+    /// Grade assigned for refusing to cooperate on an assignment.
+    pub non_cooperation_grade: f64,
+}
+
+impl Default for GradingPolicy {
+    fn default() -> Self {
+        GradingPolicy {
+            module_weight: 0.25,
+            per_assignment_weight: 0.05, // 25% split evenly over five
+            non_cooperation_grade: 0.0,
+        }
+    }
+}
+
+/// A peer rating of one teammate's contribution, 0–100.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeerRating {
+    /// Who is rating.
+    pub rater: usize,
+    /// Who is being rated.
+    pub ratee: usize,
+    /// Contribution rating.
+    pub rating: f64,
+}
+
+/// Applies the policy: each cooperating member receives the team grade;
+/// a member whose mean peer rating is below `cooperation_threshold`
+/// counts as non-cooperating and receives zero for the assignment.
+pub fn individual_grades(
+    team_grade: f64,
+    members: &[usize],
+    ratings: &[PeerRating],
+    cooperation_threshold: f64,
+) -> Vec<(usize, f64)> {
+    members
+        .iter()
+        .map(|&member| {
+            let about: Vec<f64> = ratings
+                .iter()
+                .filter(|r| r.ratee == member && r.rater != member)
+                .map(|r| r.rating)
+                .collect();
+            let mean = if about.is_empty() {
+                100.0
+            } else {
+                about.iter().sum::<f64>() / about.len() as f64
+            };
+            let grade = if mean < cooperation_threshold {
+                GradingPolicy::default().non_cooperation_grade
+            } else {
+                team_grade
+            };
+            (member, grade)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_assignments_first_is_soft_skills() {
+        let a = assignments();
+        assert_eq!(a.len(), 5);
+        assert_eq!(a[0].focus, Focus::SoftSkills);
+        assert!(a[1..].iter().all(|x| x.focus == Focus::TechnicalSkills));
+        for (i, x) in a.iter().enumerate() {
+            assert_eq!(x.number as usize, i + 1);
+            assert!(!x.tasks.is_empty());
+            assert!(!x.materials.is_empty());
+        }
+    }
+
+    #[test]
+    fn materials_map_to_the_right_assignments() {
+        let a = assignments();
+        assert_eq!(a[0].materials, vec![Material::TeamworkBasics]);
+        assert!(a[2].materials.contains(&Material::CpuVsSoc));
+        assert!(a[4].materials.contains(&Material::IntroMapReduce));
+        assert!(!a[4].materials.contains(&Material::TeamworkBasics));
+    }
+
+    #[test]
+    fn grading_weights_sum_to_module_weight() {
+        let p = GradingPolicy::default();
+        assert!((p.per_assignment_weight * 5.0 - p.module_weight).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deliverables_are_the_four_components() {
+        assert_eq!(required_deliverables().len(), 4);
+        assert!(VIDEO_MINUTES.contains(&5) && VIDEO_MINUTES.contains(&10));
+        assert!(!VIDEO_MINUTES.contains(&11));
+    }
+
+    #[test]
+    fn cooperating_members_get_the_team_grade() {
+        let ratings = vec![
+            PeerRating { rater: 1, ratee: 0, rating: 90.0 },
+            PeerRating { rater: 2, ratee: 0, rating: 80.0 },
+            PeerRating { rater: 0, ratee: 1, rating: 95.0 },
+            PeerRating { rater: 2, ratee: 1, rating: 85.0 },
+            PeerRating { rater: 0, ratee: 2, rating: 20.0 },
+            PeerRating { rater: 1, ratee: 2, rating: 10.0 },
+        ];
+        let grades = individual_grades(88.0, &[0, 1, 2], &ratings, 50.0);
+        assert_eq!(grades[0], (0, 88.0));
+        assert_eq!(grades[1], (1, 88.0));
+        assert_eq!(grades[2], (2, 0.0), "non-cooperator zeroed");
+    }
+
+    #[test]
+    fn self_ratings_are_ignored_and_missing_ratings_default_to_cooperating() {
+        let ratings = vec![PeerRating { rater: 0, ratee: 0, rating: 100.0 }];
+        let grades = individual_grades(75.0, &[0], &ratings, 50.0);
+        assert_eq!(grades, vec![(0, 75.0)]);
+    }
+}

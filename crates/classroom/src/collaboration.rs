@@ -1,0 +1,285 @@
+//! The "Collaboration" deliverable: simulated team activity on the four
+//! required technologies (Slack, GitHub, Google Docs, YouTube), the
+//! collaboration score the rubric grades, and the peer ratings that
+//! activity justifies.
+//!
+//! Every assignment requires evidence of collaboration; this module
+//! generates per-member activity from engagement (ability plus noise,
+//! with an optional free-rider), scores its volume and balance, and
+//! derives the peer-rating form each member would submit.
+
+use stats::rng::Xoshiro256;
+
+use crate::assignment::PeerRating;
+use crate::student::Student;
+use crate::team::Team;
+
+/// One member's activity across the four technologies for one
+/// assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemberActivity {
+    /// Student id.
+    pub student: usize,
+    /// Slack messages sent.
+    pub slack_messages: u32,
+    /// GitHub commits pushed.
+    pub commits: u32,
+    /// Google Docs edits made.
+    pub doc_edits: u32,
+    /// Seconds of the team video this member presents.
+    pub video_seconds: u32,
+}
+
+impl MemberActivity {
+    /// A single scalar contribution: activity summed with rough
+    /// per-channel weights (a commit is worth more than a message).
+    pub fn contribution(&self) -> f64 {
+        self.slack_messages as f64 * 1.0
+            + self.commits as f64 * 5.0
+            + self.doc_edits as f64 * 2.0
+            + self.video_seconds as f64 / 30.0
+    }
+}
+
+/// A team's collaboration evidence for one assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TeamCollaboration {
+    /// Team id.
+    pub team: usize,
+    /// Assignment number (1–5).
+    pub assignment: u8,
+    /// Per-member activity.
+    pub members: Vec<MemberActivity>,
+}
+
+impl TeamCollaboration {
+    /// Total team contribution.
+    pub fn total_contribution(&self) -> f64 {
+        self.members.iter().map(|m| m.contribution()).sum()
+    }
+
+    /// Balance in [0, 1]: the minimum member share divided by the fair
+    /// share (1 means perfectly even; 0 means someone did nothing).
+    pub fn balance(&self) -> f64 {
+        let total = self.total_contribution();
+        if total == 0.0 || self.members.is_empty() {
+            return 0.0;
+        }
+        let fair = total / self.members.len() as f64;
+        let min = self
+            .members
+            .iter()
+            .map(|m| m.contribution())
+            .fold(f64::MAX, f64::min);
+        (min / fair).clamp(0.0, 1.0)
+    }
+
+    /// The collaboration score the rubric criterion grades, in [0, 1]:
+    /// geometric blend of volume adequacy and balance. `expected_total`
+    /// is the instructor's norm for full marks.
+    pub fn score(&self, expected_total: f64) -> f64 {
+        assert!(expected_total > 0.0, "expected activity must be positive");
+        let volume = (self.total_contribution() / expected_total).min(1.0);
+        (volume * self.balance()).sqrt()
+    }
+
+    /// Whether every member presented in the video (the 5–10-minute
+    /// requirement says each student must participate).
+    pub fn everyone_on_video(&self) -> bool {
+        self.members.iter().all(|m| m.video_seconds > 0)
+    }
+
+    /// Derives the peer-rating form: each member rates every teammate
+    /// 0–100 by their contribution relative to the fair share.
+    pub fn peer_ratings(&self) -> Vec<PeerRating> {
+        let total = self.total_contribution();
+        let n = self.members.len();
+        if total == 0.0 || n < 2 {
+            return Vec::new();
+        }
+        let fair = total / n as f64;
+        let mut out = Vec::with_capacity(n * (n - 1));
+        for rater in &self.members {
+            for ratee in &self.members {
+                if rater.student == ratee.student {
+                    continue;
+                }
+                let rating = (ratee.contribution() / fair * 75.0).clamp(0.0, 100.0);
+                out.push(PeerRating {
+                    rater: rater.student,
+                    ratee: ratee.student,
+                    rating,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Simulates one team's collaboration on one assignment. Member
+/// activity scales with engagement (student ability plus noise);
+/// `free_rider` marks one member as contributing almost nothing — the
+/// failure mode the grading policy's zero rule exists for.
+pub fn simulate_collaboration(
+    team: &Team,
+    students: &[Student],
+    assignment: u8,
+    seed: u64,
+    free_rider: Option<usize>,
+) -> TeamCollaboration {
+    assert!((1..=5).contains(&assignment), "assignments are numbered 1-5");
+    let by_id: std::collections::HashMap<usize, &Student> =
+        students.iter().map(|s| (s.id, s)).collect();
+    let mut rng = Xoshiro256::seed_from_u64(
+        seed ^ (team.id as u64) << 8 ^ (assignment as u64),
+    );
+    let members = team
+        .members
+        .iter()
+        .map(|&id| {
+            let ability = by_id
+                .get(&id)
+                .map(|s| s.ability())
+                .unwrap_or(0.5);
+            let engagement = if free_rider == Some(id) {
+                0.03
+            } else {
+                (0.5 + 0.5 * ability + 0.15 * rng.next_normal()).clamp(0.1, 1.5)
+            };
+            let draw = |rng: &mut Xoshiro256, mean: f64| -> u32 {
+                (mean * engagement * (1.0 + 0.3 * rng.next_normal()).max(0.1)).round() as u32
+            };
+            MemberActivity {
+                student: id,
+                slack_messages: draw(&mut rng, 40.0),
+                commits: draw(&mut rng, 8.0),
+                doc_edits: draw(&mut rng, 15.0),
+                video_seconds: if free_rider == Some(id) {
+                    0
+                } else {
+                    draw(&mut rng, 90.0)
+                },
+            }
+        })
+        .collect();
+    TeamCollaboration {
+        team: team.id,
+        assignment,
+        members,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assignment::individual_grades;
+    use crate::roster::generate_cohort;
+    use crate::team::form_teams;
+
+    fn setup() -> (Vec<Student>, Team) {
+        let cohort = generate_cohort(278);
+        let team = form_teams(&cohort).into_iter().next().expect("teams formed");
+        (cohort, team)
+    }
+
+    #[test]
+    fn healthy_team_scores_high_and_everyone_presents() {
+        let (cohort, team) = setup();
+        let collab = simulate_collaboration(&team, &cohort, 2, 7, None);
+        assert_eq!(collab.members.len(), team.members.len());
+        assert!(collab.everyone_on_video());
+        let score = collab.score(600.0);
+        assert!(score > 0.5, "score {score}");
+        assert!(collab.balance() > 0.3, "balance {}", collab.balance());
+    }
+
+    #[test]
+    fn free_rider_tanks_balance_and_video_requirement() {
+        let (cohort, team) = setup();
+        let lazy = team.members[2];
+        let collab = simulate_collaboration(&team, &cohort, 3, 7, Some(lazy));
+        assert!(!collab.everyone_on_video());
+        assert!(collab.balance() < 0.2, "balance {}", collab.balance());
+        let healthy = simulate_collaboration(&team, &cohort, 3, 7, None);
+        assert!(collab.score(600.0) < healthy.score(600.0));
+    }
+
+    #[test]
+    fn peer_ratings_single_out_the_free_rider() {
+        let (cohort, team) = setup();
+        let lazy = team.members[0];
+        let collab = simulate_collaboration(&team, &cohort, 4, 11, Some(lazy));
+        let ratings = collab.peer_ratings();
+        // n members → n(n−1) directed ratings.
+        let n = team.members.len();
+        assert_eq!(ratings.len(), n * (n - 1));
+        // The grading policy then zeroes the free-rider's grade.
+        let grades = individual_grades(90.0, &team.members, &ratings, 50.0);
+        let lazy_grade = grades.iter().find(|(id, _)| *id == lazy).expect("present").1;
+        assert_eq!(lazy_grade, 0.0);
+        // Cooperating members keep the team grade.
+        assert!(grades
+            .iter()
+            .filter(|(id, _)| *id != lazy)
+            .all(|&(_, g)| g == 90.0));
+    }
+
+    #[test]
+    fn contribution_weighs_commits_over_messages() {
+        let a = MemberActivity {
+            student: 0,
+            slack_messages: 10,
+            commits: 0,
+            doc_edits: 0,
+            video_seconds: 0,
+        };
+        let b = MemberActivity {
+            student: 1,
+            slack_messages: 0,
+            commits: 10,
+            doc_edits: 0,
+            video_seconds: 0,
+        };
+        assert!(b.contribution() > a.contribution());
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_assignment() {
+        let (cohort, team) = setup();
+        let a = simulate_collaboration(&team, &cohort, 2, 5, None);
+        let b = simulate_collaboration(&team, &cohort, 2, 5, None);
+        assert_eq!(a, b);
+        let c = simulate_collaboration(&team, &cohort, 3, 5, None);
+        assert_ne!(a, c, "different assignment, different activity");
+    }
+
+    #[test]
+    fn empty_and_degenerate_cases() {
+        let empty = TeamCollaboration {
+            team: 0,
+            assignment: 1,
+            members: vec![],
+        };
+        assert_eq!(empty.balance(), 0.0);
+        assert!(empty.peer_ratings().is_empty());
+        assert!(empty.everyone_on_video(), "vacuously true");
+    }
+
+    #[test]
+    #[should_panic(expected = "numbered 1-5")]
+    fn bad_assignment_panics() {
+        let (cohort, team) = setup();
+        let _ = simulate_collaboration(&team, &cohort, 0, 1, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected activity must be positive")]
+    fn zero_expectation_panics() {
+        let empty = TeamCollaboration {
+            team: 0,
+            assignment: 1,
+            members: vec![],
+        };
+        let _ = empty.score(0.0);
+    }
+}

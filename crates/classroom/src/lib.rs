@@ -1,0 +1,61 @@
+//! # classroom — the PBL study's human substrate, simulated
+//!
+//! The paper's evaluation runs on 124 computer-science students in two
+//! sections of CSc 3210 (Fall 2018). That cohort cannot be re-enrolled,
+//! so this crate simulates it: a demographically matched roster, the
+//! instructor's criteria-based team formation, the 15-week semester
+//! timeline, the five assignments with their materials and grading
+//! policy, the Team Design Skills Growth survey instrument, and a
+//! latent learning-dynamics model whose observable survey statistics
+//! are calibrated to the paper's published values.
+//!
+//! * [`student`] / [`roster`] — students and the 124-person cohort
+//!   (98 male / 26 female; sections of 62 with 16 and 10 women).
+//! * [`team`] — criteria-balanced team formation (13 teams per section,
+//!   ≤ 5 students) vs the random baseline, with balance metrics.
+//! * [`timeline`] — Fig. 1: the semester schedule.
+//! * [`assignment`] — the five two-week assignments, their materials,
+//!   deliverables, grading and peer-rating policy.
+//! * [`assessment`] — individual quizzes, midterm, and final.
+//! * [`collaboration`] — team activity on Slack/GitHub/Docs/YouTube,
+//!   the collaboration score, and derived peer ratings.
+//! * [`rubric`] — project rubrics (the paper's §V plan).
+//! * [`survey`] — the Beyerlein et al. instrument (Fig. 2): seven
+//!   elements, each a definition plus component items, on the Class
+//!   Emphasis and Personal Growth scales.
+//! * [`learning`] — the latent emphasis→growth model and its calibrated
+//!   parameters (one bivariate-normal pair per element per wave).
+//! * [`response`] — survey administration: latent values → integer item
+//!   responses (stochastic rounding) → per-student scores.
+//! * [`cohort`] — the assembled study dataset the analysis consumes.
+//!
+//! ```
+//! use classroom::{CohortData, StudyConfig};
+//! use classroom::response::Category;
+//!
+//! let data = CohortData::generate(&StudyConfig::default());
+//! assert_eq!(data.n(), 124);
+//! let growth2 = data.student_scores(Category::PersonalGrowth, 2);
+//! let mean: f64 = growth2.iter().sum::<f64>() / growth2.len() as f64;
+//! assert!((mean - 4.01).abs() < 0.05); // the paper's Table 3 wave-2 mean
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod assessment;
+pub mod assignment;
+pub mod cohort;
+pub mod collaboration;
+pub mod learning;
+pub mod response;
+pub mod roster;
+pub mod rubric;
+pub mod student;
+pub mod survey;
+pub mod team;
+pub mod timeline;
+
+pub use cohort::{CohortData, StudyConfig};
+pub use student::{Gender, Student};
+pub use survey::{Element, ALL_ELEMENTS};

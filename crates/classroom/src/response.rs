@@ -1,0 +1,284 @@
+//! Survey administration: turns the latent model into per-student
+//! scores and (for display) integer item responses.
+//!
+//! The paper's analysis operates on per-student *score averages* (all
+//! items of an element, then across elements), which are effectively
+//! continuous; these are generated directly from the calibrated
+//! bivariate-normal model, with the latent mean pre-compensated so the
+//! clamp onto the 1–5 scale does not shift the published means.
+//! Integer single-item responses (what a filled-in Fig. 2 form looks
+//! like) are produced by unbiased stochastic rounding in
+//! [`render_filled_items`].
+
+use stats::rng::Xoshiro256;
+use stats::special::{erf, normal_cdf};
+
+use crate::learning::{targets, wave_params, Wave};
+use crate::survey::ALL_ELEMENTS;
+
+/// All responses of one survey wave.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaveResponses {
+    /// Which wave (1 or 2).
+    pub wave: Wave,
+    /// `emphasis[student][element]` scores, indexed by
+    /// [`ALL_ELEMENTS`] order.
+    pub emphasis: Vec<Vec<f64>>,
+    /// `growth[student][element]` scores.
+    pub growth: Vec<Vec<f64>>,
+}
+
+impl WaveResponses {
+    /// Per-student overall score on a category: the mean over the seven
+    /// elements (the variable the paper's Tables 1–3 analyse).
+    pub fn student_scores(&self, category: Category) -> Vec<f64> {
+        let per_element = match category {
+            Category::ClassEmphasis => &self.emphasis,
+            Category::PersonalGrowth => &self.growth,
+        };
+        per_element
+            .iter()
+            .map(|row| row.iter().sum::<f64>() / row.len() as f64)
+            .collect()
+    }
+
+    /// All students' scores on one element.
+    pub fn element_scores(&self, category: Category, element_idx: usize) -> Vec<f64> {
+        let per_element = match category {
+            Category::ClassEmphasis => &self.emphasis,
+            Category::PersonalGrowth => &self.growth,
+        };
+        per_element.iter().map(|row| row[element_idx]).collect()
+    }
+}
+
+/// The two survey categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Category {
+    /// "Class Emphasis".
+    ClassEmphasis,
+    /// "Personal Growth".
+    PersonalGrowth,
+}
+
+/// Standard normal pdf.
+fn normal_pdf(z: f64) -> f64 {
+    (-0.5 * z * z).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Mean of `clamp(N(mu, sigma), 1, 5)` in closed form.
+fn clamped_mean(mu: f64, sigma: f64) -> f64 {
+    let a = (1.0 - mu) / sigma;
+    let b = (5.0 - mu) / sigma;
+    1.0 * normal_cdf(a) + 5.0 * (1.0 - normal_cdf(b)) + mu * (normal_cdf(b) - normal_cdf(a))
+        - sigma * (normal_pdf(b) - normal_pdf(a))
+}
+
+/// Pre-compensates a target mean for the clamp: returns `mu'` such that
+/// `E[clamp(N(mu', sigma), 1, 5)] ≈ target`.
+pub fn compensate_for_clamp(target: f64, sigma: f64) -> f64 {
+    let (mut lo, mut hi) = (target - 1.0, target + 1.0);
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if clamped_mean(mid, sigma) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Generates one wave of responses for `num_students` students.
+///
+/// Deterministic for a given `(wave, seed)`; waves drawn with different
+/// seeds are independent across students, matching the near-zero
+/// between-wave correlation the paper's own t statistics imply.
+pub fn generate_wave(num_students: usize, wave: Wave, seed: u64) -> WaveResponses {
+    generate_wave_with(num_students, wave, seed, None)
+}
+
+/// [`generate_wave`] under an optional course-design
+/// [`Intervention`](crate::learning::Intervention) (the Spring-2019
+/// counterfactual).
+pub fn generate_wave_with(
+    num_students: usize,
+    wave: Wave,
+    seed: u64,
+    intervention: Option<&crate::learning::Intervention>,
+) -> WaveResponses {
+    let params = wave_params(wave);
+    let mut rng = Xoshiro256::seed_from_u64(seed ^ (wave as u64).wrapping_mul(0x9E37_79B9));
+    let mut emphasis = Vec::with_capacity(num_students);
+    let mut growth = Vec::with_capacity(num_students);
+    // Pre-compute compensated means per element.
+    let comp: Vec<(f64, f64, f64)> = ALL_ELEMENTS
+        .iter()
+        .map(|&e| {
+            let mut t = targets(e, wave);
+            if let Some(i) = intervention {
+                t = i.adjust(e, t);
+            }
+            (
+                compensate_for_clamp(t.emphasis_mean, params.emphasis_sd),
+                compensate_for_clamp(t.growth_mean, params.growth_sd),
+                t.correlation,
+            )
+        })
+        .collect();
+    for _ in 0..num_students {
+        let u = rng.next_normal(); // perception factor
+        let g = rng.next_normal(); // growth factor
+        let mut e_row = Vec::with_capacity(ALL_ELEMENTS.len());
+        let mut g_row = Vec::with_capacity(ALL_ELEMENTS.len());
+        for &(mu_e, mu_g, r) in &comp {
+            let v = rng.next_normal();
+            let w = rng.next_normal();
+            let z_e = params.emphasis_rho.sqrt() * u
+                + (1.0 - params.emphasis_rho).sqrt() * v;
+            let resid = params.growth_rho.sqrt() * g + (1.0 - params.growth_rho).sqrt() * w;
+            let z_g = r * z_e + (1.0 - r * r).sqrt() * resid;
+            e_row.push((mu_e + params.emphasis_sd * z_e).clamp(1.0, 5.0));
+            g_row.push((mu_g + params.growth_sd * z_g).clamp(1.0, 5.0));
+        }
+        emphasis.push(e_row);
+        growth.push(g_row);
+    }
+    WaveResponses {
+        wave,
+        emphasis,
+        growth,
+    }
+}
+
+/// Renders integer item responses consistent with an element score —
+/// what one student's filled-in survey block looks like. Uses unbiased
+/// stochastic rounding, so the item mean converges on `score`.
+pub fn render_filled_items(score: f64, item_count: usize, rng: &mut Xoshiro256) -> Vec<u8> {
+    assert!(item_count > 0, "need at least one item");
+    (0..item_count)
+        .map(|_| {
+            let jittered = (score + 0.3 * rng.next_normal()).clamp(1.0, 5.0);
+            let floor = jittered.floor();
+            let frac = jittered - floor;
+            let rounded = if rng.next_f64() < frac { floor + 1.0 } else { floor };
+            rounded.clamp(1.0, 5.0) as u8
+        })
+        .collect()
+}
+
+/// Convenience re-export used by calibration tests.
+pub fn erf_sanity(x: f64) -> f64 {
+    erf(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stats::descriptive::Summary;
+
+    #[test]
+    fn clamped_mean_matches_simulation() {
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        let (mu, sigma) = (4.4, 0.4);
+        let analytic = clamped_mean(mu, sigma);
+        let n = 200_000;
+        let sim: f64 = (0..n)
+            .map(|_| (mu + sigma * rng.next_normal()).clamp(1.0, 5.0))
+            .sum::<f64>()
+            / n as f64;
+        assert!((analytic - sim).abs() < 0.002, "{analytic} vs {sim}");
+    }
+
+    #[test]
+    fn compensation_restores_the_target_mean() {
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        let (target, sigma) = (4.38, 0.40);
+        let mu = compensate_for_clamp(target, sigma);
+        assert!(mu > target, "pushing mass past 5 needs a higher latent mean");
+        let n = 200_000;
+        let sim: f64 = (0..n)
+            .map(|_| (mu + sigma * rng.next_normal()).clamp(1.0, 5.0))
+            .sum::<f64>()
+            / n as f64;
+        assert!((sim - target).abs() < 0.003, "{sim}");
+    }
+
+    #[test]
+    fn wave_shapes_are_consistent() {
+        let w = generate_wave(124, 1, 42);
+        assert_eq!(w.emphasis.len(), 124);
+        assert_eq!(w.growth.len(), 124);
+        assert!(w.emphasis.iter().all(|r| r.len() == 7));
+        assert!(w
+            .emphasis
+            .iter()
+            .flatten()
+            .chain(w.growth.iter().flatten())
+            .all(|&x| (1.0..=5.0).contains(&x)));
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_wave() {
+        assert_eq!(generate_wave(30, 1, 7), generate_wave(30, 1, 7));
+        assert_ne!(generate_wave(30, 1, 7), generate_wave(30, 1, 8));
+        assert_ne!(generate_wave(30, 1, 7), generate_wave(30, 2, 7));
+    }
+
+    #[test]
+    fn student_scores_average_elements() {
+        let w = generate_wave(10, 1, 3);
+        let scores = w.student_scores(Category::ClassEmphasis);
+        assert_eq!(scores.len(), 10);
+        let manual: f64 = w.emphasis[0].iter().sum::<f64>() / 7.0;
+        assert!((scores[0] - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn large_cohort_hits_calibrated_moments() {
+        // With many students the generator must land on the published
+        // wave-1 moments (124-student draws scatter around these).
+        let w = generate_wave(20_000, 1, 11);
+        let overall = Summary::from_slice(&w.student_scores(Category::ClassEmphasis)).unwrap();
+        assert!((overall.mean() - 4.023).abs() < 0.01, "mean {}", overall.mean());
+        let sd = overall.sample_sd().unwrap();
+        assert!((sd - 0.232).abs() < 0.02, "sd {sd}");
+        let growth = Summary::from_slice(&w.student_scores(Category::PersonalGrowth)).unwrap();
+        assert!((growth.mean() - 3.81).abs() < 0.015, "mean {}", growth.mean());
+        let gsd = growth.sample_sd().unwrap();
+        assert!((gsd - 0.262).abs() < 0.025, "sd {gsd}");
+    }
+
+    #[test]
+    fn element_correlations_track_targets() {
+        let w = generate_wave(20_000, 1, 13);
+        for (idx, &e) in ALL_ELEMENTS.iter().enumerate() {
+            let emph = w.element_scores(Category::ClassEmphasis, idx);
+            let grow = w.element_scores(Category::PersonalGrowth, idx);
+            let r = stats::pearson(&emph, &grow).unwrap().r;
+            let target = targets(e, 1).correlation;
+            assert!((r - target).abs() < 0.05, "{e:?}: r {r} target {target}");
+        }
+    }
+
+    #[test]
+    fn filled_items_average_near_the_score() {
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        let items = render_filled_items(3.6, 4_000, &mut rng);
+        assert!(items.iter().all(|&i| (1..=5).contains(&i)));
+        let mean: f64 = items.iter().map(|&i| i as f64).sum::<f64>() / items.len() as f64;
+        assert!((mean - 3.6).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn zero_items_panics() {
+        let mut rng = Xoshiro256::seed_from_u64(6);
+        let _ = render_filled_items(3.0, 0, &mut rng);
+    }
+
+    #[test]
+    fn erf_reexport_works() {
+        assert!((erf_sanity(0.0)).abs() < 1e-8);
+    }
+}

@@ -1,0 +1,147 @@
+//! Cohort generation matched to the paper's demographics: 124 students,
+//! two sections of 62, with 16 women in section 0 and 10 in section 1
+//! (98 male / 26 female ≙ 79.03% / 20.97%).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::student::{Gender, Student, MAX_EXPERIENCE};
+
+/// Paper demographics: total cohort size.
+pub const COHORT_SIZE: usize = 124;
+/// Paper demographics: students per section.
+pub const SECTION_SIZE: usize = 62;
+/// Paper demographics: women per section.
+pub const WOMEN_PER_SECTION: [usize; 2] = [16, 10];
+
+/// Generates the demographically matched cohort, deterministically from
+/// `seed`. GPA is drawn from a clamped normal around the departmental
+/// B-average; experience levels are skewed toward "some".
+pub fn generate_cohort(seed: u64) -> Vec<Student> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut students = Vec::with_capacity(COHORT_SIZE);
+    for (section, &women_in_section) in WOMEN_PER_SECTION.iter().enumerate() {
+        for slot in 0..SECTION_SIZE {
+            let gender = if slot < women_in_section {
+                Gender::Female
+            } else {
+                Gender::Male
+            };
+            // Clamped normal GPA around 3.0, sd 0.5 (Box–Muller).
+            let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            let u2: f64 = rng.gen();
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            let gpa = (3.0 + 0.5 * z).clamp(2.0, 4.0);
+            let level = |rng: &mut SmallRng| -> u8 {
+                // Skewed toward 1–2: weights 15/40/30/15.
+                let roll: f64 = rng.gen();
+                if roll < 0.15 {
+                    0
+                } else if roll < 0.55 {
+                    1
+                } else if roll < 0.85 {
+                    2
+                } else {
+                    MAX_EXPERIENCE
+                }
+            };
+            students.push(Student {
+                id: section * SECTION_SIZE + slot,
+                section,
+                gender,
+                gpa,
+                programming: level(&mut rng),
+                group_work: level(&mut rng),
+                writing: level(&mut rng),
+            });
+        }
+    }
+    students
+}
+
+/// Gender counts of a roster: `(male, female)`.
+pub fn gender_counts(students: &[Student]) -> (usize, usize) {
+    let female = students
+        .iter()
+        .filter(|s| s.gender == Gender::Female)
+        .count();
+    (students.len() - female, female)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cohort_matches_paper_demographics() {
+        let cohort = generate_cohort(1);
+        assert_eq!(cohort.len(), 124);
+        let (male, female) = gender_counts(&cohort);
+        assert_eq!(male, 98);
+        assert_eq!(female, 26);
+        for (section, &expected_women) in WOMEN_PER_SECTION.iter().enumerate() {
+            let in_section: Vec<_> = cohort.iter().filter(|s| s.section == section).collect();
+            assert_eq!(in_section.len(), 62);
+            let women = in_section
+                .iter()
+                .filter(|s| s.gender == Gender::Female)
+                .count();
+            assert_eq!(women, expected_women);
+        }
+    }
+
+    #[test]
+    fn percentages_match_the_paper() {
+        let cohort = generate_cohort(3);
+        let (male, female) = gender_counts(&cohort);
+        let male_pct = male as f64 / cohort.len() as f64 * 100.0;
+        let female_pct = female as f64 / cohort.len() as f64 * 100.0;
+        assert!((male_pct - 79.03).abs() < 0.01);
+        assert!((female_pct - 20.97).abs() < 0.01);
+    }
+
+    #[test]
+    fn ids_are_unique_and_sequential() {
+        let cohort = generate_cohort(5);
+        for (i, s) in cohort.iter().enumerate() {
+            assert_eq!(s.id, i);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(generate_cohort(9), generate_cohort(9));
+        assert_ne!(
+            generate_cohort(9)
+                .iter()
+                .map(|s| s.gpa)
+                .collect::<Vec<_>>(),
+            generate_cohort(10)
+                .iter()
+                .map(|s| s.gpa)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn gpas_in_range_and_varied() {
+        let cohort = generate_cohort(2);
+        assert!(cohort.iter().all(|s| (2.0..=4.0).contains(&s.gpa)));
+        let mean: f64 = cohort.iter().map(|s| s.gpa).sum::<f64>() / 124.0;
+        assert!((mean - 3.0).abs() < 0.2, "mean GPA {mean}");
+        let distinct: std::collections::HashSet<u64> =
+            cohort.iter().map(|s| s.gpa.to_bits()).collect();
+        assert!(distinct.len() > 60, "GPAs vary");
+    }
+
+    #[test]
+    fn experience_levels_cover_the_scale() {
+        let cohort = generate_cohort(4);
+        for level in 0..=MAX_EXPERIENCE {
+            assert!(
+                cohort.iter().any(|s| s.programming == level),
+                "level {level} present"
+            );
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Project rubrics — the paper's §V plan: "we also plan on developing
+//! project rubrics, as it helps improve students' learning, identify
+//! what quality work is, and reduce the assignments grading overheads."
+//!
+//! A rubric is a weighted set of criteria, each scored on named
+//! achievement levels; scoring a submission yields a weighted grade and
+//! per-criterion feedback.
+
+use crate::assignment::Deliverable;
+
+/// One achievement level of a criterion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Level {
+    /// Points awarded at this level (0..=points of the criterion).
+    pub points: f64,
+    /// Name, e.g. "Exemplary".
+    pub name: &'static str,
+    /// What earns this level.
+    pub descriptor: &'static str,
+}
+
+/// One scored criterion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Criterion {
+    /// What is being assessed.
+    pub name: &'static str,
+    /// Deliverable the criterion belongs to.
+    pub deliverable: Deliverable,
+    /// Weight within the rubric (all weights sum to 1).
+    pub weight: f64,
+    /// Achievement levels, highest first.
+    pub levels: Vec<Level>,
+}
+
+/// A rubric: weighted criteria covering all four deliverables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rubric {
+    /// Assignment number the rubric grades (1–5).
+    pub assignment: u8,
+    /// The criteria.
+    pub criteria: Vec<Criterion>,
+}
+
+fn levels() -> Vec<Level> {
+    vec![
+        Level {
+            points: 1.0,
+            name: "Exemplary",
+            descriptor: "complete, correct, and clearly explained; observations interpreted",
+        },
+        Level {
+            points: 0.8,
+            name: "Proficient",
+            descriptor: "complete and correct with minor gaps in explanation",
+        },
+        Level {
+            points: 0.5,
+            name: "Developing",
+            descriptor: "partially complete or screenshots/code without explanation",
+        },
+        Level {
+            points: 0.0,
+            name: "Missing",
+            descriptor: "not submitted or does not address the task",
+        },
+    ]
+}
+
+/// Builds the standard rubric for an assignment. Weights follow the
+/// module's emphasis: the written report carries the most.
+pub fn standard_rubric(assignment: u8) -> Rubric {
+    assert!((1..=5).contains(&assignment), "assignments are numbered 1-5");
+    let criteria = vec![
+        Criterion {
+            name: "work breakdown structure",
+            deliverable: Deliverable::PlanningAndScheduling,
+            weight: 0.15,
+            levels: levels(),
+        },
+        Criterion {
+            name: "collaboration evidence (Slack/GitHub/Docs)",
+            deliverable: Deliverable::Collaboration,
+            weight: 0.15,
+            levels: levels(),
+        },
+        Criterion {
+            name: "programs run, modified, and observations explained",
+            deliverable: Deliverable::WrittenReport,
+            weight: 0.40,
+            levels: levels(),
+        },
+        Criterion {
+            name: "video: every member presents role, learning, challenges",
+            deliverable: Deliverable::VideoPresentation,
+            weight: 0.30,
+            levels: levels(),
+        },
+    ];
+    Rubric {
+        assignment,
+        criteria,
+    }
+}
+
+/// A graded submission: the chosen level index per criterion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scoring {
+    /// `levels[i]` = index into criterion i's levels (0 = best).
+    pub levels: Vec<usize>,
+}
+
+/// Result of applying a rubric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GradeBreakdown {
+    /// Weighted total in [0, 1].
+    pub total: f64,
+    /// Per-criterion `(name, level name, weighted points)` feedback.
+    pub feedback: Vec<(&'static str, &'static str, f64)>,
+}
+
+impl Rubric {
+    /// Sum of criterion weights (1.0 for a well-formed rubric).
+    pub fn total_weight(&self) -> f64 {
+        self.criteria.iter().map(|c| c.weight).sum()
+    }
+
+    /// Every deliverable the module requires is covered.
+    pub fn covers_all_deliverables(&self) -> bool {
+        use crate::assignment::required_deliverables;
+        required_deliverables()
+            .iter()
+            .all(|d| self.criteria.iter().any(|c| c.deliverable == *d))
+    }
+
+    /// Applies the rubric to a scoring.
+    ///
+    /// # Panics
+    /// Panics if the scoring's shape does not match the rubric.
+    pub fn grade(&self, scoring: &Scoring) -> GradeBreakdown {
+        assert_eq!(
+            scoring.levels.len(),
+            self.criteria.len(),
+            "one level choice per criterion"
+        );
+        let mut total = 0.0;
+        let mut feedback = Vec::with_capacity(self.criteria.len());
+        for (criterion, &level_idx) in self.criteria.iter().zip(&scoring.levels) {
+            let level = criterion
+                .levels
+                .get(level_idx)
+                .unwrap_or_else(|| panic!("criterion {:?} has no level {level_idx}", criterion.name));
+            let earned = criterion.weight * level.points;
+            total += earned;
+            feedback.push((criterion.name, level.name, earned));
+        }
+        GradeBreakdown { total, feedback }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_rubric_is_well_formed() {
+        for a in 1..=5 {
+            let r = standard_rubric(a);
+            assert!((r.total_weight() - 1.0).abs() < 1e-12, "assignment {a}");
+            assert!(r.covers_all_deliverables());
+            assert_eq!(r.assignment, a);
+            for c in &r.criteria {
+                assert_eq!(c.levels.len(), 4);
+                // Levels strictly descend.
+                assert!(c.levels.windows(2).all(|w| w[0].points > w[1].points));
+                assert_eq!(c.levels[0].points, 1.0);
+                assert_eq!(c.levels.last().unwrap().points, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn all_exemplary_is_full_marks() {
+        let r = standard_rubric(2);
+        let grade = r.grade(&Scoring {
+            levels: vec![0; 4],
+        });
+        assert!((grade.total - 1.0).abs() < 1e-12);
+        assert!(grade.feedback.iter().all(|(_, name, _)| *name == "Exemplary"));
+    }
+
+    #[test]
+    fn all_missing_is_zero() {
+        let r = standard_rubric(3);
+        let grade = r.grade(&Scoring {
+            levels: vec![3; 4],
+        });
+        assert_eq!(grade.total, 0.0);
+    }
+
+    #[test]
+    fn report_weight_dominates() {
+        // Screenshots-without-explanation on the report ("Developing")
+        // costs more than the same slip on planning — the paper's rule
+        // that unexplained screenshots receive no credit is what the
+        // report criterion encodes.
+        let r = standard_rubric(4);
+        let slip_report = r.grade(&Scoring {
+            levels: vec![0, 0, 2, 0],
+        });
+        let slip_planning = r.grade(&Scoring {
+            levels: vec![2, 0, 0, 0],
+        });
+        assert!(slip_report.total < slip_planning.total);
+    }
+
+    #[test]
+    fn feedback_lists_every_criterion() {
+        let r = standard_rubric(1);
+        let grade = r.grade(&Scoring {
+            levels: vec![1, 1, 1, 1],
+        });
+        assert_eq!(grade.feedback.len(), 4);
+        assert!((grade.total - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "one level choice per criterion")]
+    fn mismatched_scoring_panics() {
+        let r = standard_rubric(1);
+        let _ = r.grade(&Scoring { levels: vec![0] });
+    }
+
+    #[test]
+    #[should_panic(expected = "numbered 1-5")]
+    fn bad_assignment_number_panics() {
+        let _ = standard_rubric(6);
+    }
+}

@@ -1,0 +1,87 @@
+//! Students and their team-formation attributes.
+//!
+//! The paper forms teams on: gender, system and programming experience,
+//! experience in group work, GPA, and technical writing experience.
+
+/// Self-reported gender (the paper tracks male/female counts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Gender {
+    /// Male (98 of 124 in the study).
+    Male,
+    /// Female (26 of 124 in the study).
+    Female,
+}
+
+/// Experience on a coarse 0–3 scale (none / some / moderate / strong),
+/// as a placement questionnaire would elicit.
+pub type ExperienceLevel = u8;
+
+/// Highest experience level.
+pub const MAX_EXPERIENCE: ExperienceLevel = 3;
+
+/// One enrolled student.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Student {
+    /// Stable id, 0-based across the whole cohort.
+    pub id: usize,
+    /// Course section (0 or 1).
+    pub section: usize,
+    /// Gender.
+    pub gender: Gender,
+    /// Grade-point average on the 4.0 scale.
+    pub gpa: f64,
+    /// Systems & programming experience (0–3).
+    pub programming: ExperienceLevel,
+    /// Prior group-work experience (0–3).
+    pub group_work: ExperienceLevel,
+    /// Technical-writing experience (0–3).
+    pub writing: ExperienceLevel,
+}
+
+impl Student {
+    /// The scalar "ability" used to balance teams: GPA normalised to
+    /// 0–1 plus the three experience scores normalised to 0–1 each,
+    /// averaged.
+    pub fn ability(&self) -> f64 {
+        let gpa = self.gpa / 4.0;
+        let exp = |e: ExperienceLevel| e as f64 / MAX_EXPERIENCE as f64;
+        (gpa + exp(self.programming) + exp(self.group_work) + exp(self.writing)) / 4.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn student(gpa: f64, p: u8, g: u8, w: u8) -> Student {
+        Student {
+            id: 0,
+            section: 0,
+            gender: Gender::Male,
+            gpa,
+            programming: p,
+            group_work: g,
+            writing: w,
+        }
+    }
+
+    #[test]
+    fn ability_is_zero_to_one() {
+        assert_eq!(student(0.0, 0, 0, 0).ability(), 0.0);
+        assert_eq!(student(4.0, 3, 3, 3).ability(), 1.0);
+    }
+
+    #[test]
+    fn ability_orders_plausibly() {
+        let strong = student(3.8, 3, 2, 2);
+        let weak = student(2.4, 1, 1, 0);
+        assert!(strong.ability() > weak.ability());
+    }
+
+    #[test]
+    fn ability_midpoint() {
+        let s = student(2.0, 2, 1, 1);
+        // (0.5 + 2/3 + 1/3 + 1/3)/4 = 0.458…
+        assert!((s.ability() - (0.5 + 2.0 / 3.0 + 1.0 / 3.0 + 1.0 / 3.0) / 4.0).abs() < 1e-12);
+    }
+}

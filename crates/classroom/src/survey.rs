@@ -1,0 +1,202 @@
+//! The Team Design Skills Growth survey (Beyerlein et al. 2005): seven
+//! elements, each a definition item plus component items, administered
+//! on the Class Emphasis and Personal Growth 1–5 scales (Fig. 2).
+
+pub use stats::likert::Scale;
+
+/// The seven surveyed skill elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Element {
+    /// "Individuals participate effectively in groups or teams."
+    Teamwork,
+    /// Locating and organising relevant information.
+    InformationGathering,
+    /// Framing the problem to be solved.
+    ProblemDefinition,
+    /// Generating candidate solutions.
+    IdeaGeneration,
+    /// Weighing alternatives and deciding.
+    EvaluationAndDecisionMaking,
+    /// Turning the chosen idea into a working artifact.
+    Implementation,
+    /// Writing, speaking, and presenting.
+    Communication,
+}
+
+/// All elements, in the order the paper's tables list them.
+pub const ALL_ELEMENTS: [Element; 7] = [
+    Element::Teamwork,
+    Element::InformationGathering,
+    Element::ProblemDefinition,
+    Element::IdeaGeneration,
+    Element::EvaluationAndDecisionMaking,
+    Element::Implementation,
+    Element::Communication,
+];
+
+impl Element {
+    /// Display label as the tables print it.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Element::Teamwork => "Teamwork",
+            Element::InformationGathering => "Information Gathering",
+            Element::ProblemDefinition => "Problem Definition",
+            Element::IdeaGeneration => "Idea Generation",
+            Element::EvaluationAndDecisionMaking => "Evaluation and Decision Making",
+            Element::Implementation => "Implementation",
+            Element::Communication => "Communication",
+        }
+    }
+
+    /// The element's definition item (the first row of its survey
+    /// block; Fig. 2 quotes Teamwork's verbatim).
+    pub fn definition(&self) -> &'static str {
+        match self {
+            Element::Teamwork => "Individuals participate effectively in groups or teams.",
+            Element::InformationGathering => {
+                "Individuals gather and organize information relevant to the problem."
+            }
+            Element::ProblemDefinition => {
+                "Individuals define the problem, constraints, and success criteria."
+            }
+            Element::IdeaGeneration => {
+                "Individuals generate a range of candidate ideas and approaches."
+            }
+            Element::EvaluationAndDecisionMaking => {
+                "Individuals evaluate alternatives and make justified decisions."
+            }
+            Element::Implementation => {
+                "Individuals implement the chosen solution effectively."
+            }
+            Element::Communication => {
+                "Individuals communicate results clearly in writing and speech."
+            }
+        }
+    }
+
+    /// The component (performance-indicator) items of the element.
+    /// Teamwork's four are quoted from Fig. 2; the other elements carry
+    /// the instrument's standard component structure.
+    pub fn components(&self) -> &'static [&'static str] {
+        match self {
+            Element::Teamwork => &[
+                "Individuals understand their own and other members' styles of thinking and how they affect teamwork",
+                "Individuals understand the different roles included in effective teamwork and responsibilities of each role",
+                "Individuals use effective group communication skills: listening, speaking, visual communication",
+                "Individuals cooperate to support effective teamwork",
+            ],
+            Element::InformationGathering => &[
+                "Individuals identify what information is needed",
+                "Individuals locate credible sources efficiently",
+                "Individuals organize and document gathered information",
+            ],
+            Element::ProblemDefinition => &[
+                "Individuals state the problem in their own words",
+                "Individuals identify constraints and requirements",
+                "Individuals decompose the problem into tractable parts",
+            ],
+            Element::IdeaGeneration => &[
+                "Individuals brainstorm multiple alternatives before committing",
+                "Individuals build on others' ideas",
+                "Individuals defer judgment during idea generation",
+            ],
+            Element::EvaluationAndDecisionMaking => &[
+                "Individuals define criteria before evaluating alternatives",
+                "Individuals compare alternatives against the criteria",
+                "Individuals commit to and document a justified decision",
+            ],
+            Element::Implementation => &[
+                "Individuals plan the implementation work",
+                "Individuals build, test, and debug the solution",
+                "Individuals verify the result against the requirements",
+            ],
+            Element::Communication => &[
+                "Individuals write clear technical reports",
+                "Individuals present results orally with appropriate visuals",
+                "Individuals tailor communication to the audience",
+            ],
+        }
+    }
+
+    /// Items per element: one definition plus the components.
+    pub fn item_count(&self) -> usize {
+        1 + self.components().len()
+    }
+}
+
+/// Renders one element's survey block on a scale — the Fig. 2 panel.
+pub fn render_block(element: Element, scale: Scale) -> String {
+    let mut out = format!("{} — {:?} scale (1-5)\n", element.label(), scale);
+    for point in 1..=5u8 {
+        out.push_str(&format!(
+            "  {point}: {}\n",
+            scale.anchor(point).expect("points 1-5 have anchors")
+        ));
+    }
+    out.push_str(&format!("  D. {}\n", element.definition()));
+    for (i, c) in element.components().iter().enumerate() {
+        out.push_str(&format!("  {}. {c}\n", i + 1));
+    }
+    out
+}
+
+/// Total items on one administration of the survey (both categories use
+/// the same item list; each is answered on both scales).
+pub fn total_items() -> usize {
+    ALL_ELEMENTS.iter().map(|e| e.item_count()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seven_elements_in_table_order() {
+        assert_eq!(ALL_ELEMENTS.len(), 7);
+        assert_eq!(ALL_ELEMENTS[0], Element::Teamwork);
+        assert_eq!(ALL_ELEMENTS[6], Element::Communication);
+    }
+
+    #[test]
+    fn teamwork_matches_figure_two() {
+        assert_eq!(
+            Element::Teamwork.definition(),
+            "Individuals participate effectively in groups or teams."
+        );
+        let comps = Element::Teamwork.components();
+        assert_eq!(comps.len(), 4);
+        assert!(comps[2].contains("listening, speaking, visual communication"));
+    }
+
+    #[test]
+    fn every_element_has_definition_and_components() {
+        for e in ALL_ELEMENTS {
+            assert!(!e.definition().is_empty());
+            assert!(e.components().len() >= 3, "{e:?}");
+            assert_eq!(e.item_count(), 1 + e.components().len());
+        }
+    }
+
+    #[test]
+    fn labels_match_the_tables() {
+        assert_eq!(Element::EvaluationAndDecisionMaking.label(), "Evaluation and Decision Making");
+        assert_eq!(Element::InformationGathering.label(), "Information Gathering");
+    }
+
+    #[test]
+    fn item_total_is_plausible_for_a_one_page_survey() {
+        let total = total_items();
+        assert_eq!(total, 7 + 3 * 7 + 1); // 7 definitions + components (teamwork has 4)
+        assert!((25..=35).contains(&total));
+    }
+
+    #[test]
+    fn rendered_block_contains_scale_anchors_and_items() {
+        let block = render_block(Element::Teamwork, Scale::PersonalGrowth);
+        assert!(block.contains("tremendous growth"));
+        assert!(block.contains("participate effectively"));
+        assert!(block.contains("cooperate to support"));
+        let emphasis = render_block(Element::Implementation, Scale::ClassEmphasis);
+        assert!(emphasis.contains("Major emphasis"));
+    }
+}

@@ -1,0 +1,189 @@
+//! Figure 1: the 15-week semester timeline — team formation, five
+//! two-week assignments, five quizzes, the two surveys, midterm, and
+//! final.
+
+/// A scheduled course event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// Week-1 team formation.
+    TeamFormation,
+    /// Assignment `n` (1–5) runs over the two listed weeks.
+    Assignment(u8),
+    /// Quiz following assignment `n`.
+    Quiz(u8),
+    /// Survey wave 1 (mid-semester) or 2 (end of term).
+    Survey(u8),
+    /// Midterm exam.
+    Midterm,
+    /// Final exam.
+    FinalExam,
+}
+
+/// One timeline entry: the event and its week span (1-based, inclusive).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduledEvent {
+    /// The event.
+    pub event: Event,
+    /// First week of the event.
+    pub start_week: u8,
+    /// Last week of the event.
+    pub end_week: u8,
+}
+
+/// Total semester length in weeks.
+pub const SEMESTER_WEEKS: u8 = 15;
+
+/// Builds the Fig. 1 timeline.
+pub fn semester_timeline() -> Vec<ScheduledEvent> {
+    let mut events = vec![ScheduledEvent {
+        event: Event::TeamFormation,
+        start_week: 1,
+        end_week: 1,
+    }];
+    // Five two-week assignments starting week 2.
+    for a in 1..=5u8 {
+        let start = 2 + (a - 1) * 2;
+        events.push(ScheduledEvent {
+            event: Event::Assignment(a),
+            start_week: start,
+            end_week: start + 1,
+        });
+        events.push(ScheduledEvent {
+            event: Event::Quiz(a),
+            start_week: start + 2,
+            end_week: start + 2,
+        });
+    }
+    events.push(ScheduledEvent {
+        event: Event::Survey(1),
+        start_week: 8,
+        end_week: 8,
+    });
+    events.push(ScheduledEvent {
+        event: Event::Midterm,
+        start_week: 8,
+        end_week: 8,
+    });
+    events.push(ScheduledEvent {
+        event: Event::Survey(2),
+        start_week: SEMESTER_WEEKS,
+        end_week: SEMESTER_WEEKS,
+    });
+    events.push(ScheduledEvent {
+        event: Event::FinalExam,
+        start_week: SEMESTER_WEEKS,
+        end_week: SEMESTER_WEEKS,
+    });
+    events
+}
+
+/// Renders the timeline as the text form of Fig. 1.
+pub fn render_timeline() -> String {
+    let mut out = String::from("Week | Event\n-----+------\n");
+    let mut events = semester_timeline();
+    events.sort_by_key(|e| e.start_week);
+    for e in events {
+        let label = match e.event {
+            Event::TeamFormation => "Team formation (criteria-based, 26 diverse groups)".to_string(),
+            Event::Assignment(n) => format!("Assignment {n} (two weeks)"),
+            Event::Quiz(n) => format!("Quiz {n}"),
+            Event::Survey(n) => format!(
+                "Survey wave {n} ({})",
+                if n == 1 { "mid-semester" } else { "end of term" }
+            ),
+            Event::Midterm => "Midterm exam".to_string(),
+            Event::FinalExam => "Final exam".to_string(),
+        };
+        if e.start_week == e.end_week {
+            out.push_str(&format!("{:>4} | {label}\n", e.start_week));
+        } else {
+            out.push_str(&format!("{:>2}-{:<2} | {label}\n", e.start_week, e.end_week));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_assignments_of_two_weeks_each() {
+        let timeline = semester_timeline();
+        let assignments: Vec<&ScheduledEvent> = timeline
+            .iter()
+            .filter(|e| matches!(e.event, Event::Assignment(_)))
+            .collect();
+        assert_eq!(assignments.len(), 5);
+        for a in &assignments {
+            assert_eq!(a.end_week - a.start_week + 1, 2, "{a:?}");
+        }
+    }
+
+    #[test]
+    fn assignments_are_consecutive_and_fit_the_semester() {
+        let timeline = semester_timeline();
+        let mut starts: Vec<u8> = timeline
+            .iter()
+            .filter_map(|e| match e.event {
+                Event::Assignment(_) => Some(e.start_week),
+                _ => None,
+            })
+            .collect();
+        starts.sort_unstable();
+        assert_eq!(starts, vec![2, 4, 6, 8, 10]);
+        assert!(timeline.iter().all(|e| e.end_week <= SEMESTER_WEEKS));
+    }
+
+    #[test]
+    fn surveys_at_midpoint_and_end() {
+        let timeline = semester_timeline();
+        let survey1 = timeline
+            .iter()
+            .find(|e| e.event == Event::Survey(1))
+            .unwrap();
+        let survey2 = timeline
+            .iter()
+            .find(|e| e.event == Event::Survey(2))
+            .unwrap();
+        assert_eq!(survey1.start_week, 8, "mid-semester");
+        assert_eq!(survey2.start_week, 15, "end of term");
+    }
+
+    #[test]
+    fn one_quiz_per_assignment() {
+        let timeline = semester_timeline();
+        let quizzes = timeline
+            .iter()
+            .filter(|e| matches!(e.event, Event::Quiz(_)))
+            .count();
+        assert_eq!(quizzes, 5);
+    }
+
+    #[test]
+    fn team_formation_is_week_one() {
+        let timeline = semester_timeline();
+        let tf = timeline
+            .iter()
+            .find(|e| e.event == Event::TeamFormation)
+            .unwrap();
+        assert_eq!(tf.start_week, 1);
+    }
+
+    #[test]
+    fn render_mentions_every_event_kind() {
+        let text = render_timeline();
+        for needle in [
+            "Team formation",
+            "Assignment 1",
+            "Assignment 5",
+            "Quiz 3",
+            "Survey wave 1",
+            "Survey wave 2",
+            "Midterm",
+            "Final exam",
+        ] {
+            assert!(text.contains(needle), "missing {needle}:\n{text}");
+        }
+    }
+}

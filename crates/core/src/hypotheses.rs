@@ -1,0 +1,126 @@
+//! The paper's three research hypotheses, evaluated against a study
+//! report.
+
+use stats::{EffectSizeBand, GuilfordBand};
+
+use crate::study::StudyReport;
+
+/// Verdict on one hypothesis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Verdict {
+    /// Which hypothesis (1–3).
+    pub hypothesis: u8,
+    /// The hypothesis statement.
+    pub statement: &'static str,
+    /// Whether the data supports it.
+    pub supported: bool,
+    /// The evidence sentence.
+    pub evidence: String,
+}
+
+/// H1: "There is a difference in emphasis on parallel programming and
+/// soft skills between the first and second parts of the semester."
+pub fn hypothesis1(report: &StudyReport) -> Verdict {
+    let t = &report.emphasis_ttest;
+    let supported = t.significant_at(0.05) && t.mean_difference > 0.0;
+    Verdict {
+        hypothesis: 1,
+        statement: "Class emphasis differs between the first and second halves",
+        supported,
+        evidence: format!(
+            "paired t-test on class emphasis: mean diff {:.3} (second − first), t = {:.2}, p = {:.4}",
+            t.mean_difference, t.t, t.p_two_sided
+        ),
+    }
+}
+
+/// H2: "By incorporating project-based learning, the students acquire
+/// personal growth and improvement on their parallel programming and
+/// soft skills."
+pub fn hypothesis2(report: &StudyReport) -> Verdict {
+    let t = &report.growth_ttest;
+    let d = &report.growth_d;
+    let supported =
+        t.significant_at(0.05) && t.mean_difference > 0.0 && d.band() >= EffectSizeBand::Medium;
+    Verdict {
+        hypothesis: 2,
+        statement: "PBL produces personal growth in parallel-programming and soft skills",
+        supported,
+        evidence: format!(
+            "paired t-test on growth: mean diff {:.3}, p = {:.4}; Cohen's d = {:.2} ({})",
+            t.mean_difference,
+            t.p_two_sided,
+            d.d,
+            d.band().label()
+        ),
+    }
+}
+
+/// H3: "Students growth in parallel programming and soft skills did
+/// increase when greater emphasis is placed on these areas."
+pub fn hypothesis3(report: &StudyReport) -> Verdict {
+    let all_positive_significant = report.correlations.iter().all(|row| {
+        row.first_half.r > 0.0
+            && row.second_half.r > 0.0
+            && row.first_half.p_two_sided < 0.001
+            && row.second_half.p_two_sided < 0.001
+    });
+    let strongest = report
+        .correlations
+        .iter()
+        .map(|r| r.second_half.r.max(r.first_half.r))
+        .fold(f64::MIN, f64::max);
+    Verdict {
+        hypothesis: 3,
+        statement: "Growth rises with the emphasis placed on each skill",
+        supported: all_positive_significant,
+        evidence: format!(
+            "all 14 emphasis↔growth correlations positive with p < 0.001; strongest r = {:.2} ({})",
+            strongest,
+            GuilfordBand::classify(strongest).label()
+        ),
+    }
+}
+
+/// Evaluates all three hypotheses.
+pub fn evaluate_all(report: &StudyReport) -> Vec<Verdict> {
+    vec![
+        hypothesis1(report),
+        hypothesis2(report),
+        hypothesis3(report),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study::PblStudy;
+
+    #[test]
+    fn all_three_hypotheses_supported_on_the_default_study() {
+        let report = PblStudy::new().run();
+        let verdicts = evaluate_all(&report);
+        assert_eq!(verdicts.len(), 3);
+        for v in &verdicts {
+            assert!(v.supported, "H{}: {}", v.hypothesis, v.evidence);
+            assert!(!v.evidence.is_empty());
+        }
+    }
+
+    #[test]
+    fn verdicts_carry_numbered_statements() {
+        let report = PblStudy::new().run();
+        let verdicts = evaluate_all(&report);
+        assert_eq!(verdicts[0].hypothesis, 1);
+        assert_eq!(verdicts[1].hypothesis, 2);
+        assert_eq!(verdicts[2].hypothesis, 3);
+        assert!(verdicts[2].statement.contains("emphasis"));
+    }
+
+    #[test]
+    fn band_ordering_supports_the_h2_check() {
+        assert!(EffectSizeBand::Large > EffectSizeBand::Medium);
+        assert!(EffectSizeBand::Medium > EffectSizeBand::Small);
+        assert!(EffectSizeBand::Small > EffectSizeBand::Negligible);
+    }
+}

@@ -1,0 +1,141 @@
+//! The PBL module design: everything the instructor hands out, beyond
+//! the per-assignment content that lives in [`classroom::assignment`].
+
+pub use classroom::assignment::{
+    assignments, required_deliverables, Assignment, Deliverable, Focus, GradingPolicy, Material,
+    VIDEO_MINUTES,
+};
+pub use classroom::timeline::{render_timeline, semester_timeline, SEMESTER_WEEKS};
+
+/// The four teamwork technologies the module requires, with the role
+/// each plays (§I of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Technology {
+    /// Messaging application for team communication.
+    Slack,
+    /// Collaboration, custom workflows, and code sharing.
+    GitHub,
+    /// Collaborative report writing.
+    GoogleDocs,
+    /// Shooting, editing, and publishing the presentation videos.
+    YouTube,
+}
+
+impl Technology {
+    /// All four, in the paper's order.
+    pub fn all() -> [Technology; 4] {
+        [
+            Technology::Slack,
+            Technology::GitHub,
+            Technology::GoogleDocs,
+            Technology::YouTube,
+        ]
+    }
+
+    /// What the module uses the technology for.
+    pub fn role(&self) -> &'static str {
+        match self {
+            Technology::Slack => "a messaging application to communicate",
+            Technology::GitHub => {
+                "a social networking site for programmers to collaborate, create customized workflows, and share code"
+            }
+            Technology::GoogleDocs => {
+                "an online word processor to collaborate and produce project assignment reports"
+            }
+            Technology::YouTube => {
+                "to shoot, edit, and upload videos to a YouTube channel to present the results"
+            }
+        }
+    }
+
+    /// All four technologies are free to students — a design constraint
+    /// the paper states explicitly.
+    pub fn is_free(&self) -> bool {
+        true
+    }
+}
+
+/// The video-presentation guide given with every assignment.
+pub fn presentation_guide() -> [&'static str; 4] {
+    [
+        "Introduce yourself and your role",
+        "Identify your task for this assignment and 2-3 key things learned",
+        "How you will apply what you learned in your next assignment, academic life, and future job",
+        "What the best/most challenging/worst experience you encountered was",
+    ]
+}
+
+/// Cost of one Raspberry Pi kit in the study, US dollars.
+pub const PI_KIT_COST_USD: u32 = 59;
+
+/// Why OpenMP was chosen (over more complex parallel platforms).
+pub const WHY_OPENMP: &str = "OpenMP makes it relatively easy to add parallelism to existing \
+     sequential programs and to write new parallel programs from scratch";
+
+/// Why the Raspberry Pi was chosen.
+pub const WHY_RASPBERRY_PI: &str = "components are clearly visible for visual and tactile \
+     learners, it exposes students to ARM (RISC) alongside the course's Intel x86 (CISC), and \
+     it resembles today's ubiquitous mobile devices";
+
+/// The team-coordinator role, rotated per assignment.
+pub fn coordinator_duties() -> [&'static str; 4] {
+    [
+        "interface between the instructor and the team; turn in documents",
+        "review returned assignments and ensure everyone understands lost points and corrections",
+        "identify, assign, and schedule tasks to team members",
+        "monitor and report the progress of assigned tasks",
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_free_technologies() {
+        let all = Technology::all();
+        assert_eq!(all.len(), 4);
+        assert!(all.iter().all(|t| t.is_free()));
+        assert!(Technology::Slack.role().contains("messaging"));
+        assert!(Technology::GitHub.role().contains("share code"));
+        assert!(Technology::GoogleDocs.role().contains("word processor"));
+        assert!(Technology::YouTube.role().contains("upload"));
+    }
+
+    #[test]
+    fn presentation_guide_has_the_four_prompts() {
+        let guide = presentation_guide();
+        assert!(guide[0].contains("Introduce yourself"));
+        assert!(guide[1].contains("2-3 key things"));
+        assert!(guide[3].contains("best/most challenging/worst"));
+    }
+
+    #[test]
+    fn kit_cost_matches_the_paper() {
+        assert_eq!(PI_KIT_COST_USD, 59);
+    }
+
+    #[test]
+    fn rationales_name_the_key_reasons() {
+        assert!(WHY_OPENMP.contains("sequential programs"));
+        assert!(WHY_RASPBERRY_PI.contains("ARM"));
+        assert!(WHY_RASPBERRY_PI.contains("x86"));
+    }
+
+    #[test]
+    fn coordinator_role_covers_the_paper_duties() {
+        let duties = coordinator_duties();
+        assert_eq!(duties.len(), 4);
+        assert!(duties.iter().any(|d| d.contains("instructor")));
+        assert!(duties.iter().any(|d| d.contains("schedule tasks")));
+    }
+
+    #[test]
+    fn reexports_compose_the_module() {
+        assert_eq!(assignments().len(), 5);
+        assert_eq!(SEMESTER_WEEKS, 15);
+        assert_eq!(required_deliverables().len(), 4);
+        let policy = GradingPolicy::default();
+        assert!((policy.module_weight - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,173 @@
+//! The DNA variant of the exemplar: score sequencing reads against a
+//! reference genome with the same LCS kernel, sequentially and in
+//! parallel.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use parallel_rt::reduction::Max;
+use parallel_rt::{Schedule, Team};
+
+use crate::score::score;
+
+/// The four DNA bases.
+pub const BASES: [char; 4] = ['A', 'C', 'G', 'T'];
+
+/// DNA workload configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DnaConfig {
+    /// Reference genome length.
+    pub reference_len: usize,
+    /// Number of reads to score.
+    pub num_reads: usize,
+    /// Length of each read.
+    pub read_len: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DnaConfig {
+    fn default() -> Self {
+        // Reads are long relative to the reference (50 vs 200) so a
+        // random read cannot fully embed as a subsequence — true
+        // fragments then score visibly higher than random ones.
+        DnaConfig {
+            reference_len: 200,
+            num_reads: 80,
+            read_len: 50,
+            seed: 42,
+        }
+    }
+}
+
+/// A generated DNA workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DnaWorkload {
+    /// The reference genome.
+    pub reference: String,
+    /// The reads to score.
+    pub reads: Vec<String>,
+}
+
+/// Generates the reference and reads. Half the reads are genuine
+/// fragments of the reference (with one mutation), half are random —
+/// so alignment scores separate the populations.
+pub fn generate(config: &DnaConfig) -> DnaWorkload {
+    assert!(config.reference_len >= config.read_len, "reads longer than reference");
+    assert!(config.read_len >= 1, "reads need at least one base");
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let reference: String = (0..config.reference_len)
+        .map(|_| BASES[rng.gen_range(0..4)])
+        .collect();
+    let reads = (0..config.num_reads)
+        .map(|i| {
+            if i % 2 == 0 {
+                // A true fragment with a single point mutation.
+                let start = rng.gen_range(0..=config.reference_len - config.read_len);
+                let mut read: Vec<char> =
+                    reference[start..start + config.read_len].chars().collect();
+                let pos = rng.gen_range(0..config.read_len);
+                read[pos] = BASES[rng.gen_range(0..4)];
+                read.into_iter().collect()
+            } else {
+                (0..config.read_len)
+                    .map(|_| BASES[rng.gen_range(0..4)])
+                    .collect()
+            }
+        })
+        .collect();
+    DnaWorkload { reference, reads }
+}
+
+/// Scores every read sequentially; returns per-read scores.
+pub fn score_reads_sequential(workload: &DnaWorkload) -> Vec<usize> {
+    workload
+        .reads
+        .iter()
+        .map(|r| score(r, &workload.reference))
+        .collect()
+}
+
+/// Scores every read on a parallel team; returns per-read scores.
+pub fn score_reads_parallel(workload: &DnaWorkload, threads: usize) -> Vec<usize> {
+    let team = Team::new(threads);
+    let mut out = vec![0usize; workload.reads.len()];
+    parallel_rt::forloop::parallel_fill(&team, &mut out, Schedule::StaticBlock, |i| {
+        score(&workload.reads[i], &workload.reference)
+    });
+    out
+}
+
+/// The best alignment score over all reads, computed with a parallel
+/// max-reduction.
+pub fn best_alignment(workload: &DnaWorkload, threads: usize) -> usize {
+    let team = Team::new(threads);
+    team.parallel_for_reduce(0..workload.reads.len(), Schedule::Dynamic(2), Max, |i| {
+        score(&workload.reads[i], &workload.reference)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_well_formed() {
+        let cfg = DnaConfig::default();
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.reference.len(), 200);
+        assert_eq!(a.reads.len(), 80);
+        assert!(a.reference.chars().all(|c| BASES.contains(&c)));
+        assert!(a.reads.iter().all(|r| r.len() == 50));
+    }
+
+    #[test]
+    fn parallel_scores_match_sequential() {
+        let w = generate(&DnaConfig::default());
+        let seq = score_reads_sequential(&w);
+        for threads in [2usize, 4] {
+            assert_eq!(score_reads_parallel(&w, threads), seq);
+        }
+    }
+
+    #[test]
+    fn true_fragments_score_higher_than_random_reads() {
+        let w = generate(&DnaConfig::default());
+        let scores = score_reads_sequential(&w);
+        let fragment_mean: f64 = scores.iter().step_by(2).map(|&s| s as f64).sum::<f64>()
+            / (scores.len() / 2) as f64;
+        let random_mean: f64 = scores.iter().skip(1).step_by(2).map(|&s| s as f64).sum::<f64>()
+            / (scores.len() / 2) as f64;
+        assert!(
+            fragment_mean > random_mean,
+            "fragments {fragment_mean:.1} vs random {random_mean:.1}"
+        );
+    }
+
+    #[test]
+    fn fragments_score_near_read_length() {
+        let w = generate(&DnaConfig::default());
+        let scores = score_reads_sequential(&w);
+        // A fragment with one mutation has LCS >= read_len − 1.
+        assert!(scores.iter().step_by(2).all(|&s| s >= 49));
+    }
+
+    #[test]
+    fn best_alignment_is_the_max() {
+        let w = generate(&DnaConfig::default());
+        let seq_max = *score_reads_sequential(&w).iter().max().unwrap();
+        assert_eq!(best_alignment(&w, 4), seq_max);
+    }
+
+    #[test]
+    #[should_panic(expected = "reads longer than reference")]
+    fn read_longer_than_reference_panics() {
+        let _ = generate(&DnaConfig {
+            reference_len: 5,
+            read_len: 10,
+            ..Default::default()
+        });
+    }
+}

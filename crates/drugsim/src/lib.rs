@@ -1,0 +1,43 @@
+//! # drugsim — the drug-design and DNA exemplar (Assignment 5)
+//!
+//! CSinParallel's drug-design exemplar: candidate ligands (short random
+//! character strings) are scored against a protein (a long string) by
+//! the length of the longest common subsequence; the task is to find the
+//! maximum-scoring ligands. Assignment 5 has teams implement it three
+//! ways — sequential, OpenMP, and C++11 threads — then measure:
+//!
+//! * Which approach is fastest?
+//! * How many lines is each program (size vs performance)?
+//! * What happens with 5 threads (on the 4-core Pi)?
+//! * What happens when the maximum ligand length grows from 5 to 7?
+//!
+//! This crate reproduces all three implementations ([`runner`]) on the
+//! [`parallel_rt`] runtime and raw `std::thread`, measures real wall
+//! time, and — because this build host has one core — also lowers the
+//! workload onto the [`pi_sim`] virtual quad-core Pi ([`harness`]) so
+//! the speedup shapes are reproducible. The DNA variant ([`dna`]) scores
+//! reads against a reference genome with the same kernel.
+//!
+//! ```
+//! use drugsim::{run, Approach, DrugDesignConfig};
+//!
+//! let config = DrugDesignConfig { num_ligands: 30, ..Default::default() };
+//! let seq = run(&config, Approach::Sequential, 1);
+//! let par = run(&config, Approach::OpenMp, 4);
+//! assert_eq!(seq.best_score, par.best_score);
+//! assert_eq!(seq.best_ligands, par.best_ligands);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dna;
+pub mod harness;
+pub mod ligand;
+pub mod runner;
+pub mod score;
+
+pub use harness::{assignment5_report, Assignment5Row};
+pub use ligand::{generate_ligands, DrugDesignConfig, DEFAULT_PROTEIN};
+pub use runner::{run, Approach, DrugDesignResult};
+pub use score::score;

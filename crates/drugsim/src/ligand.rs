@@ -1,0 +1,134 @@
+//! Ligand generation: deterministic random candidate strings, as in the
+//! CSinParallel exemplar (each ligand is a short lowercase string; its
+//! length is drawn so longer ligands are rarer).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The default protein the exemplar scores against.
+pub const DEFAULT_PROTEIN: &str = "the quick brown fox jumps over the lazy dog while the \
+     impatient students assemble their raspberry pi cluster and compile \
+     openmp programs that search for promising drug candidates in parallel";
+
+/// Workload configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DrugDesignConfig {
+    /// Number of candidate ligands.
+    pub num_ligands: usize,
+    /// Maximum ligand length (the assignment sweeps 5 → 7).
+    pub max_ligand_len: usize,
+    /// Protein string to score against.
+    pub protein: String,
+    /// RNG seed (fixed so every implementation scores the same ligands).
+    pub seed: u64,
+}
+
+impl Default for DrugDesignConfig {
+    fn default() -> Self {
+        DrugDesignConfig {
+            num_ligands: 120,
+            max_ligand_len: 5,
+            protein: DEFAULT_PROTEIN.to_string(),
+            seed: 2019, // the paper's publication year
+        }
+    }
+}
+
+impl DrugDesignConfig {
+    /// Copy of this configuration with a different maximum length.
+    pub fn with_max_len(&self, max_ligand_len: usize) -> Self {
+        DrugDesignConfig {
+            max_ligand_len,
+            ..self.clone()
+        }
+    }
+}
+
+/// Generates the candidate ligands for a configuration. Lengths are
+/// skewed toward short strings (`len = max * u²`, clamped to ≥ 1), so a
+/// few expensive candidates dominate the work — the property that makes
+/// dynamic scheduling worthwhile.
+pub fn generate_ligands(config: &DrugDesignConfig) -> Vec<String> {
+    assert!(config.max_ligand_len >= 1, "ligands need at least one character");
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    (0..config.num_ligands)
+        .map(|_| {
+            let u: f64 = rng.gen();
+            let len = ((config.max_ligand_len as f64 * u * u).ceil() as usize)
+                .clamp(1, config.max_ligand_len);
+            (0..len)
+                .map(|_| (b'a' + rng.gen_range(0..26u8)) as char)
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let cfg = DrugDesignConfig::default();
+        assert_eq!(generate_ligands(&cfg), generate_ligands(&cfg));
+        let other = DrugDesignConfig {
+            seed: 7,
+            ..cfg.clone()
+        };
+        assert_ne!(generate_ligands(&cfg), generate_ligands(&other));
+    }
+
+    #[test]
+    fn respects_count_and_length_bounds() {
+        let cfg = DrugDesignConfig {
+            num_ligands: 500,
+            max_ligand_len: 7,
+            ..Default::default()
+        };
+        let ligands = generate_ligands(&cfg);
+        assert_eq!(ligands.len(), 500);
+        assert!(ligands.iter().all(|l| (1..=7).contains(&l.len())));
+        assert!(ligands.iter().any(|l| l.len() == 7), "long ligands occur");
+        assert!(ligands.iter().any(|l| l.len() <= 2), "short ligands occur");
+    }
+
+    #[test]
+    fn lengths_skew_short() {
+        let cfg = DrugDesignConfig {
+            num_ligands: 2_000,
+            max_ligand_len: 7,
+            ..Default::default()
+        };
+        let ligands = generate_ligands(&cfg);
+        let short = ligands.iter().filter(|l| l.len() <= 3).count();
+        let long = ligands.iter().filter(|l| l.len() >= 6).count();
+        assert!(short > long, "short {short} vs long {long}");
+    }
+
+    #[test]
+    fn all_lowercase_ascii() {
+        let ligands = generate_ligands(&DrugDesignConfig::default());
+        assert!(ligands
+            .iter()
+            .all(|l| l.bytes().all(|b| b.is_ascii_lowercase())));
+    }
+
+    #[test]
+    fn with_max_len_only_changes_length() {
+        let base = DrugDesignConfig::default();
+        let wider = base.with_max_len(7);
+        assert_eq!(wider.max_ligand_len, 7);
+        assert_eq!(wider.num_ligands, base.num_ligands);
+        assert_eq!(wider.seed, base.seed);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one character")]
+    fn zero_max_len_panics() {
+        let cfg = DrugDesignConfig {
+            max_ligand_len: 0,
+            ..Default::default()
+        };
+        let _ = generate_ligands(&cfg);
+    }
+}

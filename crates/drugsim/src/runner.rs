@@ -1,0 +1,220 @@
+//! The three implementations Assignment 5 compares: sequential, OpenMP
+//! (our [`parallel_rt`] runtime with a dynamic-schedule parallel for),
+//! and "C++11 threads" (raw `std::thread` workers pulling from a shared
+//! atomic work index, like the exemplar's thread version).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use parallel_rt::reduction::{Custom, Reduction};
+use parallel_rt::{Schedule, Team};
+
+use crate::ligand::{generate_ligands, DrugDesignConfig};
+use crate::score::score;
+
+/// Which implementation ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Approach {
+    /// Plain `for` loop, one thread.
+    Sequential,
+    /// `#pragma omp parallel for schedule(dynamic)` equivalent.
+    OpenMp,
+    /// `std::thread` workers with a shared work queue (the exemplar's
+    /// C++11 version).
+    CxxThreads,
+}
+
+impl Approach {
+    /// Display name matching the assignment's wording.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Approach::Sequential => "sequential",
+            Approach::OpenMp => "OpenMP",
+            Approach::CxxThreads => "C++11 threads",
+        }
+    }
+}
+
+/// Result of one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DrugDesignResult {
+    /// Which implementation produced it.
+    pub approach: Approach,
+    /// Threads used (1 for sequential).
+    pub threads: usize,
+    /// The maximum score found.
+    pub best_score: usize,
+    /// Indices of the ligands achieving it, ascending.
+    pub best_ligands: Vec<usize>,
+    /// Real wall-clock time of the scoring loop.
+    pub wall_time: Duration,
+}
+
+/// The per-key result the reduction combines: (best score, winners).
+type Best = (usize, Vec<usize>);
+
+fn merge_best(mut a: Best, b: Best) -> Best {
+    use std::cmp::Ordering::*;
+    match b.0.cmp(&a.0) {
+        Greater => b,
+        Less => a,
+        Equal => {
+            if a.0 == 0 {
+                return (0, Vec::new());
+            }
+            a.1.extend(b.1);
+            a
+        }
+    }
+}
+
+fn best_of_one(idx: usize, s: usize) -> Best {
+    if s == 0 {
+        (0, Vec::new())
+    } else {
+        (s, vec![idx])
+    }
+}
+
+/// Runs the configured workload with `approach` on `threads` threads
+/// (ignored for [`Approach::Sequential`]).
+pub fn run(config: &DrugDesignConfig, approach: Approach, threads: usize) -> DrugDesignResult {
+    let ligands = generate_ligands(config);
+    let protein = config.protein.as_str();
+    let start = Instant::now();
+    let (best_score, mut best) = match approach {
+        Approach::Sequential => {
+            let mut acc: Best = (0, Vec::new());
+            for (i, ligand) in ligands.iter().enumerate() {
+                acc = merge_best(acc, best_of_one(i, score(ligand, protein)));
+            }
+            acc
+        }
+        Approach::OpenMp => {
+            let team = Team::new(threads);
+            let reduction = Custom::new(|| (0usize, Vec::new()), merge_best);
+            team.parallel_for_reduce(0..ligands.len(), Schedule::Dynamic(4), reduction, |i| {
+                best_of_one(i, score(&ligands[i], protein))
+            })
+        }
+        Approach::CxxThreads => {
+            let next = AtomicUsize::new(0);
+            let partials = parallel_fold_raw_threads(&ligands, protein, threads, &next);
+            let reduction = Custom::new(|| (0usize, Vec::new()), merge_best);
+            reduction.fold(partials)
+        }
+    };
+    best.sort_unstable();
+    DrugDesignResult {
+        approach,
+        threads: if approach == Approach::Sequential { 1 } else { threads },
+        best_score,
+        best_ligands: best,
+        wall_time: start.elapsed(),
+    }
+}
+
+/// The raw-threads worker pool: each thread pulls the next ligand index
+/// from a shared atomic counter (self-scheduling, like the exemplar).
+fn parallel_fold_raw_threads(
+    ligands: &[String],
+    protein: &str,
+    threads: usize,
+    next: &AtomicUsize,
+) -> Vec<Best> {
+    assert!(threads > 0, "need at least one thread");
+    let mut partials: Vec<Best> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            handles.push(scope.spawn(move || {
+                let mut acc: Best = (0, Vec::new());
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= ligands.len() {
+                        break;
+                    }
+                    acc = merge_best(acc, best_of_one(i, score(&ligands[i], protein)));
+                }
+                acc
+            }));
+        }
+        for h in handles {
+            partials.push(h.join().expect("worker thread panicked"));
+        }
+    });
+    partials
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> DrugDesignConfig {
+        DrugDesignConfig {
+            num_ligands: 60,
+            max_ligand_len: 5,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn all_three_approaches_agree() {
+        let cfg = small_config();
+        let seq = run(&cfg, Approach::Sequential, 1);
+        let omp = run(&cfg, Approach::OpenMp, 4);
+        let cxx = run(&cfg, Approach::CxxThreads, 4);
+        assert_eq!(seq.best_score, omp.best_score);
+        assert_eq!(seq.best_score, cxx.best_score);
+        assert_eq!(seq.best_ligands, omp.best_ligands);
+        assert_eq!(seq.best_ligands, cxx.best_ligands);
+        assert!(seq.best_score > 0, "the workload finds some match");
+    }
+
+    #[test]
+    fn agreement_holds_for_longer_ligands_and_more_threads() {
+        let cfg = small_config().with_max_len(7);
+        let seq = run(&cfg, Approach::Sequential, 1);
+        for threads in [2usize, 4, 5] {
+            let omp = run(&cfg, Approach::OpenMp, threads);
+            let cxx = run(&cfg, Approach::CxxThreads, threads);
+            assert_eq!(seq.best_ligands, omp.best_ligands, "omp t={threads}");
+            assert_eq!(seq.best_ligands, cxx.best_ligands, "cxx t={threads}");
+        }
+    }
+
+    #[test]
+    fn sequential_reports_one_thread() {
+        let r = run(&small_config(), Approach::Sequential, 4);
+        assert_eq!(r.threads, 1);
+        assert_eq!(r.approach, Approach::Sequential);
+    }
+
+    #[test]
+    fn winners_are_sorted_and_consistent_with_score() {
+        let cfg = small_config();
+        let r = run(&cfg, Approach::OpenMp, 3);
+        let ligands = generate_ligands(&cfg);
+        let mut sorted = r.best_ligands.clone();
+        sorted.sort_unstable();
+        assert_eq!(r.best_ligands, sorted);
+        for &i in &r.best_ligands {
+            assert_eq!(score(&ligands[i], &cfg.protein), r.best_score);
+        }
+    }
+
+    #[test]
+    fn merge_best_prefers_higher_and_unions_ties() {
+        assert_eq!(merge_best((2, vec![1]), (3, vec![5])), (3, vec![5]));
+        assert_eq!(merge_best((3, vec![1]), (2, vec![5])), (3, vec![1]));
+        assert_eq!(merge_best((3, vec![1]), (3, vec![5])), (3, vec![1, 5]));
+        assert_eq!(merge_best((0, vec![]), (0, vec![])), (0, vec![]));
+    }
+
+    #[test]
+    fn approach_names() {
+        assert_eq!(Approach::Sequential.name(), "sequential");
+        assert_eq!(Approach::OpenMp.name(), "OpenMP");
+        assert_eq!(Approach::CxxThreads.name(), "C++11 threads");
+    }
+}

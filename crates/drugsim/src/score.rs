@@ -1,0 +1,118 @@
+//! The scoring kernel: longest common subsequence between a ligand and
+//! the protein, exactly the CSinParallel exemplar's match score.
+
+/// Length of the longest common subsequence of `ligand` and `protein`
+/// (classic O(m·n) dynamic program with a rolling row).
+pub fn score(ligand: &str, protein: &str) -> usize {
+    let a: Vec<u8> = ligand.bytes().collect();
+    let b: Vec<u8> = protein.bytes().collect();
+    if a.is_empty() || b.is_empty() {
+        return 0;
+    }
+    let mut prev = vec![0usize; b.len() + 1];
+    let mut curr = vec![0usize; b.len() + 1];
+    for &ca in &a {
+        for (j, &cb) in b.iter().enumerate() {
+            curr[j + 1] = if ca == cb {
+                prev[j] + 1
+            } else {
+                prev[j + 1].max(curr[j])
+            };
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[b.len()]
+}
+
+/// Number of DP cells the kernel evaluates — the cost model the
+/// simulated harness charges per ligand.
+pub fn work_cells(ligand: &str, protein: &str) -> u64 {
+    ligand.len() as u64 * protein.len() as u64
+}
+
+/// Scores every ligand and returns `(max score, indices of ligands that
+/// achieve it)` — the exemplar's final answer.
+pub fn best_ligands(ligands: &[String], protein: &str) -> (usize, Vec<usize>) {
+    let mut best = 0usize;
+    let mut winners = Vec::new();
+    for (i, ligand) in ligands.iter().enumerate() {
+        let s = score(ligand, protein);
+        if s > best {
+            best = s;
+            winners.clear();
+            winners.push(i);
+        } else if s == best && s > 0 {
+            winners.push(i);
+        }
+    }
+    (best, winners)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lcs_reference_cases() {
+        assert_eq!(score("abc", "abc"), 3);
+        assert_eq!(score("axc", "abc"), 2);
+        assert_eq!(score("xyz", "abc"), 0);
+        assert_eq!(score("abcde", "ace"), 3);
+        assert_eq!(score("", "abc"), 0);
+        assert_eq!(score("abc", ""), 0);
+    }
+
+    #[test]
+    fn subsequence_need_not_be_contiguous() {
+        assert_eq!(score("tca", "the cat"), 3); // t…c…a in order
+    }
+
+    #[test]
+    fn score_is_symmetric() {
+        for (a, b) in [("hello", "world"), ("par", "allel"), ("abcd", "dcba")] {
+            assert_eq!(score(a, b), score(b, a));
+        }
+    }
+
+    #[test]
+    fn score_bounded_by_shorter_string() {
+        let protein = "the quick brown fox";
+        for ligand in ["q", "qk", "quick", "zzzzzzz"] {
+            assert!(score(ligand, protein) <= ligand.len());
+        }
+    }
+
+    #[test]
+    fn work_cells_product() {
+        assert_eq!(work_cells("abc", "defgh"), 15);
+        assert_eq!(work_cells("", "defgh"), 0);
+    }
+
+    #[test]
+    fn best_ligands_finds_the_max_and_ties() {
+        let ligands = vec![
+            "xyz".to_string(), // score 0 vs "abcab"? x,y,z absent
+            "ab".to_string(),  // 2
+            "ba".to_string(),  // 2 ("b","a" in order? a-b-c-a-b: b then a yes) = 2
+            "q".to_string(),   // 0
+        ];
+        let (best, winners) = best_ligands(&ligands, "abcab");
+        assert_eq!(best, 2);
+        assert_eq!(winners, vec![1, 2]);
+    }
+
+    #[test]
+    fn best_of_empty_is_zero() {
+        let (best, winners) = best_ligands(&[], "protein");
+        assert_eq!(best, 0);
+        assert!(winners.is_empty());
+    }
+
+    #[test]
+    fn zero_scores_produce_no_winners() {
+        let ligands = vec!["x".to_string(), "y".to_string()];
+        let (best, winners) = best_ligands(&ligands, "abc");
+        assert_eq!(best, 0);
+        assert!(winners.is_empty());
+    }
+}

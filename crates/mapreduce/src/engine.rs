@@ -1,0 +1,347 @@
+//! The execution engine: map task farm → combine → partition → shuffle
+//! (group + sort) → reduce task farm, with failure re-execution.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use crossbeam::channel;
+
+use crate::partition::{bucket_of, split_inputs};
+use crate::MapReduce;
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct JobConfig {
+    /// Worker threads for the map phase.
+    pub map_workers: usize,
+    /// Worker threads (and buckets) for the reduce phase.
+    pub reduce_workers: usize,
+    /// Whether to run the job's combiner on each map task's output.
+    pub use_combiner: bool,
+    /// Map task ids whose *first* execution attempt fails (the worker
+    /// "crashes" after doing the work); the engine must re-execute them.
+    /// Models the paper-reading's fault-tolerance discussion.
+    pub fail_first_attempt_of: HashSet<usize>,
+}
+
+impl Default for JobConfig {
+    fn default() -> Self {
+        JobConfig {
+            map_workers: 4,
+            reduce_workers: 4,
+            use_combiner: false,
+            fail_first_attempt_of: HashSet::new(),
+        }
+    }
+}
+
+/// Counters the engine reports.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JobStats {
+    /// Map task executions, including re-executions.
+    pub map_attempts: usize,
+    /// Map tasks that failed and were retried.
+    pub map_failures: usize,
+    /// Intermediate pairs after combining (what crosses the shuffle).
+    pub shuffled_pairs: usize,
+    /// Intermediate pairs before combining.
+    pub emitted_pairs: usize,
+    /// Distinct keys reduced.
+    pub reduced_keys: usize,
+}
+
+/// Job result: outputs sorted by key, plus statistics.
+#[derive(Debug, Clone)]
+pub struct JobOutput<K, O> {
+    /// `(key, reduced output)` pairs in ascending key order.
+    pub results: Vec<(K, O)>,
+    /// Execution counters.
+    pub stats: JobStats,
+}
+
+/// Runs `job` over `inputs` with `config`.
+///
+/// # Panics
+/// Panics if either worker count is zero.
+pub fn run_job<M: MapReduce>(
+    job: &M,
+    inputs: Vec<M::Input>,
+    config: &JobConfig,
+) -> JobOutput<M::Key, M::Output> {
+    assert!(config.map_workers > 0, "need at least one map worker");
+    assert!(config.reduce_workers > 0, "need at least one reduce worker");
+
+    // ---- Map phase: a task farm over input splits. ----
+    let splits = split_inputs(inputs, config.map_workers.max(1) * 2);
+    let num_tasks = splits.len();
+    let (task_tx, task_rx) = channel::unbounded::<(usize, usize, Vec<M::Input>)>();
+    for (id, split) in splits.into_iter().enumerate() {
+        task_tx.send((id, 0, split)).expect("open");
+    }
+
+    let (done_tx, done_rx) =
+        channel::unbounded::<(usize, usize, Option<Vec<(M::Key, M::Value)>>, Vec<M::Input>)>();
+
+    let mut stats = JobStats::default();
+    let mut buckets: Vec<Vec<(M::Key, M::Value)>> =
+        (0..config.reduce_workers).map(|_| Vec::new()).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..config.map_workers {
+            let task_rx = task_rx.clone();
+            let done_tx = done_tx.clone();
+            scope.spawn(move || {
+                while let Ok((task_id, attempt, split)) = task_rx.recv() {
+                    let mut pairs = Vec::new();
+                    for input in &split {
+                        job.map(input, &mut |k, v| pairs.push((k, v)));
+                    }
+                    if attempt == 0 && config.fail_first_attempt_of.contains(&task_id) {
+                        // Crash after the work: output is lost, split is
+                        // handed back for re-execution.
+                        done_tx.send((task_id, attempt, None, split)).expect("open");
+                    } else {
+                        done_tx
+                            .send((task_id, attempt, Some(pairs), Vec::new()))
+                            .expect("open");
+                    }
+                }
+            });
+        }
+        drop(done_tx);
+
+        let mut completed = 0usize;
+        while completed < num_tasks {
+            let (task_id, attempt, outcome, split) = done_rx.recv().expect("workers alive");
+            stats.map_attempts += 1;
+            match outcome {
+                Some(pairs) => {
+                    completed += 1;
+                    stats.emitted_pairs += pairs.len();
+                    let pairs = if config.use_combiner {
+                        combine_locally(job, pairs)
+                    } else {
+                        pairs
+                    };
+                    stats.shuffled_pairs += pairs.len();
+                    for (k, v) in pairs {
+                        let b = bucket_of(&k, config.reduce_workers);
+                        buckets[b].push((k, v));
+                    }
+                }
+                None => {
+                    stats.map_failures += 1;
+                    task_tx
+                        .send((task_id, attempt + 1, split))
+                        .expect("queue open");
+                }
+            }
+        }
+        drop(task_tx); // workers drain and exit
+    });
+
+    // ---- Shuffle: group by key within each bucket (sorted). ----
+    let grouped: Vec<BTreeMap<M::Key, Vec<M::Value>>> = buckets
+        .into_iter()
+        .map(|bucket| {
+            let mut m: BTreeMap<M::Key, Vec<M::Value>> = BTreeMap::new();
+            for (k, v) in bucket {
+                m.entry(k).or_default().push(v);
+            }
+            m
+        })
+        .collect();
+
+    // ---- Reduce phase: one worker per bucket. ----
+    let (out_tx, out_rx) = channel::unbounded::<(M::Key, M::Output)>();
+    std::thread::scope(|scope| {
+        for bucket in grouped {
+            let out_tx = out_tx.clone();
+            scope.spawn(move || {
+                for (key, values) in bucket {
+                    let out = job.reduce(&key, values);
+                    out_tx.send((key, out)).expect("collector alive");
+                }
+            });
+        }
+        drop(out_tx);
+    });
+    let mut results: Vec<(M::Key, M::Output)> = out_rx.into_iter().collect();
+    results.sort_by(|a, b| a.0.cmp(&b.0));
+    stats.reduced_keys = results.len();
+    JobOutput { results, stats }
+}
+
+/// Groups a map task's output by key and applies the job's combiner.
+fn combine_locally<M: MapReduce>(
+    job: &M,
+    pairs: Vec<(M::Key, M::Value)>,
+) -> Vec<(M::Key, M::Value)> {
+    let mut grouped: HashMap<M::Key, Vec<M::Value>> = HashMap::new();
+    for (k, v) in pairs {
+        grouped.entry(k).or_default().push(v);
+    }
+    let mut out = Vec::new();
+    for (k, vs) in grouped {
+        for v in job.combine(&k, vs) {
+            out.push((k.clone(), v));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Word count with a sum combiner — the canonical job.
+    struct WordCount;
+
+    impl MapReduce for WordCount {
+        type Input = String;
+        type Key = String;
+        type Value = u64;
+        type Output = u64;
+
+        fn map(&self, input: &String, emit: &mut dyn FnMut(String, u64)) {
+            for word in input.split_whitespace() {
+                emit(word.to_lowercase(), 1);
+            }
+        }
+
+        fn reduce(&self, _key: &String, values: Vec<u64>) -> u64 {
+            values.into_iter().sum()
+        }
+
+        fn combine(&self, _key: &String, values: Vec<u64>) -> Vec<u64> {
+            vec![values.into_iter().sum()]
+        }
+    }
+
+    fn corpus() -> Vec<String> {
+        vec![
+            "the quick brown fox".to_string(),
+            "the lazy dog".to_string(),
+            "the quick dog barks".to_string(),
+        ]
+    }
+
+    fn count_of(results: &[(String, u64)], word: &str) -> u64 {
+        results
+            .iter()
+            .find(|(k, _)| k == word)
+            .map(|(_, c)| *c)
+            .unwrap_or(0)
+    }
+
+    #[test]
+    fn word_count_is_correct() {
+        let out = run_job(&WordCount, corpus(), &JobConfig::default());
+        assert_eq!(count_of(&out.results, "the"), 3);
+        assert_eq!(count_of(&out.results, "quick"), 2);
+        assert_eq!(count_of(&out.results, "fox"), 1);
+        assert_eq!(out.stats.reduced_keys, out.results.len());
+    }
+
+    #[test]
+    fn results_are_sorted_by_key() {
+        let out = run_job(&WordCount, corpus(), &JobConfig::default());
+        let keys: Vec<&String> = out.results.iter().map(|(k, _)| k).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn combiner_cuts_shuffle_traffic_without_changing_results() {
+        let big: Vec<String> = (0..50).map(|_| "a a a b".to_string()).collect();
+        let plain = run_job(&WordCount, big.clone(), &JobConfig::default());
+        let combined = run_job(
+            &WordCount,
+            big,
+            &JobConfig {
+                use_combiner: true,
+                ..JobConfig::default()
+            },
+        );
+        assert_eq!(plain.results, combined.results);
+        assert!(
+            combined.stats.shuffled_pairs < plain.stats.shuffled_pairs,
+            "combiner: {} < {}",
+            combined.stats.shuffled_pairs,
+            plain.stats.shuffled_pairs
+        );
+        assert_eq!(combined.stats.emitted_pairs, plain.stats.emitted_pairs);
+    }
+
+    #[test]
+    fn failed_map_tasks_are_reexecuted_transparently() {
+        let baseline = run_job(&WordCount, corpus(), &JobConfig::default());
+        let faulty = run_job(
+            &WordCount,
+            corpus(),
+            &JobConfig {
+                fail_first_attempt_of: [0usize, 2].into_iter().collect(),
+                ..JobConfig::default()
+            },
+        );
+        assert_eq!(baseline.results, faulty.results, "results identical despite crashes");
+        assert_eq!(faulty.stats.map_failures, 2);
+        assert_eq!(
+            faulty.stats.map_attempts,
+            baseline.stats.map_attempts + 2
+        );
+    }
+
+    #[test]
+    fn empty_input() {
+        let out = run_job(&WordCount, vec![], &JobConfig::default());
+        assert!(out.results.is_empty());
+        assert_eq!(out.stats.emitted_pairs, 0);
+    }
+
+    #[test]
+    fn single_worker_configuration() {
+        let out = run_job(
+            &WordCount,
+            corpus(),
+            &JobConfig {
+                map_workers: 1,
+                reduce_workers: 1,
+                ..JobConfig::default()
+            },
+        );
+        assert_eq!(count_of(&out.results, "the"), 3);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let a = run_job(
+            &WordCount,
+            corpus(),
+            &JobConfig {
+                map_workers: 2,
+                reduce_workers: 3,
+                ..JobConfig::default()
+            },
+        );
+        let b = run_job(
+            &WordCount,
+            corpus(),
+            &JobConfig {
+                map_workers: 5,
+                reduce_workers: 2,
+                ..JobConfig::default()
+            },
+        );
+        assert_eq!(a.results, b.results);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one map worker")]
+    fn zero_map_workers_panics() {
+        let _ = run_job(&WordCount, vec![], &JobConfig {
+            map_workers: 0,
+            ..JobConfig::default()
+        });
+    }
+}

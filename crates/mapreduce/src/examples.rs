@@ -1,0 +1,226 @@
+//! The classic MapReduce computations the Assignment 5 reading lists as
+//! examples: word count, distributed grep, inverted index, and URL
+//! access counting.
+
+use crate::{run_job, JobConfig, JobOutput, MapReduce};
+
+/// Word count: `map` emits `(word, 1)`, `reduce` sums.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WordCount;
+
+impl MapReduce for WordCount {
+    type Input = String;
+    type Key = String;
+    type Value = u64;
+    type Output = u64;
+
+    fn map(&self, input: &String, emit: &mut dyn FnMut(String, u64)) {
+        for word in input
+            .split(|c: char| !c.is_alphanumeric())
+            .filter(|w| !w.is_empty())
+        {
+            emit(word.to_lowercase(), 1);
+        }
+    }
+
+    fn reduce(&self, _key: &String, values: Vec<u64>) -> u64 {
+        values.into_iter().sum()
+    }
+
+    fn combine(&self, _key: &String, values: Vec<u64>) -> Vec<u64> {
+        vec![values.into_iter().sum()]
+    }
+}
+
+/// Distributed grep: `map` emits matching `(line, doc id)` pairs;
+/// `reduce` collects the documents containing each matching line.
+#[derive(Debug, Clone)]
+pub struct Grep {
+    /// Substring to search for.
+    pub pattern: String,
+}
+
+impl MapReduce for Grep {
+    /// `(document id, text)`.
+    type Input = (usize, String);
+    type Key = String;
+    type Value = usize;
+    type Output = Vec<usize>;
+
+    fn map(&self, (doc, text): &(usize, String), emit: &mut dyn FnMut(String, usize)) {
+        for line in text.lines() {
+            if line.contains(&self.pattern) {
+                emit(line.to_string(), *doc);
+            }
+        }
+    }
+
+    fn reduce(&self, _key: &String, mut values: Vec<usize>) -> Vec<usize> {
+        values.sort_unstable();
+        values.dedup();
+        values
+    }
+}
+
+/// Inverted index: `map` emits `(word, document id)`; `reduce` produces
+/// the sorted posting list.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InvertedIndex;
+
+impl MapReduce for InvertedIndex {
+    type Input = (usize, String);
+    type Key = String;
+    type Value = usize;
+    type Output = Vec<usize>;
+
+    fn map(&self, (doc, text): &(usize, String), emit: &mut dyn FnMut(String, usize)) {
+        for word in text
+            .split(|c: char| !c.is_alphanumeric())
+            .filter(|w| !w.is_empty())
+        {
+            emit(word.to_lowercase(), *doc);
+        }
+    }
+
+    fn reduce(&self, _key: &String, mut values: Vec<usize>) -> Vec<usize> {
+        values.sort_unstable();
+        values.dedup();
+        values
+    }
+}
+
+/// Count of URL accesses from a request log: `map` emits `(url, 1)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UrlAccessCount;
+
+impl MapReduce for UrlAccessCount {
+    /// One log line: `"<method> <url>"`.
+    type Input = String;
+    type Key = String;
+    type Value = u64;
+    type Output = u64;
+
+    fn map(&self, line: &String, emit: &mut dyn FnMut(String, u64)) {
+        if let Some(url) = line.split_whitespace().nth(1) {
+            emit(url.to_string(), 1);
+        }
+    }
+
+    fn reduce(&self, _key: &String, values: Vec<u64>) -> u64 {
+        values.into_iter().sum()
+    }
+
+    fn combine(&self, _key: &String, values: Vec<u64>) -> Vec<u64> {
+        vec![values.into_iter().sum()]
+    }
+}
+
+/// Convenience: word count over documents with the default config.
+pub fn word_count(docs: Vec<String>) -> JobOutput<String, u64> {
+    run_job(&WordCount, docs, &JobConfig::default())
+}
+
+/// Convenience: inverted index over `(id, text)` documents.
+pub fn inverted_index(docs: Vec<(usize, String)>) -> JobOutput<String, Vec<usize>> {
+    run_job(&InvertedIndex, docs, &JobConfig::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_count_handles_punctuation_and_case() {
+        let out = word_count(vec![
+            "Hello, hello world!".to_string(),
+            "World—hello?".to_string(),
+        ]);
+        let get = |w: &str| {
+            out.results
+                .iter()
+                .find(|(k, _)| k == w)
+                .map(|(_, c)| *c)
+                .unwrap_or(0)
+        };
+        assert_eq!(get("hello"), 3);
+        assert_eq!(get("world"), 2);
+    }
+
+    #[test]
+    fn grep_finds_lines_and_their_documents() {
+        let docs = vec![
+            (1usize, "alpha beta\ngamma target delta".to_string()),
+            (2usize, "no match here".to_string()),
+            (3usize, "gamma target delta\nanother target line".to_string()),
+        ];
+        let out = run_job(
+            &Grep {
+                pattern: "target".to_string(),
+            },
+            docs,
+            &JobConfig::default(),
+        );
+        let line = out
+            .results
+            .iter()
+            .find(|(k, _)| k == "gamma target delta")
+            .expect("line found");
+        assert_eq!(line.1, vec![1, 3]);
+        assert_eq!(out.results.len(), 2);
+    }
+
+    #[test]
+    fn inverted_index_posting_lists_are_sorted_and_deduped() {
+        let docs = vec![
+            (10usize, "rust makes parallel rust".to_string()),
+            (3usize, "parallel programming in rust".to_string()),
+        ];
+        let out = inverted_index(docs);
+        let posting = |w: &str| {
+            out.results
+                .iter()
+                .find(|(k, _)| k == w)
+                .map(|(_, p)| p.clone())
+                .unwrap_or_default()
+        };
+        assert_eq!(posting("rust"), vec![3, 10]);
+        assert_eq!(posting("parallel"), vec![3, 10]);
+        assert_eq!(posting("makes"), vec![10]);
+    }
+
+    #[test]
+    fn url_access_counts() {
+        let log: Vec<String> = vec![
+            "GET /index.html".into(),
+            "GET /about.html".into(),
+            "POST /index.html".into(),
+            "malformed-line".into(),
+        ];
+        let out = run_job(&UrlAccessCount, log, &JobConfig::default());
+        let get = |u: &str| {
+            out.results
+                .iter()
+                .find(|(k, _)| k == u)
+                .map(|(_, c)| *c)
+                .unwrap_or(0)
+        };
+        assert_eq!(get("/index.html"), 2);
+        assert_eq!(get("/about.html"), 1);
+        assert_eq!(out.results.len(), 2, "malformed line emits nothing");
+    }
+
+    #[test]
+    fn large_corpus_scales_correctly() {
+        // 200 copies of the same doc: counts scale linearly.
+        let docs: Vec<String> = (0..200).map(|_| "a b a".to_string()).collect();
+        let out = run_job(
+            &WordCount,
+            docs,
+            &JobConfig {
+                use_combiner: true,
+                ..JobConfig::default()
+            },
+        );
+        assert_eq!(out.results, vec![("a".to_string(), 400), ("b".to_string(), 200)]);
+    }
+}

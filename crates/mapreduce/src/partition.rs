@@ -1,0 +1,98 @@
+//! Hash partitioning of intermediate keys into reduce buckets —
+//! MapReduce's `hash(key) mod R`.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Returns the reduce-bucket index for `key` with `buckets` reducers.
+///
+/// Deterministic for a given key and bucket count (the engine relies on
+/// this to re-execute failed tasks identically).
+///
+/// # Panics
+/// Panics if `buckets` is zero.
+pub fn bucket_of<K: Hash>(key: &K, buckets: usize) -> usize {
+    assert!(buckets > 0, "need at least one reduce bucket");
+    let mut hasher = DefaultHasher::new();
+    key.hash(&mut hasher);
+    (hasher.finish() % buckets as u64) as usize
+}
+
+/// Splits `items` into `parts` contiguous input splits of near-equal
+/// size — how the engine carves map tasks from the input list.
+pub fn split_inputs<T>(items: Vec<T>, parts: usize) -> Vec<Vec<T>> {
+    assert!(parts > 0, "need at least one split");
+    let n = items.len();
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut iter = items.into_iter();
+    for p in 0..parts {
+        let take = base + usize::from(p < extra);
+        out.push(iter.by_ref().take(take).collect());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_is_deterministic_and_in_range() {
+        for key in ["alpha", "beta", "gamma", ""] {
+            let b = bucket_of(&key, 7);
+            assert_eq!(b, bucket_of(&key, 7));
+            assert!(b < 7);
+        }
+    }
+
+    #[test]
+    fn different_bucket_counts_change_assignment_domain() {
+        let b1 = bucket_of(&"word", 1);
+        assert_eq!(b1, 0);
+        for n in 1..20 {
+            assert!(bucket_of(&"word", n) < n);
+        }
+    }
+
+    #[test]
+    fn buckets_spread_keys() {
+        // 1000 distinct keys over 8 buckets: every bucket gets some.
+        let mut counts = [0usize; 8];
+        for i in 0..1000 {
+            counts[bucket_of(&format!("key-{i}"), 8)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 50), "{counts:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one reduce bucket")]
+    fn zero_buckets_panics() {
+        let _ = bucket_of(&1u32, 0);
+    }
+
+    #[test]
+    fn split_inputs_balanced() {
+        let splits = split_inputs((0..10).collect::<Vec<_>>(), 4);
+        assert_eq!(splits.len(), 4);
+        assert_eq!(splits[0], vec![0, 1, 2]);
+        assert_eq!(splits[1], vec![3, 4, 5]);
+        assert_eq!(splits[2], vec![6, 7]);
+        assert_eq!(splits[3], vec![8, 9]);
+    }
+
+    #[test]
+    fn split_inputs_more_parts_than_items() {
+        let splits = split_inputs(vec![1, 2], 5);
+        assert_eq!(splits.iter().filter(|s| !s.is_empty()).count(), 2);
+        assert_eq!(splits.iter().flatten().count(), 2);
+    }
+
+    #[test]
+    fn split_inputs_empty() {
+        let splits: Vec<Vec<u8>> = split_inputs(vec![], 3);
+        assert_eq!(splits.len(), 3);
+        assert!(splits.iter().all(|s| s.is_empty()));
+    }
+}

@@ -1,0 +1,239 @@
+//! Collective operations, built over point-to-point messages with
+//! reserved tags (so user traffic can never be confused with
+//! collective traffic).
+
+use crate::world::{Rank, RESERVED_TAG_BASE};
+
+const TAG_BCAST: u32 = RESERVED_TAG_BASE + 1;
+const TAG_SCATTER: u32 = RESERVED_TAG_BASE + 2;
+const TAG_GATHER: u32 = RESERVED_TAG_BASE + 3;
+const TAG_REDUCE: u32 = RESERVED_TAG_BASE + 4;
+const TAG_ALLREDUCE: u32 = RESERVED_TAG_BASE + 5;
+
+impl Rank {
+    /// `MPI_Bcast`: the root's value is delivered to every rank.
+    /// Non-root ranks pass `None`.
+    ///
+    /// # Panics
+    /// Panics if the root fails to supply a value (or a non-root does).
+    pub fn broadcast<T: Clone + Send + 'static>(&self, root: usize, value: Option<T>) -> T {
+        assert!(root < self.size(), "root out of range");
+        if self.rank() == root {
+            let v = value.expect("root must supply the broadcast value");
+            for peer in 0..self.size() {
+                if peer != root {
+                    self.send_raw(peer, TAG_BCAST, v.clone());
+                }
+            }
+            v
+        } else {
+            assert!(value.is_none(), "only the root supplies a value");
+            let (_, _, v) = self.recv::<T>(root, TAG_BCAST);
+            v
+        }
+    }
+
+    /// `MPI_Scatter`: the root splits `data` (length divisible by the
+    /// world size) into equal chunks; rank i receives chunk i.
+    pub fn scatter<T: Send + 'static>(&self, root: usize, data: Option<Vec<T>>) -> Vec<T> {
+        assert!(root < self.size(), "root out of range");
+        if self.rank() == root {
+            let data = data.expect("root must supply the scatter data");
+            assert!(
+                data.len().is_multiple_of(self.size()),
+                "scatter data length {} not divisible by world size {}",
+                data.len(),
+                self.size()
+            );
+            let chunk = data.len() / self.size();
+            let mut chunks: Vec<Vec<T>> = Vec::with_capacity(self.size());
+            let mut iter = data.into_iter();
+            for _ in 0..self.size() {
+                chunks.push(iter.by_ref().take(chunk).collect());
+            }
+            // Send in reverse so `pop` below yields rank order.
+            let mut own = None;
+            for (peer, chunk) in chunks.into_iter().enumerate() {
+                if peer == root {
+                    own = Some(chunk);
+                } else {
+                    self.send_raw(peer, TAG_SCATTER, chunk);
+                }
+            }
+            own.expect("root keeps its own chunk")
+        } else {
+            assert!(data.is_none(), "only the root supplies data");
+            let (_, _, chunk) = self.recv::<Vec<T>>(root, TAG_SCATTER);
+            chunk
+        }
+    }
+
+    /// `MPI_Gather`: every rank contributes `value`; the root receives
+    /// all contributions in rank order (`Some(vec)`), others get `None`.
+    pub fn gather<T: Send + 'static>(&self, root: usize, value: T) -> Option<Vec<T>> {
+        assert!(root < self.size(), "root out of range");
+        if self.rank() == root {
+            let mut slots: Vec<Option<T>> = (0..self.size()).map(|_| None).collect();
+            slots[root] = Some(value);
+            for _ in 0..self.size() - 1 {
+                let (src, _, v) = self.recv::<T>(crate::ANY_SOURCE, TAG_GATHER);
+                slots[src] = Some(v);
+            }
+            Some(slots.into_iter().map(|s| s.expect("every rank sent")).collect())
+        } else {
+            self.send_raw(root, TAG_GATHER, value);
+            None
+        }
+    }
+
+    /// `MPI_Reduce`: folds every rank's value with `op` at the root (in
+    /// rank order, so non-commutative reductions are deterministic).
+    pub fn reduce<T, F>(&self, root: usize, value: T, op: F) -> Option<T>
+    where
+        T: Send + 'static,
+        F: Fn(T, T) -> T,
+    {
+        assert!(root < self.size(), "root out of range");
+        if self.rank() == root {
+            let mut slots: Vec<Option<T>> = (0..self.size()).map(|_| None).collect();
+            slots[root] = Some(value);
+            for _ in 0..self.size() - 1 {
+                let (src, _, v) = self.recv::<T>(crate::ANY_SOURCE, TAG_REDUCE);
+                slots[src] = Some(v);
+            }
+            let mut iter = slots.into_iter().map(|s| s.expect("every rank sent"));
+            let first = iter.next().expect("world is non-empty");
+            Some(iter.fold(first, op))
+        } else {
+            self.send_raw(root, TAG_REDUCE, value);
+            None
+        }
+    }
+
+    /// `MPI_Allreduce`: reduce at rank 0, then broadcast the result.
+    pub fn allreduce<T, F>(&self, value: T, op: F) -> T
+    where
+        T: Clone + Send + 'static,
+        F: Fn(T, T) -> T,
+    {
+        let reduced = self.reduce(0, value, op);
+        if self.rank() == 0 {
+            let v = reduced.expect("root holds the reduction");
+            for peer in 1..self.size() {
+                self.send_raw(peer, TAG_ALLREDUCE, v.clone());
+            }
+            v
+        } else {
+            let (_, _, v) = self.recv::<T>(0, TAG_ALLREDUCE);
+            v
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::world::run;
+
+    #[test]
+    fn broadcast_delivers_to_everyone() {
+        let got = run(4, |rank| {
+            
+            if rank.is_root() {
+                rank.broadcast(0, Some("config".to_string()))
+            } else {
+                rank.broadcast::<String>(0, None)
+            }
+        });
+        assert!(got.iter().all(|v| v == "config"));
+    }
+
+    #[test]
+    fn broadcast_from_nonzero_root() {
+        let got = run(3, |rank| {
+            if rank.rank() == 2 {
+                rank.broadcast(2, Some(99u32))
+            } else {
+                rank.broadcast::<u32>(2, None)
+            }
+        });
+        assert_eq!(got, vec![99, 99, 99]);
+    }
+
+    #[test]
+    fn scatter_splits_in_rank_order() {
+        let got = run(4, |rank| {
+            let data = rank
+                .is_root()
+                .then(|| (0..8u32).collect::<Vec<_>>());
+            rank.scatter(0, data)
+        });
+        assert_eq!(got, vec![vec![0, 1], vec![2, 3], vec![4, 5], vec![6, 7]]);
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let got = run(4, |rank| rank.gather(0, rank.rank() * 10));
+        assert_eq!(got[0], Some(vec![0, 10, 20, 30]));
+        assert!(got[1..].iter().all(|g| g.is_none()));
+    }
+
+    #[test]
+    fn gather_to_nonzero_root() {
+        let got = run(3, |rank| rank.gather(1, format!("r{}", rank.rank())));
+        assert_eq!(
+            got[1],
+            Some(vec!["r0".to_string(), "r1".to_string(), "r2".to_string()])
+        );
+    }
+
+    #[test]
+    fn reduce_sums_at_the_root() {
+        let got = run(5, |rank| rank.reduce(0, rank.rank() as u64 + 1, |a, b| a + b));
+        assert_eq!(got[0], Some(15));
+        assert!(got[1..].iter().all(|g| g.is_none()));
+    }
+
+    #[test]
+    fn reduce_is_rank_ordered_for_noncommutative_ops() {
+        let got = run(4, |rank| {
+            rank.reduce(0, rank.rank().to_string(), |a, b| format!("{a}{b}"))
+        });
+        assert_eq!(got[0], Some("0123".to_string()));
+    }
+
+    #[test]
+    fn allreduce_gives_everyone_the_result() {
+        let got = run(4, |rank| rank.allreduce(1u64 << rank.rank(), |a, b| a | b));
+        assert!(got.iter().all(|&v| v == 0b1111));
+    }
+
+    #[test]
+    fn scatter_then_work_then_gather_roundtrip() {
+        // The canonical decomposition skeleton: scatter, local work,
+        // gather.
+        let got = run(4, |rank| {
+            let data = rank.is_root().then(|| (1..=12u64).collect::<Vec<_>>());
+            let mine = rank.scatter(0, data);
+            let local: u64 = mine.iter().sum();
+            rank.gather(0, local)
+        });
+        assert_eq!(got[0], Some(vec![6, 15, 24, 33]));
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn scatter_requires_divisible_length() {
+        run(3, |rank| {
+            let data = rank.is_root().then(|| vec![1, 2, 3, 4]);
+            rank.scatter(0, data);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "root out of range")]
+    fn bad_root_panics() {
+        run(2, |rank| {
+            rank.broadcast(5, Some(1u8));
+        });
+    }
+}

@@ -1,0 +1,43 @@
+//! # mpi-rt — message passing for the module's future-work extension
+//!
+//! The paper's §V plans to extend the module "to include writing code
+//! for multicore processors and distributed memory using Message
+//! Passing Interface (MPI) and C", starting from CSinParallel's
+//! "Getting Started with Message Passing using MPI". This crate is that
+//! extension's substrate: an MPI-flavoured runtime where each *rank* is
+//! a thread with a private mailbox (distributed memory: ranks share
+//! nothing and communicate only by messages), offering the classic API
+//! surface:
+//!
+//! | MPI | mpi-rt |
+//! |---|---|
+//! | `MPI_Comm_rank` / `MPI_Comm_size` | [`Rank::rank`] / [`Rank::size`] |
+//! | `MPI_Send` / `MPI_Recv` (with tags, `MPI_ANY_SOURCE`) | [`Rank::send`] / [`Rank::recv`], [`ANY_SOURCE`], [`ANY_TAG`] |
+//! | `MPI_Barrier` | [`Rank::barrier`] |
+//! | `MPI_Bcast` | [`Rank::broadcast`] |
+//! | `MPI_Scatter` / `MPI_Gather` | [`Rank::scatter`] / [`Rank::gather`] |
+//! | `MPI_Reduce` / `MPI_Allreduce` | [`Rank::reduce`] / [`Rank::allreduce`] |
+//! | ring `Sendrecv` | [`Rank::ring_shift`] |
+//!
+//! [`patternlets`] reimplements the "Getting Started" programs (rank
+//! hello, ring pass, work-split sum, master–worker messaging), and
+//! [`memory_models`] holds the OpenMP-vs-MPI-vs-MapReduce comparison
+//! Assignment 5 asks for, as testable structured data.
+//!
+//! ```
+//! // Every rank contributes its id; an allreduce gives all ranks the sum.
+//! let totals = mpi_rt::run(4, |rank| {
+//!     rank.allreduce(rank.rank() as u64, |a, b| a + b)
+//! });
+//! assert_eq!(totals, vec![6, 6, 6, 6]);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod collective;
+pub mod memory_models;
+pub mod patternlets;
+pub mod world;
+
+pub use world::{run, Rank, ANY_SOURCE, ANY_TAG};

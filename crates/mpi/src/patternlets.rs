@@ -1,0 +1,156 @@
+//! The "Getting Started with Message Passing using MPI" patternlets the
+//! Spring-2019 module extension would assign: rank hello, ring pass,
+//! work-split sum, and master–worker messaging.
+
+use crate::world::{run, ANY_SOURCE};
+
+/// Patternlet 1: every rank reports "hello from rank i of n"; rank 0
+/// gathers and returns the lines in rank order.
+pub fn rank_hello(ranks: usize) -> Vec<String> {
+    let gathered = run(ranks, |rank| {
+        let line = format!("hello from rank {} of {}", rank.rank(), rank.size());
+        rank.gather(0, line)
+    });
+    gathered.into_iter().next().flatten().expect("root gathered")
+}
+
+/// Patternlet 2: ring pass — a token starts at rank 0 and visits every
+/// rank once, each appending its id; returns the visit order.
+pub fn ring_pass(ranks: usize) -> Vec<usize> {
+    let results = run(ranks, |rank| {
+        const TAG: u32 = 42;
+        if rank.is_root() {
+            let token = vec![0usize];
+            if rank.size() == 1 {
+                return Some(token);
+            }
+            rank.send(1, TAG, token);
+            let (_, _, token) = rank.recv::<Vec<usize>>(rank.size() - 1, TAG);
+            Some(token)
+        } else {
+            let (_, _, mut token) = rank.recv::<Vec<usize>>(rank.rank() - 1, TAG);
+            token.push(rank.rank());
+            rank.send((rank.rank() + 1) % rank.size(), TAG, token);
+            None
+        }
+    });
+    results.into_iter().next().flatten().expect("token returned to root")
+}
+
+/// Patternlet 3: distributed sum — the root scatters a slice, each rank
+/// sums its part, and a reduce collects the total. Returns
+/// `(parallel total, sequential check)`.
+pub fn distributed_sum(data: Vec<u64>, ranks: usize) -> (u64, u64) {
+    assert!(ranks > 0 && data.len().is_multiple_of(ranks), "data must split evenly");
+    let sequential: u64 = data.iter().sum();
+    let results = run(ranks, |rank| {
+        let chunk = rank.scatter(0, rank.is_root().then(|| data.clone()));
+        let local: u64 = chunk.iter().sum();
+        rank.reduce(0, local, |a, b| a + b)
+    });
+    let total = results.into_iter().next().flatten().expect("root reduced");
+    (total, sequential)
+}
+
+/// Patternlet 4: master–worker over messages — the master hands out
+/// task ids on demand; workers request work with tag `WANT` and receive
+/// either a task or a stop marker. Returns tasks-completed per worker
+/// (index 0 is the master, always 0).
+pub fn master_worker_messages(tasks: usize, ranks: usize) -> Vec<usize> {
+    assert!(ranks >= 2, "need a master and at least one worker");
+    const WANT: u32 = 1;
+    // One reply tag; `Some(task)` is work, `None` is the stop marker,
+    // so a worker can block on a single receive without deadlocking.
+    const REPLY: u32 = 2;
+    run(ranks, |rank| {
+        if rank.is_root() {
+            let mut next_task = 0usize;
+            let mut stopped = 0usize;
+            while stopped < rank.size() - 1 {
+                let (worker, _, ()) = rank.recv::<()>(ANY_SOURCE, WANT);
+                if next_task < tasks {
+                    rank.send(worker, REPLY, Some(next_task));
+                    next_task += 1;
+                } else {
+                    rank.send(worker, REPLY, None::<usize>);
+                    stopped += 1;
+                }
+            }
+            0
+        } else {
+            let mut done = 0usize;
+            loop {
+                rank.send(0, WANT, ());
+                let (_, _, reply) = rank.recv::<Option<usize>>(0, REPLY);
+                match reply {
+                    Some(_task) => done += 1,
+                    None => break,
+                }
+            }
+            done
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hello_lines_in_rank_order() {
+        let lines = rank_hello(4);
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[2], "hello from rank 2 of 4");
+    }
+
+    #[test]
+    fn hello_single_rank() {
+        assert_eq!(rank_hello(1), vec!["hello from rank 0 of 1"]);
+    }
+
+    #[test]
+    fn ring_visits_every_rank_once_in_order() {
+        assert_eq!(ring_pass(5), vec![0, 1, 2, 3, 4]);
+        assert_eq!(ring_pass(1), vec![0]);
+        assert_eq!(ring_pass(2), vec![0, 1]);
+    }
+
+    #[test]
+    fn distributed_sum_matches_sequential() {
+        let data: Vec<u64> = (1..=64).collect();
+        let (parallel, sequential) = distributed_sum(data, 4);
+        assert_eq!(parallel, sequential);
+        assert_eq!(parallel, 64 * 65 / 2);
+    }
+
+    #[test]
+    fn distributed_sum_one_rank() {
+        let (p, s) = distributed_sum(vec![5, 7, 11], 1);
+        assert_eq!(p, s);
+    }
+
+    #[test]
+    fn master_worker_completes_all_tasks() {
+        let per_worker = master_worker_messages(20, 4);
+        assert_eq!(per_worker[0], 0, "master does no tasks");
+        assert_eq!(per_worker.iter().sum::<usize>(), 20);
+    }
+
+    #[test]
+    fn master_worker_more_workers_than_tasks() {
+        let per_worker = master_worker_messages(2, 5);
+        assert_eq!(per_worker.iter().sum::<usize>(), 2);
+    }
+
+    #[test]
+    fn master_worker_zero_tasks() {
+        let per_worker = master_worker_messages(0, 3);
+        assert!(per_worker.iter().all(|&d| d == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "master and at least one worker")]
+    fn master_worker_needs_two_ranks() {
+        let _ = master_worker_messages(5, 1);
+    }
+}

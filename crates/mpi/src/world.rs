@@ -1,0 +1,386 @@
+//! Ranks, mailboxes, and point-to-point messaging.
+//!
+//! Each rank owns a mailbox (an MPSC channel) and a sender to every
+//! peer. `send` is *eager* (buffered, non-blocking), like small-message
+//! MPI; `recv` blocks until a matching `(source, tag)` envelope arrives,
+//! buffering out-of-order messages so selective receive works.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parallel_rt::barrier::{SenseBarrier, TeamBarrier};
+
+/// Wildcard source for [`Rank::recv`].
+pub const ANY_SOURCE: usize = usize::MAX;
+/// Wildcard tag for [`Rank::recv`].
+pub const ANY_TAG: u32 = u32::MAX;
+
+/// Tags at or above this value are reserved for collectives.
+pub(crate) const RESERVED_TAG_BASE: u32 = 0x8000_0000;
+
+struct Envelope {
+    src: usize,
+    tag: u32,
+    payload: Box<dyn Any + Send>,
+}
+
+/// One process in the message-passing world: its identity plus its
+/// communication endpoints. Ranks share **no** data; everything moves
+/// through messages (the distributed-memory model the extension
+/// teaches).
+pub struct Rank {
+    id: usize,
+    size: usize,
+    mailbox: Receiver<Envelope>,
+    peers: Vec<Sender<Envelope>>,
+    /// Out-of-order messages awaiting a matching recv.
+    pending: RefCell<Vec<Envelope>>,
+    barrier: Arc<SenseBarrier>,
+}
+
+impl Rank {
+    /// This rank's id, `0..size` — `MPI_Comm_rank`.
+    pub fn rank(&self) -> usize {
+        self.id
+    }
+
+    /// World size — `MPI_Comm_size`.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// True for rank 0, conventionally the root/master.
+    pub fn is_root(&self) -> bool {
+        self.id == 0
+    }
+
+    /// Sends `value` to `dest` with `tag` (eager/buffered — returns
+    /// immediately).
+    ///
+    /// # Panics
+    /// Panics if `dest` is out of range or the tag is in the reserved
+    /// collective range.
+    pub fn send<T: Send + 'static>(&self, dest: usize, tag: u32, value: T) {
+        assert!(tag < RESERVED_TAG_BASE, "tags >= 0x8000_0000 are reserved");
+        self.send_raw(dest, tag, value);
+    }
+
+    pub(crate) fn send_raw<T: Send + 'static>(&self, dest: usize, tag: u32, value: T) {
+        assert!(dest < self.size, "destination rank {dest} out of range");
+        self.peers[dest]
+            .send(Envelope {
+                src: self.id,
+                tag,
+                payload: Box::new(value),
+            })
+            .expect("world alive while ranks run");
+    }
+
+    /// Receives the next message matching `(source, tag)`; blocks until
+    /// one arrives. Use [`ANY_SOURCE`] / [`ANY_TAG`] as wildcards.
+    /// Returns `(source, tag, value)`.
+    ///
+    /// # Panics
+    /// Panics if the matching message's payload is not a `T` (a type
+    /// mismatch between sender and receiver is a program bug, as in
+    /// MPI); if every peer has exited so no match can ever arrive; or
+    /// after the deadlock-detection timeout (default 5 s, override with
+    /// the `MPI_RT_RECV_TIMEOUT_MS` environment variable) — real MPI
+    /// programs hang on mismatched communication, but a teaching
+    /// runtime should turn that hang into a diagnosable panic.
+    pub fn recv<T: 'static>(&self, source: usize, tag: u32) -> (usize, u32, T) {
+        let matches = |e: &Envelope| {
+            (source == ANY_SOURCE || e.src == source) && (tag == ANY_TAG || e.tag == tag)
+        };
+        // Check buffered messages first (in arrival order).
+        {
+            let mut pending = self.pending.borrow_mut();
+            if let Some(pos) = pending.iter().position(matches) {
+                let e = pending.remove(pos);
+                return Self::open(e);
+            }
+        }
+        let timeout = std::env::var("MPI_RT_RECV_TIMEOUT_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .map(std::time::Duration::from_millis)
+            .unwrap_or(std::time::Duration::from_secs(5));
+        loop {
+            match self.mailbox.recv_timeout(timeout) {
+                Ok(e) => {
+                    if matches(&e) {
+                        return Self::open(e);
+                    }
+                    self.pending.borrow_mut().push(e);
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                    panic!(
+                        "rank {}: no matching message can ever arrive (src {source}, tag {tag}): all peers exited",
+                        self.id
+                    );
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                    panic!(
+                        "rank {}: recv(src {source}, tag {tag}) timed out — likely deadlock",
+                        self.id
+                    );
+                }
+            }
+        }
+    }
+
+    fn open<T: 'static>(e: Envelope) -> (usize, u32, T) {
+        let src = e.src;
+        let tag = e.tag;
+        let value = *e
+            .payload
+            .downcast::<T>()
+            .unwrap_or_else(|_| panic!("type mismatch receiving from rank {src} tag {tag}"));
+        (src, tag, value)
+    }
+
+    /// Non-blocking probe-and-receive: returns a matching message if one
+    /// is already available.
+    pub fn try_recv<T: 'static>(&self, source: usize, tag: u32) -> Option<(usize, u32, T)> {
+        let matches = |e: &Envelope| {
+            (source == ANY_SOURCE || e.src == source) && (tag == ANY_TAG || e.tag == tag)
+        };
+        {
+            let mut pending = self.pending.borrow_mut();
+            if let Some(pos) = pending.iter().position(matches) {
+                return Some(Self::open(pending.remove(pos)));
+            }
+        }
+        while let Ok(e) = self.mailbox.try_recv() {
+            if matches(&e) {
+                return Some(Self::open(e));
+            }
+            self.pending.borrow_mut().push(e);
+        }
+        None
+    }
+
+    /// Blocks until every rank reaches the barrier — `MPI_Barrier`.
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    /// Sends `value` around the ring: to rank `(id+1) % size`, receiving
+    /// from `(id+size−1) % size` — the classic ring-pass exercise.
+    pub fn ring_shift<T: Send + 'static>(&self, tag: u32, value: T) -> T {
+        let next = (self.id + 1) % self.size;
+        let prev = (self.id + self.size - 1) % self.size;
+        self.send(next, tag, value);
+        let (_, _, received) = self.recv::<T>(prev, tag);
+        received
+    }
+}
+
+/// Spawns `ranks` threads, each running `body` with its own [`Rank`],
+/// and returns their results in rank order — `mpirun -np <ranks>`.
+///
+/// # Panics
+/// Panics if `ranks` is zero or any rank panics.
+pub fn run<R, F>(ranks: usize, body: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&Rank) -> R + Sync,
+{
+    assert!(ranks > 0, "need at least one rank");
+    let mut senders = Vec::with_capacity(ranks);
+    let mut mailboxes = Vec::with_capacity(ranks);
+    for _ in 0..ranks {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        mailboxes.push(rx);
+    }
+    let barrier = Arc::new(SenseBarrier::new(ranks));
+    // Join every rank before propagating any panic: re-raising early
+    // would leave the scope blocked on still-running (possibly
+    // deadlocked) peers.
+    let mut outcomes: Vec<Option<std::thread::Result<R>>> = (0..ranks).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(ranks);
+        for (id, mailbox) in mailboxes.into_iter().enumerate() {
+            let peers = senders.clone();
+            let barrier = Arc::clone(&barrier);
+            let body = &body;
+            handles.push(scope.spawn(move || {
+                let rank = Rank {
+                    id,
+                    size: ranks,
+                    mailbox,
+                    peers,
+                    pending: RefCell::new(Vec::new()),
+                    barrier,
+                };
+                body(&rank)
+            }));
+        }
+        drop(senders);
+        for (slot, handle) in outcomes.iter_mut().zip(handles) {
+            *slot = Some(handle.join());
+        }
+    });
+    outcomes
+        .into_iter()
+        .map(|outcome| match outcome.expect("joined") {
+            Ok(r) => r,
+            // Re-raise with the original payload so callers (and
+            // #[should_panic] tests) see the rank's own message.
+            Err(payload) => std::panic::resume_unwind(payload),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_know_their_identity() {
+        let ids = run(4, |rank| (rank.rank(), rank.size(), rank.is_root()));
+        assert_eq!(ids[0], (0, 4, true));
+        assert_eq!(ids[3], (3, 4, false));
+    }
+
+    #[test]
+    fn point_to_point_roundtrip() {
+        let sums = run(2, |rank| {
+            if rank.rank() == 0 {
+                rank.send(1, 7, 21u64);
+                let (_, _, back) = rank.recv::<u64>(1, 8);
+                back
+            } else {
+                let (src, tag, v) = rank.recv::<u64>(0, 7);
+                assert_eq!((src, tag), (0, 7));
+                rank.send(0, 8, v * 2);
+                v
+            }
+        });
+        assert_eq!(sums, vec![42, 21]);
+    }
+
+    #[test]
+    fn selective_receive_buffers_out_of_order_messages() {
+        let got = run(2, |rank| {
+            if rank.rank() == 0 {
+                // Send tag 2 first, then tag 1.
+                rank.send(1, 2, "second".to_string());
+                rank.send(1, 1, "first".to_string());
+                Vec::new()
+            } else {
+                // Receive tag 1 before tag 2 despite arrival order.
+                let (_, _, a) = rank.recv::<String>(0, 1);
+                let (_, _, b) = rank.recv::<String>(0, 2);
+                vec![a, b]
+            }
+        });
+        assert_eq!(got[1], vec!["first".to_string(), "second".to_string()]);
+    }
+
+    #[test]
+    fn any_source_wildcard() {
+        let totals = run(4, |rank| {
+            if rank.is_root() {
+                let mut total = 0u64;
+                for _ in 0..3 {
+                    let (_, _, v) = rank.recv::<u64>(ANY_SOURCE, 5);
+                    total += v;
+                }
+                total
+            } else {
+                rank.send(0, 5, rank.rank() as u64);
+                0
+            }
+        });
+        assert_eq!(totals[0], 1 + 2 + 3);
+    }
+
+    #[test]
+    fn any_tag_wildcard_reports_the_tag() {
+        let tags = run(2, |rank| {
+            if rank.rank() == 0 {
+                rank.send(1, 17, ());
+                0
+            } else {
+                let (_, tag, ()) = rank.recv::<()>(0, ANY_TAG);
+                tag
+            }
+        });
+        assert_eq!(tags[1], 17);
+    }
+
+    #[test]
+    fn try_recv_is_nonblocking() {
+        let seen = run(2, |rank| {
+            if rank.rank() == 0 {
+                rank.barrier(); // let rank 1 probe first
+                rank.send(1, 3, 9u8);
+                rank.barrier();
+                true
+            } else {
+                let empty = rank.try_recv::<u8>(0, 3).is_none();
+                rank.barrier();
+                rank.barrier();
+                let found = rank.try_recv::<u8>(0, 3).is_some();
+                empty && found
+            }
+        });
+        assert!(seen[1]);
+    }
+
+    #[test]
+    fn ring_shift_rotates_values() {
+        let values = run(5, |rank| rank.ring_shift(1, rank.rank()));
+        // Each rank receives its predecessor's id.
+        assert_eq!(values, vec![4, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn barrier_synchronises_ranks() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let arrived = AtomicUsize::new(0);
+        run(4, |rank| {
+            arrived.fetch_add(1, Ordering::SeqCst);
+            rank.barrier();
+            assert_eq!(arrived.load(Ordering::SeqCst), 4);
+        });
+    }
+
+    #[test]
+    fn single_rank_world() {
+        let r = run(1, |rank| {
+            rank.barrier();
+            assert_eq!(rank.ring_shift(0, 99u32), 99);
+            rank.rank()
+        });
+        assert_eq!(r, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn type_mismatch_panics() {
+        run(2, |rank| {
+            if rank.rank() == 0 {
+                rank.send(1, 1, 1.5f64);
+            } else {
+                let _ = rank.recv::<u32>(0, 1);
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn reserved_tags_rejected() {
+        run(1, |rank| rank.send(0, RESERVED_TAG_BASE, ()));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        let _ = run(0, |_rank| ());
+    }
+}

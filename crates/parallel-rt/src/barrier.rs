@@ -1,0 +1,231 @@
+//! Barriers: the sense-reversing atomic barrier the runtime uses, plus a
+//! mutex/condvar barrier kept for the ablation bench (DESIGN.md §ablation
+//! 3). Both are reusable across phases, like `#pragma omp barrier`.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use parking_lot::{Condvar, Mutex};
+
+/// A reusable barrier for a fixed-size team.
+pub trait TeamBarrier: Sync {
+    /// Blocks until all team members have called `wait`. Returns true on
+    /// exactly one member per episode (the "last to arrive"), mirroring
+    /// `std::sync::Barrier`'s leader flag.
+    fn wait(&self) -> bool;
+
+    /// Number of completed episodes so far.
+    fn episodes(&self) -> usize;
+}
+
+/// Centralised sense-reversing barrier built on atomics (the classic
+/// construction from the concurrency literature): arrivals decrement a
+/// counter; the last one flips the global sense, releasing spinners.
+#[derive(Debug)]
+pub struct SenseBarrier {
+    team_size: usize,
+    remaining: AtomicUsize,
+    sense: AtomicBool,
+    episodes: AtomicUsize,
+}
+
+impl SenseBarrier {
+    /// Creates a barrier for `team_size` threads.
+    ///
+    /// # Panics
+    /// Panics if `team_size` is zero.
+    pub fn new(team_size: usize) -> Self {
+        assert!(team_size > 0, "team size must be positive");
+        SenseBarrier {
+            team_size,
+            remaining: AtomicUsize::new(team_size),
+            sense: AtomicBool::new(false),
+            episodes: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl TeamBarrier for SenseBarrier {
+    fn wait(&self) -> bool {
+        let my_sense = !self.sense.load(Ordering::Acquire);
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last arrival: reset the counter and release everyone by
+            // publishing the new sense.
+            self.remaining.store(self.team_size, Ordering::Relaxed);
+            self.episodes.fetch_add(1, Ordering::Relaxed);
+            self.sense.store(my_sense, Ordering::Release);
+            true
+        } else {
+            let mut spins = 0u32;
+            while self.sense.load(Ordering::Acquire) != my_sense {
+                spins += 1;
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    // On an oversubscribed (or single-core) host, pure
+                    // spinning livelocks; yield to the OS scheduler.
+                    std::thread::yield_now();
+                }
+            }
+            false
+        }
+    }
+
+    fn episodes(&self) -> usize {
+        self.episodes.load(Ordering::Relaxed)
+    }
+}
+
+/// Mutex + condvar barrier, the textbook blocking construction; used as
+/// the ablation baseline against [`SenseBarrier`].
+#[derive(Debug)]
+pub struct CondvarBarrier {
+    team_size: usize,
+    state: Mutex<CondvarState>,
+    condvar: Condvar,
+}
+
+#[derive(Debug)]
+struct CondvarState {
+    arrived: usize,
+    generation: usize,
+    episodes: usize,
+}
+
+impl CondvarBarrier {
+    /// Creates a barrier for `team_size` threads.
+    ///
+    /// # Panics
+    /// Panics if `team_size` is zero.
+    pub fn new(team_size: usize) -> Self {
+        assert!(team_size > 0, "team size must be positive");
+        CondvarBarrier {
+            team_size,
+            state: Mutex::new(CondvarState {
+                arrived: 0,
+                generation: 0,
+                episodes: 0,
+            }),
+            condvar: Condvar::new(),
+        }
+    }
+}
+
+impl TeamBarrier for CondvarBarrier {
+    fn wait(&self) -> bool {
+        let mut state = self.state.lock();
+        state.arrived += 1;
+        if state.arrived == self.team_size {
+            state.arrived = 0;
+            state.generation += 1;
+            state.episodes += 1;
+            self.condvar.notify_all();
+            true
+        } else {
+            let gen = state.generation;
+            while state.generation == gen {
+                self.condvar.wait(&mut state);
+            }
+            false
+        }
+    }
+
+    fn episodes(&self) -> usize {
+        self.state.lock().episodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn exercise(barrier: &dyn TeamBarrier, threads: usize, phases: usize) {
+        // Every thread appends its phase tag; after each barrier all
+        // phase-p tags must precede all phase-(p+1) tags.
+        let log = Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| {
+                    for phase in 0..phases {
+                        log.lock().push(phase);
+                        barrier.wait();
+                    }
+                });
+            }
+        });
+        let log = log.into_inner();
+        assert_eq!(log.len(), threads * phases);
+        let mut sorted = log.clone();
+        sorted.sort_unstable();
+        assert_eq!(log, sorted, "phases never interleave across a barrier");
+        assert_eq!(barrier.episodes(), phases);
+    }
+
+    #[test]
+    fn sense_barrier_separates_phases() {
+        exercise(&SenseBarrier::new(4), 4, 5);
+    }
+
+    #[test]
+    fn condvar_barrier_separates_phases() {
+        exercise(&CondvarBarrier::new(4), 4, 5);
+    }
+
+    #[test]
+    fn exactly_one_leader_per_episode() {
+        let barrier = SenseBarrier::new(3);
+        let leaders = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| {
+                    for _ in 0..10 {
+                        if barrier.wait() {
+                            leaders.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(leaders.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn single_thread_barrier_is_a_noop() {
+        let b = SenseBarrier::new(1);
+        assert!(b.wait());
+        assert!(b.wait());
+        assert_eq!(b.episodes(), 2);
+        let c = CondvarBarrier::new(1);
+        assert!(c.wait());
+        assert_eq!(c.episodes(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "team size must be positive")]
+    fn zero_team_panics() {
+        let _ = SenseBarrier::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "team size must be positive")]
+    fn zero_team_panics_condvar() {
+        let _ = CondvarBarrier::new(0);
+    }
+
+    #[test]
+    fn oversubscribed_barrier_does_not_livelock() {
+        // More threads than this host has cores: the yield fallback must
+        // keep the sense barrier making progress.
+        let barrier = SenseBarrier::new(8);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..3 {
+                        barrier.wait();
+                    }
+                });
+            }
+        });
+        assert_eq!(barrier.episodes(), 3);
+    }
+}

@@ -1,0 +1,177 @@
+//! Data-environment semantics: OpenMP's `shared`, `private`,
+//! `firstprivate`, and `lastprivate` clauses as explicit types.
+//!
+//! In OpenMP these clauses silently change which storage a name refers
+//! to inside a region — the exact subtlety ("scope matters") Assignment
+//! 2 teaches. Rust's ownership makes the distinction explicit; these
+//! wrappers document each clause's behaviour and let the patternlets
+//! state it in code.
+
+use parking_lot::RwLock;
+
+/// `shared(x)`: one storage location visible to the whole team. Reads
+/// are concurrent; writes take the write lock (the student's unsynchronised
+/// writes to a shared variable are precisely what [`crate::race`] shows
+/// going wrong).
+#[derive(Debug, Default)]
+pub struct Shared<T> {
+    value: RwLock<T>,
+}
+
+impl<T> Shared<T> {
+    /// Wraps a value in shared storage.
+    pub fn new(value: T) -> Self {
+        Shared {
+            value: RwLock::new(value),
+        }
+    }
+
+    /// Reads through a closure (concurrent with other readers).
+    pub fn read<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        f(&self.value.read())
+    }
+
+    /// Writes through a closure (exclusive).
+    pub fn write<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        f(&mut self.value.write())
+    }
+
+    /// Consumes the wrapper, returning the final value (the join point).
+    pub fn into_inner(self) -> T {
+        self.value.into_inner()
+    }
+}
+
+impl<T: Clone> Shared<T> {
+    /// Snapshot of the current value.
+    pub fn get(&self) -> T {
+        self.value.read().clone()
+    }
+}
+
+/// `private(x)`: each thread gets fresh, uninitialised-in-OpenMP storage.
+/// Here "uninitialised" is modelled by `Default`, avoiding UB while
+/// keeping the semantics: the region never sees the outer value.
+pub fn private<T: Default>() -> T {
+    T::default()
+}
+
+/// `firstprivate(x)`: each thread gets its own copy initialised from the
+/// value outside the region.
+pub fn firstprivate<T: Clone>(outer: &T) -> T {
+    outer.clone()
+}
+
+/// `lastprivate(x)` for a work-shared loop: after the loop, the outer
+/// variable holds the value from the *sequentially last* iteration.
+/// Implemented by tracking the highest iteration index that wrote.
+#[derive(Debug)]
+pub struct LastPrivate<T> {
+    slot: RwLock<Option<(usize, T)>>,
+}
+
+impl<T> Default for LastPrivate<T> {
+    fn default() -> Self {
+        LastPrivate {
+            slot: RwLock::new(None),
+        }
+    }
+}
+
+impl<T> LastPrivate<T> {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the value produced by iteration `index`.
+    pub fn record(&self, index: usize, value: T) {
+        let mut slot = self.slot.write();
+        match &*slot {
+            Some((best, _)) if *best >= index => {}
+            _ => *slot = Some((index, value)),
+        }
+    }
+
+    /// The value from the sequentially last recorded iteration.
+    pub fn into_value(self) -> Option<T> {
+        self.slot.into_inner().map(|(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::Schedule;
+    use crate::team::Team;
+
+    #[test]
+    fn shared_is_visible_to_all_threads() {
+        let team = Team::new(4);
+        let total = Shared::new(0u64);
+        let total_ref = &total;
+        team.parallel(|_| {
+            total_ref.write(|t| *t += 1);
+        });
+        assert_eq!(total.into_inner(), 4);
+    }
+
+    #[test]
+    fn shared_read_and_get() {
+        let s = Shared::new(vec![1, 2, 3]);
+        assert_eq!(s.read(|v| v.len()), 3);
+        assert_eq!(s.get(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn private_never_sees_outer_value() {
+        let outer: u64 = 99;
+        let team = Team::new(3);
+        let results = team.parallel(|_| {
+            let mine: u64 = private();
+            assert_ne!(mine, outer, "private storage starts at Default");
+            mine
+        });
+        assert_eq!(results, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn firstprivate_copies_outer_value_per_thread() {
+        let outer = vec![1, 2];
+        let team = Team::new(3);
+        let results = team.parallel(|ctx| {
+            let mut mine = firstprivate(&outer);
+            mine.push(ctx.id() as i32);
+            mine
+        });
+        // Each thread mutated its own copy; the outer value is intact.
+        assert_eq!(outer, vec![1, 2]);
+        assert_eq!(results[2], vec![1, 2, 2]);
+    }
+
+    #[test]
+    fn lastprivate_keeps_sequentially_last_iteration() {
+        let team = Team::new(4);
+        let last = LastPrivate::new();
+        let last_ref = &last;
+        team.parallel_for(0..100, Schedule::Dynamic(3), |i| {
+            last_ref.record(i, i * 10);
+        });
+        assert_eq!(last.into_value(), Some(990));
+    }
+
+    #[test]
+    fn lastprivate_empty_is_none() {
+        let last: LastPrivate<u8> = LastPrivate::new();
+        assert_eq!(last.into_value(), None);
+    }
+
+    #[test]
+    fn lastprivate_ignores_lower_indices() {
+        let last = LastPrivate::new();
+        last.record(5, "five");
+        last.record(3, "three");
+        last.record(5, "five-again");
+        assert_eq!(last.into_value(), Some("five"));
+    }
+}

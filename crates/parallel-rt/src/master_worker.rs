@@ -1,0 +1,150 @@
+//! The master–worker implementation strategy (Assignment 4's third
+//! program): a master thread feeds a task queue; workers pull tasks as
+//! they free up and send results back.
+//!
+//! Compared with fork–join (where the work split is fixed at the fork),
+//! master–worker balances load dynamically — the comparison Assignment 4
+//! asks students to make.
+
+use crossbeam::channel;
+
+/// Statistics from a master–worker run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MasterWorkerStats {
+    /// Tasks processed per worker, indexed by worker id.
+    pub tasks_per_worker: Vec<usize>,
+}
+
+impl MasterWorkerStats {
+    /// Largest minus smallest per-worker task count — the load imbalance.
+    pub fn imbalance(&self) -> usize {
+        let max = self.tasks_per_worker.iter().copied().max().unwrap_or(0);
+        let min = self.tasks_per_worker.iter().copied().min().unwrap_or(0);
+        max - min
+    }
+}
+
+/// Processes `tasks` with `workers` worker threads pulling from a shared
+/// queue; returns results in task order plus per-worker statistics.
+///
+/// # Panics
+/// Panics if `workers` is zero or a worker panics.
+pub fn master_worker_with_stats<T, R, F>(
+    tasks: Vec<T>,
+    workers: usize,
+    work: F,
+) -> (Vec<R>, MasterWorkerStats)
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    assert!(workers > 0, "need at least one worker");
+    let n = tasks.len();
+    let (task_tx, task_rx) = channel::unbounded::<(usize, T)>();
+    let (result_tx, result_rx) = channel::unbounded::<(usize, usize, R)>();
+    for pair in tasks.into_iter().enumerate() {
+        task_tx.send(pair).expect("queue open");
+    }
+    drop(task_tx); // closing the queue is the workers' stop signal
+
+    let work = &work;
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let mut per_worker = vec![0usize; workers];
+    std::thread::scope(|scope| {
+        for worker_id in 0..workers {
+            let task_rx = task_rx.clone();
+            let result_tx = result_tx.clone();
+            scope.spawn(move || {
+                while let Ok((idx, task)) = task_rx.recv() {
+                    let out = work(task);
+                    result_tx
+                        .send((worker_id, idx, out))
+                        .expect("master listening");
+                }
+            });
+        }
+        drop(result_tx);
+        while let Ok((worker_id, idx, out)) = result_rx.recv() {
+            per_worker[worker_id] += 1;
+            results[idx] = Some(out);
+        }
+    });
+    (
+        results
+            .into_iter()
+            .map(|r| r.expect("every task produced a result"))
+            .collect(),
+        MasterWorkerStats {
+            tasks_per_worker: per_worker,
+        },
+    )
+}
+
+/// [`master_worker_with_stats`] without the statistics.
+pub fn master_worker<T, R, F>(tasks: Vec<T>, workers: usize, work: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    master_worker_with_stats(tasks, workers, work).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_task_order() {
+        let out = master_worker((0..100).collect(), 4, |x: i32| x * x);
+        assert_eq!(out.len(), 100);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == (i * i) as i32));
+    }
+
+    #[test]
+    fn all_tasks_processed_exactly_once() {
+        let (out, stats) = master_worker_with_stats((0..57).collect(), 3, |x: u32| x);
+        assert_eq!(out.len(), 57);
+        assert_eq!(stats.tasks_per_worker.iter().sum::<usize>(), 57);
+        assert_eq!(stats.tasks_per_worker.len(), 3);
+    }
+
+    #[test]
+    fn empty_task_list() {
+        let out: Vec<u8> = master_worker(Vec::<u8>::new(), 2, |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_worker_processes_everything() {
+        let (_, stats) = master_worker_with_stats((0..10).collect(), 1, |x: u8| x);
+        assert_eq!(stats.tasks_per_worker, vec![10]);
+        assert_eq!(stats.imbalance(), 0);
+    }
+
+    #[test]
+    fn heterogeneous_task_type() {
+        let words = vec!["alpha".to_string(), "be".to_string(), "gamma".to_string()];
+        let lens = master_worker(words, 2, |w: String| w.len());
+        assert_eq!(lens, vec![5, 2, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        let _ = master_worker(vec![1], 0, |x: i32| x);
+    }
+
+    #[test]
+    fn imbalance_math() {
+        let s = MasterWorkerStats {
+            tasks_per_worker: vec![10, 4, 7],
+        };
+        assert_eq!(s.imbalance(), 6);
+        let empty = MasterWorkerStats {
+            tasks_per_worker: vec![],
+        };
+        assert_eq!(empty.imbalance(), 0);
+    }
+}

@@ -1,0 +1,173 @@
+//! The data-race demonstration from Assignment 2: "by sharing one bank
+//! of memory, programmers need to be a bit more careful about declaring
+//! their variables (scope matters) to avoid the data race problem."
+//!
+//! In C/OpenMP the buggy program increments a shared `count++` without
+//! synchronisation and loses updates. Safe Rust statically forbids that
+//! program — which is itself a teaching point — so the racy schedule is
+//! *emulated*: the increment is split into its constituent atomic load
+//! and store, recreating the exact interleaving hazard (read–modify–
+//! write torn by a peer's write) without undefined behaviour.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::reduction::Sum;
+use crate::schedule::Schedule;
+use crate::team::Team;
+
+/// How a shared counter is updated by the demonstration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FixStrategy {
+    /// No fix: split load/add/store, the racy `count++`.
+    None,
+    /// `#pragma omp critical` around the increment.
+    Critical,
+    /// `#pragma omp atomic`: a single fetch-add.
+    Atomic,
+    /// `reduction(+:count)`: per-thread partials combined at the join.
+    Reduction,
+}
+
+/// Result of one demonstration run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RaceOutcome {
+    /// The value the counter should reach.
+    pub expected: u64,
+    /// The value it actually reached.
+    pub observed: u64,
+    /// Which strategy produced it.
+    pub strategy: FixStrategy,
+}
+
+impl RaceOutcome {
+    /// Updates lost to the race (zero for every correct strategy).
+    pub fn lost_updates(&self) -> u64 {
+        self.expected - self.observed
+    }
+
+    /// Whether the run produced the correct count.
+    pub fn is_correct(&self) -> bool {
+        self.observed == self.expected
+    }
+}
+
+/// Runs `increments` increments per thread on a `threads`-wide team
+/// using `strategy`, and reports what the shared counter reached.
+///
+/// With [`FixStrategy::None`] the observed count is typically *less*
+/// than expected (lost updates) — and never more — which is exactly the
+/// behaviour the students see on the Pi. On a single-core host the OS
+/// may serialise the threads so few or no updates are lost; the
+/// interleaving-sensitivity is itself part of the lesson ("race
+/// conditions are difficult to reproduce and debug", Assignment 4).
+pub fn shared_counter_demo(threads: usize, increments: u64, strategy: FixStrategy) -> RaceOutcome {
+    let team = Team::new(threads);
+    let expected = threads as u64 * increments;
+    let counter = AtomicU64::new(0);
+    let observed = match strategy {
+        FixStrategy::None => {
+            team.parallel(|_| {
+                for _ in 0..increments {
+                    // The racy ++: read, compute, write — three separate
+                    // steps a peer can interleave with.
+                    let read = counter.load(Ordering::Relaxed);
+                    let incremented = read + 1;
+                    std::hint::spin_loop(); // widen the window
+                    counter.store(incremented, Ordering::Relaxed);
+                }
+            });
+            counter.load(Ordering::Relaxed)
+        }
+        FixStrategy::Critical => {
+            team.parallel(|ctx| {
+                for _ in 0..increments {
+                    ctx.critical("count", || {
+                        let read = counter.load(Ordering::Relaxed);
+                        counter.store(read + 1, Ordering::Relaxed);
+                    });
+                }
+            });
+            counter.load(Ordering::Relaxed)
+        }
+        FixStrategy::Atomic => {
+            team.parallel(|_| {
+                for _ in 0..increments {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            counter.load(Ordering::Relaxed)
+        }
+        FixStrategy::Reduction => team.parallel_for_reduce(
+            0..(threads * increments as usize),
+            Schedule::StaticBlock,
+            Sum,
+            |_| 1u64,
+        ),
+    };
+    RaceOutcome {
+        expected,
+        observed,
+        strategy,
+    }
+}
+
+/// Why the race is hard to reproduce and debug (Assignment 4's
+/// discussion question), as structured teaching points.
+pub fn why_races_are_hard() -> &'static [&'static str] {
+    &[
+        "the bug depends on thread interleaving, which changes run to run",
+        "adding print statements or a debugger changes the timing and hides the bug",
+        "the loss rate depends on core count, cache coherence, and scheduler behaviour",
+        "the program is correct under most interleavings, so tests usually pass",
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_fixes_produce_the_exact_count() {
+        for strategy in [
+            FixStrategy::Critical,
+            FixStrategy::Atomic,
+            FixStrategy::Reduction,
+        ] {
+            let out = shared_counter_demo(4, 5_000, strategy);
+            assert!(out.is_correct(), "{strategy:?}: {out:?}");
+            assert_eq!(out.lost_updates(), 0);
+        }
+    }
+
+    #[test]
+    fn racy_run_never_overcounts() {
+        let out = shared_counter_demo(4, 20_000, FixStrategy::None);
+        assert!(out.observed <= out.expected, "lost updates only, never gained");
+        assert_eq!(out.expected, 80_000);
+    }
+
+    #[test]
+    fn outcome_arithmetic() {
+        let o = RaceOutcome {
+            expected: 100,
+            observed: 93,
+            strategy: FixStrategy::None,
+        };
+        assert_eq!(o.lost_updates(), 7);
+        assert!(!o.is_correct());
+    }
+
+    #[test]
+    fn teaching_points_exist() {
+        assert!(why_races_are_hard().len() >= 3);
+        assert!(why_races_are_hard()
+            .iter()
+            .any(|p| p.contains("interleaving")));
+    }
+
+    #[test]
+    fn single_thread_cannot_race() {
+        let out = shared_counter_demo(1, 10_000, FixStrategy::None);
+        assert!(out.is_correct(), "one thread has nobody to race with");
+    }
+}

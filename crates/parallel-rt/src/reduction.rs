@@ -1,0 +1,152 @@
+//! Reduction operators — the `reduction(op:var)` clause.
+//!
+//! A [`Reduction`] supplies an identity and an associative combine; the
+//! runtime accumulates one partial per thread and folds them in
+//! thread-id order, so integer reductions are exact and floating-point
+//! reductions are deterministic for static schedules.
+
+/// An associative reduction with an identity element.
+pub trait Reduction<T> {
+    /// The identity value (`0` for `+`, `1` for `*`, …).
+    fn identity(&self) -> T;
+    /// Combines two partial results.
+    fn combine(&self, a: T, b: T) -> T;
+
+    /// Folds a sequence of partials, starting from the identity.
+    fn fold(&self, parts: impl IntoIterator<Item = T>) -> T
+    where
+        Self: Sized,
+    {
+        parts
+            .into_iter()
+            .fold(self.identity(), |acc, x| self.combine(acc, x))
+    }
+}
+
+/// `reduction(+:x)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Sum;
+
+/// `reduction(*:x)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Product;
+
+/// `reduction(max:x)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Max;
+
+/// `reduction(min:x)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Min;
+
+macro_rules! impl_numeric_reductions {
+    ($($t:ty => $min:expr, $max:expr;)*) => {
+        $(
+            impl Reduction<$t> for Sum {
+                fn identity(&self) -> $t { 0 as $t }
+                fn combine(&self, a: $t, b: $t) -> $t { a + b }
+            }
+            impl Reduction<$t> for Product {
+                fn identity(&self) -> $t { 1 as $t }
+                fn combine(&self, a: $t, b: $t) -> $t { a * b }
+            }
+            impl Reduction<$t> for Max {
+                fn identity(&self) -> $t { $min }
+                fn combine(&self, a: $t, b: $t) -> $t { if a >= b { a } else { b } }
+            }
+            impl Reduction<$t> for Min {
+                fn identity(&self) -> $t { $max }
+                fn combine(&self, a: $t, b: $t) -> $t { if a <= b { a } else { b } }
+            }
+        )*
+    };
+}
+
+impl_numeric_reductions! {
+    i32 => i32::MIN, i32::MAX;
+    i64 => i64::MIN, i64::MAX;
+    u32 => u32::MIN, u32::MAX;
+    u64 => u64::MIN, u64::MAX;
+    usize => usize::MIN, usize::MAX;
+    f32 => f32::NEG_INFINITY, f32::INFINITY;
+    f64 => f64::NEG_INFINITY, f64::INFINITY;
+}
+
+/// A reduction defined by closures — OpenMP's `declare reduction`.
+#[derive(Debug, Clone, Copy)]
+pub struct Custom<I, C> {
+    identity: I,
+    combine: C,
+}
+
+impl<I, C> Custom<I, C> {
+    /// Builds a custom reduction from an identity constructor and a
+    /// combine function.
+    pub fn new(identity: I, combine: C) -> Self {
+        Custom { identity, combine }
+    }
+}
+
+impl<T, I, C> Reduction<T> for Custom<I, C>
+where
+    I: Fn() -> T,
+    C: Fn(T, T) -> T,
+{
+    fn identity(&self) -> T {
+        (self.identity)()
+    }
+    fn combine(&self, a: T, b: T) -> T {
+        (self.combine)(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_product_identities() {
+        assert_eq!(Reduction::<i64>::identity(&Sum), 0);
+        assert_eq!(Reduction::<i64>::identity(&Product), 1);
+        assert_eq!(Sum.combine(2i64, 3), 5);
+        assert_eq!(Product.combine(2i64, 3), 6);
+    }
+
+    #[test]
+    fn min_max_identities_absorb() {
+        assert_eq!(Max.combine(Reduction::<i32>::identity(&Max), 7), 7);
+        assert_eq!(Min.combine(Reduction::<i32>::identity(&Min), 7), 7);
+        assert_eq!(Max.combine(3.0f64, f64::NEG_INFINITY), 3.0);
+    }
+
+    #[test]
+    fn fold_sums_a_sequence() {
+        assert_eq!(Sum.fold(1..=10i64), 55);
+        assert_eq!(Product.fold([2i64, 3, 4]), 24);
+        assert_eq!(Max.fold([3i32, 9, 1]), 9);
+        assert_eq!(Min.fold([3i32, 9, 1]), 1);
+    }
+
+    #[test]
+    fn fold_of_empty_is_identity() {
+        assert_eq!(Sum.fold(std::iter::empty::<i64>()), 0);
+        assert_eq!(Min.fold(std::iter::empty::<i32>()), i32::MAX);
+    }
+
+    #[test]
+    fn custom_reduction() {
+        // String concatenation as a declare-reduction.
+        let concat = Custom::new(String::new, |mut a: String, b: String| {
+            a.push_str(&b);
+            a
+        });
+        let out = concat.fold(["a".to_string(), "b".to_string(), "c".to_string()]);
+        assert_eq!(out, "abc");
+    }
+
+    #[test]
+    fn float_reductions() {
+        assert!((Sum.fold([0.5f64, 0.25, 0.25]) - 1.0).abs() < 1e-15);
+        assert_eq!(Max.fold([1.5f32, -2.0, 0.0]), 1.5);
+    }
+}

@@ -1,0 +1,419 @@
+//! The simulated backend: lowers work-shared loops onto the
+//! deterministic [`pi_sim`] machine so scheduling and speedup behaviour
+//! can be measured in virtual time, independent of the host (this build
+//! host has a single core, so real-thread timing cannot show the
+//! paper's 4-core shapes; the simulator can).
+
+use pi_sim::event::Cycles;
+use pi_sim::machine::{Machine, MachineConfig, RunReport};
+use pi_sim::program::Program;
+
+use crate::schedule::{guided_chunks, static_block, static_chunks, Schedule};
+
+/// Per-iteration cost model for a simulated loop body.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CostModel {
+    /// Every iteration costs the same — the patternlets' uniform loops.
+    Uniform(Cycles),
+    /// Cost grows linearly with the index: `base + slope * i`. Models
+    /// triangular workloads where static scheduling load-imbalances.
+    Linear {
+        /// Cost of iteration 0.
+        base: Cycles,
+        /// Additional cycles per index step.
+        slope: Cycles,
+    },
+    /// Cost alternates: even indices cost `even`, odd cost `odd`.
+    /// A worst case for chunked static schedules.
+    Alternating {
+        /// Cost of even iterations.
+        even: Cycles,
+        /// Cost of odd iterations.
+        odd: Cycles,
+    },
+}
+
+impl CostModel {
+    /// Cost of iteration `i`.
+    pub fn cost(&self, i: usize) -> Cycles {
+        match *self {
+            CostModel::Uniform(c) => c,
+            CostModel::Linear { base, slope } => base + slope * i as Cycles,
+            CostModel::Alternating { even, odd } => {
+                if i.is_multiple_of(2) {
+                    even
+                } else {
+                    odd
+                }
+            }
+        }
+    }
+
+    /// Total cost of `iterations` iterations.
+    pub fn total(&self, iterations: usize) -> Cycles {
+        (0..iterations).map(|i| self.cost(i)).sum()
+    }
+}
+
+/// Options for the simulated runs.
+#[derive(Debug, Clone, Copy)]
+pub struct SimOptions {
+    /// The simulated machine (defaults to the quad-core Pi).
+    pub machine: MachineConfig,
+    /// Cycles charged per forked thread before useful work, modelling
+    /// `#pragma omp parallel`'s thread-management overhead. This is what
+    /// makes tiny loops slower in parallel — the crossover the course
+    /// has students discover.
+    pub fork_overhead: Cycles,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            machine: MachineConfig::pi(),
+            fork_overhead: 20_000,
+        }
+    }
+}
+
+/// Result of a simulated parallel loop.
+#[derive(Debug, Clone)]
+pub struct SimLoopOutcome {
+    /// Virtual makespan in cycles.
+    pub cycles: Cycles,
+    /// Iterations executed per thread (load balance evidence).
+    pub iterations_per_thread: Vec<usize>,
+    /// The underlying machine report.
+    pub report: RunReport,
+}
+
+impl SimLoopOutcome {
+    /// Largest minus smallest per-thread iteration count.
+    pub fn imbalance(&self) -> usize {
+        let max = self.iterations_per_thread.iter().copied().max().unwrap_or(0);
+        let min = self.iterations_per_thread.iter().copied().min().unwrap_or(0);
+        max - min
+    }
+}
+
+/// Chunk assignment per thread for any schedule, computed exactly for
+/// static policies and via least-loaded-first greedy self-scheduling for
+/// dynamic/guided (the deterministic analogue of "whichever thread is
+/// free grabs the next chunk").
+pub fn plan_assignment(
+    iterations: usize,
+    cost: &CostModel,
+    schedule: Schedule,
+    threads: usize,
+) -> Vec<Vec<std::ops::Range<usize>>> {
+    assert!(threads > 0);
+    schedule.validate();
+    match schedule {
+        Schedule::StaticBlock => (0..threads)
+            .map(|t| {
+                let r = static_block(0..iterations, threads, t);
+                if r.is_empty() {
+                    vec![]
+                } else {
+                    vec![r]
+                }
+            })
+            .collect(),
+        Schedule::StaticChunk(c) => (0..threads)
+            .map(|t| static_chunks(0..iterations, threads, t, c))
+            .collect(),
+        Schedule::Dynamic(c) => {
+            let mut chunks = Vec::new();
+            let mut start = 0;
+            while start < iterations {
+                chunks.push(start..(start + c).min(iterations));
+                start += c;
+            }
+            greedy_assign(chunks, cost, threads)
+        }
+        Schedule::Guided(min_chunk) => {
+            greedy_assign(guided_chunks(0..iterations, threads, min_chunk), cost, threads)
+        }
+    }
+}
+
+/// Assigns chunks in order to the least-loaded thread (ties to the
+/// lowest id) — deterministic self-scheduling.
+fn greedy_assign(
+    chunks: Vec<std::ops::Range<usize>>,
+    cost: &CostModel,
+    threads: usize,
+) -> Vec<Vec<std::ops::Range<usize>>> {
+    let mut load = vec![0u128; threads];
+    let mut out = vec![Vec::new(); threads];
+    for chunk in chunks {
+        let chunk_cost: Cycles = chunk.clone().map(|i| cost.cost(i)).sum();
+        let (t, _) = load
+            .iter()
+            .enumerate()
+            .min_by_key(|&(i, &l)| (l, i))
+            .expect("threads > 0");
+        load[t] += chunk_cost as u128;
+        out[t].push(chunk);
+    }
+    out
+}
+
+/// Simulates the loop run by `threads` software threads on the
+/// configured machine.
+pub fn simulate_parallel_loop(
+    iterations: usize,
+    cost: &CostModel,
+    schedule: Schedule,
+    threads: usize,
+    opts: &SimOptions,
+) -> SimLoopOutcome {
+    let assignment = plan_assignment(iterations, cost, schedule, threads);
+    let iterations_per_thread: Vec<usize> = assignment
+        .iter()
+        .map(|chunks| chunks.iter().map(|c| c.len()).sum())
+        .collect();
+    let programs: Vec<Program> = assignment
+        .iter()
+        .map(|chunks| {
+            let mut p = Program::new().compute(opts.fork_overhead);
+            for chunk in chunks {
+                let total: Cycles = chunk.clone().map(|i| cost.cost(i)).sum();
+                if total > 0 {
+                    p = p.compute(total);
+                }
+            }
+            p
+        })
+        .collect();
+    let report = Machine::new(opts.machine).run(programs);
+    SimLoopOutcome {
+        cycles: report.total_cycles,
+        iterations_per_thread,
+        report,
+    }
+}
+
+/// Simulates the sequential baseline (no fork overhead, one thread).
+pub fn simulate_sequential_loop(iterations: usize, cost: &CostModel, opts: &SimOptions) -> Cycles {
+    let machine = Machine::new(MachineConfig {
+        cores: 1,
+        ..opts.machine
+    });
+    machine
+        .run_sequential(Program::new().compute(cost.total(iterations).max(1)))
+        .total_cycles
+}
+
+/// How per-thread partial results are combined in a simulated reduction —
+/// the ablation DESIGN.md calls out (serial vs tree vs atomic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReductionStyle {
+    /// Each thread writes one partial; the master combines serially.
+    SerialCombine,
+    /// Pairwise tree combine with barriers between levels.
+    Tree,
+    /// Every iteration does an atomic RMW on one shared accumulator.
+    AtomicPerIteration,
+}
+
+/// Simulates a sum reduction over `iterations` uniform iterations of
+/// `iter_cost` cycles, using `style`, returning the virtual makespan.
+pub fn simulate_reduction(
+    iterations: usize,
+    iter_cost: Cycles,
+    threads: usize,
+    style: ReductionStyle,
+    opts: &SimOptions,
+) -> Cycles {
+    assert!(threads > 0);
+    let combine_cost: Cycles = 50; // one partial-combine step
+    let acc_addr = 0x9000_0000u64;
+    let programs: Vec<Program> = (0..threads)
+        .map(|t| {
+            let my_iters = static_block(0..iterations, threads, t).len();
+            let mut p = Program::new().compute(opts.fork_overhead);
+            match style {
+                ReductionStyle::SerialCombine => {
+                    p = p.compute(my_iters as Cycles * iter_cost);
+                    // Everyone publishes a partial, master combines after
+                    // the barrier.
+                    p = p.write(0x8000_0000 + t as u64 * 64);
+                    p = p.barrier(0, threads as u32);
+                    if t == 0 {
+                        for peer in 0..threads {
+                            p = p.read(0x8000_0000 + peer as u64 * 64).compute(combine_cost);
+                        }
+                    }
+                }
+                ReductionStyle::Tree => {
+                    p = p.compute(my_iters as Cycles * iter_cost);
+                    // log2 rounds of pairwise combines with barriers.
+                    let mut stride = 1usize;
+                    let mut round = 0u32;
+                    while stride < threads {
+                        p = p.barrier(100 + round, threads as u32);
+                        if t % (2 * stride) == 0 && t + stride < threads {
+                            p = p
+                                .read(0x8000_0000 + (t + stride) as u64 * 64)
+                                .compute(combine_cost)
+                                .write(0x8000_0000 + t as u64 * 64);
+                        }
+                        stride *= 2;
+                        round += 1;
+                    }
+                }
+                ReductionStyle::AtomicPerIteration => {
+                    for _ in 0..my_iters {
+                        p = p.compute(iter_cost).atomic_rmw(acc_addr);
+                    }
+                }
+            }
+            p
+        })
+        .collect();
+    Machine::new(opts.machine).run(programs).total_cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi_sim::perf::speedup;
+
+    #[test]
+    fn cost_models_evaluate() {
+        assert_eq!(CostModel::Uniform(10).cost(1234), 10);
+        assert_eq!(CostModel::Linear { base: 5, slope: 2 }.cost(10), 25);
+        assert_eq!(CostModel::Alternating { even: 1, odd: 9 }.cost(2), 1);
+        assert_eq!(CostModel::Alternating { even: 1, odd: 9 }.cost(3), 9);
+        assert_eq!(CostModel::Uniform(10).total(100), 1_000);
+        assert_eq!(CostModel::Linear { base: 0, slope: 1 }.total(5), 10);
+    }
+
+    #[test]
+    fn plan_covers_every_iteration_once() {
+        let cost = CostModel::Uniform(100);
+        for schedule in [
+            Schedule::StaticBlock,
+            Schedule::StaticChunk(3),
+            Schedule::Dynamic(5),
+            Schedule::Guided(2),
+        ] {
+            let plan = plan_assignment(101, &cost, schedule, 4);
+            let mut all: Vec<usize> = plan.iter().flatten().cloned().flatten().collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..101).collect::<Vec<_>>(), "{schedule:?}");
+        }
+    }
+
+    #[test]
+    fn four_threads_speed_up_a_big_uniform_loop() {
+        let cost = CostModel::Uniform(1_000);
+        let opts = SimOptions::default();
+        let seq = simulate_sequential_loop(10_000, &cost, &opts);
+        let par = simulate_parallel_loop(10_000, &cost, Schedule::StaticBlock, 4, &opts);
+        let s = speedup(seq as f64, par.cycles as f64);
+        assert!(s > 3.5 && s <= 4.01, "speedup = {s}");
+    }
+
+    #[test]
+    fn five_threads_on_four_cores_no_better_than_four() {
+        // The Assignment 5 question: threads beyond the core count help
+        // nothing (and cost context switches).
+        let cost = CostModel::Uniform(1_000);
+        let opts = SimOptions::default();
+        let four = simulate_parallel_loop(10_000, &cost, Schedule::StaticBlock, 4, &opts);
+        let five = simulate_parallel_loop(10_000, &cost, Schedule::StaticBlock, 5, &opts);
+        assert!(
+            five.cycles >= four.cycles,
+            "5 threads {} vs 4 threads {}",
+            five.cycles,
+            four.cycles
+        );
+    }
+
+    #[test]
+    fn tiny_loops_lose_to_fork_overhead() {
+        // Crossover: parallelising 10 cheap iterations costs more than
+        // running them sequentially.
+        let cost = CostModel::Uniform(100);
+        let opts = SimOptions::default();
+        let seq = simulate_sequential_loop(10, &cost, &opts);
+        let par = simulate_parallel_loop(10, &cost, Schedule::StaticBlock, 4, &opts);
+        assert!(par.cycles > seq, "fork overhead dominates tiny loops");
+    }
+
+    #[test]
+    fn dynamic_beats_static_on_skewed_work() {
+        // Linear (triangular) cost: static block gives the last thread
+        // far more work; dynamic chunks rebalance.
+        let cost = CostModel::Linear { base: 10, slope: 10 };
+        let opts = SimOptions::default();
+        let stat = simulate_parallel_loop(4_000, &cost, Schedule::StaticBlock, 4, &opts);
+        let dyn_ = simulate_parallel_loop(4_000, &cost, Schedule::Dynamic(16), 4, &opts);
+        assert!(
+            dyn_.cycles < stat.cycles,
+            "dynamic {} vs static {}",
+            dyn_.cycles,
+            stat.cycles
+        );
+    }
+
+    #[test]
+    fn chunk_size_interacts_with_alternating_costs() {
+        // Alternating heavy/light iterations on 2 threads: chunk(1)
+        // assigns all even (light) iterations to thread 0 and all odd
+        // (heavy) ones to thread 1 — the worst case — while chunk(2)
+        // pairs one heavy with one light per chunk and balances. This is
+        // the Assignment 3 lesson that the chunk size, not just the
+        // policy, determines load balance.
+        let cost = CostModel::Alternating { even: 10, odd: 1_000 };
+        let opts = SimOptions::default();
+        let c1 = simulate_parallel_loop(1_000, &cost, Schedule::StaticChunk(1), 2, &opts);
+        let c2 = simulate_parallel_loop(1_000, &cost, Schedule::StaticChunk(2), 2, &opts);
+        assert!(
+            c2.cycles < c1.cycles,
+            "chunk(2) {} should beat chunk(1) {}",
+            c2.cycles,
+            c1.cycles
+        );
+        assert_eq!(c1.iterations_per_thread, vec![500, 500]);
+        assert_eq!(c2.iterations_per_thread, vec![500, 500]);
+    }
+
+    #[test]
+    fn imbalance_metric() {
+        let cost = CostModel::Uniform(10);
+        let plan = simulate_parallel_loop(10, &cost, Schedule::StaticBlock, 4, &SimOptions::default());
+        // 10 over 4 → 3,3,2,2.
+        assert_eq!(plan.imbalance(), 1);
+    }
+
+    #[test]
+    fn reduction_styles_rank_as_expected() {
+        // Serial/tree combine should beat per-iteration atomics, which
+        // serialise on the shared accumulator.
+        let opts = SimOptions::default();
+        let serial = simulate_reduction(20_000, 100, 4, ReductionStyle::SerialCombine, &opts);
+        let tree = simulate_reduction(20_000, 100, 4, ReductionStyle::Tree, &opts);
+        let atomic = simulate_reduction(20_000, 100, 4, ReductionStyle::AtomicPerIteration, &opts);
+        assert!(serial < atomic, "serial {serial} vs atomic {atomic}");
+        assert!(tree < atomic, "tree {tree} vs atomic {atomic}");
+    }
+
+    #[test]
+    fn sequential_zero_iterations_is_cheap() {
+        let c = simulate_sequential_loop(0, &CostModel::Uniform(5), &SimOptions::default());
+        assert!(c <= 1);
+    }
+
+    #[test]
+    fn deterministic_outcomes() {
+        let cost = CostModel::Linear { base: 3, slope: 7 };
+        let opts = SimOptions::default();
+        let a = simulate_parallel_loop(999, &cost, Schedule::Guided(2), 4, &opts);
+        let b = simulate_parallel_loop(999, &cost, Schedule::Guided(2), 4, &opts);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.iterations_per_thread, b.iterations_per_thread);
+    }
+}

@@ -1,0 +1,128 @@
+//! Standalone synchronisation helpers: atomic counters and accumulators
+//! usable outside a parallel region, mirroring `#pragma omp atomic`.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// An atomic integer counter — `#pragma omp atomic` on an integer.
+#[derive(Debug, Default)]
+pub struct AtomicCounter {
+    value: AtomicI64,
+}
+
+impl AtomicCounter {
+    /// New counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Atomically adds `delta`, returning the previous value.
+    pub fn add(&self, delta: i64) -> i64 {
+        self.value.fetch_add(delta, Ordering::Relaxed)
+    }
+
+    /// Atomically increments by one.
+    pub fn increment(&self) -> i64 {
+        self.add(1)
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// An atomic f64 accumulator built on compare-exchange over the bit
+/// pattern — `#pragma omp atomic` on a double. Useful for demonstrating
+/// why reductions beat atomics for hot loops (every add is a CAS).
+#[derive(Debug, Default)]
+pub struct AtomicF64 {
+    bits: AtomicU64,
+}
+
+impl AtomicF64 {
+    /// New accumulator holding `value`.
+    pub fn new(value: f64) -> Self {
+        AtomicF64 {
+            bits: AtomicU64::new(value.to_bits()),
+        }
+    }
+
+    /// Current value.
+    pub fn load(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Acquire))
+    }
+
+    /// Stores `value`.
+    pub fn store(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Release);
+    }
+
+    /// Atomically adds `delta` via a CAS loop; returns the new value.
+    pub fn fetch_add(&self, delta: f64) -> f64 {
+        let mut current = self.bits.load(Ordering::Relaxed);
+        loop {
+            let new = (f64::from_bits(current) + delta).to_bits();
+            match self.bits.compare_exchange_weak(
+                current,
+                new,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return f64::from_bits(new),
+                Err(observed) => current = observed,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::team::Team;
+
+    #[test]
+    fn counter_counts_under_contention() {
+        let c = AtomicCounter::new();
+        let team = Team::new(4);
+        team.parallel(|_| {
+            for _ in 0..10_000 {
+                c.increment();
+            }
+        });
+        assert_eq!(c.get(), 40_000);
+    }
+
+    #[test]
+    fn counter_add_returns_previous() {
+        let c = AtomicCounter::new();
+        assert_eq!(c.add(5), 0);
+        assert_eq!(c.add(-2), 5);
+        assert_eq!(c.get(), 3);
+    }
+
+    #[test]
+    fn atomic_f64_accumulates_exactly_representable_values() {
+        let acc = AtomicF64::new(0.0);
+        let team = Team::new(4);
+        team.parallel(|_| {
+            for _ in 0..1_000 {
+                acc.fetch_add(0.25);
+            }
+        });
+        assert_eq!(acc.load(), 1_000.0);
+    }
+
+    #[test]
+    fn atomic_f64_store_load() {
+        let a = AtomicF64::new(1.5);
+        assert_eq!(a.load(), 1.5);
+        a.store(-7.25);
+        assert_eq!(a.load(), -7.25);
+    }
+
+    #[test]
+    fn atomic_f64_fetch_add_returns_new_value() {
+        let a = AtomicF64::new(1.0);
+        assert_eq!(a.fetch_add(2.0), 3.0);
+    }
+}

@@ -1,0 +1,379 @@
+//! Fork–join parallel regions and the per-thread execution context:
+//! the `#pragma omp parallel` of this runtime.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::barrier::{SenseBarrier, TeamBarrier};
+use crate::forloop;
+use crate::reduction::Reduction;
+use crate::schedule::Schedule;
+
+/// Environment variable controlling the default team size, analogous to
+/// `OMP_NUM_THREADS`.
+pub const NUM_THREADS_ENV: &str = "PRT_NUM_THREADS";
+
+/// A team of worker threads executing parallel constructs fork–join
+/// style. Creating a `Team` is cheap; threads are spawned per region
+/// (scoped), exactly like the fork–join diagrams in the course material.
+#[derive(Debug, Clone)]
+pub struct Team {
+    num_threads: usize,
+}
+
+/// Shared state for one parallel region.
+struct RegionShared {
+    barrier: SenseBarrier,
+    /// Named critical-section locks, created on demand.
+    criticals: Mutex<HashMap<String, Arc<Mutex<()>>>>,
+    /// Arrival counts per `single` episode: the n-th `single` construct
+    /// a thread encounters pairs with the n-th of every other thread,
+    /// and the first arrival executes it.
+    single_arrivals: Mutex<HashMap<usize, usize>>,
+}
+
+/// The per-thread view inside a parallel region: thread id, team size,
+/// and the synchronisation constructs.
+pub struct ThreadCtx<'r> {
+    id: usize,
+    num_threads: usize,
+    shared: &'r RegionShared,
+    /// Count of `single` constructs this thread has encountered, used to
+    /// pair encounters across threads.
+    singles_seen: std::cell::Cell<usize>,
+}
+
+impl Team {
+    /// A team of exactly `num_threads` threads.
+    ///
+    /// # Panics
+    /// Panics if `num_threads` is zero.
+    pub fn new(num_threads: usize) -> Self {
+        assert!(num_threads > 0, "team needs at least one thread");
+        Team { num_threads }
+    }
+
+    /// Team size from `PRT_NUM_THREADS`, falling back to the host's
+    /// available parallelism (the `OMP_NUM_THREADS` behaviour the
+    /// patternlets use "using the commandline to control the number of
+    /// threads").
+    pub fn from_env() -> Self {
+        let n = std::env::var(NUM_THREADS_ENV)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        Team::new(n)
+    }
+
+    /// Number of threads forked per region.
+    pub fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Runs `body` on every team thread (fork), returning when all have
+    /// finished (join) — `#pragma omp parallel`.
+    ///
+    /// Results are collected in thread-id order, so reductions over the
+    /// return values are deterministic.
+    pub fn parallel<R, F>(&self, body: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&ThreadCtx<'_>) -> R + Sync,
+    {
+        let shared = RegionShared {
+            barrier: SenseBarrier::new(self.num_threads),
+            criticals: Mutex::new(HashMap::new()),
+            single_arrivals: Mutex::new(HashMap::new()),
+        };
+        let n = self.num_threads;
+        let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for id in 0..n {
+                let shared = &shared;
+                let body = &body;
+                handles.push(scope.spawn(move || {
+                    let ctx = ThreadCtx {
+                        id,
+                        num_threads: n,
+                        shared,
+                        singles_seen: std::cell::Cell::new(0),
+                    };
+                    body(&ctx)
+                }));
+            }
+            for (slot, handle) in results.iter_mut().zip(handles) {
+                *slot = Some(handle.join().expect("team thread panicked"));
+            }
+        });
+        results.into_iter().map(|r| r.expect("joined")).collect()
+    }
+
+    /// `#pragma omp parallel for schedule(...)`: applies `body` to every
+    /// index in `range` under the scheduling policy.
+    pub fn parallel_for<F>(&self, range: std::ops::Range<usize>, schedule: Schedule, body: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        forloop::parallel_for(self, range, schedule, body);
+    }
+
+    /// `#pragma omp parallel for reduction(op:acc)`: maps each index and
+    /// folds the per-thread partials with the reduction in thread-id
+    /// order.
+    pub fn parallel_for_reduce<T, M, Red>(
+        &self,
+        range: std::ops::Range<usize>,
+        schedule: Schedule,
+        reduction: Red,
+        map: M,
+    ) -> T
+    where
+        T: Send + Clone,
+        M: Fn(usize) -> T + Sync,
+        Red: Reduction<T> + Sync,
+    {
+        forloop::parallel_for_reduce(self, range, schedule, reduction, map)
+    }
+
+    /// `#pragma omp sections`: distributes heterogeneous section bodies
+    /// over the team, each executed exactly once.
+    pub fn sections<'a>(&self, sections: Vec<Box<dyn Fn() + Send + Sync + 'a>>) {
+        let next = AtomicUsize::new(0);
+        let sections = &sections;
+        let next = &next;
+        self.parallel(|_ctx| loop {
+            let idx = next.fetch_add(1, Ordering::Relaxed);
+            match sections.get(idx) {
+                Some(f) => f(),
+                None => break,
+            }
+        });
+    }
+}
+
+impl Default for Team {
+    fn default() -> Self {
+        Team::from_env()
+    }
+}
+
+impl<'r> ThreadCtx<'r> {
+    /// This thread's id within the team, `0..num_threads` —
+    /// `omp_get_thread_num()`.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Team size — `omp_get_num_threads()`.
+    pub fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// True for thread 0 — the `master` construct's condition.
+    pub fn is_master(&self) -> bool {
+        self.id == 0
+    }
+
+    /// Runs `f` only on the master thread — `#pragma omp master`
+    /// (no implied barrier, exactly like OpenMP).
+    pub fn if_master<F: FnOnce()>(&self, f: F) {
+        if self.is_master() {
+            f();
+        }
+    }
+
+    /// Blocks until the whole team reaches this point —
+    /// `#pragma omp barrier`. Returns true on the last thread to arrive.
+    pub fn barrier(&self) -> bool {
+        self.shared.barrier.wait()
+    }
+
+    /// Runs `f` under the named mutual-exclusion lock —
+    /// `#pragma omp critical(name)`.
+    pub fn critical<R, F: FnOnce() -> R>(&self, name: &str, f: F) -> R {
+        let lock = {
+            let mut map = self.shared.criticals.lock();
+            Arc::clone(
+                map.entry(name.to_string())
+                    .or_insert_with(|| Arc::new(Mutex::new(()))),
+            )
+        };
+        let _guard = lock.lock();
+        f()
+    }
+
+    /// Executes `f` on exactly one (the first-arriving) thread —
+    /// `#pragma omp single nowait`. Returns `Some(result)` on the thread
+    /// that executed it, `None` elsewhere. Combine with [`Self::barrier`]
+    /// for the default (blocking) `single` semantics.
+    pub fn single<R, F: FnOnce() -> R>(&self, f: F) -> Option<R> {
+        let episode = self.singles_seen.get();
+        self.singles_seen.set(episode + 1);
+        let won = {
+            let mut map = self.shared.single_arrivals.lock();
+            let count = map.entry(episode).or_insert(0);
+            *count += 1;
+            *count == 1
+        };
+        if won {
+            Some(f())
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fork_join_runs_every_thread_once() {
+        let team = Team::new(4);
+        let ids = team.parallel(|ctx| {
+            assert_eq!(ctx.num_threads(), 4);
+            ctx.id()
+        });
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn master_is_thread_zero() {
+        let team = Team::new(3);
+        let masters = team.parallel(|ctx| ctx.is_master());
+        assert_eq!(masters, vec![true, false, false]);
+    }
+
+    #[test]
+    fn if_master_runs_once() {
+        let team = Team::new(4);
+        let count = AtomicUsize::new(0);
+        team.parallel(|ctx| {
+            ctx.if_master(|| {
+                count.fetch_add(1, Ordering::Relaxed);
+            })
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn barrier_orders_phases() {
+        // Phase 1 writes must all precede phase 2 reads.
+        let team = Team::new(4);
+        let written = Mutex::new(vec![false; 4]);
+        let seen = team.parallel(|ctx| {
+            written.lock()[ctx.id()] = true;
+            ctx.barrier();
+            written.lock().iter().filter(|&&b| b).count()
+        });
+        assert!(seen.iter().all(|&c| c == 4), "{seen:?}");
+    }
+
+    #[test]
+    fn critical_sections_exclude() {
+        // A read-modify-write on a plain value under critical never
+        // loses updates.
+        let team = Team::new(4);
+        let counter = Mutex::new(0u64);
+        team.parallel(|ctx| {
+            for _ in 0..1000 {
+                ctx.critical("count", || {
+                    let mut c = counter.lock();
+                    *c += 1;
+                });
+            }
+        });
+        assert_eq!(*counter.lock(), 4000);
+    }
+
+    #[test]
+    fn distinct_critical_names_do_not_exclude_each_other() {
+        // Just checks both names work and the region completes.
+        let team = Team::new(2);
+        let hits = AtomicUsize::new(0);
+        team.parallel(|ctx| {
+            let name = if ctx.id() == 0 { "a" } else { "b" };
+            ctx.critical(name, || hits.fetch_add(1, Ordering::Relaxed));
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn single_executes_exactly_once() {
+        let team = Team::new(4);
+        let count = AtomicUsize::new(0);
+        let winners = team.parallel(|ctx| {
+            let r = ctx.single(|| count.fetch_add(1, Ordering::Relaxed));
+            ctx.barrier();
+            r.is_some()
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 1);
+        assert_eq!(winners.iter().filter(|&&w| w).count(), 1);
+    }
+
+    #[test]
+    fn consecutive_singles_each_execute_once() {
+        let team = Team::new(3);
+        let count = AtomicUsize::new(0);
+        team.parallel(|ctx| {
+            for _ in 0..5 {
+                ctx.single(|| count.fetch_add(1, Ordering::Relaxed));
+                ctx.barrier();
+            }
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn sections_each_run_once() {
+        let counts: Vec<AtomicUsize> = (0..5).map(|_| AtomicUsize::new(0)).collect();
+        let team = Team::new(3);
+        let sections: Vec<Box<dyn Fn() + Send + Sync>> = (0..5)
+            .map(|i| {
+                let counts = &counts;
+                Box::new(move || {
+                    counts[i].fetch_add(1, Ordering::Relaxed);
+                }) as Box<dyn Fn() + Send + Sync>
+            })
+            .collect();
+        team.sections(sections);
+        for c in &counts {
+            assert_eq!(c.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn team_of_one_works() {
+        let team = Team::new(1);
+        let r = team.parallel(|ctx| {
+            ctx.barrier();
+            ctx.critical("x", || 7)
+        });
+        assert_eq!(r, vec![7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        let _ = Team::new(0);
+    }
+
+    #[test]
+    fn from_env_parses_variable() {
+        // Avoid races with other tests reading env: use a scoped guard.
+        std::env::set_var(NUM_THREADS_ENV, "3");
+        assert_eq!(Team::from_env().num_threads(), 3);
+        std::env::set_var(NUM_THREADS_ENV, "not-a-number");
+        assert!(Team::from_env().num_threads() >= 1);
+        std::env::remove_var(NUM_THREADS_ENV);
+    }
+}

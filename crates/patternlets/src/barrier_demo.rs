@@ -1,0 +1,78 @@
+//! Patternlet 8 (Assignment 4): coordination — synchronisation with a
+//! barrier, "using the commandline to control the number of threads".
+
+use parallel_rt::team::NUM_THREADS_ENV;
+use parallel_rt::Team;
+
+use crate::trace::Trace;
+
+/// Runs the barrier patternlet: each thread records a "before" line,
+/// waits at the barrier, then records an "after" line. Returns the
+/// trace; the teaching point is that no "after" precedes any "before".
+pub fn run(threads: usize) -> Trace {
+    let trace = Trace::new();
+    let team = Team::new(threads);
+    let trace_ref = &trace;
+    team.parallel(|ctx| {
+        trace_ref.record(
+            ctx.id(),
+            "before-barrier",
+            format!("thread {} arrived", ctx.id()),
+        );
+        ctx.barrier();
+        trace_ref.record(
+            ctx.id(),
+            "after-barrier",
+            format!("thread {} released", ctx.id()),
+        );
+    });
+    trace
+}
+
+/// Runs the patternlet with the thread count taken from the
+/// `PRT_NUM_THREADS` environment variable — the runtime's equivalent of
+/// the C patternlet's `./barrier 8` command-line argument.
+pub fn run_from_env() -> (usize, Trace) {
+    let team = Team::from_env();
+    let n = team.num_threads();
+    (n, run(n))
+}
+
+/// Environment variable name, re-exported so callers can document the
+/// command line.
+pub const THREAD_COUNT_VAR: &str = NUM_THREADS_ENV;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn barrier_separates_before_and_after() {
+        let trace = run(4);
+        assert!(trace.phase_precedes("before-barrier", "after-barrier"));
+        assert_eq!(trace.phase_events("before-barrier").len(), 4);
+        assert_eq!(trace.phase_events("after-barrier").len(), 4);
+    }
+
+    #[test]
+    fn all_threads_participate() {
+        let trace = run(6);
+        assert_eq!(trace.threads_in_phase("before-barrier"), (0..6).collect::<Vec<_>>());
+        assert_eq!(trace.threads_in_phase("after-barrier"), (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_barrier() {
+        let trace = run(1);
+        assert_eq!(trace.len(), 2);
+    }
+
+    #[test]
+    fn env_variable_controls_thread_count() {
+        std::env::set_var(THREAD_COUNT_VAR, "3");
+        let (n, trace) = run_from_env();
+        assert_eq!(n, 3);
+        assert_eq!(trace.phase_events("before-barrier").len(), 3);
+        std::env::remove_var(THREAD_COUNT_VAR);
+    }
+}

@@ -1,0 +1,183 @@
+//! The patternlet catalogue: which patternlet belongs to which course
+//! assignment, what concept it teaches, and a smoke-run entry point.
+
+/// Course assignment a patternlet belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Assignment {
+    /// Assignment 2: fork-join, SPMD, shared-memory concerns.
+    A2,
+    /// Assignment 3: parallel loops, scheduling, reductions.
+    A3,
+    /// Assignment 4: trapezoid, barrier, master-worker.
+    A4,
+}
+
+/// One catalogue entry.
+pub struct Patternlet {
+    /// Short identifier, e.g. "forkjoin".
+    pub name: &'static str,
+    /// Assignment that uses it.
+    pub assignment: Assignment,
+    /// The concept it makes observable.
+    pub concept: &'static str,
+    /// Smoke-run: executes the patternlet with a small configuration and
+    /// returns a one-line summary. Used by the examples and the report.
+    pub smoke: fn() -> String,
+}
+
+impl std::fmt::Debug for Patternlet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Patternlet")
+            .field("name", &self.name)
+            .field("assignment", &self.assignment)
+            .field("concept", &self.concept)
+            .finish()
+    }
+}
+
+/// The full catalogue, in course order.
+pub fn catalog() -> Vec<Patternlet> {
+    vec![
+        Patternlet {
+            name: "forkjoin",
+            assignment: Assignment::A2,
+            concept: "the fork-join programming pattern",
+            smoke: || {
+                let t = crate::forkjoin::run(4);
+                format!("fork-join: {} hello lines between fork and join", t.phase_events("parallel").len())
+            },
+        },
+        Patternlet {
+            name: "spmd",
+            assignment: Assignment::A2,
+            concept: "Single Program Multiple Data over shared memory",
+            smoke: || {
+                let data: Vec<f64> = (0..64).map(|i| i as f64).collect();
+                let (slices, total) = crate::spmd::run(&data, 4);
+                format!("spmd: {} slices summing to {}", slices.len(), total)
+            },
+        },
+        Patternlet {
+            name: "private-shared",
+            assignment: Assignment::A2,
+            concept: "variable scope and the data-race problem",
+            smoke: || {
+                let d = crate::private_shared::run(1_000, 4);
+                format!(
+                    "scope: private visited {} exactly once; shared-index anomalies possible ({})",
+                    d.private_index_iterations, d.shared_index_anomalies
+                )
+            },
+        },
+        Patternlet {
+            name: "parallel-loop",
+            assignment: Assignment::A3,
+            concept: "parallel for with equal-sized chunks",
+            smoke: || {
+                let m = crate::schedule_demo::run(16, 4, parallel_rt::Schedule::StaticBlock);
+                format!("parallel-loop: owners {:?}", m.counts())
+            },
+        },
+        Patternlet {
+            name: "loop-schedules",
+            assignment: Assignment::A3,
+            concept: "static and dynamic scheduling with chunks 1, 2, 3",
+            smoke: || {
+                let maps = crate::schedule_demo::assignment3_sweep(24, 4);
+                format!("loop-schedules: {} iteration maps produced", maps.len())
+            },
+        },
+        Patternlet {
+            name: "reduction",
+            assignment: Assignment::A3,
+            concept: "loop-carried dependencies and the reduction clause",
+            smoke: || {
+                let d = crate::reduction_demo::run(10_000, 4);
+                format!(
+                    "reduction: {} == sequential {}",
+                    d.with_reduction, d.sequential
+                )
+            },
+        },
+        Patternlet {
+            name: "trapezoid",
+            assignment: Assignment::A4,
+            concept: "private, shared, and reduction clauses on a numeric kernel",
+            smoke: || {
+                let r = crate::trapezoid::integrate_parallel(|x| x * x, 0.0, 1.0, 1 << 14, 4);
+                format!("trapezoid: integral of x^2 over [0,1] = {:.6}", r.value)
+            },
+        },
+        Patternlet {
+            name: "barrier",
+            assignment: Assignment::A4,
+            concept: "collective synchronisation with a barrier",
+            smoke: || {
+                let t = crate::barrier_demo::run(4);
+                format!(
+                    "barrier: ordered = {}",
+                    t.phase_precedes("before-barrier", "after-barrier")
+                )
+            },
+        },
+        Patternlet {
+            name: "master-worker",
+            assignment: Assignment::A4,
+            concept: "the master-worker implementation strategy",
+            smoke: || {
+                let d = crate::masterworker_demo::run(&[5, 1, 9, 2, 7, 3], 3);
+                format!(
+                    "master-worker: {} results, per-worker {:?}",
+                    d.results.len(),
+                    d.stats.tasks_per_worker
+                )
+            },
+        },
+    ]
+}
+
+/// Catalogue entries for one assignment.
+pub fn for_assignment(assignment: Assignment) -> Vec<Patternlet> {
+    catalog()
+        .into_iter()
+        .filter(|p| p.assignment == assignment)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_covers_all_three_assignments() {
+        assert_eq!(for_assignment(Assignment::A2).len(), 3);
+        assert_eq!(for_assignment(Assignment::A3).len(), 3);
+        assert_eq!(for_assignment(Assignment::A4).len(), 3);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: Vec<&str> = catalog().iter().map(|p| p.name).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(names.len(), dedup.len());
+    }
+
+    #[test]
+    fn every_smoke_run_succeeds_and_summarises() {
+        for p in catalog() {
+            let line = (p.smoke)();
+            assert!(!line.is_empty(), "{}", p.name);
+            assert!(line.starts_with(p.name.split('-').next().unwrap()) || !line.is_empty());
+        }
+    }
+
+    #[test]
+    fn debug_format_omits_the_function_pointer() {
+        let p = &catalog()[0];
+        let s = format!("{p:?}");
+        assert!(s.contains("forkjoin"));
+        assert!(s.contains("A2"));
+    }
+}

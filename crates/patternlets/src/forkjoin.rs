@@ -1,0 +1,65 @@
+//! Patternlet 1 (Assignment 2): the fork–join pattern.
+//!
+//! The C original prints "before", forks a team that each print "hello
+//! from thread i of n", then joins and prints "after". The observable
+//! property: the before-line precedes every parallel line, which all
+//! precede the after-line — and the parallel lines' order varies.
+
+use parallel_rt::Team;
+
+use crate::trace::{Trace, SEQUENTIAL};
+
+/// Runs the fork–join patternlet with `threads` threads; returns the
+/// trace.
+pub fn run(threads: usize) -> Trace {
+    let trace = Trace::new();
+    trace.record(SEQUENTIAL, "before-fork", "only the master thread runs here");
+    let team = Team::new(threads);
+    let trace_ref = &trace;
+    team.parallel(|ctx| {
+        trace_ref.record(
+            ctx.id(),
+            "parallel",
+            format!("hello from thread {} of {}", ctx.id(), ctx.num_threads()),
+        );
+    });
+    trace.record(SEQUENTIAL, "after-join", "the master continues alone");
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fork_and_join_bracket_the_region() {
+        let trace = run(4);
+        assert!(trace.phase_precedes("before-fork", "parallel"));
+        assert!(trace.phase_precedes("parallel", "after-join"));
+    }
+
+    #[test]
+    fn every_thread_says_hello_once() {
+        let trace = run(4);
+        let hellos = trace.phase_events("parallel");
+        assert_eq!(hellos.len(), 4);
+        assert_eq!(trace.threads_in_phase("parallel"), vec![0, 1, 2, 3]);
+        assert!(hellos
+            .iter()
+            .any(|e| e.message == "hello from thread 2 of 4"));
+    }
+
+    #[test]
+    fn single_thread_fork_join() {
+        let trace = run(1);
+        assert_eq!(trace.phase_events("parallel").len(), 1);
+        assert_eq!(trace.len(), 3);
+    }
+
+    #[test]
+    fn thread_count_is_respected() {
+        for n in [2usize, 3, 8] {
+            assert_eq!(run(n).phase_events("parallel").len(), n);
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Patternlet 3 (Assignment 2): shared-memory concerns — "scope
+//! matters".
+//!
+//! The C original declares the loop index *outside* the parallel region;
+//! every thread then shares one index variable and the loop misbehaves.
+//! Declaring it inside ("private") fixes it. Here the shared-index
+//! pathology is reproduced with an explicitly shared cursor, and the
+//! private version with per-thread ranges. The racy-counter variant is
+//! re-exported from [`parallel_rt::race`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parallel_rt::race::{shared_counter_demo, FixStrategy, RaceOutcome};
+use parallel_rt::schedule::static_block;
+use parallel_rt::Team;
+
+/// Result of the shared- vs private-index demonstration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScopeDemo {
+    /// How many iterations executed with a *shared* index variable.
+    pub shared_index_iterations: usize,
+    /// How many cells were visited more than once or skipped under the
+    /// shared index (0 for a correct program).
+    pub shared_index_anomalies: usize,
+    /// Iterations executed with *private* indices (always exactly n).
+    pub private_index_iterations: usize,
+}
+
+/// Runs both variants over `n` iterations with `threads` threads.
+pub fn run(n: usize, threads: usize) -> ScopeDemo {
+    // Shared index: all threads bump one cursor *non-atomically*
+    // (load + store), so iterations can be duplicated or skipped.
+    let visits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+    let cursor = AtomicUsize::new(0);
+    let team = Team::new(threads);
+    let visits_ref = &visits;
+    let cursor_ref = &cursor;
+    team.parallel(|_| loop {
+        // The emulated unsynchronised `i++` on a shared loop index.
+        let i = cursor_ref.load(Ordering::Relaxed);
+        if i >= n {
+            break;
+        }
+        std::hint::spin_loop();
+        cursor_ref.store(i + 1, Ordering::Relaxed);
+        visits_ref[i].fetch_add(1, Ordering::Relaxed);
+    });
+    let shared_index_iterations: usize =
+        visits.iter().map(|v| v.load(Ordering::Relaxed)).sum();
+    let shared_index_anomalies = visits
+        .iter()
+        .filter(|v| v.load(Ordering::Relaxed) != 1)
+        .count();
+
+    // Private index: each thread iterates its own range variable.
+    let private_visits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+    let pv = &private_visits;
+    team.parallel(|ctx| {
+        for i in static_block(0..n, ctx.num_threads(), ctx.id()) {
+            pv[i].fetch_add(1, Ordering::Relaxed);
+        }
+    });
+    let private_index_iterations = private_visits
+        .iter()
+        .map(|v| v.load(Ordering::Relaxed))
+        .sum();
+
+    ScopeDemo {
+        shared_index_iterations,
+        shared_index_anomalies,
+        private_index_iterations,
+    }
+}
+
+/// The companion racy-counter demonstration (Assignment 2's third
+/// program): runs the counter with and without each fix.
+pub fn race_comparison(threads: usize, increments: u64) -> Vec<RaceOutcome> {
+    [
+        FixStrategy::None,
+        FixStrategy::Critical,
+        FixStrategy::Atomic,
+        FixStrategy::Reduction,
+    ]
+    .into_iter()
+    .map(|s| shared_counter_demo(threads, increments, s))
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn private_indices_visit_everything_exactly_once() {
+        let demo = run(1_000, 4);
+        assert_eq!(demo.private_index_iterations, 1_000);
+    }
+
+    #[test]
+    fn shared_index_never_gains_iterations_beyond_duplicates() {
+        // Whatever interleaving happens, the visit total equals the
+        // cursor-observed iterations; anomalies count duplicated or
+        // skipped cells.
+        let demo = run(1_000, 4);
+        assert!(demo.shared_index_iterations >= 1_000 - demo.shared_index_anomalies);
+    }
+
+    #[test]
+    fn single_thread_has_no_anomalies() {
+        let demo = run(500, 1);
+        assert_eq!(demo.shared_index_anomalies, 0);
+        assert_eq!(demo.shared_index_iterations, 500);
+        assert_eq!(demo.private_index_iterations, 500);
+    }
+
+    #[test]
+    fn race_comparison_fixes_are_exact() {
+        let outcomes = race_comparison(4, 2_000);
+        assert_eq!(outcomes.len(), 4);
+        for o in &outcomes[1..] {
+            assert!(o.is_correct(), "{:?}", o.strategy);
+        }
+        // The racy variant never overcounts.
+        assert!(outcomes[0].observed <= outcomes[0].expected);
+    }
+
+    #[test]
+    fn zero_iterations() {
+        let demo = run(0, 3);
+        assert_eq!(demo.shared_index_iterations, 0);
+        assert_eq!(demo.private_index_iterations, 0);
+        assert_eq!(demo.shared_index_anomalies, 0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Patternlet 6 (Assignment 3): "When Loops Have Dependencies" — the
+//! OpenMP parallel-for `reduction` clause.
+//!
+//! A sum loop carries a dependency through its accumulator; the
+//! patternlet shows that the naive parallelisation is wrong (lost
+//! updates) and the `reduction` clause is both correct and fast.
+
+use parallel_rt::race::{shared_counter_demo, FixStrategy};
+use parallel_rt::reduction::Sum;
+use parallel_rt::{Schedule, Team};
+
+/// The three ways the patternlet sums `0 + 1 + … + (n−1)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReductionDemo {
+    /// The correct sequential result.
+    pub sequential: u64,
+    /// Parallel with the reduction clause (always correct).
+    pub with_reduction: u64,
+    /// Parallel with an unsynchronised shared accumulator — may lose
+    /// updates (reported as observed/expected of the emulation).
+    pub racy_observed: u64,
+    /// What the racy version should have produced.
+    pub racy_expected: u64,
+}
+
+/// Runs the demo for the sum of `0..n` with `threads` threads.
+pub fn run(n: usize, threads: usize) -> ReductionDemo {
+    let sequential: u64 = (0..n as u64).sum();
+    let team = Team::new(threads);
+    let with_reduction: u64 =
+        team.parallel_for_reduce(0..n, Schedule::StaticBlock, Sum, |i| i as u64);
+    // The racy accumulator uses the counter emulation: n increments of 1
+    // spread across the team (losing an increment = losing an addend).
+    let per_thread = (n / threads).max(1) as u64;
+    let racy = shared_counter_demo(threads, per_thread, FixStrategy::None);
+    ReductionDemo {
+        sequential,
+        with_reduction,
+        racy_observed: racy.observed,
+        racy_expected: racy.expected,
+    }
+}
+
+/// Dot product with a reduction — the "loops with dependencies" variant
+/// the teams are asked to modify the patternlet into.
+pub fn dot_product(a: &[f64], b: &[f64], threads: usize) -> f64 {
+    assert_eq!(a.len(), b.len(), "vectors must have equal length");
+    let team = Team::new(threads);
+    team.parallel_for_reduce(0..a.len(), Schedule::StaticBlock, Sum, |i| a[i] * b[i])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduction_matches_sequential() {
+        let demo = run(100_000, 4);
+        assert_eq!(demo.with_reduction, demo.sequential);
+        assert_eq!(demo.sequential, 4_999_950_000);
+    }
+
+    #[test]
+    fn racy_version_never_overcounts() {
+        let demo = run(10_000, 4);
+        assert!(demo.racy_observed <= demo.racy_expected);
+    }
+
+    #[test]
+    fn dot_product_reference() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [4.0, 5.0, 6.0];
+        assert_eq!(dot_product(&a, &b, 2), 32.0);
+    }
+
+    #[test]
+    fn dot_product_large_matches_sequential() {
+        let a: Vec<f64> = (0..10_000).map(|i| (i % 7) as f64).collect();
+        let b: Vec<f64> = (0..10_000).map(|i| (i % 5) as f64).collect();
+        let seq: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        let par = dot_product(&a, &b, 4);
+        assert!((par - seq).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn dot_product_length_mismatch_panics() {
+        let _ = dot_product(&[1.0], &[1.0, 2.0], 2);
+    }
+
+    #[test]
+    fn tiny_n_with_more_threads() {
+        let demo = run(2, 4);
+        assert_eq!(demo.with_reduction, 1);
+    }
+}

@@ -1,0 +1,162 @@
+//! Patternlets 4–5 (Assignment 3): running loops in parallel and
+//! scheduling them.
+//!
+//! "Running Loops in Parallel" shows OpenMP's default parallel-for, in
+//! which "threads iterate through equal sized chunks of the index
+//! range"; "Scheduling of Parallel Loops" maps threads to iterations
+//! "in chunks of size one, two, and three", statically and dynamically.
+//! The observable artifact is the iteration→thread map.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parallel_rt::{Schedule, Team};
+
+/// The iteration→thread assignment produced by one run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopMap {
+    /// `owner[i]` = thread that executed iteration `i`.
+    pub owner: Vec<usize>,
+    /// The schedule that produced it.
+    pub schedule: Schedule,
+    /// Team size.
+    pub threads: usize,
+}
+
+impl LoopMap {
+    /// Iterations per thread.
+    pub fn counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.threads];
+        for &t in &self.owner {
+            counts[t] += 1;
+        }
+        counts
+    }
+
+    /// Contiguous runs of same-owner iterations, as (owner, length) —
+    /// the "chunks" students see in the output.
+    pub fn runs(&self) -> Vec<(usize, usize)> {
+        let mut runs = Vec::new();
+        for &t in &self.owner {
+            match runs.last_mut() {
+                Some((owner, len)) if *owner == t => *len += 1,
+                _ => runs.push((t, 1)),
+            }
+        }
+        runs
+    }
+}
+
+/// Executes an `n`-iteration loop under `schedule` with `threads`
+/// threads, recording which thread ran each iteration.
+pub fn run(n: usize, threads: usize, schedule: Schedule) -> LoopMap {
+    let owner: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(usize::MAX)).collect();
+    let team = Team::new(threads);
+    let owner_ref = &owner;
+    // Record ids via the static assignment (deterministic) or the
+    // dynamic dispenser by tagging from inside a plain parallel region.
+    let dispenser =
+        parallel_rt::schedule::ChunkDispenser::new(0..n, threads, schedule);
+    let dispenser = &dispenser;
+    team.parallel(|ctx| {
+        if dispenser.is_dynamic() {
+            while let Some(chunk) = dispenser.next_chunk() {
+                for i in chunk {
+                    owner_ref[i].store(ctx.id(), Ordering::Relaxed);
+                }
+            }
+        } else {
+            for chunk in dispenser.static_assignment(ctx.id()) {
+                for i in chunk {
+                    owner_ref[i].store(ctx.id(), Ordering::Relaxed);
+                }
+            }
+        }
+    });
+    LoopMap {
+        owner: owner.iter().map(|o| o.load(Ordering::Relaxed)).collect(),
+        schedule,
+        threads,
+    }
+}
+
+/// The Assignment 3 sweep: equal chunks plus static chunks of 1, 2, 3
+/// and dynamic chunks of 1, 2, 3.
+pub fn assignment3_sweep(n: usize, threads: usize) -> Vec<LoopMap> {
+    let mut maps = vec![run(n, threads, Schedule::StaticBlock)];
+    for chunk in [1usize, 2, 3] {
+        maps.push(run(n, threads, Schedule::StaticChunk(chunk)));
+    }
+    for chunk in [1usize, 2, 3] {
+        maps.push(run(n, threads, Schedule::Dynamic(chunk)));
+    }
+    maps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_schedule_gives_equal_contiguous_blocks() {
+        let map = run(16, 4, Schedule::StaticBlock);
+        assert_eq!(map.counts(), vec![4, 4, 4, 4]);
+        let runs = map.runs();
+        assert_eq!(runs.len(), 4, "one contiguous block per thread");
+        assert_eq!(runs[0], (0, 4));
+        assert_eq!(runs[3], (3, 4));
+    }
+
+    #[test]
+    fn static_chunk_one_round_robins() {
+        let map = run(8, 4, Schedule::StaticChunk(1));
+        assert_eq!(map.owner, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn static_chunk_two_and_three() {
+        let map2 = run(8, 2, Schedule::StaticChunk(2));
+        assert_eq!(map2.owner, vec![0, 0, 1, 1, 0, 0, 1, 1]);
+        let map3 = run(9, 3, Schedule::StaticChunk(3));
+        assert_eq!(map3.owner, vec![0, 0, 0, 1, 1, 1, 2, 2, 2]);
+    }
+
+    #[test]
+    fn every_iteration_owned_under_every_schedule() {
+        for map in assignment3_sweep(50, 4) {
+            assert!(
+                map.owner.iter().all(|&t| t < 4),
+                "{:?} left iterations unowned",
+                map.schedule
+            );
+            assert_eq!(map.counts().iter().sum::<usize>(), 50);
+        }
+    }
+
+    #[test]
+    fn dynamic_chunks_have_the_requested_granularity() {
+        let map = run(30, 4, Schedule::Dynamic(3));
+        for (_, len) in map.runs() {
+            // Runs can merge when one thread grabs consecutive chunks,
+            // so lengths are multiples of 3 (except a final remainder;
+            // 30 divides evenly, so every run is a multiple of 3 here).
+            assert!(len.is_multiple_of(3), "run len {len}");
+        }
+    }
+
+    #[test]
+    fn sweep_produces_seven_maps() {
+        let maps = assignment3_sweep(12, 2);
+        assert_eq!(maps.len(), 7);
+        assert_eq!(maps[0].schedule, Schedule::StaticBlock);
+        assert_eq!(maps[3].schedule, Schedule::StaticChunk(3));
+        assert_eq!(maps[6].schedule, Schedule::Dynamic(3));
+    }
+
+    #[test]
+    fn empty_loop() {
+        let map = run(0, 3, Schedule::StaticBlock);
+        assert!(map.owner.is_empty());
+        assert_eq!(map.counts(), vec![0, 0, 0]);
+        assert!(map.runs().is_empty());
+    }
+}

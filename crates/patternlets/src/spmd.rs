@@ -1,0 +1,88 @@
+//! Patternlet 2 (Assignment 2): Single Program Multiple Data.
+//!
+//! Every thread runs the same code on its own slice of the data,
+//! selected by thread id — the backbone of shared-memory parallelism.
+
+use parallel_rt::schedule::static_block;
+use parallel_rt::Team;
+
+/// One thread's slice of an SPMD computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpmdSlice {
+    /// Thread id.
+    pub thread: usize,
+    /// Team size.
+    pub num_threads: usize,
+    /// Index range the thread owned.
+    pub range: std::ops::Range<usize>,
+    /// Sum of the data in that range (the per-thread partial result).
+    pub partial_sum: f64,
+}
+
+/// Runs the SPMD patternlet: each of `threads` threads sums its block of
+/// `data`; returns the per-thread slices (id order) and the grand total.
+pub fn run(data: &[f64], threads: usize) -> (Vec<SpmdSlice>, f64) {
+    let team = Team::new(threads);
+    let slices = team.parallel(|ctx| {
+        let range = static_block(0..data.len(), ctx.num_threads(), ctx.id());
+        let partial_sum = data[range.clone()].iter().sum();
+        SpmdSlice {
+            thread: ctx.id(),
+            num_threads: ctx.num_threads(),
+            range,
+            partial_sum,
+        }
+    });
+    let total = slices.iter().map(|s| s.partial_sum).sum();
+    (slices, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slices_partition_the_data() {
+        let data: Vec<f64> = (0..103).map(|i| i as f64).collect();
+        let (slices, _) = run(&data, 4);
+        let mut covered: Vec<usize> = slices.iter().flat_map(|s| s.range.clone()).collect();
+        covered.sort_unstable();
+        assert_eq!(covered, (0..103).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn total_matches_sequential_sum() {
+        let data: Vec<f64> = (0..1000).map(|i| (i as f64).sqrt()).collect();
+        let sequential: f64 = data.iter().sum();
+        let (_, total) = run(&data, 4);
+        assert!((total - sequential).abs() < 1e-9);
+    }
+
+    #[test]
+    fn each_thread_reports_its_own_identity() {
+        let data = vec![1.0; 40];
+        let (slices, total) = run(&data, 5);
+        assert_eq!(total, 40.0);
+        for (i, s) in slices.iter().enumerate() {
+            assert_eq!(s.thread, i);
+            assert_eq!(s.num_threads, 5);
+            assert_eq!(s.partial_sum, 8.0);
+        }
+    }
+
+    #[test]
+    fn more_threads_than_data() {
+        let data = vec![2.0, 3.0];
+        let (slices, total) = run(&data, 4);
+        assert_eq!(total, 5.0);
+        let nonempty = slices.iter().filter(|s| !s.range.is_empty()).count();
+        assert_eq!(nonempty, 2);
+    }
+
+    #[test]
+    fn empty_data() {
+        let (slices, total) = run(&[], 3);
+        assert_eq!(total, 0.0);
+        assert!(slices.iter().all(|s| s.range.is_empty()));
+    }
+}

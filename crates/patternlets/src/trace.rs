@@ -1,0 +1,154 @@
+//! Thread-safe execution traces: the patternlets' `printf` output,
+//! captured as data so tests can assert ordering properties.
+
+use parking_lot::Mutex;
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Thread id that recorded the event (`usize::MAX` for the
+    /// sequential master outside the region).
+    pub thread: usize,
+    /// Phase label, e.g. "before-fork", "parallel", "after-join".
+    pub phase: &'static str,
+    /// Free-form message (what the C patternlet would have printed).
+    pub message: String,
+}
+
+/// Marker thread id for events recorded outside a parallel region.
+pub const SEQUENTIAL: usize = usize::MAX;
+
+/// An append-only, thread-safe event log.
+#[derive(Debug, Default)]
+pub struct Trace {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an event.
+    pub fn record(&self, thread: usize, phase: &'static str, message: impl Into<String>) {
+        self.events.lock().push(TraceEvent {
+            thread,
+            phase,
+            message: message.into(),
+        });
+    }
+
+    /// Consumes the trace, returning events in record order.
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.events.into_inner()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events with the given phase label.
+    pub fn phase_events(&self, phase: &str) -> Vec<TraceEvent> {
+        self.events
+            .lock()
+            .iter()
+            .filter(|e| e.phase == phase)
+            .cloned()
+            .collect()
+    }
+
+    /// Distinct thread ids that recorded events in `phase`.
+    pub fn threads_in_phase(&self, phase: &str) -> Vec<usize> {
+        let mut ids: Vec<usize> = self
+            .phase_events(phase)
+            .into_iter()
+            .map(|e| e.thread)
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// True if every event in `first` precedes every event in `second`
+    /// — the fork–join / barrier ordering check.
+    pub fn phase_precedes(&self, first: &str, second: &str) -> bool {
+        let events = self.events.lock();
+        let last_first = events.iter().rposition(|e| e.phase == first);
+        let first_second = events.iter().position(|e| e.phase == second);
+        match (last_first, first_second) {
+            (Some(a), Some(b)) => a < b,
+            _ => true, // vacuously ordered if either phase is absent
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_reads_back() {
+        let t = Trace::new();
+        assert!(t.is_empty());
+        t.record(0, "parallel", "hello");
+        t.record(1, "parallel", "world");
+        assert_eq!(t.len(), 2);
+        let events = t.into_events();
+        assert_eq!(events[0].message, "hello");
+        assert_eq!(events[1].thread, 1);
+    }
+
+    #[test]
+    fn phase_filtering() {
+        let t = Trace::new();
+        t.record(SEQUENTIAL, "before", "x");
+        t.record(0, "parallel", "a");
+        t.record(2, "parallel", "b");
+        t.record(0, "parallel", "c");
+        assert_eq!(t.phase_events("parallel").len(), 3);
+        assert_eq!(t.threads_in_phase("parallel"), vec![0, 2]);
+        assert_eq!(t.threads_in_phase("before"), vec![SEQUENTIAL]);
+    }
+
+    #[test]
+    fn ordering_check() {
+        let t = Trace::new();
+        t.record(SEQUENTIAL, "before", "");
+        t.record(0, "parallel", "");
+        t.record(SEQUENTIAL, "after", "");
+        assert!(t.phase_precedes("before", "parallel"));
+        assert!(t.phase_precedes("parallel", "after"));
+        assert!(!t.phase_precedes("after", "before"));
+    }
+
+    #[test]
+    fn missing_phases_are_vacuously_ordered() {
+        let t = Trace::new();
+        t.record(0, "only", "");
+        assert!(t.phase_precedes("only", "nonexistent"));
+        assert!(t.phase_precedes("nonexistent", "only"));
+    }
+
+    #[test]
+    fn concurrent_recording_is_safe() {
+        let t = Trace::new();
+        std::thread::scope(|s| {
+            for id in 0..4 {
+                let t = &t;
+                s.spawn(move || {
+                    for i in 0..100 {
+                        t.record(id, "parallel", format!("{i}"));
+                    }
+                });
+            }
+        });
+        assert_eq!(t.len(), 400);
+    }
+}

@@ -1,0 +1,123 @@
+//! Patternlet 7 (Assignment 4): integration using the trapezoidal rule,
+//! "illustrating the use of parallel for loop, private, shared, and
+//! reduction clauses".
+
+use parallel_rt::reduction::Sum;
+use parallel_rt::{Schedule, Team};
+
+/// Result of a trapezoidal integration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Integration {
+    /// The computed integral.
+    pub value: f64,
+    /// Number of trapezoids used.
+    pub trapezoids: usize,
+    /// Threads that computed it.
+    pub threads: usize,
+}
+
+/// Integrates `f` over `[a, b]` with `n` trapezoids sequentially —
+/// the baseline the patternlet starts from.
+pub fn integrate_sequential(f: impl Fn(f64) -> f64, a: f64, b: f64, n: usize) -> Integration {
+    assert!(n > 0, "need at least one trapezoid");
+    assert!(b >= a, "integration bounds must be ordered");
+    let h = (b - a) / n as f64;
+    let mut sum = (f(a) + f(b)) / 2.0;
+    for i in 1..n {
+        sum += f(a + i as f64 * h);
+    }
+    Integration {
+        value: sum * h,
+        trapezoids: n,
+        threads: 1,
+    }
+}
+
+/// The parallel version: interior points are a work-shared loop with a
+/// `reduction(+:sum)`; `h`, `a`, and `f` are shared (read-only), the
+/// loop index and each `f` evaluation are private.
+pub fn integrate_parallel(
+    f: impl Fn(f64) -> f64 + Sync,
+    a: f64,
+    b: f64,
+    n: usize,
+    threads: usize,
+) -> Integration {
+    assert!(n > 0, "need at least one trapezoid");
+    assert!(b >= a, "integration bounds must be ordered");
+    let h = (b - a) / n as f64;
+    let team = Team::new(threads);
+    let interior: f64 =
+        team.parallel_for_reduce(1..n, Schedule::StaticBlock, Sum, |i| f(a + i as f64 * h));
+    Integration {
+        value: ((f(a) + f(b)) / 2.0 + interior) * h,
+        trapezoids: n,
+        threads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integrates_x_squared() {
+        // ∫₀¹ x² dx = 1/3.
+        let seq = integrate_sequential(|x| x * x, 0.0, 1.0, 1 << 16);
+        assert!((seq.value - 1.0 / 3.0).abs() < 1e-8);
+        let par = integrate_parallel(|x| x * x, 0.0, 1.0, 1 << 16, 4);
+        assert!((par.value - 1.0 / 3.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_closely() {
+        // Same decomposition, different combine order: results agree to
+        // floating-point reassociation tolerance.
+        let f = |x: f64| (x * 3.0).sin() + x.exp();
+        let seq = integrate_sequential(f, -1.0, 2.0, 100_000);
+        let par = integrate_parallel(f, -1.0, 2.0, 100_000, 4);
+        assert!((seq.value - par.value).abs() < 1e-9);
+    }
+
+    #[test]
+    fn integrates_sine_over_half_period() {
+        // ∫₀^π sin = 2.
+        let par = integrate_parallel(f64::sin, 0.0, std::f64::consts::PI, 1 << 15, 3);
+        assert!((par.value - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn single_trapezoid() {
+        // One trapezoid of f(x)=x over [0,2]: (0+2)/2 * 2 = 2.
+        let r = integrate_sequential(|x| x, 0.0, 2.0, 1);
+        assert!((r.value - 2.0).abs() < 1e-12);
+        let p = integrate_parallel(|x| x, 0.0, 2.0, 1, 4);
+        assert!((p.value - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_interval_is_zero() {
+        let r = integrate_parallel(|x| x * x, 1.0, 1.0, 100, 2);
+        assert_eq!(r.value, 0.0);
+    }
+
+    #[test]
+    fn accuracy_improves_with_n() {
+        let coarse = integrate_parallel(|x| x * x, 0.0, 1.0, 8, 2);
+        let fine = integrate_parallel(|x| x * x, 0.0, 1.0, 8_192, 2);
+        let exact = 1.0 / 3.0;
+        assert!((fine.value - exact).abs() < (coarse.value - exact).abs());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trapezoid")]
+    fn zero_trapezoids_panics() {
+        let _ = integrate_sequential(|x| x, 0.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds must be ordered")]
+    fn reversed_bounds_panic() {
+        let _ = integrate_parallel(|x| x, 1.0, 0.0, 10, 2);
+    }
+}

@@ -1,0 +1,234 @@
+//! The Assignment 2 setup steps as a verifiable state machine:
+//! download the RASPBIAN image, flash it to a microSD card, connect the
+//! peripherals, and boot through the Pi's firmware stages.
+//!
+//! Students lose points for skipping steps (e.g. booting with no OS on
+//! the card); the state machine rejects the same mistakes.
+
+use std::fmt;
+
+/// Condition of the microSD card.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SdCard {
+    /// Fresh card, no OS image.
+    Blank,
+    /// RASPBIAN image written and verified.
+    Flashed,
+    /// Write interrupted; image corrupt.
+    Corrupt,
+}
+
+/// The Pi firmware boot stages, in order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum BootStage {
+    /// Power off.
+    PoweredOff,
+    /// GPU ROM runs `bootcode.bin` from the SD card.
+    FirstStage,
+    /// `start.elf` initialises RAM and loads config.
+    SecondStage,
+    /// Linux kernel boots.
+    KernelBoot,
+    /// Login prompt / desktop reached.
+    Ready,
+}
+
+/// Errors the setup can hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BootError {
+    /// Tried to boot without a flashed card.
+    NoOperatingSystem(SdCard),
+    /// No display attached when one is required for first-time setup.
+    NoDisplay,
+    /// Tried to flash with no card inserted.
+    NoCardInserted,
+    /// Power interrupted mid-flash.
+    FlashInterrupted,
+}
+
+impl fmt::Display for BootError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BootError::NoOperatingSystem(card) => {
+                write!(f, "cannot boot: SD card is {card:?}, flash RASPBIAN first")
+            }
+            BootError::NoDisplay => write!(f, "first-time setup needs a monitor or laptop display"),
+            BootError::NoCardInserted => write!(f, "insert a microSD card before flashing"),
+            BootError::FlashInterrupted => write!(f, "flash interrupted; card is corrupt"),
+        }
+    }
+}
+
+impl std::error::Error for BootError {}
+
+/// The Raspberry Pi lab-bench setup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PiSetup {
+    card: Option<SdCard>,
+    display_connected: bool,
+    keyboard_connected: bool,
+    stage: BootStage,
+}
+
+impl Default for PiSetup {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PiSetup {
+    /// A Pi fresh out of the kit box.
+    pub fn new() -> Self {
+        PiSetup {
+            card: None,
+            display_connected: false,
+            keyboard_connected: false,
+            stage: BootStage::PoweredOff,
+        }
+    }
+
+    /// Inserts a microSD card.
+    pub fn insert_card(&mut self, card: SdCard) {
+        self.card = Some(card);
+    }
+
+    /// Connects a monitor (or laptop over HDMI capture).
+    pub fn connect_display(&mut self) {
+        self.display_connected = true;
+    }
+
+    /// Connects keyboard and mouse.
+    pub fn connect_keyboard(&mut self) {
+        self.keyboard_connected = true;
+    }
+
+    /// Flashes the RASPBIAN image onto the inserted card. `interrupted`
+    /// models pulling the card mid-write.
+    pub fn flash_raspbian(&mut self, interrupted: bool) -> Result<(), BootError> {
+        match self.card {
+            None => Err(BootError::NoCardInserted),
+            Some(_) if interrupted => {
+                self.card = Some(SdCard::Corrupt);
+                Err(BootError::FlashInterrupted)
+            }
+            Some(_) => {
+                self.card = Some(SdCard::Flashed);
+                Ok(())
+            }
+        }
+    }
+
+    /// Current boot stage.
+    pub fn stage(&self) -> BootStage {
+        self.stage
+    }
+
+    /// Powers on and advances through every boot stage, or fails with
+    /// the first setup mistake.
+    pub fn boot(&mut self) -> Result<BootStage, BootError> {
+        match self.card {
+            Some(SdCard::Flashed) => {}
+            Some(other) => return Err(BootError::NoOperatingSystem(other)),
+            None => return Err(BootError::NoOperatingSystem(SdCard::Blank)),
+        }
+        if !self.display_connected {
+            return Err(BootError::NoDisplay);
+        }
+        self.stage = BootStage::FirstStage;
+        self.stage = BootStage::SecondStage;
+        self.stage = BootStage::KernelBoot;
+        self.stage = BootStage::Ready;
+        Ok(self.stage)
+    }
+
+    /// The checklist the assignment rubric grades, with completion state.
+    pub fn checklist(&self) -> Vec<(&'static str, bool)> {
+        vec![
+            ("microSD card inserted", self.card.is_some()),
+            ("RASPBIAN image flashed", self.card == Some(SdCard::Flashed)),
+            ("display connected", self.display_connected),
+            ("keyboard and mouse connected", self.keyboard_connected),
+            ("booted to desktop", self.stage == BootStage::Ready),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn happy_path_reaches_ready() {
+        let mut pi = PiSetup::new();
+        pi.insert_card(SdCard::Blank);
+        pi.flash_raspbian(false).unwrap();
+        pi.connect_display();
+        pi.connect_keyboard();
+        assert_eq!(pi.boot().unwrap(), BootStage::Ready);
+        assert!(pi.checklist().iter().all(|(_, done)| *done));
+    }
+
+    #[test]
+    fn booting_blank_card_fails() {
+        let mut pi = PiSetup::new();
+        pi.insert_card(SdCard::Blank);
+        pi.connect_display();
+        assert_eq!(
+            pi.boot(),
+            Err(BootError::NoOperatingSystem(SdCard::Blank))
+        );
+        assert_eq!(pi.stage(), BootStage::PoweredOff);
+    }
+
+    #[test]
+    fn booting_without_card_fails() {
+        let mut pi = PiSetup::new();
+        pi.connect_display();
+        assert!(matches!(pi.boot(), Err(BootError::NoOperatingSystem(_))));
+    }
+
+    #[test]
+    fn flashing_without_card_fails() {
+        let mut pi = PiSetup::new();
+        assert_eq!(pi.flash_raspbian(false), Err(BootError::NoCardInserted));
+    }
+
+    #[test]
+    fn interrupted_flash_corrupts_card() {
+        let mut pi = PiSetup::new();
+        pi.insert_card(SdCard::Blank);
+        assert_eq!(pi.flash_raspbian(true), Err(BootError::FlashInterrupted));
+        pi.connect_display();
+        assert_eq!(
+            pi.boot(),
+            Err(BootError::NoOperatingSystem(SdCard::Corrupt))
+        );
+        // Re-flashing recovers.
+        pi.flash_raspbian(false).unwrap();
+        assert_eq!(pi.boot().unwrap(), BootStage::Ready);
+    }
+
+    #[test]
+    fn display_required() {
+        let mut pi = PiSetup::new();
+        pi.insert_card(SdCard::Blank);
+        pi.flash_raspbian(false).unwrap();
+        assert_eq!(pi.boot(), Err(BootError::NoDisplay));
+    }
+
+    #[test]
+    fn boot_stages_are_ordered() {
+        assert!(BootStage::PoweredOff < BootStage::FirstStage);
+        assert!(BootStage::FirstStage < BootStage::SecondStage);
+        assert!(BootStage::SecondStage < BootStage::KernelBoot);
+        assert!(BootStage::KernelBoot < BootStage::Ready);
+    }
+
+    #[test]
+    fn errors_display_guidance() {
+        assert!(BootError::NoCardInserted.to_string().contains("microSD"));
+        assert!(BootError::NoOperatingSystem(SdCard::Blank)
+            .to_string()
+            .contains("RASPBIAN"));
+    }
+}

@@ -1,0 +1,346 @@
+//! Cache hierarchy: per-core private L1s over a shared L2, with
+//! write-invalidate (MESI-style) coherence between the L1s.
+//!
+//! Assignment 3 has students explain shared-memory architecture and why
+//! "scope matters"; the coherence traffic modelled here is what makes
+//! false sharing and racy updates slow on real hardware, and is what the
+//! [`crate::machine`] charges memory latency against.
+
+use std::collections::HashMap;
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Bytes per line.
+    pub line_bytes: u64,
+    /// Number of sets.
+    pub sets: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+}
+
+impl CacheConfig {
+    /// The Cortex-A53's 32 KiB, 4-way, 64-byte-line L1 data cache.
+    pub fn pi_l1() -> Self {
+        CacheConfig {
+            line_bytes: 64,
+            sets: 128,
+            ways: 4,
+        }
+    }
+
+    /// The BCM2837's 512 KiB, 16-way shared L2.
+    pub fn pi_l2() -> Self {
+        CacheConfig {
+            line_bytes: 64,
+            sets: 512,
+            ways: 16,
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.line_bytes * (self.sets * self.ways) as u64
+    }
+}
+
+/// One set-associative cache with true-LRU replacement.
+#[derive(Debug, Clone)]
+struct SetAssocCache {
+    config: CacheConfig,
+    /// sets[set] = lines ordered most- to least-recently used; values are
+    /// line tags (address / line_bytes).
+    sets: Vec<Vec<u64>>,
+}
+
+impl SetAssocCache {
+    fn new(config: CacheConfig) -> Self {
+        SetAssocCache {
+            config,
+            sets: vec![Vec::with_capacity(config.ways); config.sets],
+        }
+    }
+
+    fn line_of(&self, addr: u64) -> u64 {
+        addr / self.config.line_bytes
+    }
+
+    fn set_of(&self, line: u64) -> usize {
+        (line % self.config.sets as u64) as usize
+    }
+
+    /// Touches `addr`; returns true on hit. Misses install the line,
+    /// evicting LRU if needed.
+    fn access(&mut self, addr: u64) -> bool {
+        let line = self.line_of(addr);
+        let set_idx = self.set_of(line);
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|&l| l == line) {
+            // Move to MRU position.
+            let l = set.remove(pos);
+            set.insert(0, l);
+            true
+        } else {
+            if set.len() == self.config.ways {
+                set.pop();
+            }
+            set.insert(0, line);
+            false
+        }
+    }
+
+    /// Drops `addr`'s line if present; returns true if it was present.
+    fn invalidate(&mut self, addr: u64) -> bool {
+        let line = self.line_of(addr);
+        let set_idx = self.set_of(line);
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|&l| l == line) {
+            set.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Where an access was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HitLevel {
+    /// Private L1 hit.
+    L1,
+    /// Shared L2 hit (L1 miss).
+    L2,
+    /// Main memory (missed both levels).
+    Memory,
+}
+
+/// Outcome of a single memory access through the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Deepest level consulted.
+    pub level: HitLevel,
+    /// Number of peer L1s that had to invalidate the line (writes only).
+    pub invalidations: usize,
+}
+
+/// Per-core counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Accesses satisfied by the private L1.
+    pub l1_hits: u64,
+    /// Accesses satisfied by the shared L2.
+    pub l2_hits: u64,
+    /// Accesses that went to memory.
+    pub memory_accesses: u64,
+    /// Invalidations this core's L1 received from peers' writes.
+    pub invalidations_received: u64,
+}
+
+impl CacheStats {
+    /// Total accesses issued.
+    pub fn total(&self) -> u64 {
+        self.l1_hits + self.l2_hits + self.memory_accesses
+    }
+
+    /// L1 hit rate in [0, 1]; 0 when no accesses were made.
+    pub fn l1_hit_rate(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.l1_hits as f64 / t as f64
+        }
+    }
+}
+
+/// The full hierarchy: one L1 per core, one shared L2, a line-owner map
+/// for write-invalidate coherence.
+#[derive(Debug)]
+pub struct Hierarchy {
+    l1: Vec<SetAssocCache>,
+    l2: SetAssocCache,
+    line_bytes: u64,
+    /// line -> bitmask of cores whose L1 may hold it.
+    sharers: HashMap<u64, u32>,
+    /// Per-core statistics.
+    pub stats: Vec<CacheStats>,
+}
+
+impl Hierarchy {
+    /// Builds a hierarchy for `cores` cores with the Pi's geometry.
+    pub fn pi(cores: usize) -> Self {
+        Self::new(cores, CacheConfig::pi_l1(), CacheConfig::pi_l2())
+    }
+
+    /// Builds a hierarchy with explicit geometries.
+    ///
+    /// # Panics
+    /// Panics if `cores` is 0, exceeds 32 (sharer bitmask width), or the
+    /// two levels disagree on line size.
+    pub fn new(cores: usize, l1: CacheConfig, l2: CacheConfig) -> Self {
+        assert!((1..=32).contains(&cores), "1..=32 cores supported");
+        assert_eq!(l1.line_bytes, l2.line_bytes, "levels must share a line size");
+        Hierarchy {
+            l1: (0..cores).map(|_| SetAssocCache::new(l1)).collect(),
+            l2: SetAssocCache::new(l2),
+            line_bytes: l1.line_bytes,
+            sharers: HashMap::new(),
+            stats: vec![CacheStats::default(); cores],
+        }
+    }
+
+    /// Number of cores this hierarchy serves.
+    pub fn cores(&self) -> usize {
+        self.l1.len()
+    }
+
+    /// Performs a read (`write = false`) or write access by `core` to
+    /// byte address `addr`.
+    pub fn access(&mut self, core: usize, addr: u64, write: bool) -> AccessOutcome {
+        assert!(core < self.l1.len(), "core {core} out of range");
+        let line = addr / self.line_bytes;
+        let mut invalidations = 0;
+
+        // Write-invalidate: kick the line out of every peer L1.
+        if write {
+            let mask = self.sharers.get(&line).copied().unwrap_or(0);
+            for peer in 0..self.l1.len() {
+                if peer != core && mask & (1 << peer) != 0 && self.l1[peer].invalidate(addr) {
+                    invalidations += 1;
+                    self.stats[peer].invalidations_received += 1;
+                }
+            }
+            self.sharers.insert(line, 1 << core);
+        } else {
+            *self.sharers.entry(line).or_insert(0) |= 1 << core;
+        }
+
+        let level = if self.l1[core].access(addr) {
+            self.stats[core].l1_hits += 1;
+            HitLevel::L1
+        } else if self.l2.access(addr) {
+            self.stats[core].l2_hits += 1;
+            HitLevel::L2
+        } else {
+            self.stats[core].memory_accesses += 1;
+            HitLevel::Memory
+        };
+        AccessOutcome {
+            level,
+            invalidations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_capacities_match_the_pi() {
+        assert_eq!(CacheConfig::pi_l1().capacity(), 32 * 1024);
+        assert_eq!(CacheConfig::pi_l2().capacity(), 512 * 1024);
+    }
+
+    #[test]
+    fn first_access_misses_second_hits() {
+        let mut h = Hierarchy::pi(4);
+        assert_eq!(h.access(0, 0x1000, false).level, HitLevel::Memory);
+        assert_eq!(h.access(0, 0x1000, false).level, HitLevel::L1);
+        // Same line, different byte → still an L1 hit.
+        assert_eq!(h.access(0, 0x1030, false).level, HitLevel::L1);
+        // Next line was never fetched → misses all the way to memory.
+        assert_eq!(h.access(0, 0x1040, false).level, HitLevel::Memory);
+    }
+
+    #[test]
+    fn l2_serves_peer_cores() {
+        let mut h = Hierarchy::pi(4);
+        h.access(0, 0x2000, false); // memory → installs in L1(0) and L2
+        let out = h.access(1, 0x2000, false);
+        assert_eq!(out.level, HitLevel::L2, "core 1 finds it in shared L2");
+    }
+
+    #[test]
+    fn write_invalidates_peer_l1s() {
+        let mut h = Hierarchy::pi(4);
+        h.access(0, 0x3000, false);
+        h.access(1, 0x3000, false);
+        h.access(2, 0x3000, false);
+        let out = h.access(3, 0x3000, true);
+        assert_eq!(out.invalidations, 3, "cores 0, 1, and 2 each held the line");
+    }
+
+    #[test]
+    fn invalidated_line_misses_in_l1_afterwards() {
+        let mut h = Hierarchy::pi(2);
+        h.access(0, 0x4000, false);
+        h.access(0, 0x4000, false); // L1 hit established
+        h.access(1, 0x4000, true); // peer write invalidates
+        let out = h.access(0, 0x4000, false);
+        assert_ne!(out.level, HitLevel::L1, "coherence miss after peer write");
+        assert_eq!(h.stats[0].invalidations_received, 1);
+    }
+
+    #[test]
+    fn ping_pong_writes_generate_invalidation_traffic() {
+        // The false-sharing / racy-counter pathology: two cores writing
+        // the same line alternately.
+        let mut h = Hierarchy::pi(2);
+        for _ in 0..50 {
+            h.access(0, 0x5000, true);
+            h.access(1, 0x5000, true);
+        }
+        assert!(h.stats[0].invalidations_received >= 49);
+        assert!(h.stats[1].invalidations_received >= 49);
+        // Disjoint lines produce none.
+        let mut h2 = Hierarchy::pi(2);
+        for _ in 0..50 {
+            h2.access(0, 0x5000, true);
+            h2.access(1, 0x6000, true);
+        }
+        assert_eq!(h2.stats[0].invalidations_received, 0);
+        assert_eq!(h2.stats[1].invalidations_received, 0);
+    }
+
+    #[test]
+    fn lru_eviction_within_a_set() {
+        // 4-way L1 with 128 sets: five lines mapping to the same set
+        // evict the least recently used.
+        let mut h = Hierarchy::pi(1);
+        let set_stride = 64 * 128; // same set every stride
+        for i in 0..5u64 {
+            h.access(0, i * set_stride, false);
+        }
+        // Line 0 was LRU → evicted from L1 (still in L2).
+        let out = h.access(0, 0, false);
+        assert_eq!(out.level, HitLevel::L2);
+        // Line 4 is MRU → L1 hit.
+        assert_eq!(h.access(0, 4 * set_stride, false).level, HitLevel::L1);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut h = Hierarchy::pi(1);
+        h.access(0, 0, false);
+        h.access(0, 0, false);
+        h.access(0, 64, false);
+        let s = h.stats[0];
+        assert_eq!(s.total(), 3);
+        assert_eq!(s.l1_hits, 1);
+        assert_eq!(s.memory_accesses, 2);
+        assert!((s.l1_hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_hit_rate_is_zero() {
+        assert_eq!(CacheStats::default().l1_hit_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_core_panics() {
+        let mut h = Hierarchy::pi(2);
+        h.access(5, 0, false);
+    }
+}

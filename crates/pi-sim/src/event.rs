@@ -1,0 +1,190 @@
+//! Discrete-event queue with deterministic ordering.
+//!
+//! Events fire in (time, sequence) order: ties on virtual time resolve by
+//! insertion order, so simulations are reproducible bit-for-bit.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Virtual time in cycles.
+pub type Cycles = u64;
+
+/// An entry in the event queue.
+#[derive(Debug, Clone)]
+struct Entry<E> {
+    time: Cycles,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first ordering.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event queue.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    now: Cycles,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: 0,
+        }
+    }
+
+    /// Current virtual time (the time of the last popped event).
+    pub fn now(&self) -> Cycles {
+        self.now
+    }
+
+    /// Schedules `payload` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past — events may not rewrite history.
+    pub fn schedule_at(&mut self, at: Cycles, payload: E) {
+        assert!(at >= self.now, "cannot schedule into the past ({at} < {})", self.now);
+        let entry = Entry {
+            time: at,
+            seq: self.next_seq,
+            payload,
+        };
+        self.next_seq += 1;
+        self.heap.push(entry);
+    }
+
+    /// Schedules `payload` `delay` cycles from now.
+    pub fn schedule_in(&mut self, delay: Cycles, payload: E) {
+        self.schedule_at(self.now + delay, payload);
+    }
+
+    /// Pops the earliest event, advancing virtual time to it.
+    pub fn pop(&mut self) -> Option<(Cycles, E)> {
+        self.heap.pop().map(|e| {
+            self.now = e.time;
+            (e.time, e.payload)
+        })
+    }
+
+    /// Time of the next event without popping it.
+    pub fn peek_time(&self) -> Option<Cycles> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(30, "c");
+        q.schedule_at(10, "a");
+        q.schedule_at(20, "b");
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.pop(), Some((30, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_resolve_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(5, 1);
+        q.schedule_at(5, 2);
+        q.schedule_at(5, 3);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+    }
+
+    #[test]
+    fn now_advances_with_pops() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), 0);
+        q.schedule_in(7, ());
+        q.pop();
+        assert_eq!(q.now(), 7);
+        q.schedule_in(3, ());
+        assert_eq!(q.peek_time(), Some(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_at(10, ());
+        q.pop();
+        q.schedule_at(5, ());
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule_at(1, 0);
+        q.schedule_at(2, 0);
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_is_deterministic() {
+        let run = || {
+            let mut q = EventQueue::new();
+            let mut order = Vec::new();
+            q.schedule_at(1, 100);
+            q.schedule_at(2, 200);
+            while let Some((t, v)) = q.pop() {
+                order.push((t, v));
+                if v < 400 && t < 10 {
+                    q.schedule_in(2, v + 100);
+                }
+            }
+            order
+        };
+        assert_eq!(run(), run());
+    }
+}

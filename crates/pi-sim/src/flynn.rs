@@ -1,0 +1,112 @@
+//! Flynn's taxonomy (Assignment 3: "Classify parallel computers based
+//! on Flynn's taxonomy — briefly describe each one of them").
+
+/// Flynn's four classes of computer architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlynnClass {
+    /// Single Instruction, Single Data: a classic serial processor.
+    Sisd,
+    /// Single Instruction, Multiple Data: one instruction stream over
+    /// many data lanes (vector units, GPUs).
+    Simd,
+    /// Multiple Instruction, Single Data: several instruction streams
+    /// over one datum (rare; fault-tolerant pipelines).
+    Misd,
+    /// Multiple Instruction, Multiple Data: independent processors on
+    /// independent data (multicore, clusters).
+    Mimd,
+}
+
+impl FlynnClass {
+    /// All four classes.
+    pub const ALL: [FlynnClass; 4] = [
+        FlynnClass::Sisd,
+        FlynnClass::Simd,
+        FlynnClass::Misd,
+        FlynnClass::Mimd,
+    ];
+
+    /// Classifies by instruction-stream and data-stream multiplicity.
+    pub fn classify(instruction_streams: usize, data_streams: usize) -> Option<FlynnClass> {
+        match (instruction_streams, data_streams) {
+            (0, _) | (_, 0) => None,
+            (1, 1) => Some(FlynnClass::Sisd),
+            (1, _) => Some(FlynnClass::Simd),
+            (_, 1) => Some(FlynnClass::Misd),
+            (_, _) => Some(FlynnClass::Mimd),
+        }
+    }
+
+    /// The worksheet's brief description.
+    pub fn description(&self) -> &'static str {
+        match self {
+            FlynnClass::Sisd => {
+                "one instruction stream operates on one data stream; a classic serial uniprocessor"
+            }
+            FlynnClass::Simd => {
+                "one instruction stream applied to many data elements at once; vector units and GPUs"
+            }
+            FlynnClass::Misd => {
+                "several instruction streams over one data stream; rare, used for redundancy/fault tolerance"
+            }
+            FlynnClass::Mimd => {
+                "independent processors execute independent instructions on independent data; multicore CPUs and clusters"
+            }
+        }
+    }
+
+    /// A canonical example system.
+    pub fn example(&self) -> &'static str {
+        match self {
+            FlynnClass::Sisd => "the original Raspberry Pi Model B+ (single ARM1176 core)",
+            FlynnClass::Simd => "the Cortex-A53's NEON vector unit",
+            FlynnClass::Misd => "triple-redundant flight-control voting pipelines",
+            FlynnClass::Mimd => "the Raspberry Pi 3's four Cortex-A53 cores running OpenMP threads",
+        }
+    }
+}
+
+/// Where the course's own machines land: the quad-core Pi is MIMD, and
+/// OpenMP's shared-memory threads exploit exactly that class.
+pub fn classify_pi(model: crate::soc::PiModel) -> FlynnClass {
+    let spec = model.spec();
+    FlynnClass::classify(spec.cores, spec.cores).expect("cores >= 1")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::soc::PiModel;
+
+    #[test]
+    fn classification_matrix() {
+        assert_eq!(FlynnClass::classify(1, 1), Some(FlynnClass::Sisd));
+        assert_eq!(FlynnClass::classify(1, 64), Some(FlynnClass::Simd));
+        assert_eq!(FlynnClass::classify(3, 1), Some(FlynnClass::Misd));
+        assert_eq!(FlynnClass::classify(4, 4), Some(FlynnClass::Mimd));
+        assert_eq!(FlynnClass::classify(0, 4), None);
+        assert_eq!(FlynnClass::classify(4, 0), None);
+    }
+
+    #[test]
+    fn every_class_has_description_and_example() {
+        for c in FlynnClass::ALL {
+            assert!(c.description().len() > 30, "{c:?}");
+            assert!(!c.example().is_empty());
+        }
+    }
+
+    #[test]
+    fn the_pis_classify_as_the_course_teaches() {
+        assert_eq!(classify_pi(PiModel::ModelBPlus), FlynnClass::Sisd);
+        assert_eq!(classify_pi(PiModel::Pi3B), FlynnClass::Mimd);
+        assert_eq!(classify_pi(PiModel::Pi3BPlus), FlynnClass::Mimd);
+    }
+
+    #[test]
+    fn descriptions_name_the_canonical_hardware() {
+        assert!(FlynnClass::Simd.description().contains("GPU"));
+        assert!(FlynnClass::Mimd.description().contains("multicore"));
+        assert!(FlynnClass::Mimd.example().contains("OpenMP"));
+    }
+}

@@ -1,0 +1,777 @@
+//! The simulated machine: cores, an OS-style round-robin scheduler,
+//! locks, barriers, the cache hierarchy, and virtual-time accounting.
+//!
+//! [`Machine::run`] takes one [`Program`] per software thread, schedules
+//! them over the configured number of hardware cores (time-slicing when
+//! oversubscribed, as in the course's "increase the number of threads to
+//! 5" question on a 4-core Pi), and returns a [`RunReport`] of virtual
+//! cycles — deterministic on any host.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::cache::{CacheStats, Hierarchy, HitLevel};
+use crate::event::{Cycles, EventQueue};
+use crate::program::{Op, Program};
+use crate::trace::{ExecutionTrace, TraceSegment};
+
+/// Tunable machine parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineConfig {
+    /// Number of hardware cores.
+    pub cores: usize,
+    /// Scheduler time slice in cycles.
+    pub quantum: Cycles,
+    /// Cost of switching a core between different threads.
+    pub context_switch: Cycles,
+    /// L1 hit latency.
+    pub l1_latency: Cycles,
+    /// L2 hit latency.
+    pub l2_latency: Cycles,
+    /// Base main-memory latency.
+    pub memory_latency: Cycles,
+    /// Extra cost of an atomic read-modify-write.
+    pub rmw_penalty: Cycles,
+    /// Cost of an uncontended lock acquire/release.
+    pub lock_overhead: Cycles,
+    /// Extra memory latency per additional busy core (bus contention):
+    /// effective = base * (1 + factor * (busy − 1)).
+    pub contention_factor: f64,
+    /// Maximum memory operations simulated per scheduling event. Smaller
+    /// values interleave concurrent access streams more finely (needed
+    /// for coherence ping-pong fidelity) at the cost of more events.
+    pub mem_ops_per_slice: u32,
+}
+
+impl MachineConfig {
+    /// A Raspberry Pi 3-like quad-core configuration.
+    pub fn pi() -> Self {
+        MachineConfig {
+            cores: 4,
+            quantum: 50_000,
+            context_switch: 1_000,
+            l1_latency: 1,
+            l2_latency: 12,
+            memory_latency: 60,
+            rmw_penalty: 20,
+            lock_overhead: 10,
+            contention_factor: 0.3,
+            mem_ops_per_slice: 4,
+        }
+    }
+
+    /// Same machine restricted to one core (for sequential baselines).
+    pub fn pi_single_core() -> Self {
+        MachineConfig {
+            cores: 1,
+            ..Self::pi()
+        }
+    }
+
+    /// Pi configuration with an arbitrary core count.
+    pub fn pi_with_cores(cores: usize) -> Self {
+        MachineConfig {
+            cores,
+            ..Self::pi()
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ThreadState {
+    Ready,
+    Running,
+    BlockedOnLock(u32),
+    BlockedOnBarrier(u32),
+    Done,
+}
+
+#[derive(Debug)]
+struct Thread {
+    program: Program,
+    pc: usize,
+    /// Cycles still owed on a partially executed Compute op.
+    compute_remaining: Cycles,
+    state: ThreadState,
+    finish_time: Option<Cycles>,
+    compute_cycles: Cycles,
+    memory_cycles: Cycles,
+    sync_wait: Cycles,
+    sched_wait: Cycles,
+    block_start: Cycles,
+    ready_since: Cycles,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SliceEnd {
+    Finished,
+    QuantumExpired,
+    ReachedSync,
+    /// The per-slice memory-op budget was exhausted; the thread keeps
+    /// its core and continues, but peers' accesses interleave.
+    MemoryBatch,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SliceEvent {
+    core: usize,
+    thread: usize,
+    end: SliceEnd,
+}
+
+#[derive(Debug, Default)]
+struct Lock {
+    holder: Option<usize>,
+    waiters: VecDeque<usize>,
+    contended_acquires: u64,
+}
+
+#[derive(Debug, Default)]
+struct Barrier {
+    arrived: Vec<usize>,
+    episodes: u64,
+}
+
+/// Per-thread timing report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadReport {
+    /// Virtual time at which the thread finished.
+    pub finish_time: Cycles,
+    /// Cycles spent computing.
+    pub compute_cycles: Cycles,
+    /// Cycles spent waiting on memory.
+    pub memory_cycles: Cycles,
+    /// Cycles spent blocked on locks/barriers.
+    pub sync_wait: Cycles,
+    /// Cycles spent runnable but waiting for a core.
+    pub sched_wait: Cycles,
+}
+
+/// Result of a whole run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Virtual makespan: when the last thread finished.
+    pub total_cycles: Cycles,
+    /// Per-thread details, indexed like the input programs.
+    pub threads: Vec<ThreadReport>,
+    /// Per-core cache statistics.
+    pub cache_stats: Vec<CacheStats>,
+    /// Number of lock acquisitions that had to wait.
+    pub contended_lock_acquires: u64,
+    /// Number of completed barrier episodes.
+    pub barrier_episodes: u64,
+    /// Number of context switches performed.
+    pub context_switches: u64,
+}
+
+impl RunReport {
+    /// Speedup of this run relative to a baseline makespan.
+    pub fn speedup_vs(&self, baseline_cycles: Cycles) -> f64 {
+        baseline_cycles as f64 / self.total_cycles as f64
+    }
+}
+
+/// The simulated quad-core machine.
+#[derive(Debug)]
+pub struct Machine {
+    config: MachineConfig,
+}
+
+impl Machine {
+    /// Creates a machine with the given configuration.
+    ///
+    /// # Panics
+    /// Panics on a zero core count or zero quantum.
+    pub fn new(config: MachineConfig) -> Self {
+        assert!(config.cores >= 1, "need at least one core");
+        assert!(config.quantum >= 1, "quantum must be positive");
+        Machine { config }
+    }
+
+    /// A Pi-like quad-core machine.
+    pub fn pi() -> Self {
+        Machine::new(MachineConfig::pi())
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Runs one program per thread to completion; returns the report.
+    pub fn run(&self, programs: Vec<Program>) -> RunReport {
+        Simulation::new(&self.config, programs).run().0
+    }
+
+    /// Like [`Machine::run`], additionally recording the schedule as an
+    /// [`ExecutionTrace`] (who ran where, when).
+    pub fn run_traced(&self, programs: Vec<Program>) -> (RunReport, ExecutionTrace) {
+        let mut sim = Simulation::new(&self.config, programs);
+        sim.trace = Some(Vec::new());
+        let (report, trace) = sim.run();
+        (report, trace.expect("tracing was enabled"))
+    }
+
+    /// Convenience: run a single sequential program.
+    pub fn run_sequential(&self, program: Program) -> RunReport {
+        self.run(vec![program])
+    }
+}
+
+struct Simulation<'c> {
+    config: &'c MachineConfig,
+    threads: Vec<Thread>,
+    cores: Vec<Option<usize>>,
+    last_on_core: Vec<Option<usize>>,
+    ready: VecDeque<usize>,
+    locks: HashMap<u32, Lock>,
+    barriers: HashMap<u32, Barrier>,
+    caches: Hierarchy,
+    events: EventQueue<SliceEvent>,
+    context_switches: u64,
+    trace: Option<Vec<TraceSegment>>,
+}
+
+impl<'c> Simulation<'c> {
+    fn new(config: &'c MachineConfig, programs: Vec<Program>) -> Self {
+        let threads = programs
+            .into_iter()
+            .map(|program| Thread {
+                program,
+                pc: 0,
+                compute_remaining: 0,
+                state: ThreadState::Ready,
+                finish_time: None,
+                compute_cycles: 0,
+                memory_cycles: 0,
+                sync_wait: 0,
+                sched_wait: 0,
+                block_start: 0,
+                ready_since: 0,
+            })
+            .collect::<Vec<_>>();
+        let ready = (0..threads.len()).collect();
+        Simulation {
+            config,
+            threads,
+            cores: vec![None; config.cores],
+            last_on_core: vec![None; config.cores],
+            ready,
+            locks: HashMap::new(),
+            barriers: HashMap::new(),
+            caches: Hierarchy::pi(config.cores),
+            events: EventQueue::new(),
+            context_switches: 0,
+            trace: None,
+        }
+    }
+
+    fn busy_cores(&self) -> usize {
+        self.cores.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Latency of one memory access for `thread` on `core` right now.
+    fn access_cost(&mut self, core: usize, addr: u64, write: bool, rmw: bool) -> Cycles {
+        let outcome = self.caches.access(core, addr, write);
+        let base = match outcome.level {
+            HitLevel::L1 => self.config.l1_latency,
+            HitLevel::L2 => self.config.l2_latency,
+            HitLevel::Memory => {
+                let busy = self.busy_cores().max(1);
+                let scaled = self.config.memory_latency as f64
+                    * (1.0 + self.config.contention_factor * (busy - 1) as f64);
+                scaled.round() as Cycles
+            }
+        };
+        let coherence = outcome.invalidations as Cycles * self.config.l2_latency;
+        let rmw_cost = if rmw { self.config.rmw_penalty } else { 0 };
+        base + coherence + rmw_cost
+    }
+
+    /// Dispatches ready threads onto idle cores.
+    fn dispatch_all(&mut self) {
+        while let Some(core) = self.cores.iter().position(|c| c.is_none()) {
+            let Some(tid) = self.ready.pop_front() else {
+                break;
+            };
+            self.dispatch(core, tid);
+        }
+    }
+
+    fn dispatch(&mut self, core: usize, tid: usize) {
+        let now = self.events.now();
+        let mut start_delay = 0;
+        if self.last_on_core[core] != Some(tid) && self.last_on_core[core].is_some() {
+            start_delay = self.config.context_switch;
+            self.context_switches += 1;
+        }
+        self.threads[tid].sched_wait += now.saturating_sub(self.threads[tid].ready_since);
+        self.threads[tid].state = ThreadState::Running;
+        self.cores[core] = Some(tid);
+        self.last_on_core[core] = Some(tid);
+        self.run_slice(core, tid, start_delay);
+    }
+
+    /// Simulates a slice for `tid` on `core`, scheduling its end event.
+    fn run_slice(&mut self, core: usize, tid: usize, start_delay: Cycles) {
+        let mut elapsed = start_delay;
+        let quantum = self.config.quantum;
+        let mut mem_ops_left = self.config.mem_ops_per_slice;
+        let end;
+        loop {
+            if elapsed >= quantum {
+                end = SliceEnd::QuantumExpired;
+                break;
+            }
+            if mem_ops_left == 0 {
+                end = SliceEnd::MemoryBatch;
+                break;
+            }
+            // Finish a partially executed compute burst first.
+            if self.threads[tid].compute_remaining > 0 {
+                let budget = quantum - elapsed;
+                let step = self.threads[tid].compute_remaining.min(budget);
+                self.threads[tid].compute_remaining -= step;
+                self.threads[tid].compute_cycles += step;
+                elapsed += step;
+                continue;
+            }
+            let Some(&op) = self.threads[tid].program.ops().get(self.threads[tid].pc) else {
+                end = SliceEnd::Finished;
+                break;
+            };
+            match op {
+                Op::Compute(c) => {
+                    self.threads[tid].pc += 1;
+                    self.threads[tid].compute_remaining = c;
+                }
+                Op::Read(addr) => {
+                    self.threads[tid].pc += 1;
+                    let cost = self.access_cost(core, addr, false, false);
+                    self.threads[tid].memory_cycles += cost;
+                    elapsed += cost;
+                    mem_ops_left -= 1;
+                }
+                Op::Write(addr) => {
+                    self.threads[tid].pc += 1;
+                    let cost = self.access_cost(core, addr, true, false);
+                    self.threads[tid].memory_cycles += cost;
+                    elapsed += cost;
+                    mem_ops_left -= 1;
+                }
+                Op::AtomicRmw(addr) => {
+                    self.threads[tid].pc += 1;
+                    let cost = self.access_cost(core, addr, true, true);
+                    self.threads[tid].memory_cycles += cost;
+                    elapsed += cost;
+                    mem_ops_left -= 1;
+                }
+                Op::Barrier { .. } | Op::LockAcquire(_) | Op::LockRelease(_) => {
+                    // Synchronisation decisions happen at the correct
+                    // virtual time, when the event pops.
+                    end = SliceEnd::ReachedSync;
+                    break;
+                }
+            }
+        }
+        if elapsed > 0 {
+            if let Some(trace) = &mut self.trace {
+                let now = self.events.now();
+                trace.push(TraceSegment {
+                    core,
+                    thread: tid,
+                    start: now,
+                    end: now + elapsed,
+                });
+            }
+        }
+        self.events.schedule_in(
+            elapsed,
+            SliceEvent {
+                core,
+                thread: tid,
+                end,
+            },
+        );
+    }
+
+    fn make_ready(&mut self, tid: usize) {
+        let now = self.events.now();
+        let t = &mut self.threads[tid];
+        if matches!(
+            t.state,
+            ThreadState::BlockedOnLock(_) | ThreadState::BlockedOnBarrier(_)
+        ) {
+            t.sync_wait += now - t.block_start;
+        }
+        t.state = ThreadState::Ready;
+        t.ready_since = now;
+        self.ready.push_back(tid);
+    }
+
+    fn block(&mut self, core: usize, tid: usize, state: ThreadState) {
+        let now = self.events.now();
+        self.threads[tid].state = state;
+        self.threads[tid].block_start = now;
+        self.cores[core] = None;
+    }
+
+    /// Handles the sync op at `pc` when its moment arrives. Returns true
+    /// if the thread keeps the core (continue slicing), false if it
+    /// blocked or finished.
+    fn handle_sync(&mut self, core: usize, tid: usize) -> bool {
+        let op = self.threads[tid].program.ops()[self.threads[tid].pc];
+        match op {
+            Op::LockAcquire(id) => {
+                let lock = self.locks.entry(id).or_default();
+                match lock.holder {
+                    None => {
+                        lock.holder = Some(tid);
+                        self.threads[tid].pc += 1;
+                        self.threads[tid].compute_remaining = self.config.lock_overhead;
+                        true
+                    }
+                    Some(h) if h == tid => {
+                        // Woken waiter re-executing the acquire.
+                        self.threads[tid].pc += 1;
+                        true
+                    }
+                    Some(_) => {
+                        lock.waiters.push_back(tid);
+                        lock.contended_acquires += 1;
+                        self.block(core, tid, ThreadState::BlockedOnLock(id));
+                        false
+                    }
+                }
+            }
+            Op::LockRelease(id) => {
+                let lock = self.locks.entry(id).or_default();
+                assert_eq!(
+                    lock.holder,
+                    Some(tid),
+                    "thread {tid} released lock {id} it does not hold"
+                );
+                lock.holder = lock.waiters.pop_front();
+                self.threads[tid].pc += 1;
+                self.threads[tid].compute_remaining = self.config.lock_overhead;
+                if let Some(next) = lock.holder {
+                    self.make_ready(next);
+                }
+                true
+            }
+            Op::Barrier { id, participants } => {
+                let barrier = self.barriers.entry(id).or_default();
+                barrier.arrived.push(tid);
+                if barrier.arrived.len() as u32 >= participants {
+                    barrier.episodes += 1;
+                    let released = std::mem::take(&mut barrier.arrived);
+                    for other in released {
+                        self.threads[other].pc += 1;
+                        if other != tid {
+                            self.make_ready(other);
+                        }
+                    }
+                    true
+                } else {
+                    self.block(core, tid, ThreadState::BlockedOnBarrier(id));
+                    false
+                }
+            }
+            other => unreachable!("handle_sync on non-sync op {other:?}"),
+        }
+    }
+
+    fn run(mut self) -> (RunReport, Option<ExecutionTrace>) {
+        self.dispatch_all();
+        while let Some((_, ev)) = self.events.pop() {
+            let SliceEvent { core, thread, end } = ev;
+            match end {
+                SliceEnd::Finished => {
+                    let now = self.events.now();
+                    self.threads[thread].state = ThreadState::Done;
+                    self.threads[thread].finish_time = Some(now);
+                    self.cores[core] = None;
+                    self.dispatch_all();
+                }
+                SliceEnd::QuantumExpired => {
+                    if self.ready.is_empty() {
+                        // No competition: keep the core, fresh quantum.
+                        self.run_slice(core, thread, 0);
+                    } else {
+                        self.cores[core] = None;
+                        self.make_ready(thread);
+                        self.dispatch_all();
+                    }
+                }
+                SliceEnd::MemoryBatch => {
+                    self.run_slice(core, thread, 0);
+                }
+                SliceEnd::ReachedSync => {
+                    if self.handle_sync(core, thread) {
+                        self.run_slice(core, thread, 0);
+                    }
+                    self.dispatch_all();
+                }
+            }
+        }
+        let makespan = self
+            .threads
+            .iter()
+            .filter_map(|t| t.finish_time)
+            .max()
+            .unwrap_or(0);
+        debug_assert!(
+            self.threads.iter().all(|t| t.state == ThreadState::Done),
+            "deadlock: some threads never finished"
+        );
+        let trace = self.trace.take().map(|segments| ExecutionTrace {
+            segments,
+            total: makespan,
+        });
+        let report = RunReport {
+            total_cycles: makespan,
+            threads: self
+                .threads
+                .iter()
+                .map(|t| ThreadReport {
+                    finish_time: t.finish_time.unwrap_or(0),
+                    compute_cycles: t.compute_cycles,
+                    memory_cycles: t.memory_cycles,
+                    sync_wait: t.sync_wait,
+                    sched_wait: t.sched_wait,
+                })
+                .collect(),
+            cache_stats: self.caches.stats.clone(),
+            contended_lock_acquires: self.locks.values().map(|l| l.contended_acquires).sum(),
+            barrier_episodes: self.barriers.values().map(|b| b.episodes).sum(),
+            context_switches: self.context_switches,
+        };
+        (report, trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compute_threads(n: usize, cycles: Cycles) -> Vec<Program> {
+        (0..n).map(|_| Program::new().compute(cycles)).collect()
+    }
+
+    #[test]
+    fn empty_run_reports_zero() {
+        let r = Machine::pi().run(vec![]);
+        assert_eq!(r.total_cycles, 0);
+        assert!(r.threads.is_empty());
+    }
+
+    #[test]
+    fn single_thread_compute_time_is_exact() {
+        let r = Machine::pi().run_sequential(Program::new().compute(123_456));
+        assert_eq!(r.total_cycles, 123_456);
+        assert_eq!(r.threads[0].compute_cycles, 123_456);
+        assert_eq!(r.threads[0].sync_wait, 0);
+    }
+
+    #[test]
+    fn four_threads_on_four_cores_run_in_parallel() {
+        let r = Machine::pi().run(compute_threads(4, 1_000_000));
+        // Perfect parallelism: makespan equals one thread's work.
+        assert_eq!(r.total_cycles, 1_000_000);
+        assert_eq!(r.context_switches, 0);
+    }
+
+    #[test]
+    fn five_threads_on_four_cores_take_longer() {
+        let four = Machine::pi().run(compute_threads(4, 1_000_000));
+        let five = Machine::pi().run(compute_threads(5, 1_000_000));
+        // 5 threads of equal work on 4 cores: makespan ≈ 2x the 4-thread
+        // case is wrong (time-slicing spreads it) but must exceed it.
+        assert!(five.total_cycles > four.total_cycles);
+        assert!(five.context_switches > 0, "oversubscription forces switches");
+        // Total work conserved.
+        let total: Cycles = five.threads.iter().map(|t| t.compute_cycles).sum();
+        assert_eq!(total, 5_000_000);
+    }
+
+    #[test]
+    fn speedup_shape_matches_amdahl_expectations() {
+        // The same total work split over 1, 2, 4 threads on 4 cores.
+        let total: Cycles = 4_000_000;
+        let t1 = Machine::pi().run(vec![Program::new().compute(total)]);
+        let t2 = Machine::pi().run(compute_threads(2, total / 2));
+        let t4 = Machine::pi().run(compute_threads(4, total / 4));
+        let s2 = t1.total_cycles as f64 / t2.total_cycles as f64;
+        let s4 = t1.total_cycles as f64 / t4.total_cycles as f64;
+        assert!((s2 - 2.0).abs() < 0.05, "s2 = {s2}");
+        assert!((s4 - 4.0).abs() < 0.1, "s4 = {s4}");
+    }
+
+    #[test]
+    fn memory_traffic_costs_cycles() {
+        let touch: Program = (0..100u64).map(|i| Op::Read(i * 64)).collect();
+        let r = Machine::pi().run(vec![touch]);
+        assert!(r.threads[0].memory_cycles >= 100 * 60, "all cold misses");
+        assert_eq!(r.total_cycles, r.threads[0].memory_cycles);
+    }
+
+    #[test]
+    fn cached_rereads_are_cheap() {
+        let cold: Program = (0..64u64).map(|i| Op::Read(i * 64)).collect();
+        let warm = cold.clone().then(&cold);
+        let r_cold = Machine::pi().run(vec![cold]);
+        let r_warm = Machine::pi().run(vec![warm]);
+        // The second pass hits L1: far less than double the time.
+        assert!(r_warm.total_cycles < r_cold.total_cycles * 3 / 2);
+    }
+
+    #[test]
+    fn barrier_synchronises_threads() {
+        // Thread 0 computes little, thread 1 a lot; both meet at the
+        // barrier, so finish times converge after it.
+        let p0 = Program::new().compute(1_000).barrier(7, 2).compute(10);
+        let p1 = Program::new().compute(500_000).barrier(7, 2).compute(10);
+        let r = Machine::pi().run(vec![p0, p1]);
+        assert_eq!(r.barrier_episodes, 1);
+        assert!(r.threads[0].sync_wait >= 490_000, "fast thread waited");
+        let gap = r.threads[0]
+            .finish_time
+            .abs_diff(r.threads[1].finish_time);
+        assert!(gap < 1_000, "both finish shortly after the barrier");
+    }
+
+    #[test]
+    fn barrier_reuse_across_iterations() {
+        let make = |n: u32| {
+            let mut p = Program::new();
+            for _ in 0..n {
+                p = p.compute(1_000).barrier(3, 2);
+            }
+            p
+        };
+        let r = Machine::pi().run(vec![make(5), make(5)]);
+        assert_eq!(r.barrier_episodes, 5);
+    }
+
+    #[test]
+    fn lock_serialises_critical_sections() {
+        // Two threads each do 10 critical sections of 10_000 cycles.
+        let crit = |n: u32| {
+            let mut p = Program::new();
+            for _ in 0..n {
+                p = p.lock(1).compute(10_000).unlock(1);
+            }
+            p
+        };
+        let r = Machine::pi().run(vec![crit(10), crit(10)]);
+        // 200_000 cycles of critical work must serialise.
+        assert!(r.total_cycles >= 200_000);
+        assert!(r.contended_lock_acquires > 0);
+    }
+
+    #[test]
+    fn uncontended_locks_are_cheap() {
+        let p = Program::new().lock(9).compute(100).unlock(9);
+        let r = Machine::pi().run(vec![p]);
+        assert_eq!(r.contended_lock_acquires, 0);
+        assert!(r.total_cycles < 1_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not hold")]
+    fn releasing_unheld_lock_panics() {
+        let p = Program::new().unlock(4);
+        let _ = Machine::pi().run(vec![p]);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mk = || {
+            let progs: Vec<Program> = (0..6)
+                .map(|i| {
+                    Program::new()
+                        .compute(10_000 + i * 777)
+                        .lock(0)
+                        .compute(500)
+                        .unlock(0)
+                        .barrier(1, 6)
+                        .compute(2_000)
+                })
+                .collect();
+            Machine::pi().run(progs)
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.total_cycles, b.total_cycles);
+        for (x, y) in a.threads.iter().zip(&b.threads) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn atomic_rmw_pays_penalty_and_coherence() {
+        // Four threads hammering one atomic counter vs four disjoint ones.
+        let shared: Vec<Program> = (0..4)
+            .map(|_| (0..50).map(|_| Op::AtomicRmw(0x100)).collect())
+            .collect();
+        let disjoint: Vec<Program> = (0..4u64)
+            .map(|t| (0..50).map(|_| Op::AtomicRmw(0x100 + t * 4096)).collect())
+            .collect();
+        let rs = Machine::pi().run(shared);
+        let rd = Machine::pi().run(disjoint);
+        assert!(
+            rs.total_cycles > rd.total_cycles,
+            "contended atomics slower: {} vs {}",
+            rs.total_cycles,
+            rd.total_cycles
+        );
+    }
+
+    #[test]
+    fn single_core_machine_serialises_everything() {
+        let m = Machine::new(MachineConfig::pi_single_core());
+        let r = m.run(compute_threads(4, 100_000));
+        assert!(r.total_cycles >= 400_000);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_covers_cores() {
+        let programs = compute_threads(6, 200_000);
+        let plain = Machine::pi().run(programs.clone());
+        let (report, trace) = Machine::pi().run_traced(programs);
+        assert_eq!(report.total_cycles, plain.total_cycles);
+        assert_eq!(trace.total, report.total_cycles);
+        // All four cores did work; oversubscription put >1 thread on
+        // some core.
+        let utilization = trace.utilization(4);
+        assert!(utilization.iter().all(|&u| u > 0.0), "{utilization:?}");
+        assert!((0..4).any(|c| trace.threads_on_core(c).len() > 1));
+        // Segments never overlap on one core.
+        for core in 0..4 {
+            let mut segs: Vec<_> = trace
+                .segments
+                .iter()
+                .filter(|s| s.core == core)
+                .collect();
+            segs.sort_by_key(|s| s.start);
+            assert!(segs.windows(2).all(|w| w[0].end <= w[1].start));
+        }
+    }
+
+    #[test]
+    fn gantt_renders_for_a_simple_run() {
+        let (_, trace) = Machine::pi().run_traced(compute_threads(2, 100_000));
+        let gantt = trace.render_gantt(4, 40);
+        assert_eq!(gantt.lines().count(), 4);
+        assert!(gantt.contains('0'));
+        assert!(gantt.contains('1'));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_panics() {
+        let _ = Machine::new(MachineConfig {
+            cores: 0,
+            ..MachineConfig::pi()
+        });
+    }
+}

@@ -1,0 +1,184 @@
+//! Parallel-performance arithmetic: speedup, efficiency, Amdahl's and
+//! Gustafson's laws, and the Karp–Flatt experimentally determined serial
+//! fraction. Used by the benches and by the course material's
+//! "Introduction to Parallel Computing" discussion questions.
+
+/// Speedup `S(p) = T1 / Tp`.
+///
+/// # Panics
+/// Panics if `parallel_time` is zero.
+pub fn speedup(serial_time: f64, parallel_time: f64) -> f64 {
+    assert!(parallel_time > 0.0, "parallel time must be positive");
+    serial_time / parallel_time
+}
+
+/// Parallel efficiency `E(p) = S(p) / p`.
+pub fn efficiency(serial_time: f64, parallel_time: f64, processors: usize) -> f64 {
+    assert!(processors > 0, "processor count must be positive");
+    speedup(serial_time, parallel_time) / processors as f64
+}
+
+/// Amdahl's law: maximum speedup on `p` processors when fraction
+/// `serial_fraction` of the work cannot be parallelised.
+pub fn amdahl_speedup(serial_fraction: f64, processors: usize) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&serial_fraction),
+        "serial fraction must be in [0,1]"
+    );
+    assert!(processors > 0);
+    let p = processors as f64;
+    1.0 / (serial_fraction + (1.0 - serial_fraction) / p)
+}
+
+/// Amdahl's asymptotic limit `1 / serial_fraction` as p → ∞.
+pub fn amdahl_limit(serial_fraction: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&serial_fraction));
+    if serial_fraction == 0.0 {
+        f64::INFINITY
+    } else {
+        1.0 / serial_fraction
+    }
+}
+
+/// Gustafson's law: scaled speedup `p − s·(p − 1)` when the problem
+/// grows with the machine.
+pub fn gustafson_speedup(serial_fraction: f64, processors: usize) -> f64 {
+    assert!((0.0..=1.0).contains(&serial_fraction));
+    assert!(processors > 0);
+    let p = processors as f64;
+    p - serial_fraction * (p - 1.0)
+}
+
+/// Karp–Flatt metric: the experimentally determined serial fraction
+/// `e = (1/S − 1/p) / (1 − 1/p)` from a measured speedup `s` on `p`
+/// processors. Rising e with p indicates parallel overhead.
+pub fn karp_flatt(measured_speedup: f64, processors: usize) -> f64 {
+    assert!(processors > 1, "Karp-Flatt needs p > 1");
+    assert!(measured_speedup > 0.0);
+    let p = processors as f64;
+    (1.0 / measured_speedup - 1.0 / p) / (1.0 - 1.0 / p)
+}
+
+/// A (processors, time) series summarised into speedup/efficiency rows —
+/// the standard scaling-study table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingRow {
+    /// Processor count for this row.
+    pub processors: usize,
+    /// Measured time (any consistent unit).
+    pub time: f64,
+    /// Speedup vs the first row.
+    pub speedup: f64,
+    /// Efficiency vs the first row.
+    pub efficiency: f64,
+}
+
+/// Builds a scaling table from `(processors, time)` measurements; the
+/// first entry is the baseline.
+///
+/// # Panics
+/// Panics on an empty series or non-positive times.
+pub fn scaling_table(series: &[(usize, f64)]) -> Vec<ScalingRow> {
+    assert!(!series.is_empty(), "need at least one measurement");
+    let baseline = series[0].1;
+    assert!(baseline > 0.0, "times must be positive");
+    series
+        .iter()
+        .map(|&(p, t)| {
+            assert!(t > 0.0, "times must be positive");
+            ScalingRow {
+                processors: p,
+                time: t,
+                speedup: baseline / t,
+                efficiency: baseline / t / p as f64,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_and_efficiency_basics() {
+        assert_eq!(speedup(100.0, 25.0), 4.0);
+        assert_eq!(efficiency(100.0, 25.0, 4), 1.0);
+        assert_eq!(efficiency(100.0, 50.0, 4), 0.5);
+    }
+
+    #[test]
+    fn amdahl_known_points() {
+        // 10% serial, 4 cores → 1/(0.1 + 0.9/4) = 3.077
+        assert!((amdahl_speedup(0.1, 4) - 3.0769).abs() < 1e-3);
+        // Fully parallel → p.
+        assert_eq!(amdahl_speedup(0.0, 8), 8.0);
+        // Fully serial → 1.
+        assert_eq!(amdahl_speedup(1.0, 64), 1.0);
+    }
+
+    #[test]
+    fn amdahl_limit_cases() {
+        assert_eq!(amdahl_limit(0.25), 4.0);
+        assert_eq!(amdahl_limit(0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn amdahl_is_monotone_in_p_and_bounded() {
+        let f = 0.05;
+        let mut last = 0.0;
+        for p in 1..=256 {
+            let s = amdahl_speedup(f, p);
+            assert!(s >= last);
+            assert!(s <= amdahl_limit(f));
+            last = s;
+        }
+    }
+
+    #[test]
+    fn gustafson_exceeds_amdahl_for_scaled_problems() {
+        let f = 0.1;
+        for p in [2usize, 4, 16] {
+            assert!(gustafson_speedup(f, p) > amdahl_speedup(f, p));
+        }
+        assert_eq!(gustafson_speedup(0.0, 4), 4.0);
+        assert_eq!(gustafson_speedup(1.0, 4), 1.0);
+    }
+
+    #[test]
+    fn karp_flatt_recovers_serial_fraction() {
+        // If measured speedup follows Amdahl exactly, Karp-Flatt
+        // recovers the serial fraction.
+        let f = 0.2;
+        for p in [2usize, 4, 8] {
+            let s = amdahl_speedup(f, p);
+            assert!((karp_flatt(s, p) - f).abs() < 1e-12, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn karp_flatt_zero_for_perfect_scaling() {
+        assert!((karp_flatt(4.0, 4)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaling_table_rows() {
+        let t = scaling_table(&[(1, 100.0), (2, 55.0), (4, 30.0)]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[0].speedup, 1.0);
+        assert!((t[1].speedup - 100.0 / 55.0).abs() < 1e-12);
+        assert!((t[2].efficiency - 100.0 / 30.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one measurement")]
+    fn empty_scaling_table_panics() {
+        let _ = scaling_table(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_parallel_time_panics() {
+        let _ = speedup(1.0, 0.0);
+    }
+}

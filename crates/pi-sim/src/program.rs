@@ -1,0 +1,206 @@
+//! Abstract thread programs executed by the simulated machine.
+//!
+//! A [`Program`] is a straight-line sequence of coarse-grained [`Op`]s:
+//! compute bursts, memory accesses, and synchronisation actions. The
+//! OpenMP-like runtime's simulated backend lowers parallel constructs
+//! into one program per thread.
+
+use crate::event::Cycles;
+
+/// One abstract operation in a thread program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Pure computation for the given number of cycles.
+    Compute(Cycles),
+    /// Read the byte at the given address (goes through the caches).
+    Read(u64),
+    /// Write the byte at the given address (coherence traffic applies).
+    Write(u64),
+    /// Wait on barrier `id` until `participants` threads have arrived.
+    Barrier {
+        /// Barrier identity; reusing an id re-uses its arrival counter
+        /// generation-wise, so loops over barriers work.
+        id: u32,
+        /// Number of threads that must arrive before any proceed.
+        participants: u32,
+    },
+    /// Acquire mutual-exclusion lock `id` (blocks if held).
+    LockAcquire(u32),
+    /// Release lock `id` (must be held by this thread).
+    LockRelease(u32),
+    /// An atomic read-modify-write on the address: a write that also
+    /// pays a fixed RMW penalty, modelling `lock`-prefixed/LL-SC ops.
+    AtomicRmw(u64),
+}
+
+/// A straight-line program for one simulated thread.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    ops: Vec<Op>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Program { ops: Vec::new() }
+    }
+
+    /// Builder: append a compute burst.
+    pub fn compute(mut self, cycles: Cycles) -> Self {
+        self.ops.push(Op::Compute(cycles));
+        self
+    }
+
+    /// Builder: append a read.
+    pub fn read(mut self, addr: u64) -> Self {
+        self.ops.push(Op::Read(addr));
+        self
+    }
+
+    /// Builder: append a write.
+    pub fn write(mut self, addr: u64) -> Self {
+        self.ops.push(Op::Write(addr));
+        self
+    }
+
+    /// Builder: append a barrier.
+    pub fn barrier(mut self, id: u32, participants: u32) -> Self {
+        self.ops.push(Op::Barrier { id, participants });
+        self
+    }
+
+    /// Builder: append a lock acquire.
+    pub fn lock(mut self, id: u32) -> Self {
+        self.ops.push(Op::LockAcquire(id));
+        self
+    }
+
+    /// Builder: append a lock release.
+    pub fn unlock(mut self, id: u32) -> Self {
+        self.ops.push(Op::LockRelease(id));
+        self
+    }
+
+    /// Builder: append an atomic read-modify-write.
+    pub fn atomic_rmw(mut self, addr: u64) -> Self {
+        self.ops.push(Op::AtomicRmw(addr));
+        self
+    }
+
+    /// Builder: append an arbitrary op.
+    pub fn op(mut self, op: Op) -> Self {
+        self.ops.push(op);
+        self
+    }
+
+    /// Builder: append all ops of another program.
+    pub fn then(mut self, other: &Program) -> Self {
+        self.ops.extend_from_slice(&other.ops);
+        self
+    }
+
+    /// The ops, in execution order.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Number of ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when the program has no ops.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Total compute cycles ignoring memory and synchronisation — a lower
+    /// bound on the thread's execution time.
+    pub fn compute_cycles(&self) -> Cycles {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                Op::Compute(c) => *c,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// A compute-only program of `total` cycles split into `chunks`
+    /// bursts — convenient for loop workloads.
+    pub fn uniform_compute(total: Cycles, chunks: usize) -> Self {
+        assert!(chunks > 0, "chunks must be positive");
+        let per = total / chunks as Cycles;
+        let mut p = Program::new();
+        let mut remaining = total;
+        for _ in 0..chunks - 1 {
+            p = p.compute(per);
+            remaining -= per;
+        }
+        p.compute(remaining)
+    }
+}
+
+impl FromIterator<Op> for Program {
+    fn from_iter<I: IntoIterator<Item = Op>>(iter: I) -> Self {
+        Program {
+            ops: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let p = Program::new()
+            .compute(100)
+            .read(0x10)
+            .write(0x20)
+            .barrier(0, 4)
+            .lock(1)
+            .unlock(1)
+            .atomic_rmw(0x30);
+        assert_eq!(p.len(), 7);
+        assert_eq!(p.ops()[0], Op::Compute(100));
+        assert_eq!(p.ops()[3], Op::Barrier { id: 0, participants: 4 });
+    }
+
+    #[test]
+    fn compute_cycles_sums_only_compute() {
+        let p = Program::new().compute(10).read(0).compute(5).atomic_rmw(1);
+        assert_eq!(p.compute_cycles(), 15);
+    }
+
+    #[test]
+    fn uniform_compute_preserves_total() {
+        let p = Program::uniform_compute(1003, 4);
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.compute_cycles(), 1003);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunks must be positive")]
+    fn uniform_compute_zero_chunks_panics() {
+        let _ = Program::uniform_compute(10, 0);
+    }
+
+    #[test]
+    fn then_concatenates() {
+        let a = Program::new().compute(1);
+        let b = Program::new().compute(2);
+        let c = a.then(&b);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.compute_cycles(), 3);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let p: Program = vec![Op::Compute(1), Op::Read(0)].into_iter().collect();
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        assert!(Program::new().is_empty());
+    }
+}

@@ -1,0 +1,270 @@
+//! System-on-Chip component inventory.
+//!
+//! Assignment 2 asks teams to "identify the components on the Raspberry
+//! PI B+" and "how many cores does the Raspberry Pi's B+ CPU have?";
+//! Assignment 3 asks what a SoC is, whether the Pi uses one, and what the
+//! advantages are over separate CPU/GPU/RAM parts. This module encodes
+//! those facts as queryable data so the course material and tests can
+//! check them rather than hard-code strings everywhere.
+
+use std::fmt;
+
+/// Raspberry Pi board generations relevant to the course.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PiModel {
+    /// Raspberry Pi 1 Model B+ (BCM2835, single ARM1176 core).
+    ModelBPlus,
+    /// Raspberry Pi 2 Model B (BCM2836, quad Cortex-A7).
+    Pi2B,
+    /// Raspberry Pi 3 Model B (BCM2837, quad Cortex-A53) — the $35 board
+    /// in the course's $59 kit.
+    Pi3B,
+    /// Raspberry Pi 3 Model B+ (BCM2837B0, quad Cortex-A53 @ 1.4 GHz),
+    /// the board the CSinParallel workshop material targets.
+    Pi3BPlus,
+}
+
+/// A functional block integrated on the SoC die or on the board.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Component {
+    /// Short name, e.g. "CPU".
+    pub name: &'static str,
+    /// What the block does.
+    pub description: &'static str,
+    /// Whether the block is on the SoC die (true) or a separate board
+    /// part (false) — the crux of the CPU-vs-SoC discussion.
+    pub on_die: bool,
+}
+
+/// Specification of one Pi board: the data students collect in
+/// Assignment 2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SocSpec {
+    /// Which board this describes.
+    pub model: PiModel,
+    /// SoC part number, e.g. "BCM2837B0".
+    pub soc: &'static str,
+    /// CPU microarchitecture.
+    pub cpu: &'static str,
+    /// Number of CPU cores.
+    pub cores: usize,
+    /// Nominal clock in MHz.
+    pub clock_mhz: u32,
+    /// RAM in megabytes.
+    pub ram_mb: u32,
+    /// ISA family (all course boards are ARM).
+    pub isa: &'static str,
+    /// Component inventory.
+    pub components: Vec<Component>,
+}
+
+impl PiModel {
+    /// Full specification for the model.
+    pub fn spec(self) -> SocSpec {
+        let components = |gpu: &'static str| {
+            vec![
+                Component {
+                    name: "CPU",
+                    description: "ARM application processor executing the OS and user code",
+                    on_die: true,
+                },
+                Component {
+                    name: "GPU",
+                    description: gpu,
+                    on_die: true,
+                },
+                Component {
+                    name: "RAM",
+                    description: "LPDDR2 SDRAM stacked on or beside the SoC (package-on-package)",
+                    on_die: true,
+                },
+                Component {
+                    name: "USB/Ethernet controller",
+                    description: "LAN951x combo hub providing USB ports and wired networking",
+                    on_die: false,
+                },
+                Component {
+                    name: "microSD slot",
+                    description: "Primary storage; holds the RASPBIAN OS image",
+                    on_die: false,
+                },
+                Component {
+                    name: "GPIO header",
+                    description: "40-pin general-purpose I/O header for electronics projects",
+                    on_die: false,
+                },
+                Component {
+                    name: "HDMI",
+                    description: "Video output driven by the VideoCore display pipeline",
+                    on_die: false,
+                },
+            ]
+        };
+        match self {
+            PiModel::ModelBPlus => SocSpec {
+                model: self,
+                soc: "BCM2835",
+                cpu: "ARM1176JZF-S",
+                cores: 1,
+                clock_mhz: 700,
+                ram_mb: 512,
+                isa: "ARMv6",
+                components: components("Broadcom VideoCore IV graphics and video engine"),
+            },
+            PiModel::Pi2B => SocSpec {
+                model: self,
+                soc: "BCM2836",
+                cpu: "Cortex-A7",
+                cores: 4,
+                clock_mhz: 900,
+                ram_mb: 1024,
+                isa: "ARMv7-A",
+                components: components("Broadcom VideoCore IV graphics and video engine"),
+            },
+            PiModel::Pi3B => SocSpec {
+                model: self,
+                soc: "BCM2837",
+                cpu: "Cortex-A53",
+                cores: 4,
+                clock_mhz: 1200,
+                ram_mb: 1024,
+                isa: "ARMv8-A",
+                components: components("Broadcom VideoCore IV graphics and video engine"),
+            },
+            PiModel::Pi3BPlus => SocSpec {
+                model: self,
+                soc: "BCM2837B0",
+                cpu: "Cortex-A53",
+                cores: 4,
+                clock_mhz: 1400,
+                ram_mb: 1024,
+                isa: "ARMv8-A",
+                components: components("Broadcom VideoCore IV graphics and video engine"),
+            },
+        }
+    }
+}
+
+impl SocSpec {
+    /// Is this board a System-on-Chip design? (Assignment 3: yes — CPU,
+    /// GPU and RAM controller share one package.)
+    pub fn is_soc(&self) -> bool {
+        self.components.iter().filter(|c| c.on_die).count() >= 2
+    }
+
+    /// Advantages of SoC integration over discrete CPU/GPU/RAM parts,
+    /// as discussed in the "CPU vs. SOC" course material.
+    pub fn soc_advantages() -> &'static [&'static str] {
+        &[
+            "lower power consumption: short on-die interconnect replaces board-level buses",
+            "smaller physical footprint: one package instead of several chips",
+            "lower cost at volume: one die to fabricate, package, and test",
+            "higher bandwidth and lower latency between CPU, GPU, and memory controller",
+            "simpler board design: fewer traces, fewer failure points",
+        ]
+    }
+
+    /// Can the board run the course's shared-memory OpenMP exercises
+    /// with true hardware parallelism?
+    pub fn supports_parallel_exercises(&self) -> bool {
+        self.cores >= 2
+    }
+
+    /// Which applications benefit from multi-core (Assignment 2
+    /// discussion question), as structured data.
+    pub fn multicore_beneficiaries() -> &'static [&'static str] {
+        &[
+            "video encoding and image processing (data parallel over frames/pixels)",
+            "web servers handling independent requests (task parallel)",
+            "scientific simulation (domain decomposition)",
+            "compilation of large projects (independent translation units)",
+            "smartphone workloads: UI, radio, and background tasks on separate cores",
+        ]
+    }
+}
+
+impl fmt::Display for SocSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:?}: {} ({} x {} @ {} MHz, {} MB RAM, {})",
+            self.model, self.soc, self.cores, self.cpu, self.clock_mhz, self.ram_mb, self.isa
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn b_plus_has_one_core_answering_assignment2() {
+        // Assignment 2: "How many cores does the Raspberry Pi's B+ CPU
+        // have?" — the B+ is single-core, which is why the workshop kits
+        // moved to the Pi 3 family for parallelism exercises.
+        assert_eq!(PiModel::ModelBPlus.spec().cores, 1);
+        assert!(!PiModel::ModelBPlus.spec().supports_parallel_exercises());
+    }
+
+    #[test]
+    fn pi3_family_is_quad_core_arm() {
+        for m in [PiModel::Pi2B, PiModel::Pi3B, PiModel::Pi3BPlus] {
+            let s = m.spec();
+            assert_eq!(s.cores, 4, "{m:?}");
+            assert!(s.supports_parallel_exercises());
+            assert!(s.isa.starts_with("ARM"));
+        }
+        assert_eq!(PiModel::Pi3BPlus.spec().clock_mhz, 1400);
+    }
+
+    #[test]
+    fn every_model_is_a_soc() {
+        for m in [
+            PiModel::ModelBPlus,
+            PiModel::Pi2B,
+            PiModel::Pi3B,
+            PiModel::Pi3BPlus,
+        ] {
+            assert!(m.spec().is_soc(), "{m:?} integrates CPU+GPU+RAM");
+        }
+    }
+
+    #[test]
+    fn component_inventory_covers_the_worksheet() {
+        let spec = PiModel::Pi3BPlus.spec();
+        for name in ["CPU", "GPU", "RAM", "microSD slot", "GPIO header", "HDMI"] {
+            assert!(
+                spec.components.iter().any(|c| c.name == name),
+                "missing {name}"
+            );
+        }
+        let on_die: Vec<&str> = spec
+            .components
+            .iter()
+            .filter(|c| c.on_die)
+            .map(|c| c.name)
+            .collect();
+        assert_eq!(on_die, vec!["CPU", "GPU", "RAM"]);
+    }
+
+    #[test]
+    fn soc_advantages_mention_power_size_cost() {
+        let advantages = SocSpec::soc_advantages().join(" ");
+        for keyword in ["power", "footprint", "cost", "bandwidth"] {
+            assert!(advantages.contains(keyword), "missing {keyword}");
+        }
+    }
+
+    #[test]
+    fn multicore_beneficiaries_nonempty() {
+        assert!(SocSpec::multicore_beneficiaries().len() >= 3);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let text = PiModel::Pi3BPlus.spec().to_string();
+        assert!(text.contains("BCM2837B0"));
+        assert!(text.contains("Cortex-A53"));
+        assert!(text.contains("1400 MHz"));
+    }
+}

@@ -1,0 +1,148 @@
+//! Execution traces: which thread ran on which core, when — the
+//! schedule visualisation instructors draw on the whiteboard, computed.
+
+use crate::event::Cycles;
+
+/// One scheduled slice of execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSegment {
+    /// Hardware core.
+    pub core: usize,
+    /// Software thread.
+    pub thread: usize,
+    /// Slice start (virtual cycles).
+    pub start: Cycles,
+    /// Slice end.
+    pub end: Cycles,
+}
+
+/// A whole run's schedule.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecutionTrace {
+    /// Slices in schedule order.
+    pub segments: Vec<TraceSegment>,
+    /// Makespan of the run.
+    pub total: Cycles,
+}
+
+impl ExecutionTrace {
+    /// Busy cycles on `core`.
+    pub fn core_busy(&self, core: usize) -> Cycles {
+        self.segments
+            .iter()
+            .filter(|s| s.core == core)
+            .map(|s| s.end - s.start)
+            .sum()
+    }
+
+    /// Utilization per core in [0, 1].
+    pub fn utilization(&self, cores: usize) -> Vec<f64> {
+        (0..cores)
+            .map(|c| {
+                if self.total == 0 {
+                    0.0
+                } else {
+                    self.core_busy(c) as f64 / self.total as f64
+                }
+            })
+            .collect()
+    }
+
+    /// Distinct threads that ran on `core`.
+    pub fn threads_on_core(&self, core: usize) -> Vec<usize> {
+        let mut threads: Vec<usize> = self
+            .segments
+            .iter()
+            .filter(|s| s.core == core)
+            .map(|s| s.thread)
+            .collect();
+        threads.sort_unstable();
+        threads.dedup();
+        threads
+    }
+
+    /// Renders an ASCII Gantt chart, one row per core, `width` columns
+    /// spanning the makespan. Cells show the thread id (mod 10) running
+    /// in that time bucket, or `.` when idle.
+    pub fn render_gantt(&self, cores: usize, width: usize) -> String {
+        assert!(width > 0, "width must be positive");
+        let mut out = String::new();
+        let total = self.total.max(1);
+        for core in 0..cores {
+            let mut row = vec!['.'; width];
+            for seg in self.segments.iter().filter(|s| s.core == core) {
+                let a = (seg.start as u128 * width as u128 / total as u128) as usize;
+                let b = ((seg.end as u128 * width as u128).div_ceil(total as u128) as usize)
+                    .min(width);
+                let ch = char::from_digit((seg.thread % 10) as u32, 10).expect("digit");
+                for cell in row.iter_mut().take(b).skip(a) {
+                    *cell = ch;
+                }
+            }
+            out.push_str(&format!("core {core}: "));
+            out.extend(row);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ExecutionTrace {
+        ExecutionTrace {
+            segments: vec![
+                TraceSegment { core: 0, thread: 0, start: 0, end: 50 },
+                TraceSegment { core: 0, thread: 2, start: 50, end: 100 },
+                TraceSegment { core: 1, thread: 1, start: 0, end: 25 },
+            ],
+            total: 100,
+        }
+    }
+
+    #[test]
+    fn busy_and_utilization() {
+        let t = sample();
+        assert_eq!(t.core_busy(0), 100);
+        assert_eq!(t.core_busy(1), 25);
+        let u = t.utilization(2);
+        assert!((u[0] - 1.0).abs() < 1e-12);
+        assert!((u[1] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threads_on_core_dedup() {
+        let t = sample();
+        assert_eq!(t.threads_on_core(0), vec![0, 2]);
+        assert_eq!(t.threads_on_core(1), vec![1]);
+        assert!(t.threads_on_core(3).is_empty());
+    }
+
+    #[test]
+    fn gantt_shows_threads_and_idle() {
+        let t = sample();
+        let g = t.render_gantt(2, 20);
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains('0'));
+        assert!(lines[0].contains('2'));
+        assert!(lines[1].contains('1'));
+        assert!(lines[1].contains('.'), "core 1 is mostly idle");
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = ExecutionTrace::default();
+        assert_eq!(t.utilization(2), vec![0.0, 0.0]);
+        let g = t.render_gantt(1, 10);
+        assert_eq!(g, format!("core 0: {}\n", ".".repeat(10)));
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn zero_width_panics() {
+        let _ = ExecutionTrace::default().render_gantt(1, 0);
+    }
+}

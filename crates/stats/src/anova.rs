@@ -1,0 +1,185 @@
+//! One-way analysis of variance, with the F distribution built on the
+//! regularized incomplete beta. Used to confirm that the seven survey
+//! elements genuinely differ in mean growth (the premise behind the
+//! paper's ranking tables) rather than differing by noise.
+
+use crate::descriptive::Summary;
+use crate::error::StatsError;
+use crate::special::incomplete_beta;
+use crate::Result;
+
+/// Result of a one-way ANOVA.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnovaResult {
+    /// Between-group mean square.
+    pub ms_between: f64,
+    /// Within-group mean square.
+    pub ms_within: f64,
+    /// The F statistic.
+    pub f: f64,
+    /// Numerator degrees of freedom (k − 1).
+    pub df_between: f64,
+    /// Denominator degrees of freedom (N − k).
+    pub df_within: f64,
+    /// Right-tail p-value.
+    pub p: f64,
+    /// Effect size η² (between-group share of total variance).
+    pub eta_squared: f64,
+}
+
+impl AnovaResult {
+    /// True when the p-value is below `alpha`.
+    pub fn significant_at(&self, alpha: f64) -> bool {
+        self.p < alpha
+    }
+}
+
+/// Right-tail probability of the F distribution:
+/// `P(F(d1, d2) >= f) = I_{d2/(d2 + d1 f)}(d2/2, d1/2)`.
+pub fn f_sf(f: f64, d1: f64, d2: f64) -> Result<f64> {
+    if d1 <= 0.0 || d2 <= 0.0 {
+        return Err(StatsError::InvalidParameter("f_sf: degrees of freedom must be > 0"));
+    }
+    if !f.is_finite() || f < 0.0 {
+        return Err(StatsError::NonFinite);
+    }
+    incomplete_beta(d2 / 2.0, d1 / 2.0, d2 / (d2 + d1 * f))
+}
+
+/// One-way ANOVA over `groups` (each a sample of one level).
+///
+/// ```
+/// use stats::anova::anova_one_way;
+/// let lo = vec![1.0, 1.1, 0.9, 1.0];
+/// let hi = vec![2.0, 2.1, 1.9, 2.0];
+/// let r = anova_one_way(&[lo, hi]).unwrap();
+/// assert!(r.significant_at(0.001));
+/// ```
+pub fn anova_one_way(groups: &[Vec<f64>]) -> Result<AnovaResult> {
+    if groups.len() < 2 {
+        return Err(StatsError::NotEnoughData {
+            needed: 2,
+            got: groups.len(),
+        });
+    }
+    let mut grand = Summary::new();
+    let mut summaries = Vec::with_capacity(groups.len());
+    for group in groups {
+        let s = Summary::from_slice(group)?;
+        if s.n() < 2 {
+            return Err(StatsError::NotEnoughData {
+                needed: 2,
+                got: s.n() as usize,
+            });
+        }
+        grand.merge(&s);
+        summaries.push(s);
+    }
+    let grand_mean = grand.mean();
+    let n_total = grand.n() as f64;
+    let k = groups.len() as f64;
+
+    let ss_between: f64 = summaries
+        .iter()
+        .map(|s| s.n() as f64 * (s.mean() - grand_mean).powi(2))
+        .sum();
+    let ss_within: f64 = summaries
+        .iter()
+        .map(|s| s.population_variance().expect("n >= 2") * s.n() as f64)
+        .sum();
+    let df_between = k - 1.0;
+    let df_within = n_total - k;
+    if ss_within == 0.0 {
+        return Err(StatsError::ZeroVariance);
+    }
+    let ms_between = ss_between / df_between;
+    let ms_within = ss_within / df_within;
+    let f = ms_between / ms_within;
+    Ok(AnovaResult {
+        ms_between,
+        ms_within,
+        f,
+        df_between,
+        df_within,
+        p: f_sf(f, df_between, df_within)?,
+        eta_squared: ss_between / (ss_between + ss_within),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f_sf_reference_values() {
+        // F(1, n) = T(n)²: P(F >= t²) = two-sided t p-value.
+        let t = 2.0f64;
+        let p_f = f_sf(t * t, 1.0, 10.0).unwrap();
+        let p_t = crate::special::t_sf_two_sided(t, 10.0).unwrap();
+        assert!((p_f - p_t).abs() < 1e-9);
+        // Median of F(d, d) is 1: P(F >= 1) = 0.5.
+        assert!((f_sf(1.0, 7.0, 7.0).unwrap() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn separated_groups_are_significant() {
+        let groups: Vec<Vec<f64>> = (0..3)
+            .map(|g| (0..20).map(|i| g as f64 + 0.05 * (i % 5) as f64).collect())
+            .collect();
+        let r = anova_one_way(&groups).unwrap();
+        assert!(r.f > 100.0);
+        assert!(r.p < 1e-9);
+        assert!(r.eta_squared > 0.9);
+        assert_eq!(r.df_between, 2.0);
+        assert_eq!(r.df_within, 57.0);
+    }
+
+    #[test]
+    fn identical_group_means_are_insignificant() {
+        let base: Vec<f64> = (0..30).map(|i| (i % 7) as f64).collect();
+        let groups = vec![base.clone(), base.clone(), base];
+        let r = anova_one_way(&groups).unwrap();
+        assert!(r.f < 1e-9);
+        assert!(r.p > 0.99);
+        assert!(r.eta_squared < 1e-9);
+    }
+
+    #[test]
+    fn two_group_anova_matches_pooled_t_test() {
+        // F = t² and the p-values coincide for two groups.
+        let a: Vec<f64> = (0..15).map(|i| 1.0 + 0.1 * (i % 4) as f64).collect();
+        let b: Vec<f64> = (0..15).map(|i| 1.3 + 0.1 * (i % 4) as f64).collect();
+        let anova = anova_one_way(&[a.clone(), b.clone()]).unwrap();
+        let t = crate::t_test_independent(&a, &b).unwrap();
+        assert!((anova.f - t.t * t.t).abs() < 1e-9);
+        assert!((anova.p - t.p_two_sided).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unbalanced_groups_are_handled() {
+        let groups = vec![
+            vec![1.0, 1.2, 0.8],
+            (0..40).map(|i| 2.0 + 0.01 * (i % 9) as f64).collect::<Vec<_>>(),
+        ];
+        let r = anova_one_way(&groups).unwrap();
+        assert!(r.significant_at(0.001));
+    }
+
+    #[test]
+    fn errors_on_degenerate_input() {
+        assert!(matches!(
+            anova_one_way(&[vec![1.0, 2.0]]),
+            Err(StatsError::NotEnoughData { .. })
+        ));
+        assert!(matches!(
+            anova_one_way(&[vec![1.0], vec![1.0, 2.0]]),
+            Err(StatsError::NotEnoughData { .. })
+        ));
+        assert_eq!(
+            anova_one_way(&[vec![1.0, 1.0], vec![1.0, 1.0]]),
+            Err(StatsError::ZeroVariance)
+        );
+        assert!(f_sf(-1.0, 2.0, 2.0).is_err());
+        assert!(f_sf(1.0, 0.0, 2.0).is_err());
+    }
+}

@@ -1,0 +1,239 @@
+//! Cohen's d effect sizes (Tables 2 and 3).
+//!
+//! The paper computes d with the "root mean square" pooled SD,
+//! `SDpooled = sqrt((SD1² + SD2²) / 2)`, which is what
+//! [`cohen_d_independent`] implements. [`cohen_d_paired`] and
+//! [`hedges_g`] are provided as standard alternatives.
+
+use crate::descriptive::Summary;
+use crate::error::StatsError;
+use crate::Result;
+
+/// Cohen's qualitative interpretation bands (d = 0.2 / 0.5 / 0.8),
+/// ordered from negligible to large.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EffectSizeBand {
+    /// |d| < 0.2 — the groups' means differ trivially.
+    Negligible,
+    /// 0.2 <= |d| < 0.5.
+    Small,
+    /// 0.5 <= |d| < 0.8 (the paper's Table 2 lands here at d = 0.50).
+    Medium,
+    /// |d| >= 0.8 (the paper's Table 3 lands here at d = 0.86).
+    Large,
+}
+
+impl EffectSizeBand {
+    /// Classifies an effect size magnitude.
+    pub fn classify(d: f64) -> Self {
+        let m = d.abs();
+        if m < 0.2 {
+            EffectSizeBand::Negligible
+        } else if m < 0.5 {
+            EffectSizeBand::Small
+        } else if m < 0.8 {
+            EffectSizeBand::Medium
+        } else {
+            EffectSizeBand::Large
+        }
+    }
+
+    /// Human-readable label matching the paper's wording.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EffectSizeBand::Negligible => "negligible",
+            EffectSizeBand::Small => "small",
+            EffectSizeBand::Medium => "medium",
+            EffectSizeBand::Large => "large",
+        }
+    }
+}
+
+/// A computed Cohen's d together with the quantities the paper tabulates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CohensD {
+    /// Mean of the first sample (first-half survey in the paper).
+    pub mean_first: f64,
+    /// Mean of the second sample (second-half survey).
+    pub mean_second: f64,
+    /// SD of the first sample.
+    pub sd_first: f64,
+    /// SD of the second sample.
+    pub sd_second: f64,
+    /// The pooled SD used as denominator.
+    pub sd_pooled: f64,
+    /// The effect size (second − first) / sd_pooled, matching the paper's
+    /// `(M2 − M1) / SDpooled` orientation.
+    pub d: f64,
+    /// Sample size per group.
+    pub n: usize,
+}
+
+impl CohensD {
+    /// Interpretation band for this effect.
+    pub fn band(&self) -> EffectSizeBand {
+        EffectSizeBand::classify(self.d)
+    }
+}
+
+/// Cohen's d for two samples using the paper's RMS pooled SD:
+/// `d = (M2 − M1) / sqrt((SD1² + SD2²) / 2)`.
+///
+/// ```
+/// use stats::{cohen_d_independent, EffectSizeBand};
+/// let first  = vec![3.8, 3.9, 3.7, 3.85, 3.75];
+/// let second = vec![4.0, 4.1, 3.95, 4.05, 4.0];
+/// let d = cohen_d_independent(&first, &second).unwrap();
+/// assert!(d.d > 0.8);
+/// assert_eq!(d.band(), EffectSizeBand::Large);
+/// ```
+pub fn cohen_d_independent(first: &[f64], second: &[f64]) -> Result<CohensD> {
+    let (s1, s2) = (Summary::from_slice(first)?, Summary::from_slice(second)?);
+    if s1.n() < 2 || s2.n() < 2 {
+        return Err(StatsError::NotEnoughData {
+            needed: 2,
+            got: s1.n().min(s2.n()) as usize,
+        });
+    }
+    let (sd1, sd2) = (s1.sample_sd()?, s2.sample_sd()?);
+    let sd_pooled = ((sd1 * sd1 + sd2 * sd2) / 2.0).sqrt();
+    if sd_pooled == 0.0 {
+        return Err(StatsError::ZeroVariance);
+    }
+    Ok(CohensD {
+        mean_first: s1.mean(),
+        mean_second: s2.mean(),
+        sd_first: sd1,
+        sd_second: sd2,
+        sd_pooled,
+        d: (s2.mean() - s1.mean()) / sd_pooled,
+        n: s1.n().min(s2.n()) as usize,
+    })
+}
+
+/// Cohen's d for paired data: mean difference divided by the SD of the
+/// differences (sometimes called d_z).
+pub fn cohen_d_paired(first: &[f64], second: &[f64]) -> Result<CohensD> {
+    if first.len() != second.len() {
+        return Err(StatsError::LengthMismatch {
+            left: first.len(),
+            right: second.len(),
+        });
+    }
+    let diffs: Vec<f64> = second.iter().zip(first).map(|(s, f)| s - f).collect();
+    let sd = Summary::from_slice(&diffs)?.sample_sd()?;
+    if sd == 0.0 {
+        return Err(StatsError::ZeroVariance);
+    }
+    let (s1, s2) = (Summary::from_slice(first)?, Summary::from_slice(second)?);
+    Ok(CohensD {
+        mean_first: s1.mean(),
+        mean_second: s2.mean(),
+        sd_first: s1.sample_sd()?,
+        sd_second: s2.sample_sd()?,
+        sd_pooled: sd,
+        d: (s2.mean() - s1.mean()) / sd,
+        n: first.len(),
+    })
+}
+
+/// Hedges' g: Cohen's d with the small-sample bias correction
+/// `J = 1 − 3 / (4(n1 + n2) − 9)`.
+pub fn hedges_g(first: &[f64], second: &[f64]) -> Result<f64> {
+    let d = cohen_d_independent(first, second)?;
+    let n = (first.len() + second.len()) as f64;
+    Ok(d.d * (1.0 - 3.0 / (4.0 * n - 9.0)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_paper_table2_arithmetic() {
+        // Plug the paper's published moments straight into the formula:
+        // (4.124365 − 4.023068) / sqrt((0.232416² + 0.172052²)/2) = 0.4954…
+        let sd_pooled = ((0.232_416f64.powi(2) + 0.172_052f64.powi(2)) / 2.0).sqrt();
+        let d = (4.124_365 - 4.023_068) / sd_pooled;
+        assert!((sd_pooled - 0.204_474).abs() < 1e-5);
+        assert!((d - 0.50).abs() < 0.01);
+        // The paper rounds d to 0.50 before labelling it "medium".
+        let rounded = (d * 100.0).round() / 100.0;
+        assert_eq!(EffectSizeBand::classify(rounded), EffectSizeBand::Medium);
+    }
+
+    #[test]
+    fn reproduces_paper_table3_arithmetic() {
+        // (4.01 − 3.81) / sqrt((0.262204² + 0.198497²)/2) = 0.86
+        let sd_pooled = ((0.262_204f64.powi(2) + 0.198_497f64.powi(2)) / 2.0).sqrt();
+        let d = (4.01 - 3.81) / sd_pooled;
+        assert!((sd_pooled - 0.232_542).abs() < 1e-5);
+        assert!((d - 0.86).abs() < 0.01);
+        assert_eq!(EffectSizeBand::classify(d), EffectSizeBand::Large);
+    }
+
+    #[test]
+    fn bands_cover_all_ranges() {
+        assert_eq!(EffectSizeBand::classify(0.0), EffectSizeBand::Negligible);
+        assert_eq!(EffectSizeBand::classify(0.19), EffectSizeBand::Negligible);
+        assert_eq!(EffectSizeBand::classify(0.2), EffectSizeBand::Small);
+        assert_eq!(EffectSizeBand::classify(-0.35), EffectSizeBand::Small);
+        assert_eq!(EffectSizeBand::classify(0.5), EffectSizeBand::Medium);
+        assert_eq!(EffectSizeBand::classify(-0.79), EffectSizeBand::Medium);
+        assert_eq!(EffectSizeBand::classify(0.8), EffectSizeBand::Large);
+        assert_eq!(EffectSizeBand::classify(-2.0), EffectSizeBand::Large);
+    }
+
+    #[test]
+    fn band_labels() {
+        assert_eq!(EffectSizeBand::Negligible.label(), "negligible");
+        assert_eq!(EffectSizeBand::Small.label(), "small");
+        assert_eq!(EffectSizeBand::Medium.label(), "medium");
+        assert_eq!(EffectSizeBand::Large.label(), "large");
+    }
+
+    #[test]
+    fn independent_d_sign_follows_direction() {
+        let lo = [1.0, 1.1, 0.9, 1.05];
+        let hi = [2.0, 2.1, 1.9, 2.05];
+        assert!(cohen_d_independent(&lo, &hi).unwrap().d > 0.0);
+        assert!(cohen_d_independent(&hi, &lo).unwrap().d < 0.0);
+    }
+
+    #[test]
+    fn paired_d_uses_difference_sd() {
+        // Highly correlated pairs: tiny diff SD → huge paired d,
+        // while independent d stays moderate.
+        let first: Vec<f64> = (0..20).map(|i| (i % 10) as f64).collect();
+        let second: Vec<f64> = first.iter().map(|x| x + 0.5 + 0.01 * (x % 2.0)).collect();
+        let dp = cohen_d_paired(&first, &second).unwrap();
+        let di = cohen_d_independent(&first, &second).unwrap();
+        assert!(dp.d > di.d * 5.0);
+    }
+
+    #[test]
+    fn paired_rejects_length_mismatch() {
+        assert!(matches!(
+            cohen_d_paired(&[1.0, 2.0], &[1.0]),
+            Err(StatsError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_variance_rejected() {
+        assert_eq!(
+            cohen_d_independent(&[1.0, 1.0, 1.0], &[1.0, 1.0, 1.0]),
+            Err(StatsError::ZeroVariance)
+        );
+    }
+
+    #[test]
+    fn hedges_g_shrinks_d() {
+        let lo = [1.0, 1.2, 0.8, 1.1, 0.9];
+        let hi = [1.6, 1.8, 1.4, 1.7, 1.5];
+        let d = cohen_d_independent(&lo, &hi).unwrap().d;
+        let g = hedges_g(&lo, &hi).unwrap();
+        assert!(g < d);
+        assert!(g > 0.9 * d);
+    }
+}

@@ -1,0 +1,95 @@
+//! Composite scores per Beyerlein et al. (2005), used by Tables 5 and 6.
+//!
+//! Each survey element has one *definition* item and several *component*
+//! items; the composite is the average of (a) the definition score and
+//! (b) the mean of the component scores. The paper uses it because it
+//! blends a "global" view (definition) with a "focused" view (components).
+
+use crate::error::StatsError;
+use crate::Result;
+
+/// A composite score with its two ingredients.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompositeScore {
+    /// Score on the element's definition item.
+    pub definition: f64,
+    /// Mean of the element's component items.
+    pub components_mean: f64,
+    /// `(definition + components_mean) / 2`.
+    pub composite: f64,
+}
+
+/// Computes the composite score from a definition item and component items.
+///
+/// ```
+/// use stats::composite_score;
+/// let c = composite_score(4.0, &[4.0, 5.0, 3.0, 4.0]).unwrap();
+/// assert!((c.components_mean - 4.0).abs() < 1e-12);
+/// assert!((c.composite - 4.0).abs() < 1e-12);
+/// ```
+pub fn composite_score(definition: f64, components: &[f64]) -> Result<CompositeScore> {
+    if components.is_empty() {
+        return Err(StatsError::NotEnoughData { needed: 1, got: 0 });
+    }
+    if !definition.is_finite() || components.iter().any(|c| !c.is_finite()) {
+        return Err(StatsError::NonFinite);
+    }
+    let components_mean = components.iter().sum::<f64>() / components.len() as f64;
+    Ok(CompositeScore {
+        definition,
+        components_mean,
+        composite: (definition + components_mean) / 2.0,
+    })
+}
+
+/// Averages many per-respondent composite scores into the element-level
+/// value tabulated in Tables 5/6.
+pub fn mean_composite(scores: &[CompositeScore]) -> Result<f64> {
+    if scores.is_empty() {
+        return Err(StatsError::NotEnoughData { needed: 1, got: 0 });
+    }
+    Ok(scores.iter().map(|s| s.composite).sum::<f64>() / scores.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_definition_and_components_equally() {
+        // Definition 5, components all 3 → composite 4, not the 3.33 a
+        // flat mean of all items would give.
+        let c = composite_score(5.0, &[3.0, 3.0, 3.0]).unwrap();
+        assert!((c.composite - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_component() {
+        let c = composite_score(2.0, &[4.0]).unwrap();
+        assert!((c.composite - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_components_error() {
+        assert!(matches!(
+            composite_score(3.0, &[]),
+            Err(StatsError::NotEnoughData { .. })
+        ));
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        assert_eq!(composite_score(f64::NAN, &[1.0]), Err(StatsError::NonFinite));
+        assert_eq!(composite_score(1.0, &[f64::INFINITY]), Err(StatsError::NonFinite));
+    }
+
+    #[test]
+    fn mean_composite_averages() {
+        let scores = vec![
+            composite_score(4.0, &[4.0]).unwrap(),
+            composite_score(2.0, &[2.0]).unwrap(),
+        ];
+        assert!((mean_composite(&scores).unwrap() - 3.0).abs() < 1e-12);
+        assert!(mean_composite(&[]).is_err());
+    }
+}

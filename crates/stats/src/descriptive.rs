@@ -1,0 +1,393 @@
+//! One-pass descriptive statistics.
+//!
+//! [`Summary`] accumulates count, mean, and central moments with Welford's
+//! numerically stable online algorithm, and additionally tracks min/max.
+//! Order statistics (median, quartiles) are computed from a sorted copy on
+//! demand via [`median`] / [`quantile`].
+
+use crate::error::{ensure_finite, StatsError};
+use crate::Result;
+
+/// Online summary of a univariate sample.
+///
+/// ```
+/// use stats::Summary;
+/// let s = Summary::from_slice(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+/// assert_eq!(s.n(), 4);
+/// assert!((s.mean() - 2.5).abs() < 1e-12);
+/// assert!((s.sample_variance().unwrap() - 5.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    m3: f64,
+    m4: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            m3: 0.0,
+            m4: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Builds a summary from a slice, rejecting non-finite values.
+    pub fn from_slice(data: &[f64]) -> Result<Self> {
+        ensure_finite(data)?;
+        let mut s = Summary::new();
+        for &x in data {
+            s.push(x);
+        }
+        Ok(s)
+    }
+
+    /// Adds one observation (updates all four central moments).
+    pub fn push(&mut self, x: f64) {
+        let n1 = self.n as f64;
+        self.n += 1;
+        let n = self.n as f64;
+        let delta = x - self.mean;
+        let delta_n = delta / n;
+        let delta_n2 = delta_n * delta_n;
+        let term1 = delta * delta_n * n1;
+        self.mean += delta_n;
+        self.m4 += term1 * delta_n2 * (n * n - 3.0 * n + 3.0)
+            + 6.0 * delta_n2 * self.m2
+            - 4.0 * delta_n * self.m3;
+        self.m3 += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * self.m2;
+        self.m2 += term1;
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Merges another summary into this one (parallel-combine form of
+    /// Welford, usable from reduction trees).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let (na, nb) = (self.n as f64, other.n as f64);
+        let n = na + nb;
+        let delta = other.mean - self.mean;
+        let delta2 = delta * delta;
+        let delta3 = delta2 * delta;
+        let delta4 = delta2 * delta2;
+        let m2 = self.m2 + other.m2 + delta2 * na * nb / n;
+        let m3 = self.m3
+            + other.m3
+            + delta3 * na * nb * (na - nb) / (n * n)
+            + 3.0 * delta * (na * other.m2 - nb * self.m2) / n;
+        let m4 = self.m4
+            + other.m4
+            + delta4 * na * nb * (na * na - na * nb + nb * nb) / (n * n * n)
+            + 6.0 * delta2 * (na * na * other.m2 + nb * nb * self.m2) / (n * n)
+            + 4.0 * delta * (na * other.m3 - nb * self.m3) / n;
+        self.mean += delta * nb / n;
+        self.m2 = m2;
+        self.m3 = m3;
+        self.m4 = m4;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean. Zero for an empty summary.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Smallest observation, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest observation, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Range (max − min), or `None` if empty.
+    pub fn range(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max - self.min)
+    }
+
+    /// Unbiased sample variance (n − 1 denominator).
+    pub fn sample_variance(&self) -> Result<f64> {
+        if self.n < 2 {
+            return Err(StatsError::NotEnoughData {
+                needed: 2,
+                got: self.n as usize,
+            });
+        }
+        Ok(self.m2 / (self.n as f64 - 1.0))
+    }
+
+    /// Population variance (n denominator).
+    pub fn population_variance(&self) -> Result<f64> {
+        if self.n < 1 {
+            return Err(StatsError::NotEnoughData { needed: 1, got: 0 });
+        }
+        Ok(self.m2 / self.n as f64)
+    }
+
+    /// Sample standard deviation.
+    pub fn sample_sd(&self) -> Result<f64> {
+        Ok(self.sample_variance()?.sqrt())
+    }
+
+    /// Standard error of the mean (sd / sqrt(n)).
+    pub fn sem(&self) -> Result<f64> {
+        Ok(self.sample_sd()? / (self.n as f64).sqrt())
+    }
+
+    /// Sample skewness (adjusted Fisher–Pearson g1 with bias correction).
+    pub fn skewness(&self) -> Result<f64> {
+        if self.n < 3 {
+            return Err(StatsError::NotEnoughData {
+                needed: 3,
+                got: self.n as usize,
+            });
+        }
+        if self.m2 == 0.0 {
+            return Err(StatsError::ZeroVariance);
+        }
+        let n = self.n as f64;
+        let g1 = (n.sqrt() * self.m3) / self.m2.powf(1.5);
+        Ok(g1 * (n * (n - 1.0)).sqrt() / (n - 2.0))
+    }
+
+    /// Excess kurtosis (sample-adjusted G2).
+    pub fn excess_kurtosis(&self) -> Result<f64> {
+        if self.n < 4 {
+            return Err(StatsError::NotEnoughData {
+                needed: 4,
+                got: self.n as usize,
+            });
+        }
+        if self.m2 == 0.0 {
+            return Err(StatsError::ZeroVariance);
+        }
+        let n = self.n as f64;
+        let g2 = n * self.m4 / (self.m2 * self.m2) - 3.0;
+        Ok(((n + 1.0) * g2 + 6.0) * (n - 1.0) / ((n - 2.0) * (n - 3.0)))
+    }
+
+    /// Coefficient of variation (sd / mean); error if the mean is zero.
+    pub fn coefficient_of_variation(&self) -> Result<f64> {
+        if self.mean == 0.0 {
+            return Err(StatsError::InvalidParameter("mean is zero"));
+        }
+        Ok(self.sample_sd()? / self.mean)
+    }
+}
+
+impl std::iter::FromIterator<f64> for Summary {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Summary::new();
+        for x in iter {
+            s.push(x);
+        }
+        s
+    }
+}
+
+/// Arithmetic mean of a slice.
+pub fn mean(data: &[f64]) -> Result<f64> {
+    if data.is_empty() {
+        return Err(StatsError::NotEnoughData { needed: 1, got: 0 });
+    }
+    ensure_finite(data)?;
+    Ok(data.iter().sum::<f64>() / data.len() as f64)
+}
+
+/// Median (average of the two middle elements for even n).
+pub fn median(data: &[f64]) -> Result<f64> {
+    quantile(data, 0.5)
+}
+
+/// Linear-interpolation quantile (type-7, the R/NumPy default).
+///
+/// `q` must be in `[0, 1]`.
+pub fn quantile(data: &[f64], q: f64) -> Result<f64> {
+    if data.is_empty() {
+        return Err(StatsError::NotEnoughData { needed: 1, got: 0 });
+    }
+    if !(0.0..=1.0).contains(&q) {
+        return Err(StatsError::InvalidParameter("quantile must be in [0,1]"));
+    }
+    ensure_finite(data)?;
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    let h = (sorted.len() as f64 - 1.0) * q;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    Ok(sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo]))
+}
+
+/// Element-wise mean of several equal-length rows; used to average all
+/// survey items into the per-student score the paper analyses.
+pub fn row_means(rows: &[Vec<f64>]) -> Result<Vec<f64>> {
+    rows.iter().map(|row| mean(row)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn empty_summary_reports_nothing() {
+        let s = Summary::new();
+        assert_eq!(s.n(), 0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.range(), None);
+        assert!(s.sample_variance().is_err());
+    }
+
+    #[test]
+    fn single_value() {
+        let s = Summary::from_slice(&[7.0]).unwrap();
+        assert_eq!(s.n(), 1);
+        assert!(close(s.mean(), 7.0));
+        assert_eq!(s.min(), Some(7.0));
+        assert_eq!(s.max(), Some(7.0));
+        assert!(close(s.population_variance().unwrap(), 0.0));
+        assert!(s.sample_variance().is_err());
+    }
+
+    #[test]
+    fn known_variance() {
+        // Var of 2,4,4,4,5,5,7,9 is 4 (population), 32/7 (sample).
+        let s = Summary::from_slice(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!(close(s.mean(), 5.0));
+        assert!(close(s.population_variance().unwrap(), 4.0));
+        assert!(close(s.sample_variance().unwrap(), 32.0 / 7.0));
+    }
+
+    #[test]
+    fn skewness_symmetric_is_zero() {
+        let s = Summary::from_slice(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert!(close(s.skewness().unwrap(), 0.0));
+    }
+
+    #[test]
+    fn skewness_right_tail_positive() {
+        let s = Summary::from_slice(&[1.0, 1.0, 1.0, 1.0, 10.0]).unwrap();
+        assert!(s.skewness().unwrap() > 1.0);
+    }
+
+    #[test]
+    fn kurtosis_of_uniformish_is_negative() {
+        let s = Summary::from_slice(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        assert!(s.excess_kurtosis().unwrap() < 0.0);
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 3.0 + 1.0).collect();
+        let whole = Summary::from_slice(&data).unwrap();
+        let mut a = Summary::from_slice(&data[..37]).unwrap();
+        let b = Summary::from_slice(&data[37..]).unwrap();
+        a.merge(&b);
+        assert_eq!(a.n(), whole.n());
+        assert!(close(a.mean(), whole.mean()));
+        assert!(close(a.sample_variance().unwrap(), whole.sample_variance().unwrap()));
+        assert!(close(a.skewness().unwrap(), whole.skewness().unwrap()));
+        assert!(close(a.excess_kurtosis().unwrap(), whole.excess_kurtosis().unwrap()));
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s = Summary::from_slice(&[1.0, 2.0]).unwrap();
+        let before = s.clone();
+        s.merge(&Summary::new());
+        assert_eq!(s, before);
+        let mut e = Summary::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let s: Summary = (1..=4).map(|x| x as f64).collect();
+        assert_eq!(s.n(), 4);
+        assert!(close(s.mean(), 2.5));
+    }
+
+    #[test]
+    fn rejects_nan() {
+        assert!(Summary::from_slice(&[1.0, f64::NAN]).is_err());
+        assert!(mean(&[f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert!(close(median(&[3.0, 1.0, 2.0]).unwrap(), 2.0));
+        assert!(close(median(&[4.0, 1.0, 2.0, 3.0]).unwrap(), 2.5));
+    }
+
+    #[test]
+    fn quantile_endpoints_and_interp() {
+        let d = [1.0, 2.0, 3.0, 4.0];
+        assert!(close(quantile(&d, 0.0).unwrap(), 1.0));
+        assert!(close(quantile(&d, 1.0).unwrap(), 4.0));
+        assert!(close(quantile(&d, 0.25).unwrap(), 1.75));
+        assert!(quantile(&d, 1.5).is_err());
+        assert!(quantile(&[], 0.5).is_err());
+    }
+
+    #[test]
+    fn sem_shrinks_with_n() {
+        let small = Summary::from_slice(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        let data: Vec<f64> = (0..400).map(|i| 1.0 + (i % 4) as f64).collect();
+        let big = Summary::from_slice(&data).unwrap();
+        assert!(big.sem().unwrap() < small.sem().unwrap());
+    }
+
+    #[test]
+    fn row_means_averages_each_row() {
+        let rows = vec![vec![1.0, 3.0], vec![2.0, 2.0, 2.0]];
+        let m = row_means(&rows).unwrap();
+        assert!(close(m[0], 2.0));
+        assert!(close(m[1], 2.0));
+    }
+
+    #[test]
+    fn coefficient_of_variation() {
+        let s = Summary::from_slice(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        let cv = s.coefficient_of_variation().unwrap();
+        assert!(close(cv, (32.0f64 / 7.0).sqrt() / 5.0));
+        let z = Summary::from_slice(&[-1.0, 1.0]).unwrap();
+        assert!(z.coefficient_of_variation().is_err());
+    }
+}

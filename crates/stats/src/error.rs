@@ -1,0 +1,94 @@
+//! Error type shared by all statistics routines.
+
+use std::fmt;
+
+/// Errors produced by statistical routines.
+///
+/// Every public function in this crate that can fail returns
+/// [`crate::Result`] with this error type, so callers can distinguish
+/// "not enough data" from genuinely degenerate inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// The input had fewer observations than the procedure requires.
+    NotEnoughData {
+        /// Minimum number of observations the procedure needs.
+        needed: usize,
+        /// Number of observations actually supplied.
+        got: usize,
+    },
+    /// Two paired samples had different lengths.
+    LengthMismatch {
+        /// Length of the first sample.
+        left: usize,
+        /// Length of the second sample.
+        right: usize,
+    },
+    /// The computation requires nonzero variance but the input is constant.
+    ZeroVariance,
+    /// An input value was NaN or infinite.
+    NonFinite,
+    /// A distribution parameter was out of its domain (e.g. df <= 0).
+    InvalidParameter(&'static str),
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::NotEnoughData { needed, got } => {
+                write!(f, "not enough data: needed {needed}, got {got}")
+            }
+            StatsError::LengthMismatch { left, right } => {
+                write!(f, "paired samples differ in length: {left} vs {right}")
+            }
+            StatsError::ZeroVariance => write!(f, "input has zero variance"),
+            StatsError::NonFinite => write!(f, "input contains NaN or infinite values"),
+            StatsError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+/// Validates that every value in `data` is finite.
+pub(crate) fn ensure_finite(data: &[f64]) -> Result<(), StatsError> {
+    if data.iter().all(|x| x.is_finite()) {
+        Ok(())
+    } else {
+        Err(StatsError::NonFinite)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = StatsError::NotEnoughData { needed: 2, got: 1 };
+        assert_eq!(e.to_string(), "not enough data: needed 2, got 1");
+        let e = StatsError::LengthMismatch { left: 3, right: 4 };
+        assert!(e.to_string().contains("3 vs 4"));
+        assert_eq!(StatsError::ZeroVariance.to_string(), "input has zero variance");
+        assert!(StatsError::NonFinite.to_string().contains("NaN"));
+        assert!(StatsError::InvalidParameter("df").to_string().contains("df"));
+    }
+
+    #[test]
+    fn ensure_finite_accepts_normal_data() {
+        assert!(ensure_finite(&[1.0, -2.5, 0.0]).is_ok());
+        assert!(ensure_finite(&[]).is_ok());
+    }
+
+    #[test]
+    fn ensure_finite_rejects_nan_and_inf() {
+        assert_eq!(ensure_finite(&[1.0, f64::NAN]), Err(StatsError::NonFinite));
+        assert_eq!(ensure_finite(&[f64::INFINITY]), Err(StatsError::NonFinite));
+        assert_eq!(ensure_finite(&[f64::NEG_INFINITY, 0.0]), Err(StatsError::NonFinite));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&StatsError::ZeroVariance);
+    }
+}

@@ -1,0 +1,116 @@
+//! Utilities for the two 5-point Likert scales the survey uses.
+//!
+//! The Class Emphasis scale runs from 1 ("Did not discuss") to
+//! 5 ("Major emphasis"); the Personal Growth scale runs from
+//! 1 ("I did not use this skill within this class") to
+//! 5 ("I experienced a tremendous growth and added many new skills").
+
+/// The two scales the Team Design Skills Growth survey uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// How strongly the course emphasised a skill.
+    ClassEmphasis,
+    /// How much the respondent feels they grew in a skill.
+    PersonalGrowth,
+}
+
+impl Scale {
+    /// Anchor text for a scale point (1–5); `None` outside the scale.
+    pub fn anchor(&self, point: u8) -> Option<&'static str> {
+        match (self, point) {
+            (Scale::ClassEmphasis, 1) => Some("Did not discuss"),
+            (Scale::ClassEmphasis, 2) => Some("Minor emphasis"),
+            (Scale::ClassEmphasis, 3) => Some("Some emphasis"),
+            (Scale::ClassEmphasis, 4) => Some("Significant emphasis"),
+            (Scale::ClassEmphasis, 5) => Some("Major emphasis"),
+            (Scale::PersonalGrowth, 1) => Some("I did not use this skill within this class"),
+            (Scale::PersonalGrowth, 2) => Some("I used previous skills and had little growth"),
+            (Scale::PersonalGrowth, 3) => Some("I grew some and gained a few new skills"),
+            (Scale::PersonalGrowth, 4) => {
+                Some("I experienced a significant growth and added several skills")
+            }
+            (Scale::PersonalGrowth, 5) => {
+                Some("I experienced a tremendous growth and added many new skills")
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Lowest valid scale point.
+pub const LIKERT_MIN: f64 = 1.0;
+/// Highest valid scale point.
+pub const LIKERT_MAX: f64 = 5.0;
+
+/// Clamps a latent continuous value onto the closed scale interval.
+pub fn clamp(value: f64) -> f64 {
+    value.clamp(LIKERT_MIN, LIKERT_MAX)
+}
+
+/// Discretizes a latent value to the nearest integer scale point.
+///
+/// Values are clamped first, so any finite input maps to 1..=5.
+pub fn discretize(value: f64) -> u8 {
+    clamp(value).round() as u8
+}
+
+/// True if `value` is a valid (integer) response on the scale.
+pub fn is_valid_response(value: u8) -> bool {
+    (1..=5).contains(&value)
+}
+
+/// Mean of integer Likert responses as f64 (the survey analysis averages
+/// items into near-continuous student scores).
+pub fn mean_response(responses: &[u8]) -> Option<f64> {
+    if responses.is_empty() || !responses.iter().all(|&r| is_valid_response(r)) {
+        return None;
+    }
+    Some(responses.iter().map(|&r| r as f64).sum::<f64>() / responses.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchors_match_the_survey_wording() {
+        assert_eq!(Scale::ClassEmphasis.anchor(1), Some("Did not discuss"));
+        assert_eq!(Scale::ClassEmphasis.anchor(5), Some("Major emphasis"));
+        assert_eq!(
+            Scale::PersonalGrowth.anchor(3),
+            Some("I grew some and gained a few new skills")
+        );
+        assert_eq!(Scale::PersonalGrowth.anchor(0), None);
+        assert_eq!(Scale::ClassEmphasis.anchor(6), None);
+    }
+
+    #[test]
+    fn clamp_bounds() {
+        assert_eq!(clamp(0.3), 1.0);
+        assert_eq!(clamp(7.2), 5.0);
+        assert_eq!(clamp(3.4), 3.4);
+    }
+
+    #[test]
+    fn discretize_rounds_to_scale_points() {
+        assert_eq!(discretize(3.4), 3);
+        assert_eq!(discretize(3.5), 4);
+        assert_eq!(discretize(-10.0), 1);
+        assert_eq!(discretize(100.0), 5);
+    }
+
+    #[test]
+    fn validity() {
+        assert!(is_valid_response(1));
+        assert!(is_valid_response(5));
+        assert!(!is_valid_response(0));
+        assert!(!is_valid_response(6));
+    }
+
+    #[test]
+    fn mean_response_basic() {
+        assert_eq!(mean_response(&[4, 5, 3]), Some(4.0));
+        assert_eq!(mean_response(&[]), None);
+        assert_eq!(mean_response(&[4, 9]), None);
+    }
+}

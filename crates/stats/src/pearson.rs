@@ -1,0 +1,287 @@
+//! Pearson correlation with significance and Guilford strength bands
+//! (Table 4), plus Spearman rank correlation as a robustness extension.
+
+use crate::error::{ensure_finite, StatsError};
+use crate::special::t_sf_two_sided;
+use crate::Result;
+
+/// Guilford's (1956) qualitative bands for correlation strength, as used
+/// by the paper to describe Table 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuilfordBand {
+    /// |r| < 0.20 — slight; almost negligible relationship.
+    Slight,
+    /// 0.20–0.40 — low; definite but small relationship (first-half
+    /// Teamwork, r = 0.38, lands here).
+    Low,
+    /// 0.40–0.70 — moderate; substantial relationship (most of Table 4).
+    Moderate,
+    /// 0.70–0.90 — high; marked relationship (Evaluation & Decision
+    /// Making, r = 0.73).
+    High,
+    /// 0.90–1.00 — very high; very dependable relationship.
+    VeryHigh,
+}
+
+impl GuilfordBand {
+    /// Classifies a correlation coefficient.
+    pub fn classify(r: f64) -> Self {
+        let m = r.abs();
+        if m < 0.20 {
+            GuilfordBand::Slight
+        } else if m < 0.40 {
+            GuilfordBand::Low
+        } else if m < 0.70 {
+            GuilfordBand::Moderate
+        } else if m < 0.90 {
+            GuilfordBand::High
+        } else {
+            GuilfordBand::VeryHigh
+        }
+    }
+
+    /// Guilford's descriptive label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            GuilfordBand::Slight => "slight",
+            GuilfordBand::Low => "low",
+            GuilfordBand::Moderate => "moderate",
+            GuilfordBand::High => "high",
+            GuilfordBand::VeryHigh => "very high",
+        }
+    }
+}
+
+/// A Pearson correlation with its significance test.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PearsonResult {
+    /// Correlation coefficient in [−1, 1].
+    pub r: f64,
+    /// t statistic for H0: rho = 0 (`r * sqrt((n−2)/(1−r²))`).
+    pub t: f64,
+    /// Two-sided p-value.
+    pub p_two_sided: f64,
+    /// Number of paired observations.
+    pub n: usize,
+    /// 95% CI for rho via the Fisher z transformation.
+    pub ci95: (f64, f64),
+}
+
+impl PearsonResult {
+    /// Guilford band for this correlation.
+    pub fn band(&self) -> GuilfordBand {
+        GuilfordBand::classify(self.r)
+    }
+
+    /// The paper reports tiny p-values as "p < 0.001"; this mirrors that.
+    pub fn p_display(&self) -> String {
+        if self.p_two_sided < 0.001 {
+            "p < 0.001".to_string()
+        } else {
+            format!("{:.3}", self.p_two_sided)
+        }
+    }
+}
+
+/// Pearson product-moment correlation between paired samples.
+///
+/// ```
+/// use stats::pearson;
+/// let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+/// let y = [2.1, 3.9, 6.2, 7.8, 10.1];
+/// let r = pearson(&x, &y).unwrap();
+/// assert!(r.r > 0.99);
+/// assert!(r.p_two_sided < 0.01);
+/// ```
+pub fn pearson(x: &[f64], y: &[f64]) -> Result<PearsonResult> {
+    if x.len() != y.len() {
+        return Err(StatsError::LengthMismatch {
+            left: x.len(),
+            right: y.len(),
+        });
+    }
+    if x.len() < 3 {
+        return Err(StatsError::NotEnoughData {
+            needed: 3,
+            got: x.len(),
+        });
+    }
+    ensure_finite(x)?;
+    ensure_finite(y)?;
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let (mut sxy, mut sxx, mut syy) = (0.0, 0.0, 0.0);
+    for (&xi, &yi) in x.iter().zip(y) {
+        let (dx, dy) = (xi - mx, yi - my);
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return Err(StatsError::ZeroVariance);
+    }
+    let r = (sxy / (sxx * syy).sqrt()).clamp(-1.0, 1.0);
+    let df = n - 2.0;
+    let (t, p) = if (1.0 - r * r) < 1e-15 {
+        (f64::INFINITY, 0.0)
+    } else {
+        let t = r * (df / (1.0 - r * r)).sqrt();
+        (t, t_sf_two_sided(t, df)?)
+    };
+    // Fisher z CI.
+    let z = 0.5 * ((1.0 + r) / (1.0 - r)).ln();
+    let se = 1.0 / (n - 3.0).sqrt();
+    let (zl, zh) = (z - 1.959_963_985 * se, z + 1.959_963_985 * se);
+    let inv = |z: f64| z.tanh();
+    Ok(PearsonResult {
+        r,
+        t,
+        p_two_sided: p,
+        n: x.len(),
+        ci95: (inv(zl), inv(zh)),
+    })
+}
+
+/// Assigns average ranks (ties share the mean of their rank positions).
+pub fn average_ranks(data: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..data.len()).collect();
+    idx.sort_by(|&a, &b| data[a].partial_cmp(&data[b]).expect("finite values"));
+    let mut ranks = vec![0.0; data.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && data[idx[j + 1]] == data[idx[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Spearman rank correlation (Pearson on average ranks).
+pub fn spearman(x: &[f64], y: &[f64]) -> Result<PearsonResult> {
+    if x.len() != y.len() {
+        return Err(StatsError::LengthMismatch {
+            left: x.len(),
+            right: y.len(),
+        });
+    }
+    ensure_finite(x)?;
+    ensure_finite(y)?;
+    pearson(&average_ranks(x), &average_ranks(y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_positive_correlation() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [10.0, 20.0, 30.0, 40.0];
+        let r = pearson(&x, &y).unwrap();
+        assert!((r.r - 1.0).abs() < 1e-12);
+        assert_eq!(r.p_two_sided, 0.0);
+        assert_eq!(r.band(), GuilfordBand::VeryHigh);
+    }
+
+    #[test]
+    fn perfect_negative_correlation() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [4.0, 3.0, 2.0, 1.0];
+        let r = pearson(&x, &y).unwrap();
+        assert!((r.r + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_reference_value() {
+        // r for x=[1..5], y=[2,1,4,3,5] is 0.8.
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [2.0, 1.0, 4.0, 3.0, 5.0];
+        let r = pearson(&x, &y).unwrap();
+        assert!((r.r - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncorrelated_is_insignificant() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let y = [1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0];
+        let r = pearson(&x, &y).unwrap();
+        assert!(r.r.abs() < 0.3);
+        assert!(r.p_two_sided > 0.4);
+    }
+
+    #[test]
+    fn guilford_bands_match_paper_descriptions() {
+        // Paper: 0.38 "low", 0.47–0.68 "moderate", 0.73 "high".
+        assert_eq!(GuilfordBand::classify(0.38), GuilfordBand::Low);
+        assert_eq!(GuilfordBand::classify(0.47), GuilfordBand::Moderate);
+        assert_eq!(GuilfordBand::classify(0.68), GuilfordBand::Moderate);
+        assert_eq!(GuilfordBand::classify(0.73), GuilfordBand::High);
+        assert_eq!(GuilfordBand::classify(0.1), GuilfordBand::Slight);
+        assert_eq!(GuilfordBand::classify(0.95), GuilfordBand::VeryHigh);
+    }
+
+    #[test]
+    fn guilford_labels() {
+        assert_eq!(GuilfordBand::Slight.label(), "slight");
+        assert_eq!(GuilfordBand::Low.label(), "low");
+        assert_eq!(GuilfordBand::Moderate.label(), "moderate");
+        assert_eq!(GuilfordBand::High.label(), "high");
+        assert_eq!(GuilfordBand::VeryHigh.label(), "very high");
+    }
+
+    #[test]
+    fn p_display_uses_inequality_for_tiny_p() {
+        let x: Vec<f64> = (0..124).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| v * 0.7 + (v * 7.7).sin()).collect();
+        let r = pearson(&x, &y).unwrap();
+        assert_eq!(r.p_display(), "p < 0.001");
+    }
+
+    #[test]
+    fn ci_contains_r() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let y = [1.2, 1.9, 3.4, 3.8, 5.3, 5.9];
+        let r = pearson(&x, &y).unwrap();
+        assert!(r.ci95.0 < r.r && r.r < r.ci95.1);
+        assert!(r.ci95.0 > -1.0 && r.ci95.1 < 1.0);
+    }
+
+    #[test]
+    fn errors_on_degenerate_input() {
+        assert!(matches!(
+            pearson(&[1.0, 2.0], &[1.0, 2.0]),
+            Err(StatsError::NotEnoughData { .. })
+        ));
+        assert!(matches!(
+            pearson(&[1.0, 2.0, 3.0], &[1.0, 2.0]),
+            Err(StatsError::LengthMismatch { .. })
+        ));
+        assert_eq!(
+            pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]),
+            Err(StatsError::ZeroVariance)
+        );
+    }
+
+    #[test]
+    fn average_ranks_handles_ties() {
+        let r = average_ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn spearman_is_one_for_monotone() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [1.0, 8.0, 27.0, 64.0, 125.0]; // nonlinear but monotone
+        let s = spearman(&x, &y).unwrap();
+        assert!((s.r - 1.0).abs() < 1e-12);
+        let p = pearson(&x, &y).unwrap();
+        assert!(p.r < 1.0);
+    }
+}

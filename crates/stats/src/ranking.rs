@@ -1,0 +1,119 @@
+//! Ranked score lists (Tables 5 and 6) and rank-comparison utilities.
+
+use crate::error::StatsError;
+use crate::Result;
+
+/// One labelled item in a ranking, highest score first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedItem {
+    /// 1-based rank (1 = highest score).
+    pub rank: usize,
+    /// Item label (e.g. "Teamwork").
+    pub label: String,
+    /// The score being ranked (a composite average in the paper).
+    pub score: f64,
+}
+
+/// Ranks labelled scores in descending order (rank 1 = highest), the way
+/// the paper presents "Ranking of Student Perception" tables.
+///
+/// Ties keep their input order and receive consecutive ranks, matching a
+/// table presentation rather than statistical tied ranks (see
+/// [`crate::pearson::average_ranks`] for the latter).
+pub fn rank_scores(items: &[(&str, f64)]) -> Result<Vec<RankedItem>> {
+    if items.is_empty() {
+        return Err(StatsError::NotEnoughData { needed: 1, got: 0 });
+    }
+    if items.iter().any(|(_, s)| !s.is_finite()) {
+        return Err(StatsError::NonFinite);
+    }
+    let mut indexed: Vec<(usize, &(&str, f64))> = items.iter().enumerate().collect();
+    indexed.sort_by(|(ia, (_, sa)), (ib, (_, sb))| {
+        sb.partial_cmp(sa).expect("finite scores").then(ia.cmp(ib))
+    });
+    Ok(indexed
+        .into_iter()
+        .enumerate()
+        .map(|(i, (_, (label, score)))| RankedItem {
+            rank: i + 1,
+            label: (*label).to_string(),
+            score: *score,
+        })
+        .collect())
+}
+
+/// Position (1-based rank) of `label` in a ranking, if present.
+pub fn rank_of(ranking: &[RankedItem], label: &str) -> Option<usize> {
+    ranking.iter().find(|r| r.label == label).map(|r| r.rank)
+}
+
+/// Spread between the top and bottom scores of a ranking; the paper uses
+/// this to argue first-half growth was "more selective" (larger spread).
+pub fn spread(ranking: &[RankedItem]) -> Result<f64> {
+    if ranking.is_empty() {
+        return Err(StatsError::NotEnoughData { needed: 1, got: 0 });
+    }
+    let max = ranking.first().expect("non-empty").score;
+    let min = ranking.last().expect("non-empty").score;
+    Ok(max - min)
+}
+
+/// Number of labels whose rank differs between two rankings over the same
+/// label set (a simple stability measure between the two halves).
+pub fn rank_changes(a: &[RankedItem], b: &[RankedItem]) -> usize {
+    a.iter()
+        .filter(|ia| rank_of(b, &ia.label).map(|rb| rb != ia.rank).unwrap_or(true))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_descending() {
+        let r = rank_scores(&[("a", 1.0), ("b", 3.0), ("c", 2.0)]).unwrap();
+        assert_eq!(r[0].label, "b");
+        assert_eq!(r[0].rank, 1);
+        assert_eq!(r[1].label, "c");
+        assert_eq!(r[2].label, "a");
+        assert_eq!(r[2].rank, 3);
+    }
+
+    #[test]
+    fn ties_keep_input_order() {
+        let r = rank_scores(&[("x", 2.0), ("y", 2.0), ("z", 5.0)]).unwrap();
+        assert_eq!(r[0].label, "z");
+        assert_eq!(r[1].label, "x");
+        assert_eq!(r[2].label, "y");
+    }
+
+    #[test]
+    fn rank_of_finds_labels() {
+        let r = rank_scores(&[("Teamwork", 4.38), ("Implementation", 4.16)]).unwrap();
+        assert_eq!(rank_of(&r, "Teamwork"), Some(1));
+        assert_eq!(rank_of(&r, "Implementation"), Some(2));
+        assert_eq!(rank_of(&r, "Missing"), None);
+    }
+
+    #[test]
+    fn spread_is_top_minus_bottom() {
+        let r = rank_scores(&[("a", 4.14), ("b", 3.36), ("c", 3.8)]).unwrap();
+        assert!((spread(&r).unwrap() - 0.78).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_changes_counts_moves() {
+        let a = rank_scores(&[("t", 3.0), ("i", 2.0), ("c", 1.0)]).unwrap();
+        let b = rank_scores(&[("t", 3.0), ("c", 2.5), ("i", 2.0)]).unwrap();
+        assert_eq!(rank_changes(&a, &a), 0);
+        assert_eq!(rank_changes(&a, &b), 2); // i and c swapped
+    }
+
+    #[test]
+    fn errors() {
+        assert!(rank_scores(&[]).is_err());
+        assert!(rank_scores(&[("a", f64::NAN)]).is_err());
+        assert!(spread(&[]).is_err());
+    }
+}

@@ -1,0 +1,240 @@
+//! Resampling methods: bootstrap confidence intervals and permutation
+//! tests. The paper reports only parametric tests; these let the
+//! reproduction check that its conclusions do not hinge on normality.
+
+use crate::error::{ensure_finite, StatsError};
+use crate::rng::Xoshiro256;
+use crate::Result;
+
+/// A bootstrap percentile confidence interval for a statistic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BootstrapCi {
+    /// Point estimate on the original sample.
+    pub estimate: f64,
+    /// Lower percentile bound.
+    pub lo: f64,
+    /// Upper percentile bound.
+    pub hi: f64,
+    /// Number of bootstrap replicates drawn.
+    pub replicates: usize,
+}
+
+/// Percentile bootstrap CI for an arbitrary statistic of one sample.
+///
+/// `level` is the coverage (e.g. 0.95); `reps` the number of resamples.
+pub fn bootstrap_ci<F>(
+    data: &[f64],
+    statistic: F,
+    level: f64,
+    reps: usize,
+    seed: u64,
+) -> Result<BootstrapCi>
+where
+    F: Fn(&[f64]) -> f64,
+{
+    if data.len() < 2 {
+        return Err(StatsError::NotEnoughData {
+            needed: 2,
+            got: data.len(),
+        });
+    }
+    if !(0.0 < level && level < 1.0) {
+        return Err(StatsError::InvalidParameter("bootstrap level must be in (0,1)"));
+    }
+    if reps == 0 {
+        return Err(StatsError::InvalidParameter("bootstrap reps must be positive"));
+    }
+    ensure_finite(data)?;
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut stats = Vec::with_capacity(reps);
+    let mut resample = vec![0.0; data.len()];
+    for _ in 0..reps {
+        for slot in resample.iter_mut() {
+            *slot = data[rng.next_below(data.len())];
+        }
+        stats.push(statistic(&resample));
+    }
+    stats.sort_by(|a, b| a.partial_cmp(b).expect("finite statistic"));
+    let alpha = 1.0 - level;
+    let lo_idx = ((alpha / 2.0) * reps as f64).floor() as usize;
+    let hi_idx = (((1.0 - alpha / 2.0) * reps as f64).ceil() as usize).min(reps - 1);
+    Ok(BootstrapCi {
+        estimate: statistic(data),
+        lo: stats[lo_idx],
+        hi: stats[hi_idx],
+        replicates: reps,
+    })
+}
+
+/// Result of a permutation test.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PermutationTest {
+    /// Observed value of the statistic.
+    pub observed: f64,
+    /// Two-sided permutation p-value (fraction of permuted statistics at
+    /// least as extreme in absolute value, with the +1 correction).
+    pub p_two_sided: f64,
+    /// Number of permutations drawn.
+    pub permutations: usize,
+}
+
+/// Paired permutation test on mean(second − first): randomly flips the
+/// sign of each pair's difference. The nonparametric analogue of the
+/// paper's Table 1 paired t-test.
+pub fn permutation_test_paired(
+    first: &[f64],
+    second: &[f64],
+    permutations: usize,
+    seed: u64,
+) -> Result<PermutationTest> {
+    if first.len() != second.len() {
+        return Err(StatsError::LengthMismatch {
+            left: first.len(),
+            right: second.len(),
+        });
+    }
+    if first.len() < 2 {
+        return Err(StatsError::NotEnoughData {
+            needed: 2,
+            got: first.len(),
+        });
+    }
+    if permutations == 0 {
+        return Err(StatsError::InvalidParameter("permutations must be positive"));
+    }
+    ensure_finite(first)?;
+    ensure_finite(second)?;
+    let diffs: Vec<f64> = second.iter().zip(first).map(|(s, f)| s - f).collect();
+    let n = diffs.len() as f64;
+    let observed = diffs.iter().sum::<f64>() / n;
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut extreme = 0usize;
+    for _ in 0..permutations {
+        let perm_mean: f64 = diffs
+            .iter()
+            .map(|&d| if rng.next_u64() & 1 == 0 { d } else { -d })
+            .sum::<f64>()
+            / n;
+        if perm_mean.abs() >= observed.abs() - 1e-15 {
+            extreme += 1;
+        }
+    }
+    Ok(PermutationTest {
+        observed,
+        p_two_sided: (extreme + 1) as f64 / (permutations + 1) as f64,
+        permutations,
+    })
+}
+
+/// Two-sample permutation test on the difference of means (label
+/// shuffling); nonparametric analogue of the independent t-test.
+pub fn permutation_test_two_sample(
+    a: &[f64],
+    b: &[f64],
+    permutations: usize,
+    seed: u64,
+) -> Result<PermutationTest> {
+    if a.len() < 2 || b.len() < 2 {
+        return Err(StatsError::NotEnoughData {
+            needed: 2,
+            got: a.len().min(b.len()),
+        });
+    }
+    if permutations == 0 {
+        return Err(StatsError::InvalidParameter("permutations must be positive"));
+    }
+    ensure_finite(a)?;
+    ensure_finite(b)?;
+    let observed =
+        a.iter().sum::<f64>() / a.len() as f64 - b.iter().sum::<f64>() / b.len() as f64;
+    let mut pooled: Vec<f64> = a.iter().chain(b).copied().collect();
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut extreme = 0usize;
+    for _ in 0..permutations {
+        rng.shuffle(&mut pooled);
+        let (pa, pb) = pooled.split_at(a.len());
+        let stat =
+            pa.iter().sum::<f64>() / pa.len() as f64 - pb.iter().sum::<f64>() / pb.len() as f64;
+        if stat.abs() >= observed.abs() - 1e-15 {
+            extreme += 1;
+        }
+    }
+    Ok(PermutationTest {
+        observed,
+        p_two_sided: (extreme + 1) as f64 / (permutations + 1) as f64,
+        permutations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptive::mean;
+    use crate::ttest::t_test_paired;
+
+    #[test]
+    fn bootstrap_ci_covers_the_mean() {
+        let data: Vec<f64> = (0..60).map(|i| 4.0 + 0.2 * ((i * 37 % 11) as f64 - 5.0)).collect();
+        let ci = bootstrap_ci(&data, |d| mean(d).unwrap(), 0.95, 500, 42).unwrap();
+        assert!(ci.lo <= ci.estimate && ci.estimate <= ci.hi);
+        assert!(ci.hi - ci.lo < 1.0);
+    }
+
+    #[test]
+    fn bootstrap_is_deterministic_per_seed() {
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let a = bootstrap_ci(&data, |d| mean(d).unwrap(), 0.9, 200, 7).unwrap();
+        let b = bootstrap_ci(&data, |d| mean(d).unwrap(), 0.9, 200, 7).unwrap();
+        assert_eq!(a, b);
+        let c = bootstrap_ci(&data, |d| mean(d).unwrap(), 0.9, 200, 8).unwrap();
+        assert!(a.lo != c.lo || a.hi != c.hi);
+    }
+
+    #[test]
+    fn bootstrap_rejects_bad_params() {
+        let d = [1.0, 2.0, 3.0];
+        assert!(bootstrap_ci(&d, |x| x[0], 1.5, 10, 0).is_err());
+        assert!(bootstrap_ci(&d, |x| x[0], 0.9, 0, 0).is_err());
+        assert!(bootstrap_ci(&[1.0], |x| x[0], 0.9, 10, 0).is_err());
+    }
+
+    #[test]
+    fn paired_permutation_agrees_with_t_test_on_strong_effect() {
+        let first: Vec<f64> = (0..40).map(|i| 3.5 + 0.05 * (i % 5) as f64).collect();
+        let second: Vec<f64> = first.iter().map(|x| x + 0.3 + 0.02 * (x * 10.0).sin()).collect();
+        let p = permutation_test_paired(&first, &second, 2000, 99).unwrap();
+        let t = t_test_paired(&first, &second).unwrap();
+        assert!(p.p_two_sided < 0.01);
+        assert!(t.p_two_sided < 0.01);
+        assert!((p.observed - t.mean_difference).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paired_permutation_null_case() {
+        // Differences symmetric around zero → p should be large.
+        let first: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let second: Vec<f64> = first
+            .iter()
+            .enumerate()
+            .map(|(i, x)| x + if i % 2 == 0 { 0.5 } else { -0.5 })
+            .collect();
+        let p = permutation_test_paired(&first, &second, 1000, 5).unwrap();
+        assert!(p.p_two_sided > 0.3);
+    }
+
+    #[test]
+    fn two_sample_permutation_detects_shift() {
+        let a: Vec<f64> = (0..25).map(|i| 5.0 + 0.1 * (i % 5) as f64).collect();
+        let b: Vec<f64> = (0..25).map(|i| 4.0 + 0.1 * (i % 5) as f64).collect();
+        let p = permutation_test_two_sample(&a, &b, 1000, 3).unwrap();
+        assert!(p.observed > 0.9);
+        assert!(p.p_two_sided < 0.01);
+    }
+
+    #[test]
+    fn permutation_errors() {
+        assert!(permutation_test_paired(&[1.0], &[1.0], 10, 0).is_err());
+        assert!(permutation_test_paired(&[1.0, 2.0], &[1.0], 10, 0).is_err());
+        assert!(permutation_test_two_sample(&[1.0, 2.0], &[3.0, 4.0], 0, 0).is_err());
+    }
+}

@@ -1,0 +1,255 @@
+//! Plain-text and Markdown table rendering used by the `report` binary to
+//! print the paper's tables, and by EXPERIMENTS.md generation.
+
+use std::fmt::Write as _;
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Pad on the right.
+    Left,
+    /// Pad on the left.
+    Right,
+    /// Pad on both sides.
+    Center,
+}
+
+/// A simple table builder.
+///
+/// ```
+/// use stats::table::Table;
+/// let mut t = Table::new(vec!["Metric", "Value"]);
+/// t.row(vec!["t".into(), "-2.63".into()]);
+/// let text = t.render_ascii();
+/// assert!(text.contains("Metric"));
+/// assert!(text.contains("-2.63"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: Option<String>,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    aligns: Vec<Align>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers (left-aligned).
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        let aligns = vec![Align::Left; headers.len()];
+        Table {
+            title: None,
+            headers,
+            rows: Vec::new(),
+            aligns,
+        }
+    }
+
+    /// Sets a title printed above the table.
+    pub fn with_title<S: Into<String>>(mut self, title: S) -> Self {
+        self.title = Some(title.into());
+        self
+    }
+
+    /// Overrides column alignments (length must match the headers).
+    pub fn with_aligns(mut self, aligns: Vec<Align>) -> Self {
+        assert_eq!(
+            aligns.len(),
+            self.headers.len(),
+            "alignment count must match column count"
+        );
+        self.aligns = aligns;
+        self
+    }
+
+    /// Appends a row; short rows are padded with empty cells, long rows
+    /// are truncated to the column count.
+    pub fn row(&mut self, mut cells: Vec<String>) -> &mut Self {
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        widths
+    }
+
+    fn pad(cell: &str, width: usize, align: Align) -> String {
+        let len = cell.chars().count();
+        let gap = width.saturating_sub(len);
+        match align {
+            Align::Left => format!("{cell}{}", " ".repeat(gap)),
+            Align::Right => format!("{}{cell}", " ".repeat(gap)),
+            Align::Center => {
+                let left = gap / 2;
+                format!("{}{cell}{}", " ".repeat(left), " ".repeat(gap - left))
+            }
+        }
+    }
+
+    /// Renders with box-drawing rules, suitable for terminal output.
+    pub fn render_ascii(&self) -> String {
+        let widths = self.widths();
+        let mut out = String::new();
+        if let Some(title) = &self.title {
+            let _ = writeln!(out, "{title}");
+        }
+        let rule: String = {
+            let mut r = String::from("+");
+            for w in &widths {
+                r.push_str(&"-".repeat(w + 2));
+                r.push('+');
+            }
+            r
+        };
+        let _ = writeln!(out, "{rule}");
+        let mut header_line = String::from("|");
+        for ((h, w), a) in self.headers.iter().zip(&widths).zip(&self.aligns) {
+            let _ = write!(header_line, " {} |", Self::pad(h, *w, *a));
+        }
+        let _ = writeln!(out, "{header_line}");
+        let _ = writeln!(out, "{rule}");
+        for row in &self.rows {
+            let mut line = String::from("|");
+            for ((cell, w), a) in row.iter().zip(&widths).zip(&self.aligns) {
+                let _ = write!(line, " {} |", Self::pad(cell, *w, *a));
+            }
+            let _ = writeln!(out, "{line}");
+        }
+        let _ = writeln!(out, "{rule}");
+        out
+    }
+
+    /// Renders GitHub-flavoured Markdown.
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        if let Some(title) = &self.title {
+            let _ = writeln!(out, "**{title}**\n");
+        }
+        let _ = writeln!(out, "| {} |", self.headers.join(" | "));
+        let seps: Vec<&str> = self
+            .aligns
+            .iter()
+            .map(|a| match a {
+                Align::Left => ":--",
+                Align::Right => "--:",
+                Align::Center => ":-:",
+            })
+            .collect();
+        let _ = writeln!(out, "| {} |", seps.join(" | "));
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+}
+
+/// Formats a float with `digits` decimal places (helper for table cells).
+pub fn fnum(value: f64, digits: usize) -> String {
+    format!("{value:.digits$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(vec!["Name", "Score"]).with_title("Demo");
+        t.row(vec!["Teamwork".into(), "4.38".into()]);
+        t.row(vec!["Implementation".into(), "4.16".into()]);
+        t
+    }
+
+    #[test]
+    fn ascii_contains_all_cells_and_rules() {
+        let s = sample().render_ascii();
+        assert!(s.contains("Demo"));
+        assert!(s.contains("Teamwork"));
+        assert!(s.contains("4.16"));
+        assert!(s.matches('+').count() >= 9, "has rules");
+        // All data lines equal width.
+        let widths: Vec<usize> = s
+            .lines()
+            .filter(|l| l.starts_with('|') || l.starts_with('+'))
+            .map(|l| l.chars().count())
+            .collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn markdown_has_separator_row() {
+        let s = sample().render_markdown();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].contains("**Demo**"));
+        assert!(lines[3].contains(":--"));
+        assert_eq!(lines.len(), 6); // title, blank, header, sep, 2 rows
+    }
+
+    #[test]
+    fn short_rows_padded_long_rows_truncated() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only".into()]);
+        t.row(vec!["x".into(), "y".into(), "z".into()]);
+        assert_eq!(t.len(), 2);
+        let s = t.render_ascii();
+        assert!(!s.contains('z'));
+    }
+
+    #[test]
+    fn alignment_right_pads_left() {
+        let mut t = Table::new(vec!["n"]).with_aligns(vec![Align::Right]);
+        t.row(vec!["7".into()]);
+        let s = t.render_ascii();
+        // header "n" is width 1 so alignment invisible; widen:
+        let mut t = Table::new(vec!["count"]).with_aligns(vec![Align::Right]);
+        t.row(vec!["7".into()]);
+        let s2 = t.render_ascii();
+        assert!(s2.contains("     7 |"));
+        drop(s);
+    }
+
+    #[test]
+    fn center_alignment() {
+        let mut t = Table::new(vec!["wide"]).with_aligns(vec![Align::Center]);
+        t.row(vec!["x".into()]);
+        let s = t.render_ascii();
+        assert!(s.contains("|  x"), "centered cell: {s}");
+    }
+
+    #[test]
+    fn empty_table_renders() {
+        let t = Table::new(vec!["h"]);
+        assert!(t.is_empty());
+        let s = t.render_ascii();
+        assert!(s.contains('h'));
+    }
+
+    #[test]
+    fn fnum_formats() {
+        assert_eq!(fnum(0.5, 2), "0.50");
+        assert_eq!(fnum(-2.629, 2), "-2.63");
+        assert_eq!(fnum(4.0, 0), "4");
+    }
+
+    #[test]
+    #[should_panic(expected = "alignment count")]
+    fn mismatched_aligns_panic() {
+        let _ = Table::new(vec!["a", "b"]).with_aligns(vec![Align::Left]);
+    }
+}

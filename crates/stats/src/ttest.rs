@@ -1,0 +1,299 @@
+//! Student t-tests with exact p-values.
+//!
+//! The paper's Table 1 reports two *paired* t-tests over the 124 students
+//! (first- vs second-half survey waves); [`t_test_paired`] reproduces that
+//! analysis. Independent-sample (pooled and Welch) and one-sample variants
+//! are provided for completeness and for the ablation benches.
+
+use crate::descriptive::Summary;
+use crate::error::{ensure_finite, StatsError};
+use crate::special::{t_critical_two_sided, t_sf_two_sided};
+use crate::Result;
+
+/// Which t-test produced a [`TTestResult`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TTestKind {
+    /// Paired-samples test on per-subject differences.
+    Paired,
+    /// Independent two-sample test with pooled variance.
+    IndependentPooled,
+    /// Independent two-sample test with Welch's df correction.
+    Welch,
+    /// One-sample test against a hypothesised mean.
+    OneSample,
+}
+
+/// Outcome of a t-test.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TTestResult {
+    /// Which variant ran.
+    pub kind: TTestKind,
+    /// Difference of means (second − first for paired, a − b otherwise).
+    pub mean_difference: f64,
+    /// The t statistic.
+    pub t: f64,
+    /// Degrees of freedom (possibly fractional for Welch).
+    pub df: f64,
+    /// Exact two-sided p-value.
+    pub p_two_sided: f64,
+    /// Number of subjects (pairs for the paired test).
+    pub n: usize,
+    /// 95% confidence interval for the mean difference.
+    pub ci95: (f64, f64),
+}
+
+impl TTestResult {
+    /// True when the two-sided p-value is below `alpha`.
+    pub fn significant_at(&self, alpha: f64) -> bool {
+        self.p_two_sided < alpha
+    }
+
+    /// One-sided p-value in the direction of the observed difference.
+    pub fn p_one_sided(&self) -> f64 {
+        self.p_two_sided / 2.0
+    }
+}
+
+fn finish(
+    kind: TTestKind,
+    mean_difference: f64,
+    t: f64,
+    df: f64,
+    n: usize,
+    se: f64,
+) -> Result<TTestResult> {
+    let p_two_sided = t_sf_two_sided(t, df)?;
+    let tc = t_critical_two_sided(0.05, df)?;
+    Ok(TTestResult {
+        kind,
+        mean_difference,
+        t,
+        df,
+        p_two_sided,
+        n,
+        ci95: (mean_difference - tc * se, mean_difference + tc * se),
+    })
+}
+
+/// Paired-samples t-test on `(first, second)` observations.
+///
+/// Tests H0: mean(second − first) = 0. This is the test behind the paper's
+/// Table 1 rows (class emphasis: mean diff −0.10 reported as first − second;
+/// we report `second − first`, so the sign convention is documented on
+/// [`TTestResult::mean_difference`]).
+///
+/// ```
+/// use stats::t_test_paired;
+/// let first  = [3.8, 3.9, 4.0, 3.7, 3.6];
+/// let second = [4.0, 4.1, 4.2, 4.0, 3.9];
+/// let r = t_test_paired(&first, &second).unwrap();
+/// assert!(r.mean_difference > 0.0);
+/// assert!(r.significant_at(0.05));
+/// ```
+pub fn t_test_paired(first: &[f64], second: &[f64]) -> Result<TTestResult> {
+    if first.len() != second.len() {
+        return Err(StatsError::LengthMismatch {
+            left: first.len(),
+            right: second.len(),
+        });
+    }
+    if first.len() < 2 {
+        return Err(StatsError::NotEnoughData {
+            needed: 2,
+            got: first.len(),
+        });
+    }
+    ensure_finite(first)?;
+    ensure_finite(second)?;
+    let diffs: Vec<f64> = second.iter().zip(first).map(|(s, f)| s - f).collect();
+    let summary = Summary::from_slice(&diffs)?;
+    let sd = summary.sample_sd()?;
+    if sd == 0.0 {
+        return Err(StatsError::ZeroVariance);
+    }
+    let n = diffs.len();
+    let se = sd / (n as f64).sqrt();
+    let mean_diff = summary.mean();
+    let t = mean_diff / se;
+    finish(TTestKind::Paired, mean_diff, t, (n - 1) as f64, n, se)
+}
+
+/// Independent two-sample t-test with pooled variance.
+///
+/// Tests H0: mean(a) = mean(b) assuming equal variances.
+pub fn t_test_independent(a: &[f64], b: &[f64]) -> Result<TTestResult> {
+    let (sa, sb) = (Summary::from_slice(a)?, Summary::from_slice(b)?);
+    let (na, nb) = (sa.n() as f64, sb.n() as f64);
+    if na < 2.0 || nb < 2.0 {
+        return Err(StatsError::NotEnoughData {
+            needed: 2,
+            got: na.min(nb) as usize,
+        });
+    }
+    let (va, vb) = (sa.sample_variance()?, sb.sample_variance()?);
+    let pooled = ((na - 1.0) * va + (nb - 1.0) * vb) / (na + nb - 2.0);
+    if pooled == 0.0 {
+        return Err(StatsError::ZeroVariance);
+    }
+    let se = (pooled * (1.0 / na + 1.0 / nb)).sqrt();
+    let mean_diff = sa.mean() - sb.mean();
+    let t = mean_diff / se;
+    finish(
+        TTestKind::IndependentPooled,
+        mean_diff,
+        t,
+        na + nb - 2.0,
+        (na + nb) as usize,
+        se,
+    )
+}
+
+/// Welch's t-test (independent samples, unequal variances).
+pub fn t_test_welch(a: &[f64], b: &[f64]) -> Result<TTestResult> {
+    let (sa, sb) = (Summary::from_slice(a)?, Summary::from_slice(b)?);
+    let (na, nb) = (sa.n() as f64, sb.n() as f64);
+    if na < 2.0 || nb < 2.0 {
+        return Err(StatsError::NotEnoughData {
+            needed: 2,
+            got: na.min(nb) as usize,
+        });
+    }
+    let (va, vb) = (sa.sample_variance()?, sb.sample_variance()?);
+    let (ra, rb) = (va / na, vb / nb);
+    if ra + rb == 0.0 {
+        return Err(StatsError::ZeroVariance);
+    }
+    let se = (ra + rb).sqrt();
+    let df = (ra + rb).powi(2) / (ra * ra / (na - 1.0) + rb * rb / (nb - 1.0));
+    let mean_diff = sa.mean() - sb.mean();
+    let t = mean_diff / se;
+    finish(TTestKind::Welch, mean_diff, t, df, (na + nb) as usize, se)
+}
+
+/// One-sample t-test against the hypothesised mean `mu`.
+pub fn t_test_one_sample(data: &[f64], mu: f64) -> Result<TTestResult> {
+    let s = Summary::from_slice(data)?;
+    if s.n() < 2 {
+        return Err(StatsError::NotEnoughData {
+            needed: 2,
+            got: s.n() as usize,
+        });
+    }
+    let sd = s.sample_sd()?;
+    if sd == 0.0 {
+        return Err(StatsError::ZeroVariance);
+    }
+    let n = s.n() as f64;
+    let se = sd / n.sqrt();
+    let mean_diff = s.mean() - mu;
+    let t = mean_diff / se;
+    finish(TTestKind::OneSample, mean_diff, t, n - 1.0, s.n() as usize, se)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paired_detects_consistent_shift() {
+        let first: Vec<f64> = (0..30).map(|i| 3.5 + 0.01 * (i % 7) as f64).collect();
+        let second: Vec<f64> = first.iter().map(|x| x + 0.2 + 0.001 * (x * 100.0).sin()).collect();
+        let r = t_test_paired(&first, &second).unwrap();
+        assert_eq!(r.kind, TTestKind::Paired);
+        assert!(r.mean_difference > 0.19 && r.mean_difference < 0.21);
+        assert!(r.t > 10.0);
+        assert!(r.p_two_sided < 1e-6);
+        assert_eq!(r.n, 30);
+        assert!(r.ci95.0 < r.mean_difference && r.mean_difference < r.ci95.1);
+    }
+
+    #[test]
+    fn paired_no_effect_is_insignificant() {
+        // Differences alternate ±0.1: mean difference 0.
+        let first: Vec<f64> = (0..40).map(|i| 3.0 + (i % 5) as f64 * 0.1).collect();
+        let second: Vec<f64> = first
+            .iter()
+            .enumerate()
+            .map(|(i, x)| x + if i % 2 == 0 { 0.1 } else { -0.1 })
+            .collect();
+        let r = t_test_paired(&first, &second).unwrap();
+        assert!(r.p_two_sided > 0.5);
+        assert!(!r.significant_at(0.05));
+    }
+
+    #[test]
+    fn paired_rejects_mismatched_lengths() {
+        assert_eq!(
+            t_test_paired(&[1.0, 2.0], &[1.0]),
+            Err(StatsError::LengthMismatch { left: 2, right: 1 })
+        );
+    }
+
+    #[test]
+    fn paired_rejects_constant_differences() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [2.0, 3.0, 4.0];
+        assert_eq!(t_test_paired(&a, &b), Err(StatsError::ZeroVariance));
+    }
+
+    #[test]
+    fn paired_needs_two_pairs() {
+        assert!(matches!(
+            t_test_paired(&[1.0], &[2.0]),
+            Err(StatsError::NotEnoughData { .. })
+        ));
+    }
+
+    #[test]
+    fn independent_reference_value() {
+        // Hand-checked example: a = [1..5], b = [2..6] shifted by 1.
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [2.0, 3.0, 4.0, 5.0, 6.0];
+        let r = t_test_independent(&a, &b).unwrap();
+        assert!((r.mean_difference + 1.0).abs() < 1e-12);
+        assert!((r.t + 1.0).abs() < 1e-12); // se = sqrt(2.5*(2/5)) = 1
+        assert!((r.df - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welch_handles_unequal_variances() {
+        let tight: Vec<f64> = (0..20).map(|i| 10.0 + 0.01 * (i % 3) as f64).collect();
+        let wide: Vec<f64> = (0..20).map(|i| 12.0 + (i % 10) as f64).collect();
+        let r = t_test_welch(&wide, &tight).unwrap();
+        assert_eq!(r.kind, TTestKind::Welch);
+        assert!(r.df < 38.0); // Welch df is less than pooled df = 38
+        assert!(r.mean_difference > 0.0);
+        assert!(r.significant_at(0.01));
+    }
+
+    #[test]
+    fn one_sample_against_true_mean() {
+        let data = [4.9, 5.1, 5.0, 4.95, 5.05];
+        let r = t_test_one_sample(&data, 5.0).unwrap();
+        assert!(r.p_two_sided > 0.5);
+        let r = t_test_one_sample(&data, 4.0).unwrap();
+        // t ≈ 28 at df = 4 → p ≈ 1e-5.
+        assert!(r.p_two_sided < 1e-4);
+    }
+
+    #[test]
+    fn one_sided_p_is_half_two_sided() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let r = t_test_one_sample(&a, 2.0).unwrap();
+        assert!((r.p_one_sided() - r.p_two_sided / 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn ci_widens_with_smaller_n() {
+        let small = t_test_one_sample(&[1.0, 2.0, 3.0], 0.0).unwrap();
+        let data: Vec<f64> = (0..30).map(|i| 1.0 + (i % 3) as f64).collect();
+        let big = t_test_one_sample(&data, 0.0).unwrap();
+        assert!((small.ci95.1 - small.ci95.0) > (big.ci95.1 - big.ci95.0));
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        assert!(t_test_paired(&[1.0, f64::NAN], &[1.0, 2.0]).is_err());
+        assert!(t_test_one_sample(&[1.0, f64::INFINITY], 0.0).is_err());
+    }
+}

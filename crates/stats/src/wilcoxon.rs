@@ -1,0 +1,205 @@
+//! Wilcoxon signed-rank test: the nonparametric companion to the paired
+//! t-test, used to check that Table 1's conclusions do not depend on
+//! normality (Likert-scale averages are only approximately normal).
+
+use crate::error::{ensure_finite, StatsError};
+use crate::pearson::average_ranks;
+use crate::special::normal_cdf;
+use crate::Result;
+
+/// Result of a Wilcoxon signed-rank test.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WilcoxonResult {
+    /// Sum of ranks of positive differences (second − first).
+    pub w_plus: f64,
+    /// Sum of ranks of negative differences.
+    pub w_minus: f64,
+    /// Number of non-zero differences actually ranked.
+    pub n_used: usize,
+    /// Standardised statistic (normal approximation, tie-corrected).
+    pub z: f64,
+    /// Two-sided p-value from the normal approximation.
+    pub p_two_sided: f64,
+}
+
+impl WilcoxonResult {
+    /// True when the two-sided p-value is below `alpha`.
+    pub fn significant_at(&self, alpha: f64) -> bool {
+        self.p_two_sided < alpha
+    }
+
+    /// Direction of the effect: positive when `second` tends to exceed
+    /// `first`.
+    pub fn direction(&self) -> f64 {
+        self.w_plus - self.w_minus
+    }
+}
+
+/// Paired Wilcoxon signed-rank test on `(first, second)` observations,
+/// testing H0: the differences are symmetric about zero. Zero
+/// differences are dropped (the standard treatment); ties in |d| share
+/// average ranks with the variance correction.
+///
+/// Uses the normal approximation, adequate for n ≳ 20 (the study has
+/// n = 124).
+pub fn wilcoxon_signed_rank(first: &[f64], second: &[f64]) -> Result<WilcoxonResult> {
+    if first.len() != second.len() {
+        return Err(StatsError::LengthMismatch {
+            left: first.len(),
+            right: second.len(),
+        });
+    }
+    ensure_finite(first)?;
+    ensure_finite(second)?;
+    let diffs: Vec<f64> = second
+        .iter()
+        .zip(first)
+        .map(|(s, f)| s - f)
+        .filter(|d| *d != 0.0)
+        .collect();
+    let n = diffs.len();
+    if n < 5 {
+        return Err(StatsError::NotEnoughData { needed: 5, got: n });
+    }
+    let abs: Vec<f64> = diffs.iter().map(|d| d.abs()).collect();
+    let ranks = average_ranks(&abs);
+    let mut w_plus = 0.0;
+    let mut w_minus = 0.0;
+    for (d, r) in diffs.iter().zip(&ranks) {
+        if *d > 0.0 {
+            w_plus += r;
+        } else {
+            w_minus += r;
+        }
+    }
+    let nf = n as f64;
+    let mean = nf * (nf + 1.0) / 4.0;
+    // Tie correction: subtract sum(t^3 - t)/48 over tie groups.
+    let mut sorted = abs.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let mut tie_term = 0.0;
+    let mut i = 0;
+    while i < sorted.len() {
+        let mut j = i;
+        while j + 1 < sorted.len() && sorted[j + 1] == sorted[i] {
+            j += 1;
+        }
+        let t = (j - i + 1) as f64;
+        tie_term += t * t * t - t;
+        i = j + 1;
+    }
+    let variance = nf * (nf + 1.0) * (2.0 * nf + 1.0) / 24.0 - tie_term / 48.0;
+    if variance <= 0.0 {
+        return Err(StatsError::ZeroVariance);
+    }
+    // Continuity-corrected z on W+.
+    let delta = w_plus - mean;
+    let correction = 0.5 * delta.signum();
+    let z = (delta - correction) / variance.sqrt();
+    let p_two_sided = 2.0 * (1.0 - normal_cdf(z.abs()));
+    Ok(WilcoxonResult {
+        w_plus,
+        w_minus,
+        n_used: n,
+        z,
+        p_two_sided: p_two_sided.clamp(0.0, 1.0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_a_consistent_shift() {
+        let first: Vec<f64> = (0..40).map(|i| 3.5 + 0.01 * (i % 7) as f64).collect();
+        let second: Vec<f64> = first
+            .iter()
+            .enumerate()
+            .map(|(i, x)| x + 0.2 + 0.001 * (i % 3) as f64)
+            .collect();
+        let w = wilcoxon_signed_rank(&first, &second).unwrap();
+        assert_eq!(w.w_minus, 0.0, "every difference positive");
+        assert!(w.significant_at(0.001));
+        assert!(w.direction() > 0.0);
+    }
+
+    #[test]
+    fn symmetric_differences_are_insignificant() {
+        let first: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        let second: Vec<f64> = first
+            .iter()
+            .enumerate()
+            .map(|(i, x)| x + if i % 2 == 0 { 0.4 } else { -0.4 })
+            .collect();
+        let w = wilcoxon_signed_rank(&first, &second).unwrap();
+        assert!(w.p_two_sided > 0.5, "p = {}", w.p_two_sided);
+    }
+
+    #[test]
+    fn zero_differences_are_dropped() {
+        let first = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0];
+        let mut second = first.clone();
+        second[0] += 0.5;
+        second[1] += 0.4;
+        second[2] += 0.3;
+        second[3] += 0.2;
+        second[4] += 0.1;
+        // Last two pairs identical → dropped.
+        let w = wilcoxon_signed_rank(&first, &second).unwrap();
+        assert_eq!(w.n_used, 5);
+    }
+
+    #[test]
+    fn rank_sums_partition_the_total() {
+        let first: Vec<f64> = (0..30).map(|i| (i as f64 * 1.7).sin()).collect();
+        let second: Vec<f64> = first
+            .iter()
+            .enumerate()
+            .map(|(i, x)| x + ((i * 13 % 7) as f64 - 3.0) * 0.1)
+            .collect();
+        let w = wilcoxon_signed_rank(&first, &second).unwrap();
+        let n = w.n_used as f64;
+        assert!((w.w_plus + w.w_minus - n * (n + 1.0) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn agrees_with_t_test_on_well_behaved_data() {
+        let first: Vec<f64> = (0..60).map(|i| 3.8 + 0.02 * (i % 9) as f64).collect();
+        let second: Vec<f64> = first
+            .iter()
+            .enumerate()
+            .map(|(i, x)| x + 0.15 + 0.03 * ((i % 5) as f64 - 2.0))
+            .collect();
+        let w = wilcoxon_signed_rank(&first, &second).unwrap();
+        let t = crate::t_test_paired(&first, &second).unwrap();
+        assert_eq!(w.significant_at(0.01), t.significant_at(0.01));
+    }
+
+    #[test]
+    fn errors_on_degenerate_input() {
+        assert!(matches!(
+            wilcoxon_signed_rank(&[1.0, 2.0], &[1.0]),
+            Err(StatsError::LengthMismatch { .. })
+        ));
+        let same = vec![1.0; 10];
+        assert!(matches!(
+            wilcoxon_signed_rank(&same, &same),
+            Err(StatsError::NotEnoughData { .. })
+        ));
+        assert!(wilcoxon_signed_rank(&[f64::NAN; 6], &[1.0; 6]).is_err());
+    }
+
+    #[test]
+    fn robust_to_an_outlier_where_the_t_test_is_not() {
+        // 19 small positive shifts + 1 huge negative outlier: the rank
+        // test still sees the consistent positive direction.
+        let first: Vec<f64> = (0..20).map(|i| 3.0 + 0.01 * i as f64).collect();
+        let mut second: Vec<f64> = first.iter().map(|x| x + 0.2).collect();
+        second[19] -= 50.0;
+        let w = wilcoxon_signed_rank(&first, &second).unwrap();
+        assert!(w.w_plus > w.w_minus);
+        let t = crate::t_test_paired(&first, &second).unwrap();
+        assert!(t.mean_difference < 0.0, "the outlier drags the mean negative");
+    }
+}

@@ -1,0 +1,97 @@
+//! The Assignment 5 reading made executable: MapReduce jobs — word
+//! count (with combiner), distributed grep, inverted index, URL access
+//! counting — and the model's fault tolerance (failed map tasks
+//! re-executed transparently).
+//!
+//! ```text
+//! cargo run --example mapreduce_wordcount
+//! ```
+
+use pbl::prelude::*;
+use mapreduce::examples::{Grep, InvertedIndex, UrlAccessCount, WordCount};
+use mapreduce::{run_job, JobConfig};
+
+fn main() {
+    let docs: Vec<String> = vec![
+        "OpenMP makes shared memory parallelism approachable".into(),
+        "MapReduce scales data parallelism across a cluster".into(),
+        "students compare OpenMP MPI and MapReduce".into(),
+        "shared memory versus distributed memory shapes the choice".into(),
+    ];
+
+    // Word count, plain and with the combiner.
+    let plain = run_job(&WordCount, docs.clone(), &JobConfig::default());
+    let combined = run_job(
+        &WordCount,
+        docs.clone(),
+        &JobConfig {
+            use_combiner: true,
+            ..JobConfig::default()
+        },
+    );
+    println!("Word count (top terms):");
+    let mut by_count = plain.results.clone();
+    by_count.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    for (word, count) in by_count.iter().take(6) {
+        println!("  {word:<12} {count}");
+    }
+    println!(
+        "combiner cut shuffle traffic from {} to {} pairs (results identical: {})\n",
+        plain.stats.shuffled_pairs,
+        combined.stats.shuffled_pairs,
+        plain.results == combined.results
+    );
+
+    // Distributed grep.
+    let indexed: Vec<(usize, String)> = docs.iter().cloned().enumerate().collect();
+    let grep = run_job(
+        &Grep {
+            pattern: "memory".into(),
+        },
+        indexed.clone(),
+        &JobConfig::default(),
+    );
+    println!("Grep for \"memory\" found {} matching lines:", grep.results.len());
+    for (line, docs) in &grep.results {
+        println!("  {line:?} in documents {docs:?}");
+    }
+
+    // Inverted index.
+    let index = run_job(&InvertedIndex, indexed, &JobConfig::default());
+    println!("\nInverted index (selected postings):");
+    for term in ["openmp", "mapreduce", "memory"] {
+        if let Some((_, posting)) = index.results.iter().find(|(k, _)| k == term) {
+            println!("  {term:<10} -> {posting:?}");
+        }
+    }
+
+    // URL access counts from a toy log.
+    let log: Vec<String> = vec![
+        "GET /index.html".into(),
+        "GET /syllabus.html".into(),
+        "GET /index.html".into(),
+        "POST /submit".into(),
+        "GET /index.html".into(),
+    ];
+    let urls = run_job(&UrlAccessCount, log, &JobConfig::default());
+    println!("\nURL access counts:");
+    for (url, n) in &urls.results {
+        println!("  {url:<16} {n}");
+    }
+
+    // Fault tolerance: crash two map tasks; results must be unchanged.
+    let faulty = run_job(
+        &WordCount,
+        docs,
+        &JobConfig {
+            fail_first_attempt_of: [0usize, 1].into_iter().collect(),
+            ..JobConfig::default()
+        },
+    );
+    println!(
+        "\nFault tolerance: {} map failures, {} attempts, results identical: {}",
+        faulty.stats.map_failures,
+        faulty.stats.map_attempts,
+        faulty.results == plain.results
+    );
+}

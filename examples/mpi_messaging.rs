@@ -1,0 +1,59 @@
+//! The module's future-work extension (§V): distributed memory with
+//! message passing. Runs the "Getting Started with MPI" patternlets and
+//! the OpenMP-vs-MPI-vs-MapReduce comparison from Assignment 5.
+//!
+//! ```text
+//! cargo run --example mpi_messaging
+//! ```
+
+use pbl::prelude::*;
+use mpi_rt::memory_models::Model;
+use mpi_rt::patternlets::{distributed_sum, master_worker_messages, rank_hello, ring_pass};
+use mpi_rt::run;
+
+fn main() {
+    println!("== Rank hello (MPI_Comm_rank / MPI_Comm_size) ==");
+    for line in rank_hello(4) {
+        println!("  {line}");
+    }
+
+    println!("\n== Ring pass ==");
+    println!("  token visited ranks {:?}", ring_pass(6));
+
+    println!("\n== Distributed sum (scatter + local work + reduce) ==");
+    let data: Vec<u64> = (1..=1000).collect();
+    let (parallel, sequential) = distributed_sum(data, 4);
+    println!("  parallel {parallel} == sequential {sequential}: {}", parallel == sequential);
+
+    println!("\n== Master-worker over messages ==");
+    let per_worker = master_worker_messages(24, 5);
+    println!("  tasks per rank (rank 0 is the master): {per_worker:?}");
+
+    println!("\n== Collectives in one program ==");
+    let results = run(4, |rank| {
+        // Root broadcasts a config value, everyone contributes to an
+        // allreduce, and the root gathers the per-rank summaries.
+        let base = if rank.is_root() {
+            rank.broadcast(0, Some(10u64))
+        } else {
+            rank.broadcast::<u64>(0, None)
+        };
+        let total = rank.allreduce(base + rank.rank() as u64, |a, b| a + b);
+        rank.gather(0, format!("rank {} saw total {}", rank.rank(), total))
+    });
+    for line in results.into_iter().flatten().flatten() {
+        println!("  {line}");
+    }
+
+    println!("\n== When to use which model (Assignment 5) ==");
+    for model in [Model::OpenMp, Model::Mpi, Model::MapReduce] {
+        println!("  {model:?} ({:?} memory):", model.memory());
+        println!("    use when {}", model.when_to_use());
+        println!("    data movement is {}", model.data_movement());
+    }
+    let [openmp, mpi, mapreduce] = mpi_rt::memory_models::sum_three_ways(&(1..=500).collect::<Vec<u64>>(), 4);
+    println!(
+        "\n  the same sum three ways: OpenMP {openmp}, MPI {mpi}, MapReduce {mapreduce} — all equal: {}",
+        openmp == mpi && mpi == mapreduce
+    );
+}

@@ -1,0 +1,90 @@
+//! Assignment 2's hardware exploration, on the simulated Pi: identify
+//! the SoC components, set up and boot the board, compare ARM with x86,
+//! and watch cache coherence make a shared counter expensive.
+//!
+//! ```text
+//! cargo run --example pi_exploration
+//! ```
+
+use pbl::prelude::*;
+use pi_sim::boot::{PiSetup, SdCard};
+use pi_sim::isa::{compare_program, AbstractInsn, IsaFamily};
+use pi_sim::machine::Machine;
+use pi_sim::program::Program;
+use pi_sim::soc::{PiModel, SocSpec};
+
+fn main() {
+    println!("== Identify the components (Assignment 2, Q1) ==\n");
+    for model in [PiModel::ModelBPlus, PiModel::Pi3BPlus] {
+        let spec = model.spec();
+        println!("{spec}");
+        for c in &spec.components {
+            println!(
+                "  {:<24} {} [{}]",
+                c.name,
+                c.description,
+                if c.on_die { "on the SoC die" } else { "board part" }
+            );
+        }
+        println!(
+            "  -> is a SoC: {}; supports the parallel exercises: {}\n",
+            spec.is_soc(),
+            spec.supports_parallel_exercises()
+        );
+    }
+    println!("Advantages of a SoC over discrete parts:");
+    for a in SocSpec::soc_advantages() {
+        println!("  - {a}");
+    }
+
+    println!("\n== Set up and boot (Assignment 2, setup steps) ==\n");
+    let mut pi = PiSetup::new();
+    pi.insert_card(SdCard::Blank);
+    println!("boot with a blank card: {:?}", pi.boot().unwrap_err());
+    pi.flash_raspbian(false).expect("flash succeeds");
+    pi.connect_display();
+    pi.connect_keyboard();
+    println!("after flashing RASPBIAN: booted to {:?}", pi.boot().unwrap());
+    for (step, done) in pi.checklist() {
+        println!("  [{}] {step}", if done { "x" } else { " " });
+    }
+
+    println!("\n== ARM (RISC) vs x86 (CISC) ==\n");
+    let program = vec![
+        AbstractInsn::LoadImmediate { value: 0x1234_5678 },
+        AbstractInsn::LoadMemory,
+        AbstractInsn::AddMemoryOperand,
+        AbstractInsn::AddRegisters,
+        AbstractInsn::StoreMemory,
+        AbstractInsn::Branch,
+    ];
+    for isa in [IsaFamily::Arm, IsaFamily::X86] {
+        let cmp = compare_program(&program, isa);
+        println!(
+            "{:?}: {} instructions, {} bytes, {} memory-touching, fixed-width: {}",
+            isa, cmp.instructions, cmp.bytes, cmp.memory_touching, cmp.fixed_width
+        );
+        for topic in ["data_movement", "encoding", "immediates"] {
+            println!("  {topic}: {}", pi_sim::isa::isa_fact(isa, topic).unwrap());
+        }
+    }
+
+    println!("\n== Cache coherence: why the shared counter is slow ==\n");
+    let shared: Vec<Program> = (0..4)
+        .map(|_| (0..200).map(|_| pi_sim::program::Op::AtomicRmw(0x100)).collect())
+        .collect();
+    let disjoint: Vec<Program> = (0..4u64)
+        .map(|t| (0..200).map(|_| pi_sim::program::Op::AtomicRmw(0x100 + t * 4096)).collect())
+        .collect();
+    let rs = Machine::pi().run(shared);
+    let rd = Machine::pi().run(disjoint);
+    println!(
+        "four cores x 200 atomic increments: shared address {} cycles, \
+         per-core addresses {} cycles ({:.1}x slower when contended)",
+        rs.total_cycles,
+        rd.total_cycles,
+        rs.total_cycles as f64 / rd.total_cycles as f64
+    );
+    let invalidations: u64 = rs.cache_stats.iter().map(|s| s.invalidations_received).sum();
+    println!("coherence invalidations during the contended run: {invalidations}");
+}

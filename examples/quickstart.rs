@@ -1,0 +1,38 @@
+//! Quickstart: simulate the Fall-2018 study and reproduce the paper's
+//! headline statistics.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use pbl::prelude::*;
+use pbl_core::{experiments, hypotheses, PblStudy};
+
+fn main() {
+    // One call runs the whole study: generate the 124-student cohort,
+    // form the 26 teams, administer both survey waves, and compute
+    // every statistic in the paper's evaluation.
+    let report = PblStudy::new().run();
+
+    println!("== The three headline artefacts ==\n");
+    print!("{}", experiments::table1(&report).render_ascii());
+    print!("{}", experiments::table2(&report).render_ascii());
+    print!("{}", experiments::table3(&report).render_ascii());
+
+    println!("\n== Hypothesis verdicts ==");
+    for v in hypotheses::evaluate_all(&report) {
+        println!(
+            "H{} {}: {}",
+            v.hypothesis,
+            if v.supported { "supported" } else { "NOT supported" },
+            v.evidence
+        );
+    }
+
+    println!(
+        "\nCohort: {} students in {} teams; see `cargo run -p pbl-bench --bin report` \
+         for Tables 4-6, both figures, and the Assignment 5 timing study.",
+        report.cohort.n(),
+        report.cohort.teams.len()
+    );
+}

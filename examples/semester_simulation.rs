@@ -1,0 +1,114 @@
+//! A full semester walk-through: the module design (timeline,
+//! technologies, assignments, grading), team formation over the
+//! demographically matched cohort, and both survey administrations —
+//! ending with the course-design gap analysis from the paper's
+//! Discussion section.
+//!
+//! ```text
+//! cargo run --example semester_simulation
+//! ```
+
+use pbl::prelude::*;
+use classroom::assignment::{assignments, Focus, GradingPolicy};
+use classroom::roster::gender_counts;
+use classroom::team::balance_report;
+use pbl_core::module::{presentation_guide, Technology, PI_KIT_COST_USD};
+use pbl_core::{experiments, PblStudy};
+
+fn main() {
+    println!("== Module design ==\n");
+    print!("{}", classroom::timeline::render_timeline());
+
+    println!("\nTeamwork technologies (all free to students):");
+    for t in Technology::all() {
+        println!("  {:?}: {}", t, t.role());
+    }
+    println!("\nVideo presentation guide (5-10 minutes, everyone appears):");
+    for (i, p) in presentation_guide().iter().enumerate() {
+        println!("  {}. {p}", i + 1);
+    }
+
+    println!("\nAssignments (each team gets a ${PI_KIT_COST_USD} Raspberry Pi kit):");
+    for a in assignments() {
+        println!(
+            "  A{} [{}]: {} tasks, {} materials",
+            a.number,
+            match a.focus {
+                Focus::SoftSkills => "soft skills",
+                Focus::TechnicalSkills => "technical",
+            },
+            a.tasks.len(),
+            a.materials.len()
+        );
+    }
+    let policy = GradingPolicy::default();
+    println!(
+        "\nGrading: module is {:.0}% of the course, {:.0}% per assignment; \
+         non-cooperation earns a zero.",
+        policy.module_weight * 100.0,
+        policy.per_assignment_weight * 100.0
+    );
+
+    println!("\n== Running the semester ==\n");
+    let report = PblStudy::new().run();
+    let (male, female) = gender_counts(&report.cohort.students);
+    println!(
+        "Enrolled {} students ({male} male, {female} female) in 2 sections.",
+        report.cohort.n()
+    );
+    let balance = balance_report(&report.cohort.students, &report.cohort.teams);
+    println!(
+        "Formed {} teams (sizes {}-{}), {} containing women, ability spread {:.3}.",
+        report.cohort.teams.len(),
+        balance.min_size,
+        balance.max_size,
+        balance.teams_with_women,
+        balance.ability_spread
+    );
+
+    println!("\n== A team works Assignment 2 ==\n");
+    let team = &report.cohort.teams[0];
+    let collab = classroom::collaboration::simulate_collaboration(
+        team,
+        &report.cohort.students,
+        2,
+        7,
+        None,
+    );
+    println!(
+        "Team {} activity: {} total contribution units, balance {:.2}, everyone on video: {}",
+        team.id,
+        collab.total_contribution().round(),
+        collab.balance(),
+        collab.everyone_on_video()
+    );
+    let rubric = classroom::rubric::standard_rubric(2);
+    let grade = rubric.grade(&classroom::rubric::Scoring {
+        levels: vec![0, 1, 0, 1], // exemplary plan/report, proficient elsewhere
+    });
+    println!("Rubric grade: {:.0}%", grade.total * 100.0);
+    for (criterion, level, earned) in &grade.feedback {
+        println!("  {criterion}: {level} (+{:.2})", earned);
+    }
+    let ratings = collab.peer_ratings();
+    let grades = classroom::assignment::individual_grades(
+        grade.total * 100.0,
+        &team.members,
+        &ratings,
+        50.0,
+    );
+    println!(
+        "Peer ratings keep all {} members at the team grade: {}",
+        grades.len(),
+        grades.iter().all(|&(_, g)| g > 0.0)
+    );
+
+    println!("\n== Outcomes ==\n");
+    print!("{}", experiments::table5(&report).render_ascii());
+    print!("{}", experiments::table6(&report).render_ascii());
+    print!("{}", experiments::gap_analysis(&report).render_ascii());
+    println!(
+        "\nDiscussion: the only near-zero gap is Implementation in the second half —\n\
+         students built four parallel programs there versus one in the first half."
+    );
+}

@@ -1,0 +1,2 @@
+#![doc = "Root facade crate: re-exports every workspace crate."]
+pub mod prelude;

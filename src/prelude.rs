@@ -1,0 +1,10 @@
+//! Convenience re-exports of the whole workspace public API.
+pub use classroom;
+pub use drugsim;
+pub use mapreduce;
+pub use mpi_rt;
+pub use parallel_rt;
+pub use patternlets;
+pub use pbl_core;
+pub use pi_sim;
+pub use stats;

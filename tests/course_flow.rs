@@ -1,0 +1,96 @@
+//! Integration test: a team's path through the course — set up the Pi,
+//! work each assignment's programs in order, get graded — exercising
+//! module design, substrate, runtime, and patternlets together.
+
+use classroom::assignment::{assignments, individual_grades, Focus, Material, PeerRating};
+use patternlets::catalog::{for_assignment, Assignment};
+use pi_sim::boot::{BootStage, PiSetup, SdCard};
+
+#[test]
+fn a_team_completes_the_whole_module() {
+    // Week 1: the team receives the kit and sets it up (Assignment 2's
+    // first task).
+    let mut pi = PiSetup::new();
+    pi.insert_card(SdCard::Blank);
+    pi.flash_raspbian(false).expect("image flashes");
+    pi.connect_display();
+    pi.connect_keyboard();
+    assert_eq!(pi.boot().expect("boots"), BootStage::Ready);
+
+    // Assignments 2-4: run every patternlet in catalogue order.
+    for a in [Assignment::A2, Assignment::A3, Assignment::A4] {
+        for patternlet in for_assignment(a) {
+            let summary = (patternlet.smoke)();
+            assert!(!summary.is_empty(), "{} produced output", patternlet.name);
+        }
+    }
+
+    // Assignment 5: the three drug-design implementations agree.
+    let cfg = drugsim::DrugDesignConfig {
+        num_ligands: 30,
+        ..Default::default()
+    };
+    let seq = drugsim::run(&cfg, drugsim::Approach::Sequential, 1);
+    let omp = drugsim::run(&cfg, drugsim::Approach::OpenMp, 4);
+    assert_eq!(seq.best_ligands, omp.best_ligands);
+
+    // Grading: everyone cooperated, so the team grade propagates.
+    let ratings: Vec<PeerRating> = (0..5)
+        .flat_map(|rater| {
+            (0..5).filter(move |&ratee| ratee != rater).map(move |ratee| PeerRating {
+                rater,
+                ratee,
+                rating: 90.0,
+            })
+        })
+        .collect();
+    let grades = individual_grades(93.0, &[0, 1, 2, 3, 4], &ratings, 50.0);
+    assert!(grades.iter().all(|&(_, g)| (g - 93.0).abs() < 1e-12));
+}
+
+#[test]
+fn module_structure_matches_the_paper() {
+    let all = assignments();
+    assert_eq!(all.len(), 5);
+    // Soft skills first, then four technical assignments.
+    assert_eq!(all[0].focus, Focus::SoftSkills);
+    assert_eq!(
+        all.iter().filter(|a| a.focus == Focus::TechnicalSkills).count(),
+        4
+    );
+    // Assignment 5 reads the MapReduce paper; earlier ones do not.
+    assert!(all[4].materials.contains(&Material::IntroMapReduce));
+    assert!(all[..4]
+        .iter()
+        .all(|a| !a.materials.contains(&Material::IntroMapReduce)));
+    // Each technical assignment has programs to run: the patternlet
+    // catalogue covers A2-A4 with three each.
+    for a in [Assignment::A2, Assignment::A3, Assignment::A4] {
+        assert_eq!(for_assignment(a).len(), 3);
+    }
+}
+
+#[test]
+fn skipping_setup_steps_fails_like_a_graded_checklist() {
+    let mut pi = PiSetup::new();
+    pi.connect_display();
+    assert!(pi.boot().is_err(), "no SD card");
+    pi.insert_card(SdCard::Blank);
+    assert!(pi.boot().is_err(), "no OS");
+    pi.flash_raspbian(false).unwrap();
+    assert!(pi.boot().is_ok());
+    let done = pi.checklist().iter().filter(|(_, d)| *d).count();
+    assert_eq!(done, 4, "keyboard still unchecked");
+}
+
+#[test]
+fn a_non_cooperator_gets_zero_and_the_team_moves_on() {
+    let ratings = vec![
+        PeerRating { rater: 0, ratee: 3, rating: 10.0 },
+        PeerRating { rater: 1, ratee: 3, rating: 15.0 },
+        PeerRating { rater: 2, ratee: 3, rating: 5.0 },
+    ];
+    let grades = individual_grades(85.0, &[0, 1, 2, 3], &ratings, 50.0);
+    assert_eq!(grades[3], (3, 0.0));
+    assert!(grades[..3].iter().all(|&(_, g)| g == 85.0));
+}

@@ -1,0 +1,122 @@
+//! Integration test for the §V future-work extension: the Assignment 5
+//! drug-design problem solved a *fourth* way — distributed memory over
+//! message passing — must agree with the shared-memory implementations,
+//! and the Spring-2019 module pieces must compose.
+
+use drugsim::{generate_ligands, run as run_shared, score, Approach, DrugDesignConfig};
+use mpi_rt::run as mpi_run;
+
+/// Drug design over MPI: root scatters the ligand list, every rank
+/// scores its share, and a rank-ordered reduce merges (best score,
+/// winner indices).
+fn drug_design_mpi(config: &DrugDesignConfig, ranks: usize) -> (usize, Vec<usize>) {
+    let ligands = generate_ligands(config);
+    // Pad to a multiple of the rank count with empty ligands (score 0).
+    let mut padded: Vec<(usize, String)> = ligands.into_iter().enumerate().collect();
+    while !padded.len().is_multiple_of(ranks) {
+        padded.push((usize::MAX, String::new()));
+    }
+    let protein = config.protein.clone();
+    let results = mpi_run(ranks, |rank| {
+        let mine = rank.scatter(0, rank.is_root().then(|| padded.clone()));
+        let mut best = 0usize;
+        let mut winners: Vec<usize> = Vec::new();
+        for (idx, ligand) in &mine {
+            if *idx == usize::MAX {
+                continue;
+            }
+            let s = score(ligand, &protein);
+            if s > best {
+                best = s;
+                winners = vec![*idx];
+            } else if s == best && s > 0 {
+                winners.push(*idx);
+            }
+        }
+        rank.reduce(0, (best, winners), |(ba, mut wa), (bb, wb)| {
+            use std::cmp::Ordering::*;
+            match bb.cmp(&ba) {
+                Greater => (bb, wb),
+                Less => (ba, wa),
+                Equal => {
+                    wa.extend(wb);
+                    (ba, wa)
+                }
+            }
+        })
+    });
+    let (best, mut winners) = results
+        .into_iter()
+        .next()
+        .flatten()
+        .expect("root holds the reduction");
+    winners.sort_unstable();
+    (best, winners)
+}
+
+#[test]
+fn mpi_drug_design_agrees_with_shared_memory() {
+    let config = DrugDesignConfig {
+        num_ligands: 60,
+        ..Default::default()
+    };
+    let shared = run_shared(&config, Approach::OpenMp, 4);
+    for ranks in [1usize, 2, 4, 5] {
+        let (best, winners) = drug_design_mpi(&config, ranks);
+        assert_eq!(best, shared.best_score, "ranks = {ranks}");
+        assert_eq!(winners, shared.best_ligands, "ranks = {ranks}");
+    }
+}
+
+#[test]
+fn mpi_drug_design_handles_longer_ligands() {
+    let config = DrugDesignConfig {
+        num_ligands: 40,
+        ..Default::default()
+    }
+    .with_max_len(7);
+    let sequential = run_shared(&config, Approach::Sequential, 1);
+    let (best, winners) = drug_design_mpi(&config, 3);
+    assert_eq!(best, sequential.best_score);
+    assert_eq!(winners, sequential.best_ligands);
+}
+
+#[test]
+fn the_three_models_answer_assignment5s_comparison() {
+    // "When do we use OpenMP, MPI, and MapReduce, and why?" — backed by
+    // the same computation under all three models.
+    let data: Vec<u64> = (1..=333).collect();
+    let [openmp, mpi, mapreduce] = mpi_rt::memory_models::sum_three_ways(&data, 4);
+    let expected: u64 = data.iter().sum();
+    assert_eq!(openmp, expected);
+    assert_eq!(mpi, expected);
+    assert_eq!(mapreduce, expected);
+    // And the worksheet answers exist for all three.
+    use mpi_rt::memory_models::Model;
+    for model in [Model::OpenMp, Model::Mpi, Model::MapReduce] {
+        assert!(!model.when_to_use().is_empty());
+    }
+}
+
+#[test]
+fn traced_virtual_pi_shows_the_oversubscription_story() {
+    use pi_sim::machine::Machine;
+    use pi_sim::program::Program;
+    // 5 equal threads on 4 cores: every core ends up running more than
+    // one thread, and utilization is near 1 on all cores.
+    let (report, trace) = Machine::pi().run_traced(
+        (0..5).map(|_| Program::new().compute(300_000)).collect(),
+    );
+    // Cores idle briefly at the tail as threads drain, so utilization
+    // is high but not 1.0 everywhere.
+    let utilization = trace.utilization(4);
+    assert!(utilization.iter().all(|&u| u > 0.8), "{utilization:?}");
+    assert!((0..4).all(|c| trace.threads_on_core(c).len() >= 2));
+    assert!(report.context_switches > 0);
+    // 4 threads on 4 cores: one thread per core, no switches.
+    let (report4, trace4) = Machine::pi().run_traced(
+        (0..4).map(|_| Program::new().compute(300_000)).collect(),
+    );
+    assert_eq!(report4.context_switches, 0);
+    assert!((0..4).all(|c| trace4.threads_on_core(c).len() == 1));
+}

@@ -1,0 +1,237 @@
+//! Property-based tests (proptest) on the core invariants across the
+//! workspace: statistics, scheduling, the simulated machine, the
+//! scoring kernel, and MapReduce.
+
+use proptest::prelude::*;
+
+use mapreduce::{run_job, JobConfig, MapReduce};
+use parallel_rt::reduction::Sum;
+use parallel_rt::schedule::{static_block, static_chunks};
+use parallel_rt::sim::{plan_assignment, CostModel};
+use parallel_rt::{Schedule, Team};
+use pi_sim::machine::Machine;
+use pi_sim::program::Program;
+use stats::descriptive::{mean, quantile};
+use stats::{cohen_d_independent, pearson, t_test_paired, Summary};
+
+fn finite_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e3..1e3f64, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn summary_mean_within_min_max(data in finite_vec(1..200)) {
+        let s = Summary::from_slice(&data).unwrap();
+        prop_assert!(s.mean() >= s.min().unwrap() - 1e-9);
+        prop_assert!(s.mean() <= s.max().unwrap() + 1e-9);
+    }
+
+    #[test]
+    fn summary_merge_is_order_independent(a in finite_vec(1..100), b in finite_vec(1..100)) {
+        let mut ab = Summary::from_slice(&a).unwrap();
+        ab.merge(&Summary::from_slice(&b).unwrap());
+        let mut ba = Summary::from_slice(&b).unwrap();
+        ba.merge(&Summary::from_slice(&a).unwrap());
+        prop_assert!((ab.mean() - ba.mean()).abs() < 1e-9);
+        prop_assert_eq!(ab.n(), ba.n());
+    }
+
+    #[test]
+    fn quantiles_are_monotone(data in finite_vec(2..100), q1 in 0.0..1.0f64, q2 in 0.0..1.0f64) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(quantile(&data, lo).unwrap() <= quantile(&data, hi).unwrap() + 1e-12);
+    }
+
+    #[test]
+    fn pearson_is_symmetric_and_bounded(
+        x in finite_vec(3..60),
+        noise in prop::collection::vec(-0.5..0.5f64, 3..60),
+    ) {
+        let n = x.len().min(noise.len());
+        let x = &x[..n];
+        let y: Vec<f64> = x.iter().zip(&noise[..n]).map(|(a, b)| a * 0.5 + b).collect();
+        if let (Ok(rxy), Ok(ryx)) = (pearson(x, &y), pearson(&y, x)) {
+            prop_assert!((rxy.r - ryx.r).abs() < 1e-12);
+            prop_assert!((-1.0..=1.0).contains(&rxy.r));
+        }
+    }
+
+    #[test]
+    fn paired_ttest_shift_invariance(data in finite_vec(3..60), shift in -10.0..10.0f64) {
+        // Shifting both samples identically leaves the test unchanged.
+        let second: Vec<f64> = data.iter().enumerate().map(|(i, x)| x + (i % 3) as f64).collect();
+        let a = t_test_paired(&data, &second);
+        let d2: Vec<f64> = data.iter().map(|x| x + shift).collect();
+        let s2: Vec<f64> = second.iter().map(|x| x + shift).collect();
+        let b = t_test_paired(&d2, &s2);
+        if let (Ok(a), Ok(b)) = (a, b) {
+            prop_assert!((a.t - b.t).abs() < 1e-6);
+            prop_assert!((a.p_two_sided - b.p_two_sided).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cohen_d_is_scale_equivariant_in_sign(lo in 0.0..1.0f64, gap in 0.01..2.0f64) {
+        let a: Vec<f64> = (0..30).map(|i| lo + (i % 5) as f64 * 0.1).collect();
+        let b: Vec<f64> = a.iter().map(|x| x + gap).collect();
+        let d = cohen_d_independent(&a, &b).unwrap();
+        prop_assert!(d.d > 0.0);
+        let rev = cohen_d_independent(&b, &a).unwrap();
+        prop_assert!((d.d + rev.d).abs() < 1e-9);
+    }
+
+    #[test]
+    fn static_schedules_partition_any_range(n in 0usize..500, threads in 1usize..9, chunk in 1usize..7) {
+        let mut block: Vec<usize> = (0..threads).flat_map(|t| static_block(0..n, threads, t)).collect();
+        block.sort_unstable();
+        prop_assert_eq!(&block, &(0..n).collect::<Vec<_>>());
+        let mut chunked: Vec<usize> = (0..threads)
+            .flat_map(|t| static_chunks(0..n, threads, t, chunk).into_iter().flatten())
+            .collect();
+        chunked.sort_unstable();
+        prop_assert_eq!(chunked, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn any_plan_covers_every_iteration(
+        n in 0usize..400,
+        threads in 1usize..8,
+        chunk in 1usize..6,
+        dynamic in prop::bool::ANY,
+        base in 1u64..50,
+        slope in 0u64..10,
+    ) {
+        let schedule = if dynamic { Schedule::Dynamic(chunk) } else { Schedule::StaticChunk(chunk) };
+        let cost = CostModel::Linear { base, slope };
+        let plan = plan_assignment(n, &cost, schedule, threads);
+        prop_assert_eq!(plan.len(), threads);
+        let mut all: Vec<usize> = plan.into_iter().flatten().flatten().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn machine_conserves_compute_work(loads in prop::collection::vec(1u64..200_000, 1..8)) {
+        let programs: Vec<Program> = loads.iter().map(|&c| Program::new().compute(c)).collect();
+        let report = Machine::pi().run(programs);
+        let done: u64 = report.threads.iter().map(|t| t.compute_cycles).sum();
+        prop_assert_eq!(done, loads.iter().sum::<u64>());
+        let max_finish = report.threads.iter().map(|t| t.finish_time).max().unwrap();
+        prop_assert_eq!(report.total_cycles, max_finish);
+    }
+
+    #[test]
+    fn machine_makespan_bounded_by_serial_sum(loads in prop::collection::vec(1u64..100_000, 1..6)) {
+        let programs: Vec<Program> = loads.iter().map(|&c| Program::new().compute(c)).collect();
+        let report = Machine::pi().run(programs);
+        let serial: u64 = loads.iter().sum();
+        let longest: u64 = *loads.iter().max().unwrap();
+        // Parallel makespan is at least the longest thread and at most
+        // the serial sum plus scheduling overhead.
+        prop_assert!(report.total_cycles >= longest);
+        let overhead_allowance = 2_000 * loads.len() as u64 + serial / 10;
+        prop_assert!(report.total_cycles <= serial + overhead_allowance);
+    }
+
+    #[test]
+    fn lcs_score_invariants(a in "[a-d]{0,12}", b in "[a-d]{0,24}") {
+        let s = drugsim::score(&a, &b);
+        prop_assert!(s <= a.len().min(b.len()));
+        prop_assert_eq!(s, drugsim::score(&b, &a));
+        // Appending characters never decreases the score.
+        let extended = format!("{b}x");
+        prop_assert!(drugsim::score(&a, &extended) >= s);
+        // A string always fully matches itself.
+        prop_assert_eq!(drugsim::score(&a, &a), a.len());
+    }
+
+    #[test]
+    fn parallel_reduce_equals_sequential_sum(n in 0usize..5_000, threads in 1usize..6) {
+        let team = Team::new(threads);
+        let par: u64 = team.parallel_for_reduce(0..n, Schedule::Dynamic(7), Sum, |i| i as u64);
+        prop_assert_eq!(par, (0..n as u64).sum::<u64>());
+    }
+
+    #[test]
+    fn trapezoid_is_exact_for_linear_functions(a in -5.0..5.0f64, span in 0.1..5.0f64, m in -3.0..3.0f64, c in -3.0..3.0f64) {
+        // The trapezoidal rule integrates linear functions exactly.
+        let b = a + span;
+        let r = patternlets::trapezoid::integrate_parallel(|x| m * x + c, a, b, 64, 3);
+        let exact = m * (b * b - a * a) / 2.0 + c * (b - a);
+        prop_assert!((r.value - exact).abs() < 1e-9 * (1.0 + exact.abs()));
+    }
+}
+
+/// Word count formulated directly for the property test.
+struct Counter;
+
+impl MapReduce for Counter {
+    type Input = Vec<u32>;
+    type Key = u32;
+    type Value = u64;
+    type Output = u64;
+
+    fn map(&self, input: &Vec<u32>, emit: &mut dyn FnMut(u32, u64)) {
+        for &x in input {
+            emit(x % 16, 1);
+        }
+    }
+
+    fn reduce(&self, _key: &u32, values: Vec<u64>) -> u64 {
+        values.into_iter().sum()
+    }
+
+    fn combine(&self, _key: &u32, values: Vec<u64>) -> Vec<u64> {
+        vec![values.into_iter().sum()]
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn mapreduce_counts_match_a_sequential_fold(
+        inputs in prop::collection::vec(prop::collection::vec(0u32..64, 0..30), 0..12),
+        combiner in prop::bool::ANY,
+        map_workers in 1usize..5,
+        reduce_workers in 1usize..5,
+    ) {
+        let mut expected = std::collections::BTreeMap::new();
+        for row in &inputs {
+            for &x in row {
+                *expected.entry(x % 16).or_insert(0u64) += 1;
+            }
+        }
+        let out = run_job(&Counter, inputs, &JobConfig {
+            map_workers,
+            reduce_workers,
+            use_combiner: combiner,
+            ..JobConfig::default()
+        });
+        let got: std::collections::BTreeMap<u32, u64> = out.results.into_iter().collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn mapreduce_failures_never_change_results(
+        inputs in prop::collection::vec(prop::collection::vec(0u32..64, 1..20), 1..10),
+        fail_a in 0usize..8,
+        fail_b in 0usize..8,
+    ) {
+        let clean = run_job(&Counter, inputs.clone(), &JobConfig::default());
+        let faulty = run_job(&Counter, inputs, &JobConfig {
+            fail_first_attempt_of: [fail_a, fail_b].into_iter().collect(),
+            ..JobConfig::default()
+        });
+        prop_assert_eq!(clean.results, faulty.results);
+    }
+
+    #[test]
+    fn bootstrap_ci_brackets_the_sample_mean(data in finite_vec(5..60), seed in 0u64..1000) {
+        let ci = stats::resample::bootstrap_ci(&data, |d| mean(d).unwrap(), 0.95, 200, seed).unwrap();
+        prop_assert!(ci.lo <= ci.estimate + 1e-9);
+        prop_assert!(ci.hi >= ci.estimate - 1e-9);
+    }
+}

@@ -1,0 +1,179 @@
+//! Integration test: the full study pipeline reproduces every published
+//! artefact's shape — the cross-crate statement of EXPERIMENTS.md.
+
+use classroom::response::Category;
+use classroom::Element;
+use pbl_core::published;
+use pbl_core::{experiments, hypotheses, PblStudy, StudyReport};
+use stats::EffectSizeBand;
+
+fn report() -> StudyReport {
+    PblStudy::new().run()
+}
+
+#[test]
+fn table1_reproduces_sign_significance_and_magnitude() {
+    let r = report();
+    // Our convention is second − first; the paper prints first − second.
+    assert!((r.emphasis_ttest.mean_difference - (-published::TABLE1_EMPHASIS.mean_difference))
+        .abs()
+        < 0.05);
+    assert!((r.growth_ttest.mean_difference - (-published::TABLE1_GROWTH.mean_difference)).abs()
+        < 0.05);
+    assert!(r.emphasis_ttest.significant_at(0.05));
+    assert!(r.growth_ttest.significant_at(0.05));
+    // Growth is the stronger effect in both t and mean difference.
+    assert!(r.growth_ttest.t > r.emphasis_ttest.t);
+}
+
+#[test]
+fn table2_reproduces_the_medium_effect() {
+    let r = report();
+    assert!((r.emphasis_d.d - published::TABLE2.d).abs() < 0.12, "d = {}", r.emphasis_d.d);
+    assert_eq!(r.emphasis_d.band(), EffectSizeBand::Medium);
+    assert!((r.emphasis_d.mean_first - published::TABLE2.mean1).abs() < 0.05);
+    assert!((r.emphasis_d.mean_second - published::TABLE2.mean2).abs() < 0.05);
+    assert!((r.emphasis_d.sd_first - published::TABLE2.sd1).abs() < 0.05);
+    assert!((r.emphasis_d.sd_second - published::TABLE2.sd2).abs() < 0.05);
+}
+
+#[test]
+fn table3_reproduces_the_large_effect() {
+    let r = report();
+    assert!((r.growth_d.d - published::TABLE3.d).abs() < 0.12, "d = {}", r.growth_d.d);
+    assert_eq!(r.growth_d.band(), EffectSizeBand::Large);
+    assert!((r.growth_d.mean_first - published::TABLE3.mean1).abs() < 0.05);
+    assert!((r.growth_d.mean_second - published::TABLE3.mean2).abs() < 0.05);
+}
+
+#[test]
+fn table4_reproduces_every_correlation_within_sampling_noise() {
+    let r = report();
+    for row in &r.correlations {
+        let t1 = published::table4_r(row.element, 1);
+        let t2 = published::table4_r(row.element, 2);
+        assert!(
+            (row.first_half.r - t1).abs() < 0.15,
+            "{:?} wave1: {} vs {}",
+            row.element,
+            row.first_half.r,
+            t1
+        );
+        assert!(
+            (row.second_half.r - t2).abs() < 0.15,
+            "{:?} wave2: {} vs {}",
+            row.element,
+            row.second_half.r,
+            t2
+        );
+        assert!(row.first_half.p_two_sided < 0.001);
+        assert!(row.second_half.p_two_sided < 0.001);
+    }
+}
+
+#[test]
+fn tables5_and_6_reproduce_the_rank_structure() {
+    let r = report();
+    // Robust rank facts from the paper.
+    for ranking in [
+        &r.emphasis_ranking.0,
+        &r.emphasis_ranking.1,
+        &r.growth_ranking.0,
+        &r.growth_ranking.1,
+    ] {
+        assert_eq!(ranking[0].label, "Teamwork");
+        assert_eq!(ranking[1].label, "Implementation");
+    }
+    // EDM last in both first-half rankings; Information Gathering last
+    // in the second-half emphasis ranking.
+    assert_eq!(
+        r.emphasis_ranking.0.last().unwrap().label,
+        "Evaluation and Decision Making"
+    );
+    assert_eq!(
+        r.growth_ranking.0.last().unwrap().label,
+        "Evaluation and Decision Making"
+    );
+    assert_eq!(
+        r.emphasis_ranking.1.last().unwrap().label,
+        "Information Gathering"
+    );
+    // Every element's score rises wave 1 → wave 2 in both categories.
+    for (a, _) in r.emphasis_ranking.0.iter().zip(&r.emphasis_ranking.1) {
+        let second = r
+            .emphasis_ranking
+            .1
+            .iter()
+            .find(|b| b.label == a.label)
+            .unwrap();
+        assert!(second.score > a.score - 0.05, "{}", a.label);
+    }
+}
+
+#[test]
+fn element_means_reproduce_tables_5_and_6_cells() {
+    let r = report();
+    for &e in &classroom::ALL_ELEMENTS {
+        for wave in [1usize, 2] {
+            let (pub_e, pub_g) = published::table56_means(e, wave);
+            let got_e = r.element_mean(Category::ClassEmphasis, e, wave);
+            let got_g = r.element_mean(Category::PersonalGrowth, e, wave);
+            assert!((got_e - pub_e).abs() < 0.15, "{e:?} emphasis wave {wave}: {got_e} vs {pub_e}");
+            assert!((got_g - pub_g).abs() < 0.15, "{e:?} growth wave {wave}: {got_g} vs {pub_g}");
+        }
+    }
+}
+
+#[test]
+fn discussion_implementation_gap_is_the_small_one() {
+    let r = report();
+    let gap = r.emphasis_growth_gap(Element::Implementation, 2);
+    assert!(
+        gap.abs() < published::EMPHASIS_GROWTH_GAP_THRESHOLD,
+        "implementation gap {gap}"
+    );
+    // Teamwork's correlation is the improvement target the paper names.
+    let teamwork = r
+        .correlations
+        .iter()
+        .find(|c| c.element == Element::Teamwork)
+        .unwrap();
+    let min_r = r
+        .correlations
+        .iter()
+        .map(|c| c.first_half.r)
+        .fold(f64::MAX, f64::min);
+    assert_eq!(teamwork.first_half.r, min_r);
+}
+
+#[test]
+fn all_hypotheses_supported_and_full_report_renders() {
+    let r = report();
+    for v in hypotheses::evaluate_all(&r) {
+        assert!(v.supported, "H{}: {}", v.hypothesis, v.evidence);
+    }
+    let text = experiments::full_report(&r);
+    assert!(text.len() > 4_000, "report is substantial: {} chars", text.len());
+    for table in ["Table 1.", "Table 2.", "Table 3.", "Table 4.", "Table 5.", "Table 6."] {
+        assert!(text.contains(table));
+    }
+}
+
+#[test]
+fn different_seeds_preserve_the_qualitative_conclusions() {
+    // The headline findings must not hinge on the calibrated seed.
+    for seed in [1u64, 99, 1234] {
+        let r = PblStudy::with_config(classroom::StudyConfig {
+            num_students: 124,
+            seed,
+        })
+        .run();
+        assert!(r.growth_ttest.significant_at(0.05), "seed {seed}");
+        assert!(r.growth_d.d > 0.5, "seed {seed}: d {}", r.growth_d.d);
+        assert!(r
+            .correlations
+            .iter()
+            .all(|c| c.first_half.r > 0.0 && c.second_half.r > 0.0));
+        assert_eq!(r.emphasis_ranking.0[0].label, "Teamwork", "seed {seed}");
+    }
+}
