@@ -8,7 +8,10 @@ use std::hint::black_box;
 
 use parallel_rt::barrier::{CondvarBarrier, SenseBarrier, TeamBarrier};
 use parallel_rt::reduction::Sum;
-use parallel_rt::sim::{simulate_reduction, ReductionStyle, SimOptions};
+use parallel_rt::sim::{
+    simulate_parallel_loop_lowered, simulate_reduction, CostModel, Lowering, ReductionStyle,
+    SimOptions,
+};
 use parallel_rt::{Schedule, Team};
 
 fn print_shape_once() {
@@ -80,6 +83,32 @@ fn bench_parallel_rt(c: &mut Criterion) {
             team.parallel_for_reduce(0..100_000, Schedule::StaticBlock, Sum, |i| i as u64)
         })
     });
+
+    // The tentpole scenario: lowering a million-iteration uniform loop.
+    // PerIteration builds O(n) ops (the old path, kept as the oracle);
+    // Rle builds O(chunks). Virtual-time results are bit-identical; the
+    // wall-clock gap is what `BENCH_simcore.json` records.
+    for (label, lowering) in [
+        ("per_iteration", Lowering::PerIteration),
+        ("rle", Lowering::Rle),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("uniform_loop_1m", label),
+            &lowering,
+            |b, &l| {
+                b.iter(|| {
+                    simulate_parallel_loop_lowered(
+                        1_000_000,
+                        &CostModel::Uniform(40),
+                        Schedule::StaticChunk(1_000),
+                        4,
+                        &opts,
+                        black_box(l),
+                    )
+                })
+            },
+        );
+    }
 
     group.finish();
 }

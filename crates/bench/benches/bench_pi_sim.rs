@@ -96,6 +96,31 @@ fn bench_pi_sim(c: &mut Criterion) {
         })
     });
 
+    // The tentpole scenario: a million-iteration uniform loop per thread,
+    // lowered the old way (one Compute op per iteration) and the new way
+    // (one ComputeRepeat block per thread). Timing on the virtual machine
+    // is bit-identical; wall-clock is what `BENCH_simcore.json` records.
+    for (label, rle) in [("per_op", false), ("rle", true)] {
+        group.bench_with_input(
+            BenchmarkId::new("uniform_loop_1m_x4", label),
+            &rle,
+            |b, &rle| {
+                b.iter(|| {
+                    let programs: Vec<Program> = (0..4)
+                        .map(|_| {
+                            if rle {
+                                Program::new().compute_repeat(40, 1_000_000)
+                            } else {
+                                (0..1_000_000).map(|_| Op::Compute(40)).collect()
+                            }
+                        })
+                        .collect();
+                    Machine::pi().run(black_box(programs))
+                })
+            },
+        );
+    }
+
     group.finish();
 }
 

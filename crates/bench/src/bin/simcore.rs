@@ -1,0 +1,197 @@
+//! Captures the before/after wall-clock numbers for the simulation-core
+//! scaling work into `BENCH_simcore.json`.
+//!
+//! "Before" is the per-op lowering the codebase used originally (one
+//! `Compute` op per loop iteration, kept alive as the oracle path);
+//! "after" is the run-length-encoded O(chunks) lowering. Both paths run
+//! the same virtual workload and must report bit-identical virtual
+//! cycles — the binary asserts this before recording anything.
+//!
+//! Usage: `cargo run --release -p pbl-bench --bin simcore [out.json]`
+//! (default output path: `BENCH_simcore.json` in the current directory).
+
+use std::time::Instant;
+
+use parallel_rt::sim::{simulate_parallel_loop_lowered, CostModel, Lowering, SimOptions};
+use parallel_rt::Schedule;
+use pi_sim::machine::Machine;
+use pi_sim::program::{Op, Program};
+
+/// Wall-clock repetitions per measurement; the minimum is recorded
+/// (standard practice for before/after comparisons — the minimum is the
+/// least noisy estimator of the true cost).
+const REPS: usize = 5;
+
+struct Scenario {
+    name: &'static str,
+    crate_name: &'static str,
+    before: &'static str,
+    after: &'static str,
+    iterations: u64,
+    threads: usize,
+    before_ms: f64,
+    after_ms: f64,
+    virtual_cycles: u64,
+}
+
+impl Scenario {
+    fn speedup(&self) -> f64 {
+        self.before_ms / self.after_ms
+    }
+}
+
+fn time_min_ms<F: FnMut() -> u64>(mut f: F) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut cycles = 0;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        cycles = f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    (best, cycles)
+}
+
+/// pi-sim: the same uniform compute loop lowered as 1M unit ops per
+/// thread vs one RLE block per thread.
+fn pi_sim_scenario(threads: usize, iterations: u64) -> Scenario {
+    let per_op = |_| -> Program { (0..iterations).map(|_| Op::Compute(40)).collect() };
+    let rle = |_| Program::new().compute_repeat(40, iterations);
+    let (before_ms, before_cycles) = time_min_ms(|| {
+        let programs: Vec<Program> = (0..threads).map(per_op).collect();
+        Machine::pi().run(programs).total_cycles
+    });
+    let (after_ms, after_cycles) = time_min_ms(|| {
+        let programs: Vec<Program> = (0..threads).map(rle).collect();
+        Machine::pi().run(programs).total_cycles
+    });
+    assert_eq!(
+        before_cycles, after_cycles,
+        "determinism violated: per-op and RLE lowering disagree"
+    );
+    Scenario {
+        name: if threads == 1 {
+            "pi_sim/uniform_loop_1m_x1"
+        } else {
+            "pi_sim/uniform_loop_1m_x4"
+        },
+        crate_name: "pi-sim",
+        before: "one Compute op per iteration (per-op dispatch)",
+        after: "one ComputeRepeat block per thread (O(1) fast-forward)",
+        iterations,
+        threads,
+        before_ms,
+        after_ms,
+        virtual_cycles: after_cycles,
+    }
+}
+
+/// parallel-rt: full loop pipeline (plan + lower + run) under both
+/// lowerings for a given schedule.
+fn parallel_rt_scenario(
+    name: &'static str,
+    schedule: Schedule,
+    iterations: usize,
+    threads: usize,
+) -> Scenario {
+    let opts = SimOptions::default();
+    let cost = CostModel::Uniform(40);
+    let run = |lowering: Lowering| {
+        simulate_parallel_loop_lowered(iterations, &cost, schedule, threads, &opts, lowering).cycles
+    };
+    let (before_ms, before_cycles) = time_min_ms(|| run(Lowering::PerIteration));
+    let (after_ms, after_cycles) = time_min_ms(|| run(Lowering::Rle));
+    assert_eq!(
+        before_cycles, after_cycles,
+        "determinism violated: per-iteration and RLE lowering disagree"
+    );
+    Scenario {
+        name,
+        crate_name: "parallel-rt",
+        before: "Lowering::PerIteration (O(n) program build + per-op dispatch)",
+        after: "Lowering::Rle (O(chunks) program build + O(1) fast-forward)",
+        iterations: iterations as u64,
+        threads,
+        before_ms,
+        after_ms,
+        virtual_cycles: after_cycles,
+    }
+}
+
+fn json(scenarios: &[Scenario]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"simcore\",\n");
+    out.push_str(
+        "  \"description\": \"Wall-clock before/after for the O(chunks) RLE lowering and O(1) compute fast-forward; virtual-cycle results are asserted bit-identical between the two paths before recording.\",\n",
+    );
+    out.push_str("  \"command\": \"cargo run --release -p pbl-bench --bin simcore\",\n");
+    out.push_str(&format!("  \"reps_per_measurement\": {REPS},\n"));
+    out.push_str("  \"timer\": \"std::time::Instant, minimum of reps, milliseconds\",\n");
+    out.push_str("  \"scenarios\": [\n");
+    for (i, s) in scenarios.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", s.name));
+        out.push_str(&format!("      \"crate\": \"{}\",\n", s.crate_name));
+        out.push_str(&format!("      \"iterations\": {},\n", s.iterations));
+        out.push_str(&format!("      \"threads\": {},\n", s.threads));
+        out.push_str(&format!("      \"before\": \"{}\",\n", s.before));
+        out.push_str(&format!("      \"after\": \"{}\",\n", s.after));
+        out.push_str(&format!("      \"before_ms\": {:.3},\n", s.before_ms));
+        out.push_str(&format!("      \"after_ms\": {:.3},\n", s.after_ms));
+        out.push_str(&format!("      \"speedup\": {:.1},\n", s.speedup()));
+        out.push_str(&format!(
+            "      \"virtual_cycles\": {},\n",
+            s.virtual_cycles
+        ));
+        out.push_str("      \"reports_bit_identical\": true\n");
+        out.push_str(if i + 1 == scenarios.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_simcore.json".to_string());
+
+    let scenarios = vec![
+        pi_sim_scenario(1, 1_000_000),
+        pi_sim_scenario(4, 1_000_000),
+        parallel_rt_scenario(
+            "parallel_rt/uniform_loop_1m_static_chunk_1000",
+            Schedule::StaticChunk(1_000),
+            1_000_000,
+            4,
+        ),
+        parallel_rt_scenario(
+            "parallel_rt/uniform_loop_1m_guided_64",
+            Schedule::Guided(64),
+            1_000_000,
+            4,
+        ),
+        parallel_rt_scenario(
+            "parallel_rt/uniform_loop_4m_static_block",
+            Schedule::StaticBlock,
+            4_000_000,
+            4,
+        ),
+    ];
+
+    for s in &scenarios {
+        println!(
+            "{:<46} before {:>9.3} ms  after {:>9.3} ms  speedup {:>7.1}x  ({} virtual cycles)",
+            s.name,
+            s.before_ms,
+            s.after_ms,
+            s.speedup(),
+            s.virtual_cycles
+        );
+    }
+    std::fs::write(&out_path, json(&scenarios)).expect("write BENCH_simcore.json");
+    println!("wrote {out_path}");
+}

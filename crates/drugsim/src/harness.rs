@@ -100,14 +100,15 @@ pub fn simulate(config: &DrugDesignConfig, approach: Approach, threads: usize) -
                 Approach::OpenMp => (Schedule::Dynamic(4), 30u64),
                 _ => (Schedule::Dynamic(1), 120u64),
             };
+            let prefix = prefix_costs(&costs);
             let plan = plan_with_costs(&costs, schedule, threads);
             let programs: Vec<Program> = plan
                 .into_iter()
                 .map(|chunks| {
                     let mut p = Program::new().compute(opts.fork_overhead);
                     for chunk in chunks {
-                        let work: Cycles =
-                            chunk.clone().map(|i| costs[i]).sum::<Cycles>() + per_grab_overhead;
+                        let work =
+                            (prefix[chunk.end] - prefix[chunk.start]) as Cycles + per_grab_overhead;
                         p = p.compute(work).atomic_rmw(0xD00D_0000);
                     }
                     p
@@ -118,6 +119,20 @@ pub fn simulate(config: &DrugDesignConfig, approach: Approach, threads: usize) -
     }
 }
 
+/// Prefix sums of per-ligand costs: `prefix[i]` is the cost of ligands
+/// `0..i`, so any chunk's cost is one subtraction instead of an O(chunk)
+/// sum.
+fn prefix_costs(costs: &[Cycles]) -> Vec<u128> {
+    let mut prefix = Vec::with_capacity(costs.len() + 1);
+    let mut acc = 0u128;
+    prefix.push(acc);
+    for &c in costs {
+        acc += c as u128;
+        prefix.push(acc);
+    }
+    prefix
+}
+
 /// Greedy least-loaded chunk assignment using the true per-ligand costs
 /// (public for the bench crate's scheduling ablation).
 pub fn plan_with_costs(
@@ -126,6 +141,7 @@ pub fn plan_with_costs(
     threads: usize,
 ) -> Vec<Vec<std::ops::Range<usize>>> {
     let chunk = schedule.chunk().unwrap_or(1);
+    let prefix = prefix_costs(costs);
     let mut chunks = Vec::new();
     let mut start = 0usize;
     while start < costs.len() {
@@ -135,7 +151,7 @@ pub fn plan_with_costs(
     let mut load = vec![0u128; threads];
     let mut out = vec![Vec::new(); threads];
     for c in chunks {
-        let cost: u128 = c.clone().map(|i| costs[i] as u128).sum();
+        let cost = prefix[c.end] - prefix[c.start];
         let (t, _) = load
             .iter()
             .enumerate()

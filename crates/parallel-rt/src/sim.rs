@@ -49,9 +49,33 @@ impl CostModel {
         }
     }
 
-    /// Total cost of `iterations` iterations.
+    /// Total cost of `iterations` iterations, in closed form (O(1)):
+    /// uniform loops are a product, linear ones an arithmetic series,
+    /// alternating ones two products. Equals
+    /// `(0..iterations).map(|i| self.cost(i)).sum()` exactly.
     pub fn total(&self, iterations: usize) -> Cycles {
-        (0..iterations).map(|i| self.cost(i)).sum()
+        let n = iterations as Cycles;
+        match *self {
+            CostModel::Uniform(c) => c * n,
+            CostModel::Linear { base, slope } => {
+                // Arithmetic series: sum slope*i = slope * n(n-1)/2.
+                // One of n, n-1 is even, so the division is exact.
+                base * n + slope * (n * n.saturating_sub(1) / 2)
+            }
+            CostModel::Alternating { even, odd } => even * n.div_ceil(2) + odd * (n / 2),
+        }
+    }
+
+    /// Total cost of iterations `0..i` — the prefix sum, in O(1).
+    pub fn prefix_cost(&self, i: usize) -> Cycles {
+        self.total(i)
+    }
+
+    /// Cost of the contiguous chunk `start..end`, in O(1) via prefix
+    /// sums.
+    pub fn chunk_cost(&self, chunk: &std::ops::Range<usize>) -> Cycles {
+        debug_assert!(chunk.start <= chunk.end, "malformed chunk {chunk:?}");
+        self.prefix_cost(chunk.end) - self.prefix_cost(chunk.start)
     }
 }
 
@@ -147,7 +171,7 @@ fn greedy_assign(
     let mut load = vec![0u128; threads];
     let mut out = vec![Vec::new(); threads];
     for chunk in chunks {
-        let chunk_cost: Cycles = chunk.clone().map(|i| cost.cost(i)).sum();
+        let chunk_cost = cost.chunk_cost(&chunk);
         let (t, _) = load
             .iter()
             .enumerate()
@@ -159,8 +183,60 @@ fn greedy_assign(
     out
 }
 
+/// How a planned chunk assignment is turned into machine [`Program`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lowering {
+    /// One `Compute` op per loop iteration — the reference lowering.
+    /// Program size is O(iterations); exists as the oracle the
+    /// run-length-encoded path is verified against.
+    PerIteration,
+    /// One run-length-encoded block per chunk: uniform chunks become a
+    /// single `ComputeRepeat`, other cost models a single `Compute` of
+    /// the chunk's closed-form total. Program size is O(chunks)
+    /// regardless of the iteration count, and because compute is
+    /// continuously interruptible the machine's timing is bit-identical
+    /// to [`Lowering::PerIteration`].
+    Rle,
+}
+
+/// Lowers a chunk assignment to one [`Program`] per thread.
+pub fn lower_programs(
+    assignment: &[Vec<std::ops::Range<usize>>],
+    cost: &CostModel,
+    fork_overhead: Cycles,
+    lowering: Lowering,
+) -> Vec<Program> {
+    assignment
+        .iter()
+        .map(|chunks| {
+            let mut p = Program::new().compute(fork_overhead);
+            for chunk in chunks {
+                match lowering {
+                    Lowering::PerIteration => {
+                        for i in chunk.clone() {
+                            p = p.compute(cost.cost(i));
+                        }
+                    }
+                    Lowering::Rle => match *cost {
+                        CostModel::Uniform(c) => {
+                            p = p.compute_repeat(c, chunk.len() as u64);
+                        }
+                        _ => {
+                            let total = cost.chunk_cost(chunk);
+                            if total > 0 {
+                                p = p.compute(total);
+                            }
+                        }
+                    },
+                }
+            }
+            p
+        })
+        .collect()
+}
+
 /// Simulates the loop run by `threads` software threads on the
-/// configured machine.
+/// configured machine, using the O(chunks) run-length-encoded lowering.
 pub fn simulate_parallel_loop(
     iterations: usize,
     cost: &CostModel,
@@ -168,24 +244,24 @@ pub fn simulate_parallel_loop(
     threads: usize,
     opts: &SimOptions,
 ) -> SimLoopOutcome {
+    simulate_parallel_loop_lowered(iterations, cost, schedule, threads, opts, Lowering::Rle)
+}
+
+/// [`simulate_parallel_loop`] with an explicit lowering choice.
+pub fn simulate_parallel_loop_lowered(
+    iterations: usize,
+    cost: &CostModel,
+    schedule: Schedule,
+    threads: usize,
+    opts: &SimOptions,
+    lowering: Lowering,
+) -> SimLoopOutcome {
     let assignment = plan_assignment(iterations, cost, schedule, threads);
     let iterations_per_thread: Vec<usize> = assignment
         .iter()
         .map(|chunks| chunks.iter().map(|c| c.len()).sum())
         .collect();
-    let programs: Vec<Program> = assignment
-        .iter()
-        .map(|chunks| {
-            let mut p = Program::new().compute(opts.fork_overhead);
-            for chunk in chunks {
-                let total: Cycles = chunk.clone().map(|i| cost.cost(i)).sum();
-                if total > 0 {
-                    p = p.compute(total);
-                }
-            }
-            p
-        })
-        .collect();
+    let programs = lower_programs(&assignment, cost, opts.fork_overhead, lowering);
     let report = Machine::new(opts.machine).run(programs);
     SimLoopOutcome {
         cycles: report.total_cycles,
@@ -288,6 +364,81 @@ mod tests {
         assert_eq!(CostModel::Alternating { even: 1, odd: 9 }.cost(3), 9);
         assert_eq!(CostModel::Uniform(10).total(100), 1_000);
         assert_eq!(CostModel::Linear { base: 0, slope: 1 }.total(5), 10);
+    }
+
+    #[test]
+    fn closed_form_total_matches_summation() {
+        let models = [
+            CostModel::Uniform(0),
+            CostModel::Uniform(7),
+            CostModel::Linear { base: 0, slope: 0 },
+            CostModel::Linear { base: 5, slope: 3 },
+            CostModel::Linear { base: 0, slope: 11 },
+            CostModel::Alternating { even: 2, odd: 9 },
+            CostModel::Alternating { even: 9, odd: 0 },
+        ];
+        for m in models {
+            for n in [0usize, 1, 2, 3, 10, 101, 1_000] {
+                let summed: Cycles = (0..n).map(|i| m.cost(i)).sum();
+                assert_eq!(m.total(n), summed, "{m:?} n={n}");
+                assert_eq!(m.prefix_cost(n), summed);
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_cost_matches_summation() {
+        let m = CostModel::Alternating { even: 3, odd: 8 };
+        for chunk in [0..0, 0..7, 3..3, 3..10, 101..257] {
+            let summed: Cycles = chunk.clone().map(|i| m.cost(i)).sum();
+            assert_eq!(m.chunk_cost(&chunk), summed, "{chunk:?}");
+        }
+    }
+
+    #[test]
+    fn rle_lowering_builds_o_chunks_programs() {
+        let cost = CostModel::Uniform(250);
+        let assignment = plan_assignment(1_000_000, &cost, Schedule::StaticChunk(1_000), 4);
+        let programs = lower_programs(&assignment, &cost, 20_000, Lowering::Rle);
+        for (p, chunks) in programs.iter().zip(&assignment) {
+            // Fork overhead + one RLE block per chunk.
+            assert_eq!(p.len(), 1 + chunks.len());
+        }
+        let total_units: u64 = programs.iter().map(|p| p.unit_len()).sum();
+        assert_eq!(total_units, 1_000_000 + 4, "all iterations represented");
+    }
+
+    #[test]
+    fn rle_and_per_iteration_lowerings_are_bit_identical() {
+        let opts = SimOptions::default();
+        for cost in [
+            CostModel::Uniform(800),
+            CostModel::Linear { base: 10, slope: 4 },
+            CostModel::Alternating { even: 30, odd: 700 },
+        ] {
+            for schedule in [
+                Schedule::StaticBlock,
+                Schedule::StaticChunk(7),
+                Schedule::Dynamic(16),
+                Schedule::Guided(3),
+            ] {
+                for threads in [1usize, 3, 4, 6] {
+                    let rle = simulate_parallel_loop_lowered(
+                        2_003, &cost, schedule, threads, &opts, Lowering::Rle,
+                    );
+                    let unit = simulate_parallel_loop_lowered(
+                        2_003, &cost, schedule, threads, &opts, Lowering::PerIteration,
+                    );
+                    assert_eq!(
+                        rle.cycles, unit.cycles,
+                        "{cost:?} {schedule:?} threads={threads}"
+                    );
+                    assert_eq!(rle.report.threads, unit.report.threads);
+                    assert_eq!(rle.iterations_per_thread, unit.iterations_per_thread);
+                    assert_eq!(rle.report.context_switches, unit.report.context_switches);
+                }
+            }
+        }
     }
 
     #[test]

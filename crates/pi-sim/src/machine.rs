@@ -91,6 +91,10 @@ struct Thread {
     pc: usize,
     /// Cycles still owed on a partially executed Compute op.
     compute_remaining: Cycles,
+    /// Accesses already performed inside the RLE memory block at `pc`
+    /// (strided blocks charge the cache per access, so a block can span
+    /// slice boundaries mid-way).
+    block_progress: u64,
     state: ThreadState,
     finish_time: Option<Cycles>,
     compute_cycles: Cycles,
@@ -239,6 +243,7 @@ impl<'c> Simulation<'c> {
                 program,
                 pc: 0,
                 compute_remaining: 0,
+                block_progress: 0,
                 state: ThreadState::Ready,
                 finish_time: None,
                 compute_cycles: 0,
@@ -344,6 +349,14 @@ impl<'c> Simulation<'c> {
                     self.threads[tid].pc += 1;
                     self.threads[tid].compute_remaining = c;
                 }
+                Op::ComputeRepeat { cost, count } => {
+                    // Back-to-back compute bursts drain exactly like one
+                    // burst of their sum (compute is continuously
+                    // interruptible), so the whole block fast-forwards
+                    // into `compute_remaining` in O(1).
+                    self.threads[tid].pc += 1;
+                    self.threads[tid].compute_remaining = cost * count;
+                }
                 Op::Read(addr) => {
                     self.threads[tid].pc += 1;
                     let cost = self.access_cost(core, addr, false, false);
@@ -364,6 +377,28 @@ impl<'c> Simulation<'c> {
                     self.threads[tid].memory_cycles += cost;
                     elapsed += cost;
                     mem_ops_left -= 1;
+                }
+                Op::ReadStride { base, stride, count } | Op::WriteStride { base, stride, count } => {
+                    // One access per loop iteration, so the quantum and
+                    // memory-batch checks interleave exactly as they
+                    // would between the expanded unit ops.
+                    let done = self.threads[tid].block_progress;
+                    if done >= count {
+                        self.threads[tid].pc += 1;
+                        self.threads[tid].block_progress = 0;
+                        continue;
+                    }
+                    let addr = base.wrapping_add(done.wrapping_mul(stride));
+                    let write = matches!(op, Op::WriteStride { .. });
+                    let cost = self.access_cost(core, addr, write, false);
+                    self.threads[tid].memory_cycles += cost;
+                    elapsed += cost;
+                    mem_ops_left -= 1;
+                    self.threads[tid].block_progress = done + 1;
+                    if done + 1 == count {
+                        self.threads[tid].pc += 1;
+                        self.threads[tid].block_progress = 0;
+                    }
                 }
                 Op::Barrier { .. } | Op::LockAcquire(_) | Op::LockRelease(_) => {
                     // Synchronisation decisions happen at the correct
@@ -724,6 +759,81 @@ mod tests {
             rs.total_cycles,
             rd.total_cycles
         );
+    }
+
+    /// Asserts an RLE program and its unit-op expansion produce
+    /// bit-identical reports.
+    fn assert_rle_matches_expansion(programs: Vec<Program>) {
+        let expanded: Vec<Program> = programs.iter().map(Program::expand).collect();
+        let rle = Machine::pi().run(programs);
+        let unit = Machine::pi().run(expanded);
+        assert_eq!(rle.total_cycles, unit.total_cycles);
+        assert_eq!(rle.threads, unit.threads);
+        assert_eq!(rle.context_switches, unit.context_switches);
+        assert_eq!(rle.contended_lock_acquires, unit.contended_lock_acquires);
+        assert_eq!(rle.barrier_episodes, unit.barrier_episodes);
+        for (a, b) in rle.cache_stats.iter().zip(&unit.cache_stats) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn compute_repeat_matches_expansion_across_quanta() {
+        // 40 bursts of 7_000 cycles cross several 50_000-cycle quanta,
+        // with oversubscription forcing preemption mid-block.
+        let programs: Vec<Program> = (0..6)
+            .map(|i| Program::new().compute_repeat(7_000 + i * 13, 40))
+            .collect();
+        assert_rle_matches_expansion(programs);
+    }
+
+    #[test]
+    fn compute_repeat_single_thread_time_is_exact() {
+        let r = Machine::pi().run_sequential(Program::new().compute_repeat(3, 1_000_000));
+        assert_eq!(r.total_cycles, 3_000_000);
+        assert_eq!(r.threads[0].compute_cycles, 3_000_000);
+    }
+
+    #[test]
+    fn strided_blocks_match_expansion_with_shared_caches() {
+        // Overlapping strided regions across threads exercise coherence
+        // traffic; the memory-batch budget splits blocks mid-way.
+        let programs: Vec<Program> = (0..4u64)
+            .map(|t| {
+                Program::new()
+                    .compute(1_000)
+                    .read_stride(t * 1_024, 64, 300)
+                    .write_stride(0x10_000, 64, 150)
+                    .compute_repeat(500, 10)
+            })
+            .collect();
+        assert_rle_matches_expansion(programs);
+    }
+
+    #[test]
+    fn rle_blocks_match_expansion_around_sync() {
+        let programs: Vec<Program> = (0..3u64)
+            .map(|t| {
+                Program::new()
+                    .compute_repeat(2_000, 30)
+                    .barrier(0, 3)
+                    .lock(1)
+                    .write_stride(0x500, 8, 40)
+                    .unlock(1)
+                    .read_stride(t * 4_096, 64, 100)
+            })
+            .collect();
+        assert_rle_matches_expansion(programs);
+    }
+
+    #[test]
+    fn empty_rle_blocks_are_no_ops() {
+        let p = Program::new()
+            .compute_repeat(1_000, 0)
+            .read_stride(0, 64, 0)
+            .compute(10);
+        let r = Machine::pi().run_sequential(p);
+        assert_eq!(r.total_cycles, 10);
     }
 
     #[test]

@@ -31,6 +31,50 @@ pub enum Op {
     /// An atomic read-modify-write on the address: a write that also
     /// pays a fixed RMW penalty, modelling `lock`-prefixed/LL-SC ops.
     AtomicRmw(u64),
+    /// Run-length-encoded compute: `count` back-to-back bursts of
+    /// `cost` cycles each. Because compute is continuously interruptible
+    /// (the machine drains it cycle-by-cycle against the quantum), this
+    /// is timing-identical to `count` separate [`Op::Compute`] ops while
+    /// occupying one program slot and fast-forwarding in O(1).
+    ComputeRepeat {
+        /// Cycles per burst.
+        cost: Cycles,
+        /// Number of bursts.
+        count: u64,
+    },
+    /// Run-length-encoded reads: `count` reads at `base`, `base +
+    /// stride`, `base + 2*stride`, … Each access still goes through the
+    /// cache hierarchy individually (latency depends on cache state), so
+    /// only the program representation is compressed, never the timing.
+    ReadStride {
+        /// Address of the first read.
+        base: u64,
+        /// Address increment between consecutive reads.
+        stride: u64,
+        /// Number of reads.
+        count: u64,
+    },
+    /// Run-length-encoded writes; see [`Op::ReadStride`].
+    WriteStride {
+        /// Address of the first write.
+        base: u64,
+        /// Address increment between consecutive writes.
+        stride: u64,
+        /// Number of writes.
+        count: u64,
+    },
+}
+
+impl Op {
+    /// Number of unit (non-RLE) operations this op stands for.
+    pub fn unit_count(&self) -> u64 {
+        match *self {
+            Op::ComputeRepeat { count, .. }
+            | Op::ReadStride { count, .. }
+            | Op::WriteStride { count, .. } => count,
+            _ => 1,
+        }
+    }
 }
 
 /// A straight-line program for one simulated thread.
@@ -87,6 +131,27 @@ impl Program {
         self
     }
 
+    /// Builder: append `count` compute bursts of `cost` cycles each as
+    /// one run-length-encoded op.
+    pub fn compute_repeat(mut self, cost: Cycles, count: u64) -> Self {
+        self.ops.push(Op::ComputeRepeat { cost, count });
+        self
+    }
+
+    /// Builder: append `count` strided reads as one run-length-encoded
+    /// op.
+    pub fn read_stride(mut self, base: u64, stride: u64, count: u64) -> Self {
+        self.ops.push(Op::ReadStride { base, stride, count });
+        self
+    }
+
+    /// Builder: append `count` strided writes as one run-length-encoded
+    /// op.
+    pub fn write_stride(mut self, base: u64, stride: u64, count: u64) -> Self {
+        self.ops.push(Op::WriteStride { base, stride, count });
+        self
+    }
+
     /// Builder: append an arbitrary op.
     pub fn op(mut self, op: Op) -> Self {
         self.ops.push(op);
@@ -119,11 +184,45 @@ impl Program {
     pub fn compute_cycles(&self) -> Cycles {
         self.ops
             .iter()
-            .map(|op| match op {
-                Op::Compute(c) => *c,
+            .map(|op| match *op {
+                Op::Compute(c) => c,
+                Op::ComputeRepeat { cost, count } => cost * count,
                 _ => 0,
             })
             .sum()
+    }
+
+    /// Number of unit operations after notionally expanding every
+    /// run-length-encoded block — the length [`Program::expand`] would
+    /// produce.
+    pub fn unit_len(&self) -> u64 {
+        self.ops.iter().map(Op::unit_count).sum()
+    }
+
+    /// Expands every run-length-encoded op into its unit-op equivalent.
+    ///
+    /// The result is the *reference lowering*: by construction the
+    /// machine reports bit-identical timing for a program and its
+    /// expansion, which the property tests assert. Expansion is O(total
+    /// unit ops), so it exists for oracles and debugging, not for the
+    /// fast path.
+    pub fn expand(&self) -> Program {
+        let mut ops = Vec::with_capacity(self.unit_len().min(usize::MAX as u64) as usize);
+        for &op in &self.ops {
+            match op {
+                Op::ComputeRepeat { cost, count } => {
+                    ops.extend((0..count).map(|_| Op::Compute(cost)));
+                }
+                Op::ReadStride { base, stride, count } => {
+                    ops.extend((0..count).map(|i| Op::Read(base.wrapping_add(i.wrapping_mul(stride)))));
+                }
+                Op::WriteStride { base, stride, count } => {
+                    ops.extend((0..count).map(|i| Op::Write(base.wrapping_add(i.wrapping_mul(stride)))));
+                }
+                unit => ops.push(unit),
+            }
+        }
+        Program { ops }
     }
 
     /// A compute-only program of `total` cycles split into `chunks`
@@ -194,6 +293,52 @@ mod tests {
         let c = a.then(&b);
         assert_eq!(c.len(), 2);
         assert_eq!(c.compute_cycles(), 3);
+    }
+
+    #[test]
+    fn rle_ops_count_units_and_cycles() {
+        let p = Program::new()
+            .compute_repeat(250, 1_000_000)
+            .read_stride(0x1000, 64, 3)
+            .write_stride(0x2000, 8, 2);
+        assert_eq!(p.len(), 3, "RLE blocks occupy one slot each");
+        assert_eq!(p.unit_len(), 1_000_005);
+        assert_eq!(p.compute_cycles(), 250 * 1_000_000);
+    }
+
+    #[test]
+    fn expand_produces_the_unit_lowering() {
+        let p = Program::new()
+            .compute(7)
+            .compute_repeat(5, 3)
+            .read_stride(100, 10, 2)
+            .write_stride(200, 0, 2)
+            .barrier(1, 2);
+        let e = p.expand();
+        assert_eq!(
+            e.ops(),
+            &[
+                Op::Compute(7),
+                Op::Compute(5),
+                Op::Compute(5),
+                Op::Compute(5),
+                Op::Read(100),
+                Op::Read(110),
+                Op::Write(200),
+                Op::Write(200),
+                Op::Barrier { id: 1, participants: 2 },
+            ]
+        );
+        assert_eq!(e.unit_len(), e.len() as u64);
+        assert_eq!(e.compute_cycles(), p.compute_cycles());
+    }
+
+    #[test]
+    fn expand_drops_empty_rle_blocks() {
+        let p = Program::new().compute_repeat(5, 0).read_stride(0, 8, 0);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.unit_len(), 0);
+        assert!(p.expand().is_empty());
     }
 
     #[test]

@@ -7,9 +7,11 @@ use proptest::prelude::*;
 use mapreduce::{run_job, JobConfig, MapReduce};
 use parallel_rt::reduction::Sum;
 use parallel_rt::schedule::{static_block, static_chunks};
-use parallel_rt::sim::{plan_assignment, CostModel};
+use parallel_rt::sim::{
+    plan_assignment, simulate_parallel_loop_lowered, CostModel, Lowering, SimOptions,
+};
 use parallel_rt::{Schedule, Team};
-use pi_sim::machine::Machine;
+use pi_sim::machine::{Machine, RunReport};
 use pi_sim::program::Program;
 use stats::descriptive::{mean, quantile};
 use stats::{cohen_d_independent, pearson, t_test_paired, Summary};
@@ -233,5 +235,85 @@ proptest! {
         let ci = stats::resample::bootstrap_ci(&data, |d| mean(d).unwrap(), 0.95, 200, seed).unwrap();
         prop_assert!(ci.lo <= ci.estimate + 1e-9);
         prop_assert!(ci.hi >= ci.estimate - 1e-9);
+    }
+}
+
+/// Field-by-field `RunReport` equality (it intentionally does not derive
+/// `PartialEq`; the bit-identical contract is asserted explicitly so a
+/// future non-comparable field forces a conscious decision here).
+fn assert_reports_bit_identical(
+    a: &RunReport,
+    b: &RunReport,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    prop_assert_eq!(a.total_cycles, b.total_cycles);
+    prop_assert_eq!(&a.threads, &b.threads);
+    prop_assert_eq!(&a.cache_stats, &b.cache_stats);
+    prop_assert_eq!(a.contended_lock_acquires, b.contended_lock_acquires);
+    prop_assert_eq!(a.barrier_episodes, b.barrier_episodes);
+    prop_assert_eq!(a.context_switches, b.context_switches);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The tentpole determinism contract: for any cost model, schedule,
+    /// team size, and iteration count, the O(chunks) run-length-encoded
+    /// lowering and the O(n) per-iteration oracle produce bit-identical
+    /// machine reports.
+    #[test]
+    fn rle_lowering_matches_per_iteration_bit_for_bit(
+        iterations in 0usize..2_500,
+        threads in 1usize..7,
+        model_sel in 0u8..3,
+        sched_sel in 0u8..4,
+        chunk in 1usize..80,
+        a in 1u64..300,
+        b in 0u64..40,
+    ) {
+        let cost = match model_sel {
+            0 => CostModel::Uniform(a),
+            1 => CostModel::Linear { base: a, slope: b },
+            _ => CostModel::Alternating { even: a, odd: a + b },
+        };
+        let schedule = match sched_sel {
+            0 => Schedule::StaticBlock,
+            1 => Schedule::StaticChunk(chunk),
+            2 => Schedule::Dynamic(chunk),
+            _ => Schedule::Guided(chunk),
+        };
+        let opts = SimOptions::default();
+        let rle = simulate_parallel_loop_lowered(iterations, &cost, schedule, threads, &opts, Lowering::Rle);
+        let unit = simulate_parallel_loop_lowered(iterations, &cost, schedule, threads, &opts, Lowering::PerIteration);
+        prop_assert_eq!(rle.cycles, unit.cycles);
+        prop_assert_eq!(&rle.iterations_per_thread, &unit.iterations_per_thread);
+        assert_reports_bit_identical(&rle.report, &unit.report)?;
+    }
+
+    /// Any RLE program — compute repeats, strided reads/writes, mixed
+    /// with synchronisation — times identically to its unit-op expansion,
+    /// including cache statistics and context switches.
+    #[test]
+    fn rle_programs_match_their_expansion(
+        threads in 1usize..6,
+        repeats in prop::collection::vec((1u64..2_000, 0u64..50), 1..5),
+        strides in prop::collection::vec((0u64..65_536, 0u64..512, 0u64..40), 0..4),
+        with_sync in prop::bool::ANY,
+    ) {
+        let mut block = Program::new();
+        for &(cost, count) in &repeats {
+            block = block.compute_repeat(cost, count);
+        }
+        for &(base, stride, count) in &strides {
+            block = block.read_stride(base, stride, count).write_stride(base ^ 0x8000, stride, count / 2);
+        }
+        if with_sync {
+            block = block.barrier(0, threads as u32).lock(1).compute(17).unlock(1);
+        }
+        let rle: Vec<Program> = (0..threads).map(|_| block.clone()).collect();
+        let unit: Vec<Program> = rle.iter().map(Program::expand).collect();
+        let a = Machine::pi().run(rle);
+        let b = Machine::pi().run(unit);
+        assert_reports_bit_identical(&a, &b)?;
     }
 }

@@ -1,0 +1,384 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API subset the workspace's benches use — `Criterion`,
+//! `benchmark_group` / `sample_size` / `bench_function` /
+//! `bench_with_input` / `finish`, `BenchmarkId`, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros — backed by a simple
+//! wall-clock measurement loop instead of criterion's statistics engine.
+//!
+//! CLI compatibility: `--test` runs every benchmark body exactly once
+//! (compile-and-run smoke mode, as used in CI), `--bench` (which cargo
+//! passes) is accepted and ignored, a positional argument filters
+//! benchmarks by substring, and `--sample-size N` overrides the default
+//! sample count. Unknown flags are ignored so cargo-bench invocations
+//! never fail on harness arguments.
+//!
+//! Each measured benchmark prints one line:
+//! `bench: <name> ... mean <t> (<samples> samples)` — the `simcore`
+//! tooling and EXPERIMENTS.md describe how these feed BENCH_*.json.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for a parameterised benchmark: `name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `function_name/parameter`.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Builds a bare parameter id.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// True in `--test` smoke mode: run the body once, skip timing.
+    test_mode: bool,
+    samples: usize,
+    /// Mean wall-clock nanoseconds per iteration, filled by `iter`.
+    mean_ns: f64,
+    measured_samples: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean wall-clock nanoseconds.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm-up and per-iteration estimate.
+        let warm_start = Instant::now();
+        black_box(routine());
+        let estimate = warm_start.elapsed().max(Duration::from_nanos(1));
+        // Budget ~300 ms per benchmark, capped by the sample count.
+        let budget = Duration::from_millis(300);
+        let affordable = (budget.as_nanos() / estimate.as_nanos()).max(1) as usize;
+        let samples = self.samples.min(affordable).max(1);
+        let start = Instant::now();
+        for _ in 0..samples {
+            black_box(routine());
+        }
+        let total = start.elapsed();
+        self.mean_ns = total.as_nanos() as f64 / samples as f64;
+        self.measured_samples = samples;
+    }
+
+    /// `iter_batched` compatibility shim: setup is re-run per iteration.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        self.iter(|| routine(setup()));
+    }
+}
+
+/// Batch-size hint (ignored by the stub).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut test_mode = false;
+        let mut default_samples = 20;
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                "--sample-size" => {
+                    if let Some(v) = args.next() {
+                        if let Ok(n) = v.parse() {
+                            default_samples = n;
+                        }
+                    }
+                }
+                "--bench" | "--profile-time" | "--verbose" | "--quiet" | "--noplot"
+                | "--save-baseline" | "--baseline" | "--color" => {
+                    // Flags cargo/criterion users pass; values (if any)
+                    // are consumed where syntactically obvious.
+                    if matches!(arg.as_str(), "--profile-time" | "--save-baseline" | "--baseline" | "--color")
+                    {
+                        args.next();
+                    }
+                }
+                other if !other.starts_with('-') => filter = Some(other.to_string()),
+                _ => {}
+            }
+        }
+        Criterion {
+            filter,
+            test_mode,
+            default_samples,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            samples: None,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(self, None, name, self.default_samples, f);
+        self
+    }
+
+    fn matches(&self, full_name: &str) -> bool {
+        match &self.filter {
+            Some(f) => full_name.contains(f.as_str()),
+            None => true,
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    criterion: &Criterion,
+    group: Option<&str>,
+    name: &str,
+    samples: usize,
+    mut f: F,
+) {
+    let full_name = match group {
+        Some(g) => format!("{g}/{name}"),
+        None => name.to_string(),
+    };
+    if !criterion.matches(&full_name) {
+        return;
+    }
+    let mut bencher = Bencher {
+        test_mode: criterion.test_mode,
+        samples,
+        mean_ns: 0.0,
+        measured_samples: 0,
+    };
+    f(&mut bencher);
+    if criterion.test_mode {
+        println!("bench: {full_name} ... ok (test mode)");
+    } else {
+        println!(
+            "bench: {full_name} ... mean {} ({} samples)",
+            format_ns(bencher.mean_ns),
+            bencher.measured_samples
+        );
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample count.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    samples: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = Some(samples);
+        self
+    }
+
+    /// Measurement-time compatibility shim (the stub budgets wall clock
+    /// internally).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Throughput annotation (accepted, not reported).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `id` within the group.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let id: BenchmarkId = id.into();
+        let samples = self.samples.unwrap_or(self.criterion.default_samples);
+        run_one(self.criterion, Some(&self.name), &id.id, samples, f);
+        self
+    }
+
+    /// Benchmarks `f` with an input value under `id`.
+    pub fn bench_with_input<I, D: ?Sized, F>(&mut self, id: I, input: &D, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher, &D),
+    {
+        let id: BenchmarkId = id.into();
+        let samples = self.samples.unwrap_or(self.criterion.default_samples);
+        run_one(self.criterion, Some(&self.name), &id.id, samples, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Throughput annotation accepted by [`BenchmarkGroup::throughput`].
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Declares a benchmark group function from target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            let _ = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plain_criterion() -> Criterion {
+        Criterion {
+            filter: None,
+            test_mode: false,
+            default_samples: 3,
+        }
+    }
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = plain_criterion();
+        let mut ran = 0u32;
+        c.bench_function("spin", |b| {
+            b.iter(|| {
+                ran += 1;
+                std::hint::black_box((0..100u64).sum::<u64>())
+            })
+        });
+        assert!(ran >= 2, "warm-up plus at least one sample");
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion {
+            filter: None,
+            test_mode: true,
+            default_samples: 50,
+        };
+        let mut group = c.benchmark_group("g");
+        let mut ran = 0u32;
+        group.sample_size(10).bench_function("once", |b| b.iter(|| ran += 1));
+        group.finish();
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("match_me".into()),
+            test_mode: true,
+            default_samples: 1,
+        };
+        let mut ran = 0u32;
+        c.bench_function("other", |b| b.iter(|| ran += 1));
+        c.bench_function("yes_match_me", |b| b.iter(|| ran += 1));
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 4).id, "f/4");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+
+    #[test]
+    fn bench_with_input_passes_value() {
+        let mut c = plain_criterion();
+        let mut group = c.benchmark_group("g");
+        let mut seen = 0usize;
+        group.bench_with_input(BenchmarkId::new("in", 7), &7usize, |b, &v| {
+            b.iter(|| seen = v)
+        });
+        assert_eq!(seen, 7);
+    }
+}

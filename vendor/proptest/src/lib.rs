@@ -1,0 +1,521 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset the workspace's property tests use: the
+//! [`proptest!`] macro with an optional `#![proptest_config(...)]`
+//! attribute, `x in <strategy>` bindings, [`prop_assert!`] /
+//! [`prop_assert_eq!`], numeric-range strategies, `prop::collection::vec`,
+//! `prop::bool::ANY`, and string strategies for simple character-class
+//! regexes like `"[a-d]{0,12}"`.
+//!
+//! Differences from upstream proptest, by design:
+//! - **No shrinking.** A failing case reports its case number and the
+//!   seed so it can be re-run, but is not minimised.
+//! - **Deterministic seeding.** Each test derives its seed from the test
+//!   name (override with `PROPTEST_SEED`), so runs are reproducible
+//!   without a persistence file.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic generator driving all strategies (xoshiro256++).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Seeds from a 64-bit value via splitmix64.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = move || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform f64 in [0, 1).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform usize in [lo, hi).
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range");
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + (rng.next_u64() % span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                (lo as i128 + (rng.next_u64() % span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (rng.next_f64() as f32) * (self.end - self.start)
+    }
+}
+
+/// Constant strategy: always yields a clone of the value.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// String strategies from simple character-class regexes.
+///
+/// Supports exactly the shapes the workspace uses: a concatenation of
+/// `[<chars or ranges>]{lo,hi}`, `[...]{n}`, `[...]*` (0..=8), `[...]+`
+/// (1..=8), a bare `[...]` (one char), and literal characters.
+impl Strategy for str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        sample_pattern(self, rng)
+    }
+}
+
+fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"))
+                    + i;
+                let mut class = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j] as u32, chars[j + 2] as u32);
+                        assert!(lo <= hi, "bad class range in {pattern:?}");
+                        for c in lo..=hi {
+                            class.push(char::from_u32(c).expect("valid char"));
+                        }
+                        j += 3;
+                    } else {
+                        class.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                assert!(!class.is_empty(), "empty class in {pattern:?}");
+                i = close + 1;
+                // Optional repetition suffix.
+                let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"))
+                        + i;
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.trim().parse().expect("repetition lower bound"),
+                            hi.trim().parse().expect("repetition upper bound"),
+                        ),
+                        None => {
+                            let n: usize = body.trim().parse().expect("repetition count");
+                            (n, n)
+                        }
+                    }
+                } else if i < chars.len() && chars[i] == '*' {
+                    i += 1;
+                    (0, 8)
+                } else if i < chars.len() && chars[i] == '+' {
+                    i += 1;
+                    (1, 8)
+                } else {
+                    (1, 1)
+                };
+                let n = if lo == hi { lo } else { rng.usize_in(lo, hi + 1) };
+                for _ in 0..n {
+                    out.push(class[rng.usize_in(0, class.len())]);
+                }
+            }
+            '\\' => {
+                i += 1;
+                if i < chars.len() {
+                    out.push(chars[i]);
+                    i += 1;
+                }
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+pub mod strategy {
+    pub use crate::Strategy;
+
+    /// Boxed strategy alias (the stub never boxes, but the name is
+    /// commonly imported).
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn sample(&self, rng: &mut crate::TestRng) -> T {
+            (**self).sample(rng)
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Per-test configuration.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases to run.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Config with an explicit case count.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Failure raised by `prop_assert!` and friends.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        /// Builds a failure with the given message.
+        pub fn fail<S: Into<String>>(msg: S) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// FNV-1a over the test name: the default per-test seed.
+    pub fn seed_for(name: &str) -> u64 {
+        if let Ok(s) = std::env::var("PROPTEST_SEED") {
+            if let Ok(v) = s.parse() {
+                return v;
+            }
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+/// `ProptestConfig` alias matching `proptest::prelude`.
+pub use test_runner::Config as ProptestConfig;
+
+// Tuple strategies, as in real proptest: a tuple of strategies samples a
+// tuple of values, one component at a time in order.
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+    type Value = (A::Value, B::Value, C::Value, D::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.sample(rng),
+            self.1.sample(rng),
+            self.2.sample(rng),
+            self.3.sample(rng),
+        )
+    }
+}
+
+pub mod prop {
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+        use std::ops::Range;
+
+        /// Strategy for `Vec`s whose length is drawn from `len` and
+        /// whose elements come from `element`.
+        pub struct VecStrategy<S> {
+            element: S,
+            len: Range<usize>,
+        }
+
+        /// `prop::collection::vec(element, len_range)`.
+        pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+            assert!(len.start < len.end, "empty length range");
+            VecStrategy { element, len }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = rng.usize_in(self.len.start, self.len.end);
+                (0..n).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+    }
+
+    pub mod bool {
+        use crate::{Strategy, TestRng};
+
+        /// Uniform boolean strategy.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+
+        /// `prop::bool::ANY`.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+            fn sample(&self, rng: &mut TestRng) -> bool {
+                rng.next_u64() & 1 == 1
+            }
+        }
+    }
+
+    pub mod num {
+        /// Marker module kept for import compatibility.
+        pub mod f64 {}
+    }
+}
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::BoxedStrategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{Just, Strategy, TestRng};
+}
+
+/// Asserts a condition inside a property; on failure the current case
+/// (not the whole process) fails with the formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts two values are equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a == *b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a == *b, $($fmt)*);
+    }};
+}
+
+/// Asserts two values differ inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a != *b, "assertion failed: both sides = {:?}", a);
+    }};
+}
+
+/// Declares property tests. Each `#[test] fn name(x in strategy, ...)`
+/// becomes a normal `#[test]` running `cases` random samples.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $( $arg:ident in $strat:expr ),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let seed = $crate::test_runner::seed_for(stringify!($name));
+                let mut rng = $crate::TestRng::seed_from_u64(seed);
+                for case in 0..config.cases {
+                    $( let $arg = $crate::Strategy::sample(&($strat), &mut rng); )*
+                    let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::core::result::Result::Ok(()) })();
+                    if let ::core::result::Result::Err(e) = outcome {
+                        panic!(
+                            "property {} failed at case {}/{} (seed {}): {}",
+                            stringify!($name), case + 1, config.cases, seed, e,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_pattern_sampling() {
+        let mut rng = TestRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = Strategy::sample(&"[a-d]{0,12}", &mut rng);
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| ('a'..='d').contains(&c)), "{s:?}");
+        }
+        let fixed = Strategy::sample(&"[xy]{4}", &mut rng);
+        assert_eq!(fixed.len(), 4);
+    }
+
+    #[test]
+    fn range_strategies_respect_bounds() {
+        let mut rng = TestRng::seed_from_u64(2);
+        for _ in 0..500 {
+            let n: usize = Strategy::sample(&(0usize..500), &mut rng);
+            assert!(n < 500);
+            let f: f64 = Strategy::sample(&(-1e3..1e3f64), &mut rng);
+            assert!((-1e3..1e3).contains(&f));
+            let v = Strategy::sample(&prop::collection::vec(1u64..10, 2..5), &mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| (1..10).contains(&x)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn the_macro_itself_works(a in 0u64..100, b in 0u64..100) {
+            prop_assert!(a + b <= 198);
+            prop_assert_eq!(a + b, b + a);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_macro_arm(x in prop::bool::ANY, v in prop::collection::vec(0u32..4, 1..4)) {
+            prop_assert!(x || !x);
+            prop_assert!(!v.is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property")]
+    fn failing_property_panics_with_context() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            #[test]
+            fn inner_always_fails(_x in 0u8..4) {
+                prop_assert!(false, "deliberate");
+            }
+        }
+        inner_always_fails();
+    }
+}
