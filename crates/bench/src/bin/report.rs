@@ -40,6 +40,14 @@ fn main() {
         "sections" => print!("{}", experiments::section_equivalence(&report).render_ascii()),
         "assessment" => print!("{}", experiments::assessment_table(&report).render_ascii()),
         "anova" => print!("{}", experiments::element_anova(&report).render_ascii()),
+        "replication" => print!(
+            "{}",
+            experiments::replication(
+                200,
+                std::thread::available_parallelism().map_or(1, |n| n.get()),
+            )
+            .render_ascii()
+        ),
         _ => {
             print!("{}", experiments::full_report(&report));
             println!("Hypotheses:");

@@ -16,7 +16,7 @@
 #![forbid(unsafe_code)]
 
 /// The artefact names the report binary accepts.
-pub const ARTEFACTS: [&str; 17] = [
+pub const ARTEFACTS: [&str; 18] = [
     "fig1",
     "fig2",
     "descriptive",
@@ -34,6 +34,7 @@ pub const ARTEFACTS: [&str; 17] = [
     "sections",
     "assessment",
     "anova",
+    "replication",
 ];
 
 /// True if `name` is a known artefact (case-insensitive).
@@ -52,8 +53,9 @@ mod tests {
         assert!(is_artefact("Table4"));
         assert!(is_artefact("ALL"));
         assert!(!is_artefact("table9"));
-        assert_eq!(ARTEFACTS.len(), 17);
+        assert_eq!(ARTEFACTS.len(), 18);
         assert!(is_artefact("robustness"));
         assert!(is_artefact("spring2019"));
+        assert!(is_artefact("replication"));
     }
 }

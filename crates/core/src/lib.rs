@@ -16,6 +16,9 @@
 //!   returning structured results plus a rendered table.
 //! * [`hypotheses`] — the three research hypotheses evaluated against a
 //!   report.
+//! * [`replicate`] — batch replication: N independent studies fanned
+//!   out across OS threads on seed-split RNG streams, bit-identical for
+//!   any thread count ("do the conclusions hold across 10k cohorts?").
 //! * [`published`] — the paper's published numbers, for side-by-side
 //!   comparison in EXPERIMENTS.md and the report binary.
 //!
@@ -36,6 +39,8 @@ pub mod experiments;
 pub mod hypotheses;
 pub mod module;
 pub mod published;
+pub mod replicate;
 pub mod study;
 
+pub use replicate::{run_replication, ReplicationConfig, ReplicationReport};
 pub use study::{PblStudy, StudyReport};

@@ -1,0 +1,208 @@
+//! The engine proper: chunked work queue, scoped workers, in-order
+//! result assembly.
+
+use crossbeam::channel;
+use stats::rng::{StreamSeeder, Xoshiro256};
+
+/// Replicates handed to a worker per queue message. Small enough that a
+/// straggler replicate cannot serialise the tail of a batch, large
+/// enough to amortise channel traffic. Chunking affects only *when* a
+/// replicate runs, never *what* it computes, so any chunk size yields
+/// the same batch.
+pub const DEFAULT_CHUNK: usize = 16;
+
+/// Everything a replicate closure may depend on: its index and its
+/// seed-split RNG stream. Closures must derive all randomness from
+/// here — that is what makes the batch thread-count invariant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicateCtx {
+    /// Position of this replicate in the batch (0-based).
+    pub index: usize,
+    /// The replicate's derived seed: `StreamSeeder::new(master).split_seed(index)`.
+    pub seed: u64,
+}
+
+impl ReplicateCtx {
+    /// The replicate's primary RNG stream.
+    pub fn rng(&self) -> Xoshiro256 {
+        Xoshiro256::seed_from_u64(self.seed)
+    }
+
+    /// An independent sub-stream `k` of this replicate, for replicate
+    /// bodies that need several collision-free generators (e.g. one per
+    /// resampling battery).
+    pub fn stream(&self, k: u64) -> Xoshiro256 {
+        StreamSeeder::new(self.seed).stream(k)
+    }
+
+    /// The seed of sub-stream `k` (for APIs that take a seed, like the
+    /// `stats::resample` procedures).
+    pub fn stream_seed(&self, k: u64) -> u64 {
+        StreamSeeder::new(self.seed).split_seed(k)
+    }
+}
+
+/// Fans replicate batches out across OS threads; see the crate docs for
+/// the determinism contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicationEngine {
+    threads: usize,
+    chunk: usize,
+}
+
+impl ReplicationEngine {
+    /// An engine running on up to `threads` worker threads (0 is treated
+    /// as 1; 1 runs inline without spawning).
+    pub fn new(threads: usize) -> Self {
+        ReplicationEngine {
+            threads: threads.max(1),
+            chunk: DEFAULT_CHUNK,
+        }
+    }
+
+    /// Overrides the work-queue chunk size (clamped to ≥ 1).
+    pub fn with_chunk(mut self, chunk: usize) -> Self {
+        self.chunk = chunk.max(1);
+        self
+    }
+
+    /// The configured worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `replicates` instances of `body`, replicate `i` seeing only
+    /// its [`ReplicateCtx`] (index `i`, seed split from `master_seed`),
+    /// and returns the results in replicate order.
+    pub fn run<T, F>(&self, replicates: usize, master_seed: u64, body: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&ReplicateCtx) -> T + Sync,
+    {
+        let seeder = StreamSeeder::new(master_seed);
+        let ctx = |index: usize| ReplicateCtx {
+            index,
+            seed: seeder.split_seed(index as u64),
+        };
+        if self.threads <= 1 || replicates <= 1 {
+            return (0..replicates).map(|i| body(&ctx(i))).collect();
+        }
+
+        // Enqueue every chunk up front (the channel is unbounded), then
+        // let workers drain the queue; disconnection is the turnstile.
+        let (chunk_tx, chunk_rx) = channel::unbounded::<std::ops::Range<usize>>();
+        let mut start = 0;
+        while start < replicates {
+            let end = (start + self.chunk).min(replicates);
+            chunk_tx.send(start..end).expect("queue is open");
+            start = end;
+        }
+        drop(chunk_tx);
+
+        let (result_tx, result_rx) = channel::unbounded::<(usize, Vec<T>)>();
+        let mut slots: Vec<Option<T>> = (0..replicates).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads.min(replicates) {
+                let chunk_rx = chunk_rx.clone();
+                let result_tx = result_tx.clone();
+                let body = &body;
+                let ctx = &ctx;
+                scope.spawn(move || {
+                    while let Ok(range) = chunk_rx.recv() {
+                        let base = range.start;
+                        let values: Vec<T> = range.map(|i| body(&ctx(i))).collect();
+                        if result_tx.send((base, values)).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(result_tx);
+            drop(chunk_rx);
+            for (base, values) in &result_rx {
+                for (offset, value) in values.into_iter().enumerate() {
+                    slots[base + offset] = Some(value);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every chunk completes"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn replicate_body(ctx: &ReplicateCtx) -> (usize, u64, f64) {
+        let mut rng = ctx.rng();
+        let draws: u64 = (0..50).map(|_| rng.next_u64() >> 48).sum();
+        let mut sub = ctx.stream(3);
+        (ctx.index, draws, sub.next_f64())
+    }
+
+    #[test]
+    fn results_come_back_in_replicate_order() {
+        let out = ReplicationEngine::new(4).with_chunk(3).run(97, 7, replicate_body);
+        assert_eq!(out.len(), 97);
+        for (i, (index, _, _)) in out.iter().enumerate() {
+            assert_eq!(*index, i);
+        }
+    }
+
+    #[test]
+    fn batch_is_bit_identical_across_thread_counts_and_chunk_sizes() {
+        let reference = ReplicationEngine::new(1).run(200, 42, replicate_body);
+        for threads in [2, 4, 8] {
+            for chunk in [1, 5, 16, 64, 1024] {
+                let got = ReplicationEngine::new(threads)
+                    .with_chunk(chunk)
+                    .run(200, 42, replicate_body);
+                assert_eq!(reference, got, "threads={threads} chunk={chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn different_master_seeds_give_different_batches() {
+        let a = ReplicationEngine::new(2).run(10, 1, replicate_body);
+        let b = ReplicationEngine::new(2).run(10, 2, replicate_body);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn replicate_seeds_are_the_seeders_split_seeds() {
+        let seeds = ReplicationEngine::new(3).run(20, 99, |ctx| ctx.seed);
+        let seeder = StreamSeeder::new(99);
+        for (i, seed) in seeds.iter().enumerate() {
+            assert_eq!(*seed, seeder.split_seed(i as u64));
+        }
+    }
+
+    #[test]
+    fn sub_streams_differ_from_the_primary_stream() {
+        let ctx = ReplicateCtx { index: 0, seed: 1234 };
+        let mut primary = ctx.rng();
+        let mut sub = ctx.stream(0);
+        assert_ne!(primary.next_u64(), sub.next_u64());
+        assert_ne!(ctx.stream_seed(1), ctx.stream_seed(2));
+    }
+
+    #[test]
+    fn zero_threads_and_empty_batches_are_fine() {
+        let engine = ReplicationEngine::new(0);
+        assert_eq!(engine.threads(), 1);
+        let out: Vec<u64> = engine.run(0, 5, |ctx| ctx.seed);
+        assert!(out.is_empty());
+        let one: Vec<usize> = ReplicationEngine::new(8).run(1, 5, |ctx| ctx.index);
+        assert_eq!(one, vec![0]);
+    }
+
+    #[test]
+    fn uneven_tail_chunk_is_processed() {
+        let out = ReplicationEngine::new(2).with_chunk(7).run(23, 3, |ctx| ctx.index * 2);
+        assert_eq!(out, (0..23).map(|i| i * 2).collect::<Vec<_>>());
+    }
+}

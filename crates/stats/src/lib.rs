@@ -19,13 +19,18 @@
 //! * [`anova`] — one-way ANOVA with an F distribution, confirming the
 //!   ranking tables' premise that element means genuinely differ.
 //! * [`resample`] — bootstrap confidence intervals and permutation tests
-//!   (robustness extension; the paper reports parametric tests only).
+//!   (robustness extension; the paper reports parametric tests only),
+//!   each with a `*_par` form that shards replicates across OS threads
+//!   on seed-split RNG streams with bit-identical results for any
+//!   thread count.
 //! * [`likert`] — 1–5 Likert-scale helpers for both survey scales.
 //! * [`table`] — plain-text / Markdown table rendering for the report
 //!   binary and EXPERIMENTS.md.
 //!
 //! All routines are deterministic; the resampling module uses an embedded
-//! SplitMix64/xoshiro generator seeded explicitly by the caller.
+//! SplitMix64/xoshiro generator seeded explicitly by the caller, and
+//! [`rng::StreamSeeder`] splits one master seed into collision-free
+//! per-stream seeds for parallel replication work.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -52,6 +57,12 @@ pub use descriptive::Summary;
 pub use error::StatsError;
 pub use pearson::{pearson, GuilfordBand, PearsonResult};
 pub use ranking::{rank_scores, RankedItem};
+pub use resample::{
+    bootstrap_ci, bootstrap_ci_par, permutation_test_paired, permutation_test_paired_par,
+    permutation_test_two_sample, permutation_test_two_sample_par, BootstrapCi, PermutationTest,
+    ResampleScratch,
+};
+pub use rng::{StreamSeeder, Xoshiro256};
 pub use ttest::{t_test_independent, t_test_one_sample, t_test_paired, t_test_welch, TTestResult};
 pub use wilcoxon::{wilcoxon_signed_rank, WilcoxonResult};
 

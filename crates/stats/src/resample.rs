@@ -1,10 +1,123 @@
 //! Resampling methods: bootstrap confidence intervals and permutation
 //! tests. The paper reports only parametric tests; these let the
 //! reproduction check that its conclusions do not hinge on normality.
+//!
+//! Each procedure comes in two forms:
+//!
+//! * the original serial form (`bootstrap_ci`, `permutation_test_paired`,
+//!   `permutation_test_two_sample`), kept draw-for-draw stable so existing
+//!   seeded results are reproducible; and
+//! * a `*_par` form that shards replicates across OS threads. The shard
+//!   layout is a pure function of the replicate count ([`SHARD_REPS`]
+//!   replicates per shard), and every shard draws from its own
+//!   [`StreamSeeder`]-derived RNG stream — so the result is bit-identical
+//!   for any thread count, including 1. The `*_par` kernels additionally
+//!   use faster draw schemes (sign flips consumed as bit masks, partial
+//!   Fisher–Yates selection, two bootstrap indices per RNG word), which
+//!   is why their p-values differ from the serial form's in the random
+//!   stream consumed — never in distribution.
 
 use crate::error::{ensure_finite, StatsError};
-use crate::rng::Xoshiro256;
+use crate::rng::{StreamSeeder, Xoshiro256};
 use crate::Result;
+
+/// Resampling replicates handled by one RNG shard in the `*_par`
+/// procedures. Fixed so the shard layout — and therefore every random
+/// draw — depends only on the total replicate count, never on how many
+/// threads execute the shards.
+pub const SHARD_REPS: usize = 256;
+
+fn shard_count(reps: usize) -> usize {
+    (reps + SHARD_REPS - 1) / SHARD_REPS
+}
+
+fn reps_in_shard(reps: usize, shard: usize) -> usize {
+    SHARD_REPS.min(reps - shard * SHARD_REPS)
+}
+
+/// Runs `job` once per shard index on up to `threads` OS threads and
+/// returns the results in shard order. Work is pulled from a shared
+/// atomic counter; because each job is a pure function of its shard
+/// index, scheduling cannot affect the merged result.
+fn run_sharded<T, F>(shards: usize, threads: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.max(1).min(shards);
+    if threads <= 1 {
+        return (0..shards).map(job).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, T)>();
+    let mut slots: Vec<Option<T>> = (0..shards).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next = &next;
+            let job = &job;
+            scope.spawn(move || loop {
+                let shard = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if shard >= shards || tx.send((shard, job(shard))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (shard, value) in rx.iter() {
+            slots[shard] = Some(value);
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every shard completes"))
+        .collect()
+}
+
+/// A reusable scratch buffer for drawing with-replacement resamples,
+/// shared by the serial bootstrap and the `*_par` shard kernels so the
+/// inner loop never reallocates.
+#[derive(Debug, Clone, Default)]
+pub struct ResampleScratch {
+    buf: Vec<f64>,
+}
+
+impl ResampleScratch {
+    /// An empty scratch; grows to the data length on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Draws `data.len()` values with replacement, one RNG word per
+    /// draw — the draw order the original serial bootstrap used, kept so
+    /// seeded serial results stay stable.
+    pub fn fill(&mut self, data: &[f64], rng: &mut Xoshiro256) -> &[f64] {
+        self.buf.resize(data.len(), 0.0);
+        for slot in self.buf.iter_mut() {
+            *slot = data[rng.next_below(data.len())];
+        }
+        &self.buf
+    }
+
+    /// Draws `data.len()` values with replacement, two indices per RNG
+    /// word (32-bit Lemire halves; bias is negligible for lengths far
+    /// below 2^32) — the fast path the `*_par` kernels use.
+    pub fn fill_packed(&mut self, data: &[f64], rng: &mut Xoshiro256) -> &[f64] {
+        debug_assert!((data.len() as u64) < (1 << 32), "sample too large");
+        self.buf.resize(data.len(), 0.0);
+        let len = data.len() as u64;
+        let mut pairs = self.buf.chunks_exact_mut(2);
+        for pair in pairs.by_ref() {
+            let word = rng.next_u64();
+            pair[0] = data[((word as u32 as u64 * len) >> 32) as usize];
+            pair[1] = data[(((word >> 32) * len) >> 32) as usize];
+        }
+        if let [last] = pairs.into_remainder() {
+            *last = data[rng.next_below(data.len())];
+        }
+        &self.buf
+    }
+}
 
 /// A bootstrap percentile confidence interval for a statistic.
 #[derive(Debug, Clone, PartialEq)]
@@ -17,6 +130,55 @@ pub struct BootstrapCi {
     pub hi: f64,
     /// Number of bootstrap replicates drawn.
     pub replicates: usize,
+}
+
+/// Symmetric percentile indices into `reps` sorted replicates.
+///
+/// The lower index is `floor(α/2 · reps)` clamped into the lower half;
+/// the upper index is its mirror `reps − 1 − lo`. The previous
+/// formulation took `ceil((1 − α/2) · reps)`, which makes the upper tail
+/// one rank wider than the lower and, for tiny `reps`, could clamp onto
+/// the lower index and collapse the interval to a point.
+fn percentile_bounds(reps: usize, level: f64) -> (usize, usize) {
+    let alpha = 1.0 - level;
+    let lo = (((alpha / 2.0) * reps as f64).floor() as usize).min((reps - 1) / 2);
+    (lo, reps - 1 - lo)
+}
+
+fn validate_bootstrap(data: &[f64], level: f64, reps: usize) -> Result<()> {
+    if data.len() < 2 {
+        return Err(StatsError::NotEnoughData {
+            needed: 2,
+            got: data.len(),
+        });
+    }
+    if !(0.0 < level && level < 1.0) {
+        return Err(StatsError::InvalidParameter("bootstrap level must be in (0,1)"));
+    }
+    if reps == 0 {
+        return Err(StatsError::InvalidParameter("bootstrap reps must be positive"));
+    }
+    ensure_finite(data)
+}
+
+fn bootstrap_from_stats<F>(
+    data: &[f64],
+    statistic: F,
+    level: f64,
+    mut stats: Vec<f64>,
+) -> BootstrapCi
+where
+    F: Fn(&[f64]) -> f64,
+{
+    let reps = stats.len();
+    stats.sort_by(|a, b| a.partial_cmp(b).expect("finite statistic"));
+    let (lo_idx, hi_idx) = percentile_bounds(reps, level);
+    BootstrapCi {
+        estimate: statistic(data),
+        lo: stats[lo_idx],
+        hi: stats[hi_idx],
+        replicates: reps,
+    }
 }
 
 /// Percentile bootstrap CI for an arbitrary statistic of one sample.
@@ -32,38 +194,47 @@ pub fn bootstrap_ci<F>(
 where
     F: Fn(&[f64]) -> f64,
 {
-    if data.len() < 2 {
-        return Err(StatsError::NotEnoughData {
-            needed: 2,
-            got: data.len(),
-        });
-    }
-    if !(0.0 < level && level < 1.0) {
-        return Err(StatsError::InvalidParameter("bootstrap level must be in (0,1)"));
-    }
-    if reps == 0 {
-        return Err(StatsError::InvalidParameter("bootstrap reps must be positive"));
-    }
-    ensure_finite(data)?;
+    validate_bootstrap(data, level, reps)?;
     let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut scratch = ResampleScratch::new();
     let mut stats = Vec::with_capacity(reps);
-    let mut resample = vec![0.0; data.len()];
     for _ in 0..reps {
-        for slot in resample.iter_mut() {
-            *slot = data[rng.next_below(data.len())];
-        }
-        stats.push(statistic(&resample));
+        stats.push(statistic(scratch.fill(data, &mut rng)));
     }
-    stats.sort_by(|a, b| a.partial_cmp(b).expect("finite statistic"));
-    let alpha = 1.0 - level;
-    let lo_idx = ((alpha / 2.0) * reps as f64).floor() as usize;
-    let hi_idx = (((1.0 - alpha / 2.0) * reps as f64).ceil() as usize).min(reps - 1);
-    Ok(BootstrapCi {
-        estimate: statistic(data),
-        lo: stats[lo_idx],
-        hi: stats[hi_idx],
-        replicates: reps,
-    })
+    Ok(bootstrap_from_stats(data, statistic, level, stats))
+}
+
+/// [`bootstrap_ci`] with replicates sharded across up to `threads` OS
+/// threads, each shard drawing from its own seed-split RNG stream.
+///
+/// The result is bit-identical for every `threads` value (shards are
+/// merged in shard order before the percentile step), but differs from
+/// the serial [`bootstrap_ci`] for the same seed because the shard
+/// streams consume different random draws.
+pub fn bootstrap_ci_par<F>(
+    data: &[f64],
+    statistic: F,
+    level: f64,
+    reps: usize,
+    seed: u64,
+    threads: usize,
+) -> Result<BootstrapCi>
+where
+    F: Fn(&[f64]) -> f64 + Sync,
+{
+    validate_bootstrap(data, level, reps)?;
+    let seeder = StreamSeeder::new(seed);
+    let per_shard = run_sharded(shard_count(reps), threads, |shard| {
+        let mut rng = seeder.stream(shard as u64);
+        let mut scratch = ResampleScratch::new();
+        let mut out = Vec::with_capacity(reps_in_shard(reps, shard));
+        for _ in 0..reps_in_shard(reps, shard) {
+            out.push(statistic(scratch.fill_packed(data, &mut rng)));
+        }
+        out
+    });
+    let stats: Vec<f64> = per_shard.into_iter().flatten().collect();
+    Ok(bootstrap_from_stats(data, statistic, level, stats))
 }
 
 /// Result of a permutation test.
@@ -78,15 +249,7 @@ pub struct PermutationTest {
     pub permutations: usize,
 }
 
-/// Paired permutation test on mean(second − first): randomly flips the
-/// sign of each pair's difference. The nonparametric analogue of the
-/// paper's Table 1 paired t-test.
-pub fn permutation_test_paired(
-    first: &[f64],
-    second: &[f64],
-    permutations: usize,
-    seed: u64,
-) -> Result<PermutationTest> {
+fn validate_paired(first: &[f64], second: &[f64], permutations: usize) -> Result<()> {
     if first.len() != second.len() {
         return Err(StatsError::LengthMismatch {
             left: first.len(),
@@ -103,7 +266,19 @@ pub fn permutation_test_paired(
         return Err(StatsError::InvalidParameter("permutations must be positive"));
     }
     ensure_finite(first)?;
-    ensure_finite(second)?;
+    ensure_finite(second)
+}
+
+/// Paired permutation test on mean(second − first): randomly flips the
+/// sign of each pair's difference. The nonparametric analogue of the
+/// paper's Table 1 paired t-test.
+pub fn permutation_test_paired(
+    first: &[f64],
+    second: &[f64],
+    permutations: usize,
+    seed: u64,
+) -> Result<PermutationTest> {
+    validate_paired(first, second, permutations)?;
     let diffs: Vec<f64> = second.iter().zip(first).map(|(s, f)| s - f).collect();
     let n = diffs.len() as f64;
     let observed = diffs.iter().sum::<f64>() / n;
@@ -126,14 +301,78 @@ pub fn permutation_test_paired(
     })
 }
 
-/// Two-sample permutation test on the difference of means (label
-/// shuffling); nonparametric analogue of the independent t-test.
-pub fn permutation_test_two_sample(
-    a: &[f64],
-    b: &[f64],
+/// One shard of sign-flip permutations. Signs are consumed 64 pairs per
+/// RNG word: a set bit flips that pair, and the flipped-pair sum is
+/// accumulated by iterating only the set bits (expected n/2 adds) on
+/// pre-doubled differences, so the permuted sum is `total − Σ 2·dᵢ`.
+fn paired_sign_flip_extremes(
+    diffs_doubled: &[f64],
+    total: f64,
+    threshold: f64,
+    reps: usize,
+    rng: &mut Xoshiro256,
+) -> usize {
+    let n = diffs_doubled.len();
+    let inv_n = 1.0 / n as f64;
+    let mut extreme = 0usize;
+    for _ in 0..reps {
+        let mut flipped = 0.0;
+        let mut base = 0usize;
+        while base < n {
+            let block = (n - base).min(64);
+            let mut mask = rng.next_u64();
+            if block < 64 {
+                mask &= (1u64 << block) - 1;
+            }
+            while mask != 0 {
+                flipped += diffs_doubled[base + mask.trailing_zeros() as usize];
+                mask &= mask - 1;
+            }
+            base += block;
+        }
+        if ((total - flipped) * inv_n).abs() >= threshold {
+            extreme += 1;
+        }
+    }
+    extreme
+}
+
+/// [`permutation_test_paired`] with permutations sharded across up to
+/// `threads` OS threads on seed-split streams; bit-identical for every
+/// thread count (extreme counts are integers, merged by summation).
+pub fn permutation_test_paired_par(
+    first: &[f64],
+    second: &[f64],
     permutations: usize,
     seed: u64,
+    threads: usize,
 ) -> Result<PermutationTest> {
+    validate_paired(first, second, permutations)?;
+    let diffs_doubled: Vec<f64> = second.iter().zip(first).map(|(s, f)| 2.0 * (s - f)).collect();
+    let total: f64 = diffs_doubled.iter().sum::<f64>() / 2.0;
+    let observed = total / diffs_doubled.len() as f64;
+    let threshold = observed.abs() - 1e-15;
+    let seeder = StreamSeeder::new(seed);
+    let extreme: usize = run_sharded(shard_count(permutations), threads, |shard| {
+        let mut rng = seeder.stream(shard as u64);
+        paired_sign_flip_extremes(
+            &diffs_doubled,
+            total,
+            threshold,
+            reps_in_shard(permutations, shard),
+            &mut rng,
+        )
+    })
+    .into_iter()
+    .sum();
+    Ok(PermutationTest {
+        observed,
+        p_two_sided: (extreme + 1) as f64 / (permutations + 1) as f64,
+        permutations,
+    })
+}
+
+fn validate_two_sample(a: &[f64], b: &[f64], permutations: usize) -> Result<()> {
     if a.len() < 2 || b.len() < 2 {
         return Err(StatsError::NotEnoughData {
             needed: 2,
@@ -144,7 +383,18 @@ pub fn permutation_test_two_sample(
         return Err(StatsError::InvalidParameter("permutations must be positive"));
     }
     ensure_finite(a)?;
-    ensure_finite(b)?;
+    ensure_finite(b)
+}
+
+/// Two-sample permutation test on the difference of means (label
+/// shuffling); nonparametric analogue of the independent t-test.
+pub fn permutation_test_two_sample(
+    a: &[f64],
+    b: &[f64],
+    permutations: usize,
+    seed: u64,
+) -> Result<PermutationTest> {
+    validate_two_sample(a, b, permutations)?;
     let observed =
         a.iter().sum::<f64>() / a.len() as f64 - b.iter().sum::<f64>() / b.len() as f64;
     let mut pooled: Vec<f64> = a.iter().chain(b).copied().collect();
@@ -166,11 +416,82 @@ pub fn permutation_test_two_sample(
     })
 }
 
+/// One shard of label-shuffle permutations. Only the first group is
+/// materialised, by a partial Fisher–Yates over the pooled values
+/// (n_a draws instead of n), and the second group's sum is recovered
+/// from the pooled total — halving both the RNG and summation work of a
+/// full shuffle.
+fn two_sample_partial_shuffle_extremes(
+    pooled: &mut [f64],
+    n_a: usize,
+    total: f64,
+    threshold: f64,
+    reps: usize,
+    rng: &mut Xoshiro256,
+) -> usize {
+    let n = pooled.len();
+    let inv_a = 1.0 / n_a as f64;
+    let inv_b = 1.0 / (n - n_a) as f64;
+    let mut extreme = 0usize;
+    for _ in 0..reps {
+        let mut sum_a = 0.0;
+        for i in 0..n_a {
+            let j = i + rng.next_below(n - i);
+            pooled.swap(i, j);
+            sum_a += pooled[i];
+        }
+        if (sum_a * inv_a - (total - sum_a) * inv_b).abs() >= threshold {
+            extreme += 1;
+        }
+    }
+    extreme
+}
+
+/// [`permutation_test_two_sample`] with permutations sharded across up
+/// to `threads` OS threads on seed-split streams; bit-identical for
+/// every thread count. Each shard permutes its own copy of the pooled
+/// sample starting from the original ordering.
+pub fn permutation_test_two_sample_par(
+    a: &[f64],
+    b: &[f64],
+    permutations: usize,
+    seed: u64,
+    threads: usize,
+) -> Result<PermutationTest> {
+    validate_two_sample(a, b, permutations)?;
+    let observed =
+        a.iter().sum::<f64>() / a.len() as f64 - b.iter().sum::<f64>() / b.len() as f64;
+    let threshold = observed.abs() - 1e-15;
+    let pooled: Vec<f64> = a.iter().chain(b).copied().collect();
+    let total: f64 = pooled.iter().sum();
+    let seeder = StreamSeeder::new(seed);
+    let extreme: usize = run_sharded(shard_count(permutations), threads, |shard| {
+        let mut rng = seeder.stream(shard as u64);
+        let mut shard_pool = pooled.clone();
+        two_sample_partial_shuffle_extremes(
+            &mut shard_pool,
+            a.len(),
+            total,
+            threshold,
+            reps_in_shard(permutations, shard),
+            &mut rng,
+        )
+    })
+    .into_iter()
+    .sum();
+    Ok(PermutationTest {
+        observed,
+        p_two_sided: (extreme + 1) as f64 / (permutations + 1) as f64,
+        permutations,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::descriptive::mean;
     use crate::ttest::t_test_paired;
+    use proptest::prelude::*;
 
     #[test]
     fn bootstrap_ci_covers_the_mean() {
@@ -196,6 +517,125 @@ mod tests {
         assert!(bootstrap_ci(&d, |x| x[0], 1.5, 10, 0).is_err());
         assert!(bootstrap_ci(&d, |x| x[0], 0.9, 0, 0).is_err());
         assert!(bootstrap_ci(&[1.0], |x| x[0], 0.9, 10, 0).is_err());
+        assert!(bootstrap_ci_par(&d, |x| x[0], 1.5, 10, 0, 2).is_err());
+        assert!(permutation_test_paired_par(&[1.0], &[1.0], 10, 0, 2).is_err());
+        assert!(permutation_test_two_sample_par(&[1.0, 2.0], &[3.0, 4.0], 0, 0, 2).is_err());
+    }
+
+    #[test]
+    fn percentile_bounds_are_symmetric_and_never_collapse_backwards() {
+        // reps=1 is the degenerate floor: both bounds are the only rank.
+        assert_eq!(percentile_bounds(1, 0.95), (0, 0));
+        // Tiny reps with a wide level used to let ceil+clamp produce
+        // hi == lo; the symmetric form keeps lo <= hi and mirrors tails.
+        assert_eq!(percentile_bounds(2, 0.95), (0, 1));
+        assert_eq!(percentile_bounds(3, 0.5), (0, 2));
+        let (lo, hi) = percentile_bounds(2000, 0.95);
+        assert_eq!(lo, 50);
+        assert_eq!(hi, 1949);
+        for reps in 1..64 {
+            for level in [0.5, 0.8, 0.9, 0.95, 0.99, 0.999] {
+                let (lo, hi) = percentile_bounds(reps, level);
+                assert!(lo <= hi, "reps={reps} level={level}");
+                assert!(hi < reps);
+                assert_eq!(hi, reps - 1 - lo, "bounds must mirror");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_fill_matches_the_original_draw_order() {
+        let data = [5.0, 6.0, 7.0, 8.0];
+        let mut rng_a = Xoshiro256::seed_from_u64(3);
+        let mut rng_b = Xoshiro256::seed_from_u64(3);
+        let mut scratch = ResampleScratch::new();
+        let drawn = scratch.fill(&data, &mut rng_a).to_vec();
+        let manual: Vec<f64> = (0..data.len())
+            .map(|_| data[rng_b.next_below(data.len())])
+            .collect();
+        assert_eq!(drawn, manual);
+    }
+
+    #[test]
+    fn packed_fill_draws_valid_values() {
+        let data: Vec<f64> = (0..7).map(|i| i as f64).collect();
+        let mut rng = Xoshiro256::seed_from_u64(11);
+        let mut scratch = ResampleScratch::new();
+        for _ in 0..100 {
+            for &v in scratch.fill_packed(&data, &mut rng) {
+                assert!(data.contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn bootstrap_par_is_thread_count_invariant() {
+        let data: Vec<f64> = (0..80).map(|i| (i * 13 % 17) as f64).collect();
+        let reference =
+            bootstrap_ci_par(&data, |d| mean(d).unwrap(), 0.95, 700, 9, 1).unwrap();
+        for threads in [2, 4, 8] {
+            let got =
+                bootstrap_ci_par(&data, |d| mean(d).unwrap(), 0.95, 700, 9, threads).unwrap();
+            assert_eq!(reference, got, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn paired_par_is_thread_count_invariant() {
+        let first: Vec<f64> = (0..50).map(|i| 3.0 + 0.1 * (i % 7) as f64).collect();
+        let second: Vec<f64> = first.iter().map(|x| x + 0.2).collect();
+        let reference = permutation_test_paired_par(&first, &second, 999, 5, 1).unwrap();
+        for threads in [2, 4, 8] {
+            let got = permutation_test_paired_par(&first, &second, 999, 5, threads).unwrap();
+            assert_eq!(reference, got, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn two_sample_par_is_thread_count_invariant() {
+        let a: Vec<f64> = (0..40).map(|i| 5.0 + 0.1 * (i % 5) as f64).collect();
+        let b: Vec<f64> = (0..35).map(|i| 4.6 + 0.1 * (i % 5) as f64).collect();
+        let reference = permutation_test_two_sample_par(&a, &b, 777, 2, 1).unwrap();
+        for threads in [2, 4, 8] {
+            let got = permutation_test_two_sample_par(&a, &b, 777, 2, threads).unwrap();
+            assert_eq!(reference, got, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_variants_agree_with_serial_conclusions() {
+        // Strong paired effect: both serial and sharded forms reject.
+        let first: Vec<f64> = (0..40).map(|i| 3.5 + 0.05 * (i % 5) as f64).collect();
+        let second: Vec<f64> = first.iter().map(|x| x + 0.3).collect();
+        let serial = permutation_test_paired(&first, &second, 2000, 99).unwrap();
+        let par = permutation_test_paired_par(&first, &second, 2000, 99, 4).unwrap();
+        assert!((serial.observed - par.observed).abs() < 1e-12);
+        assert!(serial.p_two_sided < 0.01 && par.p_two_sided < 0.01);
+
+        // Null paired case: both report a large p-value.
+        let null_first: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let null_second: Vec<f64> = null_first
+            .iter()
+            .enumerate()
+            .map(|(i, x)| x + if i % 2 == 0 { 0.5 } else { -0.5 })
+            .collect();
+        let serial = permutation_test_paired(&null_first, &null_second, 1000, 5).unwrap();
+        let par = permutation_test_paired_par(&null_first, &null_second, 1000, 5, 4).unwrap();
+        assert!(serial.p_two_sided > 0.3 && par.p_two_sided > 0.3);
+
+        // Two-sample shift: both detect it; bootstrap CIs overlap well.
+        let a: Vec<f64> = (0..25).map(|i| 5.0 + 0.1 * (i % 5) as f64).collect();
+        let b: Vec<f64> = (0..25).map(|i| 4.0 + 0.1 * (i % 5) as f64).collect();
+        let serial = permutation_test_two_sample(&a, &b, 1000, 3).unwrap();
+        let par = permutation_test_two_sample_par(&a, &b, 1000, 3, 4).unwrap();
+        assert!((serial.observed - par.observed).abs() < 1e-12);
+        assert!(serial.p_two_sided < 0.01 && par.p_two_sided < 0.01);
+
+        let data: Vec<f64> = (0..60).map(|i| 4.0 + 0.2 * ((i * 37 % 11) as f64 - 5.0)).collect();
+        let s = bootstrap_ci(&data, |d| mean(d).unwrap(), 0.95, 2000, 42).unwrap();
+        let p = bootstrap_ci_par(&data, |d| mean(d).unwrap(), 0.95, 2000, 42, 4).unwrap();
+        assert_eq!(s.estimate, p.estimate);
+        assert!((s.lo - p.lo).abs() < 0.05 && (s.hi - p.hi).abs() < 0.05);
     }
 
     #[test]
@@ -236,5 +676,53 @@ mod tests {
         assert!(permutation_test_paired(&[1.0], &[1.0], 10, 0).is_err());
         assert!(permutation_test_paired(&[1.0, 2.0], &[1.0], 10, 0).is_err());
         assert!(permutation_test_two_sample(&[1.0, 2.0], &[3.0, 4.0], 0, 0).is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        // The determinism contract: for arbitrary inputs, replicate
+        // counts crossing shard boundaries, and any thread count, the
+        // sharded procedures equal their own 1-thread (serial) run.
+        #[test]
+        fn par_equals_serial_shard_run_paired(
+            base in prop::collection::vec(-1e3..1e3f64, 2..40),
+            delta in -2.0..2.0f64,
+            perms in 1usize..600,
+            seed in 0u64..1_000,
+            threads in 2usize..6,
+        ) {
+            let second: Vec<f64> = base.iter().map(|x| x + delta).collect();
+            let serial = permutation_test_paired_par(&base, &second, perms, seed, 1).unwrap();
+            let par = permutation_test_paired_par(&base, &second, perms, seed, threads).unwrap();
+            prop_assert_eq!(serial, par);
+        }
+
+        #[test]
+        fn par_equals_serial_shard_run_two_sample(
+            a in prop::collection::vec(-1e3..1e3f64, 2..40),
+            b in prop::collection::vec(-1e3..1e3f64, 2..40),
+            perms in 1usize..600,
+            seed in 0u64..1_000,
+            threads in 2usize..6,
+        ) {
+            let serial = permutation_test_two_sample_par(&a, &b, perms, seed, 1).unwrap();
+            let par = permutation_test_two_sample_par(&a, &b, perms, seed, threads).unwrap();
+            prop_assert_eq!(serial, par);
+        }
+
+        #[test]
+        fn par_equals_serial_shard_run_bootstrap(
+            data in prop::collection::vec(-1e3..1e3f64, 2..40),
+            reps in 1usize..600,
+            seed in 0u64..1_000,
+            threads in 2usize..6,
+        ) {
+            let serial =
+                bootstrap_ci_par(&data, |d| mean(d).unwrap(), 0.9, reps, seed, 1).unwrap();
+            let par =
+                bootstrap_ci_par(&data, |d| mean(d).unwrap(), 0.9, reps, seed, threads).unwrap();
+            prop_assert_eq!(serial, par);
+        }
     }
 }

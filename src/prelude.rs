@@ -7,4 +7,5 @@ pub use parallel_rt;
 pub use patternlets;
 pub use pbl_core;
 pub use pi_sim;
+pub use replicate;
 pub use stats;

@@ -1,0 +1,66 @@
+//! Integration test: the replication engine is deterministic across
+//! thread counts, end to end — the cross-crate statement of the
+//! replicate-level determinism invariant in DESIGN.md.
+
+use classroom::{CohortData, StudyConfig};
+use pbl_core::replicate::{run_replication, ReplicationConfig};
+use replicate::{ReplicationEngine, StreamSeeder};
+
+fn small_config(threads: usize) -> ReplicationConfig {
+    ReplicationConfig {
+        replicates: 6,
+        threads,
+        num_students: 40,
+        master_seed: 20_180_824,
+        permutations: 300,
+        bootstrap_reps: 200,
+        section_permutations: 200,
+    }
+}
+
+#[test]
+fn full_replication_batch_is_bit_identical_for_threads_1_2_4_8() {
+    let reference = run_replication(&small_config(1));
+    assert_eq!(reference.summaries.len(), 6);
+    for threads in [2, 4, 8] {
+        let got = run_replication(&small_config(threads));
+        // ReplicateSummary is PartialEq over every reported float, so
+        // this is a bit-for-bit comparison of the whole batch.
+        assert_eq!(reference.summaries, got.summaries, "threads = {threads}");
+        assert_eq!(reference.digest(), got.digest());
+    }
+}
+
+#[test]
+fn cohort_batches_share_the_engine_seed_schedule() {
+    // The classroom batch and a raw engine run over the same master
+    // seed must see the same per-replicate stream seeds.
+    let config = StudyConfig {
+        num_students: 20,
+        seed: 99,
+    };
+    let cohorts = CohortData::generate_batch(&config, 4, 2);
+    let seeds = ReplicationEngine::new(2).run(4, config.seed, |ctx| ctx.seed);
+    let seeder = StreamSeeder::new(config.seed);
+    for (i, seed) in seeds.iter().enumerate() {
+        assert_eq!(*seed, seeder.split_seed(i as u64));
+        let direct = CohortData::generate(&StudyConfig {
+            num_students: 20,
+            seed: *seed,
+        });
+        assert_eq!(direct.wave1, cohorts[i].wave1);
+    }
+}
+
+#[test]
+fn replication_conclusions_are_stable_across_master_seeds() {
+    // Two disjoint small batches at the scaled cohort size still agree
+    // on the ordinal conclusion (growth effect > emphasis effect).
+    for master in [1u64, 2] {
+        let report = run_replication(&ReplicationConfig {
+            master_seed: master,
+            ..small_config(4)
+        });
+        assert!(report.growth_effect_larger_fraction() > 0.5, "master = {master}");
+    }
+}
