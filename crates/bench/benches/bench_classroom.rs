@@ -15,7 +15,10 @@ fn print_shape_once() {
     eprintln!(
         "team formation: drafted ability-spread {:.3}, teams-with-women {}; \
          random spread {:.3}, teams-with-women {}",
-        drafted.ability_spread, drafted.teams_with_women, random.ability_spread, random.teams_with_women
+        drafted.ability_spread,
+        drafted.teams_with_women,
+        random.ability_spread,
+        random.teams_with_women
     );
 }
 

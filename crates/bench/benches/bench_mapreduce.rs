@@ -67,7 +67,13 @@ fn bench_mapreduce(c: &mut Criterion) {
 
     let indexed: Vec<(usize, String)> = corpus(100).into_iter().enumerate().collect();
     group.bench_function("inverted_index_100", |b| {
-        b.iter(|| run_job(&InvertedIndex, black_box(indexed.clone()), &JobConfig::default()))
+        b.iter(|| {
+            run_job(
+                &InvertedIndex,
+                black_box(indexed.clone()),
+                &JobConfig::default(),
+            )
+        })
     });
 
     group.bench_function("grep_100", |b| {

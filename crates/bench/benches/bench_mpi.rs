@@ -12,9 +12,7 @@ use mpi_rt::run;
 fn print_shape_once() {
     let data: Vec<u64> = (1..=256).collect();
     let [openmp, mpi, mapreduce] = sum_three_ways(&data, 4);
-    eprintln!(
-        "sum of 1..=256 three ways: OpenMP {openmp}, MPI {mpi}, MapReduce {mapreduce}"
-    );
+    eprintln!("sum of 1..=256 three ways: OpenMP {openmp}, MPI {mpi}, MapReduce {mapreduce}");
 }
 
 fn bench_mpi(c: &mut Criterion) {
@@ -46,9 +44,7 @@ fn bench_mpi(c: &mut Criterion) {
 
     for &ranks in &[2usize, 4, 8] {
         group.bench_with_input(BenchmarkId::new("allreduce", ranks), &ranks, |b, &n| {
-            b.iter(|| {
-                run(n, |rank| rank.allreduce(rank.rank() as u64, |a, b| a + b))
-            })
+            b.iter(|| run(n, |rank| rank.allreduce(rank.rank() as u64, |a, b| a + b)))
         });
     }
 

@@ -79,9 +79,7 @@ fn bench_parallel_rt(c: &mut Criterion) {
 
     group.bench_function("parallel_for_reduce_100k", |b| {
         let team = Team::new(4);
-        b.iter(|| {
-            team.parallel_for_reduce(0..100_000, Schedule::StaticBlock, Sum, |i| i as u64)
-        })
+        b.iter(|| team.parallel_for_reduce(0..100_000, Schedule::StaticBlock, Sum, |i| i as u64))
     });
 
     // The tentpole scenario: lowering a million-iteration uniform loop.

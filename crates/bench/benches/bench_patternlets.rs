@@ -70,9 +70,7 @@ fn bench_patternlets(c: &mut Criterion) {
         b.iter(|| schedule_demo::run(black_box(512), 4, Schedule::Dynamic(3)))
     });
     group.bench_function("trapezoid_parallel_65536", |b| {
-        b.iter(|| {
-            patternlets::trapezoid::integrate_parallel(|x| x * x, 0.0, 1.0, 1 << 16, 4)
-        })
+        b.iter(|| patternlets::trapezoid::integrate_parallel(|x| x * x, 0.0, 1.0, 1 << 16, 4))
     });
 
     group.finish();

@@ -44,9 +44,8 @@ fn bench_pi_sim(c: &mut Criterion) {
             &threads,
             |b, &t| {
                 b.iter(|| {
-                    let programs: Vec<Program> = (0..t)
-                        .map(|_| Program::new().compute(1_000_000))
-                        .collect();
+                    let programs: Vec<Program> =
+                        (0..t).map(|_| Program::new().compute(1_000_000)).collect();
                     Machine::pi().run(black_box(programs))
                 })
             },
@@ -81,7 +80,11 @@ fn bench_pi_sim(c: &mut Criterion) {
     group.bench_function("memory_heavy_run", |b| {
         b.iter(|| {
             let programs: Vec<Program> = (0..4u64)
-                .map(|t| (0..500).map(|i| Op::Read((t * 131_072 + i * 64) % 262_144)).collect())
+                .map(|t| {
+                    (0..500)
+                        .map(|i| Op::Read((t * 131_072 + i * 64) % 262_144))
+                        .collect()
+                })
                 .collect();
             Machine::pi().run(black_box(programs))
         })
@@ -89,9 +92,7 @@ fn bench_pi_sim(c: &mut Criterion) {
 
     group.bench_function("oversubscribed_16_threads", |b| {
         b.iter(|| {
-            let programs: Vec<Program> = (0..16)
-                .map(|_| Program::new().compute(100_000))
-                .collect();
+            let programs: Vec<Program> = (0..16).map(|_| Program::new().compute(100_000)).collect();
             Machine::new(MachineConfig::pi()).run(black_box(programs))
         })
     });

@@ -25,9 +25,7 @@ fn bench_stats(c: &mut Criterion) {
     let mut group = c.benchmark_group("stats");
     group.sample_size(20);
 
-    group.bench_function("ln_gamma", |b| {
-        b.iter(|| ln_gamma(black_box(61.5)))
-    });
+    group.bench_function("ln_gamma", |b| b.iter(|| ln_gamma(black_box(61.5))));
 
     group.bench_function("incomplete_beta", |b| {
         b.iter(|| incomplete_beta(black_box(61.5), black_box(0.5), black_box(0.93)).unwrap())
@@ -54,7 +52,9 @@ fn bench_stats(c: &mut Criterion) {
         b.iter(|| anova_one_way(black_box(&groups)).unwrap())
     });
     group.bench_function("permutation_test_2000", |b| {
-        b.iter(|| permutation_test_paired(black_box(&first), black_box(&second), 2_000, 42).unwrap())
+        b.iter(|| {
+            permutation_test_paired(black_box(&first), black_box(&second), 2_000, 42).unwrap()
+        })
     });
     group.bench_function("bootstrap_ci_2000", |b| {
         b.iter(|| {

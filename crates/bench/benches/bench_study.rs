@@ -46,8 +46,12 @@ fn bench_study(c: &mut Criterion) {
         b.iter(|| {
             for wave in [1usize, 2] {
                 for idx in 0..ALL_ELEMENTS.len() {
-                    let x = cohort.wave(wave).element_scores(Category::ClassEmphasis, idx);
-                    let y = cohort.wave(wave).element_scores(Category::PersonalGrowth, idx);
+                    let x = cohort
+                        .wave(wave)
+                        .element_scores(Category::ClassEmphasis, idx);
+                    let y = cohort
+                        .wave(wave)
+                        .element_scores(Category::PersonalGrowth, idx);
                     black_box(pearson(&x, &y).unwrap());
                 }
             }

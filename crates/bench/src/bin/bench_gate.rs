@@ -1,0 +1,72 @@
+//! CI perf-regression gate: compares a freshly generated BENCH JSON
+//! against the committed one and fails if any headline speedup lost
+//! more than 25% of its committed ratio (or vanished).
+//!
+//! Usage:
+//!   bench_gate <committed.json> <fresh.json>
+//!
+//! Exit status: 0 when every committed scenario holds, 1 on any
+//! regression, 2 on usage or I/O errors. Wired into CI after the
+//! determinism smokes, once the fresh files exist.
+
+use pbl_bench::gate::{self, Speedup};
+
+fn load(path: &str) -> Vec<Speedup> {
+    let doc = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_gate: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let speedups = gate::speedups(&doc);
+    if speedups.is_empty() {
+        eprintln!("bench_gate: no \"speedup\" entries found in {path}");
+        std::process::exit(2);
+    }
+    speedups
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let (Some(committed_path), Some(fresh_path)) = (args.next(), args.next()) else {
+        eprintln!("usage: bench_gate <committed.json> <fresh.json>");
+        std::process::exit(2);
+    };
+
+    let committed = load(&committed_path);
+    let fresh = load(&fresh_path);
+    for c in &committed {
+        let fresh_ratio = fresh
+            .iter()
+            .find(|f| f.name == c.name)
+            .map_or_else(|| "missing".to_string(), |f| format!("{:.1}", f.ratio));
+        println!(
+            "bench_gate: {:<46} committed {:>8.1}x  fresh {:>8}x",
+            c.name, c.ratio, fresh_ratio
+        );
+    }
+
+    let regressions = gate::regressions(&committed, &fresh, gate::MAX_LOSS);
+    if regressions.is_empty() {
+        println!(
+            "bench_gate: OK — {} scenario(s) within {:.0}% of committed speedups",
+            committed.len(),
+            gate::MAX_LOSS * 100.0
+        );
+        return;
+    }
+    for r in &regressions {
+        match r.fresh {
+            Some(fresh) => eprintln!(
+                "bench_gate: REGRESSION {}: committed {:.1}x, fresh {:.1}x (> {:.0}% loss)",
+                r.name,
+                r.committed,
+                fresh,
+                gate::MAX_LOSS * 100.0
+            ),
+            None => eprintln!(
+                "bench_gate: REGRESSION {}: scenario missing from fresh run",
+                r.name
+            ),
+        }
+    }
+    std::process::exit(1);
+}

@@ -34,7 +34,11 @@ fn score(seed: u64) -> (f64, String) {
     }
     // Hard requirements: the headline bands must match the paper.
     let band_penalty = if g.d < 0.8 { 1.0 } else { 0.0 }
-        + if !(0.35..0.75).contains(&e.d) { 1.0 } else { 0.0 };
+        + if !(0.35..0.75).contains(&e.d) {
+            1.0
+        } else {
+            0.0
+        };
     let summary = format!(
         "seed {seed:>4}: loss {loss:.3} | d_emph {:.2} d_growth {:.2} | means {:.3}/{:.3} {:.3}/{:.3}",
         e.d, g.d, e.mean_first, e.mean_second, g.mean_first, g.mean_second

@@ -25,8 +25,9 @@
 //!   cargo run --release -p pbl-bench --bin replication [out.json]
 //!   cargo run --release -p pbl-bench --bin replication -- --check
 //!
-//! `--check` runs a small batch at 1 and 4 threads and exits non-zero
-//! if the digests differ — wired into CI as the determinism smoke step.
+//! `--check` runs a small batch across a 1/2/4/8 worker-thread matrix
+//! and exits non-zero if any digest differs from the 1-thread
+//! reference — wired into CI as the determinism smoke step.
 
 use std::time::Instant;
 
@@ -72,8 +73,20 @@ fn serial_replicate(cfg: &ReplicationConfig, seed: u64) -> [f64; 6] {
     let _ = permutation_test_paired(&g1, &g2, cfg.permutations, streams.split_seed(2)).unwrap();
     let ediffs: Vec<f64> = e2.iter().zip(&e1).map(|(s, f)| s - f).collect();
     let gdiffs: Vec<f64> = g2.iter().zip(&g1).map(|(s, f)| s - f).collect();
-    let _ = bootstrap_ci(&ediffs, mean_diff, 0.95, cfg.bootstrap_reps, streams.split_seed(3));
-    let _ = bootstrap_ci(&gdiffs, mean_diff, 0.95, cfg.bootstrap_reps, streams.split_seed(4));
+    let _ = bootstrap_ci(
+        &ediffs,
+        mean_diff,
+        0.95,
+        cfg.bootstrap_reps,
+        streams.split_seed(3),
+    );
+    let _ = bootstrap_ci(
+        &gdiffs,
+        mean_diff,
+        0.95,
+        cfg.bootstrap_reps,
+        streams.split_seed(4),
+    );
     let (sec_a, sec_b): (Vec<f64>, Vec<f64>) = {
         let half = e2.len() / 2;
         let a = cohort
@@ -150,15 +163,28 @@ fn check_mode() -> ! {
         section_permutations: 400,
         ..ReplicationConfig::default()
     };
-    let one = run_replication(&cfg);
-    let four = run_replication(&ReplicationConfig { threads: 4, ..cfg.clone() });
-    let (d1, d4) = (one.digest(), four.digest());
-    println!("replication --check: 1-thread digest {d1:#018x}, 4-thread digest {d4:#018x}");
-    if d1 != d4 {
-        eprintln!("DETERMINISM FAILURE: digests differ across thread counts");
+    let reference = run_replication(&cfg).digest();
+    println!("replication --check: 1-thread digest {reference:#018x}");
+    let mut ok = true;
+    for threads in [2, 4, 8] {
+        let digest = run_replication(&ReplicationConfig {
+            threads,
+            ..cfg.clone()
+        })
+        .digest();
+        println!("replication --check: {threads}-thread digest {digest:#018x}");
+        if digest != reference {
+            eprintln!("DETERMINISM FAILURE: {threads}-thread digest differs from 1-thread");
+            ok = false;
+        }
+    }
+    if !ok {
         std::process::exit(1);
     }
-    println!("replication --check: OK ({} replicates bit-identical)", cfg.replicates);
+    println!(
+        "replication --check: OK ({} replicates bit-identical across 1/2/4/8 threads)",
+        cfg.replicates
+    );
     std::process::exit(0);
 }
 
@@ -169,6 +195,7 @@ fn json(
     engine4_ms: f64,
     digest: u64,
     report: &ReplicationReport,
+    metrics_json: &str,
 ) -> String {
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut out = String::new();
@@ -186,10 +213,16 @@ fn json(
     );
     out.push_str("  \"batch\": {\n");
     out.push_str(&format!("    \"replicates\": {},\n", cfg.replicates));
-    out.push_str(&format!("    \"students_per_cohort\": {},\n", cfg.num_students));
+    out.push_str(&format!(
+        "    \"students_per_cohort\": {},\n",
+        cfg.num_students
+    ));
     out.push_str(&format!("    \"master_seed\": {},\n", cfg.master_seed));
     out.push_str(&format!("    \"permutations\": {},\n", cfg.permutations));
-    out.push_str(&format!("    \"bootstrap_reps\": {},\n", cfg.bootstrap_reps));
+    out.push_str(&format!(
+        "    \"bootstrap_reps\": {},\n",
+        cfg.bootstrap_reps
+    ));
     out.push_str(&format!(
         "    \"section_permutations\": {}\n",
         cfg.section_permutations
@@ -210,7 +243,10 @@ fn json(
         );
         s.push_str(&format!("      \"before_ms\": {before_ms:.3},\n"));
         s.push_str(&format!("      \"after_ms\": {after_ms:.3},\n"));
-        s.push_str(&format!("      \"speedup\": {:.1},\n", before_ms / after_ms));
+        s.push_str(&format!(
+            "      \"speedup\": {:.1},\n",
+            before_ms / after_ms
+        ));
         s.push_str("      \"outputs_bit_identical\": true\n");
         s.push_str(if last { "    }\n" } else { "    },\n" });
         s
@@ -252,8 +288,16 @@ fn json(
         "    \"section_flag_fraction\": {:.4},\n",
         report.section_flag_fraction()
     ));
-    out.push_str(&format!("    \"mean_growth_d\": {:.4}\n", report.mean_growth_d()));
-    out.push_str("  }\n}\n");
+    out.push_str(&format!(
+        "    \"mean_growth_d\": {:.4}\n",
+        report.mean_growth_d()
+    ));
+    out.push_str("  },\n");
+    out.push_str(&format!(
+        "  \"metrics\": {}\n",
+        pbl_bench::embed_json(metrics_json, 2)
+    ));
+    out.push_str("}\n");
     out
 }
 
@@ -281,7 +325,10 @@ fn main() {
     let (engine1_ms, report1) = time_min_ms(|| run_replication(&cfg));
     println!("engine, 1 thread:                   {engine1_ms:>9.1} ms");
 
-    let cfg4 = ReplicationConfig { threads: 4, ..cfg.clone() };
+    let cfg4 = ReplicationConfig {
+        threads: 4,
+        ..cfg.clone()
+    };
     let (engine4_ms, report4) = time_min_ms(|| run_replication(&cfg4));
     println!("engine, 4 threads:                  {engine4_ms:>9.1} ms");
 
@@ -292,6 +339,18 @@ fn main() {
         "determinism violated: engine digests differ across thread counts"
     );
     assert_parametrics_match(&baseline, &report4);
+
+    // Instrumented pass for the embedded metrics section (untimed). The
+    // engine must report the same digest with metrics attached — the
+    // observer must not perturb the batch.
+    let registry = obs::Registry::new();
+    let instrumented = pbl_core::replicate::run_replication_with_metrics(&cfg4, &registry);
+    assert_eq!(
+        report4.digest(),
+        instrumented.digest(),
+        "determinism violated: metrics instrumentation perturbed the batch"
+    );
+    let metrics_json = registry.snapshot().to_json();
 
     let speedup = serial_ms / engine4_ms;
     println!(
@@ -305,7 +364,15 @@ fn main() {
 
     std::fs::write(
         &out_path,
-        json(&cfg, serial_ms, engine1_ms, engine4_ms, report4.digest(), &report4),
+        json(
+            &cfg,
+            serial_ms,
+            engine1_ms,
+            engine4_ms,
+            report4.digest(),
+            &report4,
+            &metrics_json,
+        ),
     )
     .expect("write BENCH_replication.json");
     println!("wrote {out_path}");

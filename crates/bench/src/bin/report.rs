@@ -1,8 +1,8 @@
 //! Regenerates the paper's tables and figures on the simulated cohort.
 //!
 //! Usage: `report [artefact]` where artefact is one of fig1, fig2,
-//! descriptive, table1..table6, gaps, assignment5, race, or all
-//! (default).
+//! descriptive, table1..table6, gaps, assignment5, race, metrics, or
+//! all (default).
 
 use pbl_core::experiments;
 use pbl_core::hypotheses;
@@ -37,7 +37,10 @@ fn main() {
         "race" => print!("{}", experiments::race_demo().render_ascii()),
         "spring2019" => print!("{}", experiments::spring2019().1.render_ascii()),
         "robustness" => print!("{}", experiments::robustness(&report).render_ascii()),
-        "sections" => print!("{}", experiments::section_equivalence(&report).render_ascii()),
+        "sections" => print!(
+            "{}",
+            experiments::section_equivalence(&report).render_ascii()
+        ),
         "assessment" => print!("{}", experiments::assessment_table(&report).render_ascii()),
         "anova" => print!("{}", experiments::element_anova(&report).render_ascii()),
         "replication" => print!(
@@ -48,6 +51,13 @@ fn main() {
             )
             .render_ascii()
         ),
+        "metrics" => {
+            let snapshot = experiments::metrics_snapshot(
+                std::thread::available_parallelism().map_or(1, |n| n.get()),
+            );
+            print!("{}", snapshot.render_text());
+            println!("digest: {:016x}", snapshot.digest());
+        }
         _ => {
             print!("{}", experiments::full_report(&report));
             println!("Hypotheses:");
@@ -55,7 +65,11 @@ fn main() {
                 println!(
                     "  H{} {}: {} — {}",
                     v.hypothesis,
-                    if v.supported { "SUPPORTED" } else { "NOT SUPPORTED" },
+                    if v.supported {
+                        "SUPPORTED"
+                    } else {
+                        "NOT SUPPORTED"
+                    },
                     v.statement,
                     v.evidence
                 );

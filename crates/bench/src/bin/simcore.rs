@@ -117,7 +117,23 @@ fn parallel_rt_scenario(
     }
 }
 
-fn json(scenarios: &[Scenario]) -> String {
+/// A deterministic observability snapshot of an instrumented guided
+/// loop on the simulated Pi — virtual-domain metrics only, so the
+/// embedded section is byte-identical run to run.
+fn metrics_section() -> String {
+    let registry = obs::Registry::new();
+    let _ = parallel_rt::sim::simulate_parallel_loop_with_metrics(
+        100_000,
+        &CostModel::Uniform(40),
+        Schedule::Guided(64),
+        4,
+        &SimOptions::default(),
+        &registry,
+    );
+    registry.snapshot().to_json()
+}
+
+fn json(scenarios: &[Scenario], metrics_json: &str) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"bench\": \"simcore\",\n");
@@ -150,7 +166,12 @@ fn json(scenarios: &[Scenario]) -> String {
             "    },\n"
         });
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"metrics\": {}\n",
+        pbl_bench::embed_json(metrics_json, 2)
+    ));
+    out.push_str("}\n");
     out
 }
 
@@ -192,6 +213,7 @@ fn main() {
             s.virtual_cycles
         );
     }
-    std::fs::write(&out_path, json(&scenarios)).expect("write BENCH_simcore.json");
+    std::fs::write(&out_path, json(&scenarios, &metrics_section()))
+        .expect("write BENCH_simcore.json");
     println!("wrote {out_path}");
 }

@@ -16,7 +16,7 @@
 #![forbid(unsafe_code)]
 
 /// The artefact names the report binary accepts.
-pub const ARTEFACTS: [&str; 18] = [
+pub const ARTEFACTS: [&str; 19] = [
     "fig1",
     "fig2",
     "descriptive",
@@ -35,12 +35,123 @@ pub const ARTEFACTS: [&str; 18] = [
     "assessment",
     "anova",
     "replication",
+    "metrics",
 ];
 
 /// True if `name` is a known artefact (case-insensitive).
 pub fn is_artefact(name: &str) -> bool {
     let lower = name.to_lowercase();
     ARTEFACTS.contains(&lower.as_str()) || lower == "all"
+}
+
+/// Embeds a pretty-printed JSON document as a value inside another
+/// pretty-printed document: re-indents every line after the first by
+/// `indent` spaces and strips the trailing newline, so
+/// `"key": {embedded}` nests cleanly.
+pub fn embed_json(doc: &str, indent: usize) -> String {
+    let pad = " ".repeat(indent);
+    let mut lines = doc.trim_end().lines();
+    let mut out = lines.next().unwrap_or_default().to_string();
+    for line in lines {
+        out.push('\n');
+        out.push_str(&pad);
+        out.push_str(line);
+    }
+    out
+}
+
+/// The CI perf-regression gate over the committed `BENCH_*.json` files.
+///
+/// The BENCH files are hand-rendered JSON with one `"key": value` pair
+/// per line, so a line scanner is a complete parser for them — no JSON
+/// dependency is needed in this offline workspace. Each `"speedup"`
+/// ratio is attributed to the most recent `"name"` above it, and a
+/// fresh run must keep every committed scenario within a tolerated
+/// fraction of its committed ratio.
+pub mod gate {
+    /// A named headline speedup pulled from a BENCH JSON document.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct Speedup {
+        /// The owning scenario's `"name"`.
+        pub name: String,
+        /// The `"speedup"` ratio.
+        pub ratio: f64,
+    }
+
+    /// A gate violation: a fresh ratio more than the allowed fraction
+    /// below its committed counterpart, or a committed scenario missing
+    /// from the fresh run entirely (`fresh: None`).
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct Regression {
+        /// The scenario that regressed.
+        pub name: String,
+        /// The committed ratio.
+        pub committed: f64,
+        /// The fresh ratio, if the scenario still exists.
+        pub fresh: Option<f64>,
+    }
+
+    /// Fraction of a committed speedup a fresh run may lose before the
+    /// gate fails.
+    pub const MAX_LOSS: f64 = 0.25;
+
+    fn value_after<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+        let tag = format!("\"{key}\":");
+        let at = line.find(&tag)?;
+        Some(line[at + tag.len()..].trim_start())
+    }
+
+    fn string_value<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+        value_after(line, key)?.strip_prefix('"')?.split('"').next()
+    }
+
+    fn number_value(line: &str, key: &str) -> Option<f64> {
+        let rest = value_after(line, key)?;
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        rest[..end].trim().parse().ok()
+    }
+
+    /// Extracts every `"speedup"` in document order, attributed to the
+    /// most recent `"name"`.
+    pub fn speedups(json: &str) -> Vec<Speedup> {
+        let mut name = String::new();
+        let mut out = Vec::new();
+        for line in json.lines() {
+            if let Some(v) = string_value(line, "name") {
+                name = v.to_string();
+            }
+            if let Some(ratio) = number_value(line, "speedup") {
+                out.push(Speedup {
+                    name: name.clone(),
+                    ratio,
+                });
+            }
+        }
+        out
+    }
+
+    /// Every committed scenario the fresh run lost by more than
+    /// `max_loss` (as a fraction of the committed ratio) or dropped
+    /// outright. Empty means the gate passes; fresh-only scenarios are
+    /// ignored (adding benchmarks is not a regression).
+    pub fn regressions(committed: &[Speedup], fresh: &[Speedup], max_loss: f64) -> Vec<Regression> {
+        committed
+            .iter()
+            .filter_map(|c| match fresh.iter().find(|f| f.name == c.name) {
+                None => Some(Regression {
+                    name: c.name.clone(),
+                    committed: c.ratio,
+                    fresh: None,
+                }),
+                Some(f) if f.ratio < c.ratio * (1.0 - max_loss) => Some(Regression {
+                    name: c.name.clone(),
+                    committed: c.ratio,
+                    fresh: Some(f.ratio),
+                }),
+                Some(_) => None,
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -53,9 +164,95 @@ mod tests {
         assert!(is_artefact("Table4"));
         assert!(is_artefact("ALL"));
         assert!(!is_artefact("table9"));
-        assert_eq!(ARTEFACTS.len(), 18);
+        assert_eq!(ARTEFACTS.len(), 19);
+        assert!(is_artefact("metrics"));
         assert!(is_artefact("robustness"));
         assert!(is_artefact("spring2019"));
         assert!(is_artefact("replication"));
+    }
+
+    #[test]
+    fn embed_json_reindents_inner_lines_only() {
+        let doc = "{\n  \"a\": 1\n}\n";
+        assert_eq!(embed_json(doc, 2), "{\n    \"a\": 1\n  }");
+        assert_eq!(embed_json("{}", 4), "{}");
+        assert_eq!(embed_json("", 2), "");
+    }
+
+    const BENCH_DOC: &str = r#"{
+  "bench": "simcore",
+  "scenarios": [
+    {
+      "name": "pi_sim/uniform_loop",
+      "before_ms": 100.0,
+      "speedup": 40.0
+    },
+    {
+      "name": "parallel_rt/guided",
+      "speedup": 10.0
+    }
+  ]
+}
+"#;
+
+    #[test]
+    fn gate_extracts_speedups_with_their_scenario_names() {
+        let s = gate::speedups(BENCH_DOC);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].name, "pi_sim/uniform_loop");
+        assert_eq!(s[0].ratio, 40.0);
+        assert_eq!(s[1].name, "parallel_rt/guided");
+        assert_eq!(s[1].ratio, 10.0);
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance_and_fails_beyond_it() {
+        let committed = gate::speedups(BENCH_DOC);
+        // 25% worse on the first scenario is still within the gate.
+        let fresh = vec![
+            gate::Speedup {
+                name: "pi_sim/uniform_loop".into(),
+                ratio: 30.0,
+            },
+            gate::Speedup {
+                name: "parallel_rt/guided".into(),
+                ratio: 11.0,
+            },
+        ];
+        assert!(gate::regressions(&committed, &fresh, gate::MAX_LOSS).is_empty());
+        // Beyond 25% fails, and only the offender is reported.
+        let slow = vec![
+            gate::Speedup {
+                name: "pi_sim/uniform_loop".into(),
+                ratio: 29.9,
+            },
+            gate::Speedup {
+                name: "parallel_rt/guided".into(),
+                ratio: 10.0,
+            },
+        ];
+        let r = gate::regressions(&committed, &slow, gate::MAX_LOSS);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].name, "pi_sim/uniform_loop");
+        assert_eq!(r[0].fresh, Some(29.9));
+    }
+
+    #[test]
+    fn gate_flags_vanished_scenarios_but_ignores_new_ones() {
+        let committed = gate::speedups(BENCH_DOC);
+        let fresh = vec![
+            gate::Speedup {
+                name: "pi_sim/uniform_loop".into(),
+                ratio: 40.0,
+            },
+            gate::Speedup {
+                name: "brand/new".into(),
+                ratio: 1.0,
+            },
+        ];
+        let r = gate::regressions(&committed, &fresh, gate::MAX_LOSS);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].name, "parallel_rt/guided");
+        assert_eq!(r[0].fresh, None);
     }
 }

@@ -55,7 +55,7 @@ pub fn generate_assessments(cohort: &CohortData, seed: u64) -> Vec<StudentAssess
         .iter()
         .map(|student| {
             let ability = student.ability(); // 0..1
-            // Normalise reported growth (≈3..4.5) to roughly 0..1.
+                                             // Normalise reported growth (≈3..4.5) to roughly 0..1.
             let g1 = ((growth1[student.id] - 3.0) / 1.5).clamp(0.0, 1.0);
             let g2 = ((growth2[student.id] - 3.0) / 1.5).clamp(0.0, 1.0);
             let base = 52.0 + 28.0 * ability;
@@ -65,9 +65,10 @@ pub fn generate_assessments(cohort: &CohortData, seed: u64) -> Vec<StudentAssess
                 let expected = base + trend * k as f64;
                 *q = (expected + 6.0 * rng.next_normal()).clamp(0.0, 100.0);
             }
-            let midterm =
-                (base + 4.0 * g1 + trend + 7.0 * rng.next_normal()).clamp(0.0, 100.0);
-            let final_exam = (base + 10.0 * g2 + trend * (NUM_QUIZZES - 1) as f64 * 0.8
+            let midterm = (base + 4.0 * g1 + trend + 7.0 * rng.next_normal()).clamp(0.0, 100.0);
+            let final_exam = (base
+                + 10.0 * g2
+                + trend * (NUM_QUIZZES - 1) as f64 * 0.8
                 + 7.0 * rng.next_normal())
             .clamp(0.0, 100.0);
             StudentAssessment {
@@ -133,8 +134,7 @@ mod tests {
     #[test]
     fn finals_exceed_midterms_on_average() {
         let (_, a) = assessments();
-        let improvement: f64 =
-            a.iter().map(|r| r.exam_improvement()).sum::<f64>() / a.len() as f64;
+        let improvement: f64 = a.iter().map(|r| r.exam_improvement()).sum::<f64>() / a.len() as f64;
         assert!(improvement > 0.0, "mean improvement {improvement}");
     }
 

@@ -247,12 +247,36 @@ mod tests {
     #[test]
     fn cooperating_members_get_the_team_grade() {
         let ratings = vec![
-            PeerRating { rater: 1, ratee: 0, rating: 90.0 },
-            PeerRating { rater: 2, ratee: 0, rating: 80.0 },
-            PeerRating { rater: 0, ratee: 1, rating: 95.0 },
-            PeerRating { rater: 2, ratee: 1, rating: 85.0 },
-            PeerRating { rater: 0, ratee: 2, rating: 20.0 },
-            PeerRating { rater: 1, ratee: 2, rating: 10.0 },
+            PeerRating {
+                rater: 1,
+                ratee: 0,
+                rating: 90.0,
+            },
+            PeerRating {
+                rater: 2,
+                ratee: 0,
+                rating: 80.0,
+            },
+            PeerRating {
+                rater: 0,
+                ratee: 1,
+                rating: 95.0,
+            },
+            PeerRating {
+                rater: 2,
+                ratee: 1,
+                rating: 85.0,
+            },
+            PeerRating {
+                rater: 0,
+                ratee: 2,
+                rating: 20.0,
+            },
+            PeerRating {
+                rater: 1,
+                ratee: 2,
+                rating: 10.0,
+            },
         ];
         let grades = individual_grades(88.0, &[0, 1, 2], &ratings, 50.0);
         assert_eq!(grades[0], (0, 88.0));
@@ -262,7 +286,11 @@ mod tests {
 
     #[test]
     fn self_ratings_are_ignored_and_missing_ratings_default_to_cooperating() {
-        let ratings = vec![PeerRating { rater: 0, ratee: 0, rating: 100.0 }];
+        let ratings = vec![PeerRating {
+            rater: 0,
+            ratee: 0,
+            rating: 100.0,
+        }];
         let grades = individual_grades(75.0, &[0], &ratings, 50.0);
         assert_eq!(grades, vec![(0, 75.0)]);
     }

@@ -127,20 +127,18 @@ pub fn simulate_collaboration(
     seed: u64,
     free_rider: Option<usize>,
 ) -> TeamCollaboration {
-    assert!((1..=5).contains(&assignment), "assignments are numbered 1-5");
+    assert!(
+        (1..=5).contains(&assignment),
+        "assignments are numbered 1-5"
+    );
     let by_id: std::collections::HashMap<usize, &Student> =
         students.iter().map(|s| (s.id, s)).collect();
-    let mut rng = Xoshiro256::seed_from_u64(
-        seed ^ (team.id as u64) << 8 ^ (assignment as u64),
-    );
+    let mut rng = Xoshiro256::seed_from_u64(seed ^ (team.id as u64) << 8 ^ (assignment as u64));
     let members = team
         .members
         .iter()
         .map(|&id| {
-            let ability = by_id
-                .get(&id)
-                .map(|s| s.ability())
-                .unwrap_or(0.5);
+            let ability = by_id.get(&id).map(|s| s.ability()).unwrap_or(0.5);
             let engagement = if free_rider == Some(id) {
                 0.03
             } else {
@@ -178,7 +176,10 @@ mod tests {
 
     fn setup() -> (Vec<Student>, Team) {
         let cohort = generate_cohort(278);
-        let team = form_teams(&cohort).into_iter().next().expect("teams formed");
+        let team = form_teams(&cohort)
+            .into_iter()
+            .next()
+            .expect("teams formed");
         (cohort, team)
     }
 
@@ -215,7 +216,11 @@ mod tests {
         assert_eq!(ratings.len(), n * (n - 1));
         // The grading policy then zeroes the free-rider's grade.
         let grades = individual_grades(90.0, &team.members, &ratings, 50.0);
-        let lazy_grade = grades.iter().find(|(id, _)| *id == lazy).expect("present").1;
+        let lazy_grade = grades
+            .iter()
+            .find(|(id, _)| *id == lazy)
+            .expect("present")
+            .1;
         assert_eq!(lazy_grade, 0.0);
         // Cooperating members keep the team grade.
         assert!(grades

@@ -203,10 +203,7 @@ mod tests {
         for e in ALL_ELEMENTS {
             for wave in [1, 2] {
                 let t = targets(e, wave);
-                assert!(
-                    t.emphasis_mean >= t.growth_mean,
-                    "{e:?} wave {wave}"
-                );
+                assert!(t.emphasis_mean >= t.growth_mean, "{e:?} wave {wave}");
             }
         }
         let impl2 = targets(Element::Implementation, 2);

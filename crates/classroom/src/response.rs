@@ -134,8 +134,7 @@ pub fn generate_wave_with(
         for &(mu_e, mu_g, r) in &comp {
             let v = rng.next_normal();
             let w = rng.next_normal();
-            let z_e = params.emphasis_rho.sqrt() * u
-                + (1.0 - params.emphasis_rho).sqrt() * v;
+            let z_e = params.emphasis_rho.sqrt() * u + (1.0 - params.emphasis_rho).sqrt() * v;
             let resid = params.growth_rho.sqrt() * g + (1.0 - params.growth_rho).sqrt() * w;
             let z_g = r * z_e + (1.0 - r * r).sqrt() * resid;
             e_row.push((mu_e + params.emphasis_sd * z_e).clamp(1.0, 5.0));
@@ -161,7 +160,11 @@ pub fn render_filled_items(score: f64, item_count: usize, rng: &mut Xoshiro256) 
             let jittered = (score + 0.3 * rng.next_normal()).clamp(1.0, 5.0);
             let floor = jittered.floor();
             let frac = jittered - floor;
-            let rounded = if rng.next_f64() < frac { floor + 1.0 } else { floor };
+            let rounded = if rng.next_f64() < frac {
+                floor + 1.0
+            } else {
+                floor
+            };
             rounded.clamp(1.0, 5.0) as u8
         })
         .collect()
@@ -195,7 +198,10 @@ mod tests {
         let mut rng = Xoshiro256::seed_from_u64(2);
         let (target, sigma) = (4.38, 0.40);
         let mu = compensate_for_clamp(target, sigma);
-        assert!(mu > target, "pushing mass past 5 needs a higher latent mean");
+        assert!(
+            mu > target,
+            "pushing mass past 5 needs a higher latent mean"
+        );
         let n = 200_000;
         let sim: f64 = (0..n)
             .map(|_| (mu + sigma * rng.next_normal()).clamp(1.0, 5.0))
@@ -240,11 +246,19 @@ mod tests {
         // wave-1 moments (124-student draws scatter around these).
         let w = generate_wave(20_000, 1, 11);
         let overall = Summary::from_slice(&w.student_scores(Category::ClassEmphasis)).unwrap();
-        assert!((overall.mean() - 4.023).abs() < 0.01, "mean {}", overall.mean());
+        assert!(
+            (overall.mean() - 4.023).abs() < 0.01,
+            "mean {}",
+            overall.mean()
+        );
         let sd = overall.sample_sd().unwrap();
         assert!((sd - 0.232).abs() < 0.02, "sd {sd}");
         let growth = Summary::from_slice(&w.student_scores(Category::PersonalGrowth)).unwrap();
-        assert!((growth.mean() - 3.81).abs() < 0.015, "mean {}", growth.mean());
+        assert!(
+            (growth.mean() - 3.81).abs() < 0.015,
+            "mean {}",
+            growth.mean()
+        );
         let gsd = growth.sample_sd().unwrap();
         assert!((gsd - 0.262).abs() < 0.025, "sd {gsd}");
     }

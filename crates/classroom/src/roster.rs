@@ -112,10 +112,7 @@ mod tests {
     fn deterministic_per_seed() {
         assert_eq!(generate_cohort(9), generate_cohort(9));
         assert_ne!(
-            generate_cohort(9)
-                .iter()
-                .map(|s| s.gpa)
-                .collect::<Vec<_>>(),
+            generate_cohort(9).iter().map(|s| s.gpa).collect::<Vec<_>>(),
             generate_cohort(10)
                 .iter()
                 .map(|s| s.gpa)

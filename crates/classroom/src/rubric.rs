@@ -69,7 +69,10 @@ fn levels() -> Vec<Level> {
 /// Builds the standard rubric for an assignment. Weights follow the
 /// module's emphasis: the written report carries the most.
 pub fn standard_rubric(assignment: u8) -> Rubric {
-    assert!((1..=5).contains(&assignment), "assignments are numbered 1-5");
+    assert!(
+        (1..=5).contains(&assignment),
+        "assignments are numbered 1-5"
+    );
     let criteria = vec![
         Criterion {
             name: "work breakdown structure",
@@ -145,10 +148,9 @@ impl Rubric {
         let mut total = 0.0;
         let mut feedback = Vec::with_capacity(self.criteria.len());
         for (criterion, &level_idx) in self.criteria.iter().zip(&scoring.levels) {
-            let level = criterion
-                .levels
-                .get(level_idx)
-                .unwrap_or_else(|| panic!("criterion {:?} has no level {level_idx}", criterion.name));
+            let level = criterion.levels.get(level_idx).unwrap_or_else(|| {
+                panic!("criterion {:?} has no level {level_idx}", criterion.name)
+            });
             let earned = criterion.weight * level.points;
             total += earned;
             feedback.push((criterion.name, level.name, earned));
@@ -181,19 +183,18 @@ mod tests {
     #[test]
     fn all_exemplary_is_full_marks() {
         let r = standard_rubric(2);
-        let grade = r.grade(&Scoring {
-            levels: vec![0; 4],
-        });
+        let grade = r.grade(&Scoring { levels: vec![0; 4] });
         assert!((grade.total - 1.0).abs() < 1e-12);
-        assert!(grade.feedback.iter().all(|(_, name, _)| *name == "Exemplary"));
+        assert!(grade
+            .feedback
+            .iter()
+            .all(|(_, name, _)| *name == "Exemplary"));
     }
 
     #[test]
     fn all_missing_is_zero() {
         let r = standard_rubric(3);
-        let grade = r.grade(&Scoring {
-            levels: vec![3; 4],
-        });
+        let grade = r.grade(&Scoring { levels: vec![3; 4] });
         assert_eq!(grade.total, 0.0);
     }
 

@@ -65,9 +65,7 @@ impl Element {
             Element::EvaluationAndDecisionMaking => {
                 "Individuals evaluate alternatives and make justified decisions."
             }
-            Element::Implementation => {
-                "Individuals implement the chosen solution effectively."
-            }
+            Element::Implementation => "Individuals implement the chosen solution effectively.",
             Element::Communication => {
                 "Individuals communicate results clearly in writing and speech."
             }
@@ -179,8 +177,14 @@ mod tests {
 
     #[test]
     fn labels_match_the_tables() {
-        assert_eq!(Element::EvaluationAndDecisionMaking.label(), "Evaluation and Decision Making");
-        assert_eq!(Element::InformationGathering.label(), "Information Gathering");
+        assert_eq!(
+            Element::EvaluationAndDecisionMaking.label(),
+            "Evaluation and Decision Making"
+        );
+        assert_eq!(
+            Element::InformationGathering.label(),
+            "Information Gathering"
+        );
     }
 
     #[test]

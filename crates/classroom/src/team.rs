@@ -130,11 +130,7 @@ pub fn balance_report(students: &[Student], teams: &[Team]) -> BalanceReport {
     let mut max_size = 0;
     let mut min_size = usize::MAX;
     for team in teams {
-        let abilities: Vec<f64> = team
-            .members
-            .iter()
-            .map(|id| by_id[id].ability())
-            .collect();
+        let abilities: Vec<f64> = team.members.iter().map(|id| by_id[id].ability()).collect();
         means.push(abilities.iter().sum::<f64>() / abilities.len().max(1) as f64);
         if team
             .members

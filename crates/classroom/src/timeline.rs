@@ -84,12 +84,18 @@ pub fn render_timeline() -> String {
     events.sort_by_key(|e| e.start_week);
     for e in events {
         let label = match e.event {
-            Event::TeamFormation => "Team formation (criteria-based, 26 diverse groups)".to_string(),
+            Event::TeamFormation => {
+                "Team formation (criteria-based, 26 diverse groups)".to_string()
+            }
             Event::Assignment(n) => format!("Assignment {n} (two weeks)"),
             Event::Quiz(n) => format!("Quiz {n}"),
             Event::Survey(n) => format!(
                 "Survey wave {n} ({})",
-                if n == 1 { "mid-semester" } else { "end of term" }
+                if n == 1 {
+                    "mid-semester"
+                } else {
+                    "end of term"
+                }
             ),
             Event::Midterm => "Midterm exam".to_string(),
             Event::FinalExam => "Final exam".to_string(),
@@ -97,7 +103,10 @@ pub fn render_timeline() -> String {
         if e.start_week == e.end_week {
             out.push_str(&format!("{:>4} | {label}\n", e.start_week));
         } else {
-            out.push_str(&format!("{:>2}-{:<2} | {label}\n", e.start_week, e.end_week));
+            out.push_str(&format!(
+                "{:>2}-{:<2} | {label}\n",
+                e.start_week, e.end_week
+            ));
         }
     }
     out

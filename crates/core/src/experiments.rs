@@ -13,8 +13,15 @@ use crate::study::StudyReport;
 /// Table 1: the two paired t-tests. Rendered with the paper's sign
 /// convention (first − second).
 pub fn table1(report: &StudyReport) -> Table {
-    let mut t = Table::new(vec!["", "Mean Difference", "t", "N", "p-value", "paper (diff, t, p)"])
-        .with_title("Table 1. T-test: Class Emphasis and Personal Growth");
+    let mut t = Table::new(vec![
+        "",
+        "Mean Difference",
+        "t",
+        "N",
+        "p-value",
+        "paper (diff, t, p)",
+    ])
+    .with_title("Table 1. T-test: Class Emphasis and Personal Growth");
     let p1 = &published::TABLE1_EMPHASIS;
     let p2 = &published::TABLE1_GROWTH;
     t.row(vec![
@@ -55,8 +62,8 @@ pub fn table3(report: &StudyReport) -> Table {
 }
 
 fn cohens_table(title: &str, d: &stats::CohensD, paper: &published::PublishedCohensD) -> Table {
-    let mut t = Table::new(vec!["", "First Half Survey", "Second Half Survey", "paper"])
-        .with_title(title);
+    let mut t =
+        Table::new(vec!["", "First Half Survey", "Second Half Survey", "paper"]).with_title(title);
     t.row(vec![
         "Mean (M)".into(),
         fnum(d.mean_first, 4),
@@ -130,13 +137,13 @@ pub fn table6(report: &StudyReport) -> Table {
     )
 }
 
-fn ranking_table(
-    title: &str,
-    first: &[stats::RankedItem],
-    second: &[stats::RankedItem],
-) -> Table {
-    let mut t = Table::new(vec!["Ranking", "First Half (average)", "Second Half (average)"])
-        .with_title(title);
+fn ranking_table(title: &str, first: &[stats::RankedItem], second: &[stats::RankedItem]) -> Table {
+    let mut t = Table::new(vec![
+        "Ranking",
+        "First Half (average)",
+        "Second Half (average)",
+    ])
+    .with_title(title);
     for (a, b) in first.iter().zip(second) {
         t.row(vec![
             a.rank.to_string(),
@@ -189,8 +196,14 @@ pub fn assignment5() -> Table {
 /// The Assignment 2 data-race demonstration table.
 pub fn race_demo() -> Table {
     let outcomes = patternlets::private_shared::race_comparison(4, 50_000);
-    let mut t = Table::new(vec!["Strategy", "Expected", "Observed", "Lost updates", "Correct"])
-        .with_title("Assignment 2: shared-counter data race and its fixes");
+    let mut t = Table::new(vec![
+        "Strategy",
+        "Expected",
+        "Observed",
+        "Lost updates",
+        "Correct",
+    ])
+    .with_title("Assignment 2: shared-counter data race and its fixes");
     for o in outcomes {
         t.row(vec![
             format!("{:?}", o.strategy),
@@ -206,8 +219,13 @@ pub fn race_demo() -> Table {
 /// The per-element emphasis-vs-growth gap table (Discussion §IV):
 /// only gaps above 0.2 call for course redesign.
 pub fn gap_analysis(report: &StudyReport) -> Table {
-    let mut t = Table::new(vec!["Element", "Gap (1st half)", "Gap (2nd half)", "Redesign?"])
-        .with_title("Emphasis minus growth per element (redesign threshold 0.2)");
+    let mut t = Table::new(vec![
+        "Element",
+        "Gap (1st half)",
+        "Gap (2nd half)",
+        "Redesign?",
+    ])
+    .with_title("Emphasis minus growth per element (redesign threshold 0.2)");
     for &e in &ALL_ELEMENTS {
         let g1 = report.emphasis_growth_gap(e, 1);
         let g2 = report.emphasis_growth_gap(e, 2);
@@ -229,8 +247,8 @@ pub fn gap_analysis(report: &StudyReport) -> Table {
 pub fn descriptive(report: &StudyReport) -> Table {
     let (male, female) = classroom::roster::gender_counts(&report.cohort.students);
     let n = report.cohort.n() as f64;
-    let mut t = Table::new(vec!["", "Count", "Percent"])
-        .with_title("Descriptive statistics of the cohort");
+    let mut t =
+        Table::new(vec!["", "Count", "Percent"]).with_title("Descriptive statistics of the cohort");
     t.row(vec![
         "Male".into(),
         male.to_string(),
@@ -241,7 +259,11 @@ pub fn descriptive(report: &StudyReport) -> Table {
         female.to_string(),
         format!("{:.2}%", female as f64 / n * 100.0),
     ]);
-    t.row(vec!["Total".into(), report.cohort.n().to_string(), "100%".into()]);
+    t.row(vec![
+        "Total".into(),
+        report.cohort.n().to_string(),
+        "100%".into(),
+    ]);
     t
 }
 
@@ -271,7 +293,10 @@ pub fn full_report(report: &StudyReport) -> String {
         assignment5(),
         race_demo(),
         spring2019().1,
-        replication(40, std::thread::available_parallelism().map_or(1, |n| n.get())),
+        replication(
+            40,
+            std::thread::available_parallelism().map_or(1, |n| n.get()),
+        ),
     ] {
         out.push_str(&table.render_ascii());
         out.push('\n');
@@ -281,7 +306,12 @@ pub fn full_report(report: &StudyReport) -> String {
 
 /// Convenience accessor mirroring [`StudyReport::element_mean`] for the
 /// emphasis/growth matrix the gap analysis uses.
-pub fn element_mean(report: &StudyReport, category: Category, element: Element, wave: usize) -> f64 {
+pub fn element_mean(
+    report: &StudyReport,
+    category: Category,
+    element: Element,
+    wave: usize,
+) -> f64 {
     report.element_mean(category, element, wave)
 }
 
@@ -307,8 +337,8 @@ pub fn robustness(report: &StudyReport) -> Table {
         let second = cohort.student_scores(category, 2);
         let ttest = stats::t_test_paired(&first, &second).expect("variance");
         let wilcoxon = stats::wilcoxon_signed_rank(&first, &second).expect("variance");
-        let perm = stats::resample::permutation_test_paired(&first, &second, 2_000, 42)
-            .expect("variance");
+        let perm =
+            stats::resample::permutation_test_paired(&first, &second, 2_000, 42).expect("variance");
         let diffs: Vec<f64> = second.iter().zip(&first).map(|(s, f)| s - f).collect();
         let ci = stats::resample::bootstrap_ci(
             &diffs,
@@ -345,10 +375,9 @@ pub fn replication(replicates: usize, threads: usize) -> Table {
         ..Default::default()
     });
     let (d_lo, d_hi) = report.growth_d_range();
-    let mut t = Table::new(vec!["Conclusion", "Fraction of replicates", "Expectation"])
-        .with_title(format!(
-            "Replication: {replicates} independent cohorts (engine, {threads} thread(s))"
-        ));
+    let mut t = Table::new(vec!["Conclusion", "Fraction of replicates", "Expectation"]).with_title(
+        format!("Replication: {replicates} independent cohorts (engine, {threads} thread(s))"),
+    );
     t.row(vec![
         "Growth t-test significant (p < 0.05)".into(),
         fnum(report.growth_significant_fraction(), 3),
@@ -376,10 +405,68 @@ pub fn replication(replicates: usize, threads: usize) -> Table {
     ]);
     t.row(vec![
         "Growth d across replicates".into(),
-        format!("{} [{}, {}]", fnum(report.mean_growth_d(), 2), fnum(d_lo, 2), fnum(d_hi, 2)),
+        format!(
+            "{} [{}, {}]",
+            fnum(report.mean_growth_d(), 2),
+            fnum(d_lo, 2),
+            fnum(d_hi, 2)
+        ),
         "0.86 published".into(),
     ]);
     t
+}
+
+/// The `metrics` artefact: exercises every instrumented layer with a
+/// small fixed workload — a guided-schedule triangular loop on the
+/// simulated quad-core Pi (parallel-rt + pi-sim), a word-count
+/// MapReduce job, and a replication mini-batch — and returns the
+/// deterministic metrics snapshot. Only virtual-domain metrics are
+/// exported, so the JSON is byte-identical across runs and across
+/// `threads` (the golden-snapshot CI test relies on this).
+pub fn metrics_snapshot(threads: usize) -> obs::MetricsSnapshot {
+    let registry = obs::Registry::new();
+
+    // Layers 1+2: chunk-size, cache, bus-contention, core-busy and
+    // event-queue metrics from the simulated loop.
+    let _ = parallel_rt::sim::simulate_parallel_loop_with_metrics(
+        2_000,
+        &parallel_rt::sim::CostModel::Linear { base: 40, slope: 2 },
+        parallel_rt::Schedule::Guided(8),
+        4,
+        &parallel_rt::sim::SimOptions::default(),
+        &registry,
+    );
+
+    // Layer 3: shuffle and partition-skew metrics from word count.
+    let docs: Vec<String> = (0..24)
+        .map(|i| format!("pbl module assignment {} teaches parallel thinking", i % 5))
+        .collect();
+    let _ = mapreduce::run_job_with_metrics(
+        &mapreduce::examples::WordCount,
+        docs,
+        &mapreduce::JobConfig {
+            map_workers: 2,
+            use_combiner: true,
+            ..Default::default()
+        },
+        &registry,
+    );
+
+    // Layer 4: replication-engine queue metrics from a mini-batch.
+    let _ = crate::replicate::run_replication_with_metrics(
+        &crate::replicate::ReplicationConfig {
+            replicates: 6,
+            threads,
+            num_students: 40,
+            master_seed: 77,
+            permutations: 200,
+            bootstrap_reps: 150,
+            section_permutations: 150,
+        },
+        &registry,
+    );
+
+    registry.snapshot()
 }
 
 /// Section equivalence (§II: both sections "taught by the same
@@ -438,15 +525,17 @@ pub fn assessment_table(report: &StudyReport) -> Table {
     let records = classroom::assessment::generate_assessments(&report.cohort, 7);
     let trajectory = classroom::assessment::quiz_trajectory(&records);
     let midterm: f64 = records.iter().map(|r| r.midterm).sum::<f64>() / records.len() as f64;
-    let final_exam: f64 =
-        records.iter().map(|r| r.final_exam).sum::<f64>() / records.len() as f64;
+    let final_exam: f64 = records.iter().map(|r| r.final_exam).sum::<f64>() / records.len() as f64;
     let growth2 = report.cohort.student_scores(Category::PersonalGrowth, 2);
     let finals: Vec<f64> = records.iter().map(|r| r.final_exam).collect();
     let r = stats::pearson(&growth2, &finals).expect("variance");
     let mut t = Table::new(vec!["Measure", "Class mean"])
         .with_title("Individual assessment: five quizzes, midterm, final");
     for (k, q) in trajectory.iter().enumerate() {
-        t.row(vec![format!("Quiz {} (after A{})", k + 1, k + 1), fnum(*q, 1)]);
+        t.row(vec![
+            format!("Quiz {} (after A{})", k + 1, k + 1),
+            fnum(*q, 1),
+        ]);
     }
     t.row(vec!["Midterm (week 8)".into(), fnum(midterm, 1)]);
     t.row(vec!["Final (week 15)".into(), fnum(final_exam, 1)]);
@@ -478,9 +567,17 @@ pub fn element_anova(report: &StudyReport) -> Table {
             wave.to_string(),
             fnum(a.f, 1),
             format!("({}, {})", a.df_between, a.df_within),
-            if a.p < 0.001 { "p < 0.001".into() } else { format!("{:.3}", a.p) },
+            if a.p < 0.001 {
+                "p < 0.001".into()
+            } else {
+                format!("{:.3}", a.p)
+            },
             fnum(a.eta_squared, 2),
-            if a.significant_at(0.01) { "yes".into() } else { "no".to_string() },
+            if a.significant_at(0.01) {
+                "yes".into()
+            } else {
+                "no".to_string()
+            },
         ]);
     }
     t
@@ -507,8 +604,12 @@ pub fn spring2019() -> (Spring2019Comparison, Table) {
     let teamwork_r = |cohort: &CohortData, wave: usize| {
         let idx = 0; // Teamwork is the first element
         stats::pearson(
-            &cohort.wave(wave).element_scores(Category::ClassEmphasis, idx),
-            &cohort.wave(wave).element_scores(Category::PersonalGrowth, idx),
+            &cohort
+                .wave(wave)
+                .element_scores(Category::ClassEmphasis, idx),
+            &cohort
+                .wave(wave)
+                .element_scores(Category::PersonalGrowth, idx),
         )
         .expect("scores vary")
         .r
@@ -522,8 +623,12 @@ pub fn spring2019() -> (Spring2019Comparison, Table) {
         improved: teamwork_r(&spring, 1) > teamwork_r(&fall, 1)
             && teamwork_r(&spring, 2) > teamwork_r(&fall, 2),
     };
-    let mut t = Table::new(vec!["Semester", "Teamwork r (1st half)", "Teamwork r (2nd half)"])
-        .with_title("Spring 2019 plan: extra Teamwork tasks in Assignments 2-5");
+    let mut t = Table::new(vec![
+        "Semester",
+        "Teamwork r (1st half)",
+        "Teamwork r (2nd half)",
+    ])
+    .with_title("Spring 2019 plan: extra Teamwork tasks in Assignments 2-5");
     t.row(vec![
         "Fall 2018 (paper)".into(),
         fnum(comparison.fall.0, 2),
@@ -669,7 +774,10 @@ mod tests {
         // Every p-value cell should be well under 0.05; crudely check
         // no cell shows an insignificant value like 0.5 or higher by
         // asserting the rendered p-values all start with "0.0".
-        for line in text.lines().filter(|l| l.contains("Class") || l.contains("Growth")) {
+        for line in text
+            .lines()
+            .filter(|l| l.contains("Class") || l.contains("Growth"))
+        {
             let ps: Vec<&str> = line.split('|').map(str::trim).skip(2).take(3).collect();
             for p in ps {
                 assert!(p.starts_with("0.0"), "p cell {p} in {line}");
@@ -708,6 +816,25 @@ mod tests {
         assert!(text.contains("Quiz 5"));
         assert!(text.contains("Final (week 15)"));
         assert!(text.contains("p < 0.001"));
+    }
+
+    #[test]
+    fn metrics_snapshot_is_byte_identical_across_runs_and_thread_counts() {
+        let a = metrics_snapshot(1);
+        let b = metrics_snapshot(4);
+        assert_eq!(a.to_json(), b.to_json(), "golden snapshot invariant");
+        assert_eq!(a.digest(), b.digest());
+        for needle in [
+            "pi_sim/cache/l1_hits",
+            "pi_sim/events/queue_depth",
+            "parallel_rt/chunks/guided",
+            "mapreduce/shuffle/shuffled_pairs",
+            "mapreduce/partition/skew",
+            "replicate/chunks_dispatched",
+        ] {
+            assert!(a.to_json().contains(needle), "missing {needle}");
+        }
+        assert!(a.render_text().contains("metrics snapshot"));
     }
 
     #[test]

@@ -10,9 +10,9 @@
 //! bit-identical for every thread count (see DESIGN.md, "replicate-level
 //! determinism invariant").
 
+use ::replicate::{ReplicateCtx, ReplicationEngine};
 use classroom::response::Category;
 use classroom::{CohortData, StudyConfig};
-use ::replicate::{ReplicateCtx, ReplicationEngine};
 use stats::resample::{
     bootstrap_ci_par, permutation_test_paired_par, permutation_test_two_sample_par, BootstrapCi,
 };
@@ -132,9 +132,11 @@ impl ReplicationReport {
 
     /// (min, max) of the growth Cohen's d across replicates.
     pub fn growth_d_range(&self) -> (f64, f64) {
-        self.summaries.iter().fold((f64::MAX, f64::MIN), |(lo, hi), s| {
-            (lo.min(s.growth_d.d), hi.max(s.growth_d.d))
-        })
+        self.summaries
+            .iter()
+            .fold((f64::MAX, f64::MIN), |(lo, hi), s| {
+                (lo.min(s.growth_d.d), hi.max(s.growth_d.d))
+            })
     }
 
     /// An order-sensitive 64-bit digest of every reported number — the
@@ -207,8 +209,15 @@ fn summarize_replicate(cfg: &ReplicationConfig, ctx: &ReplicateCtx) -> Replicate
     };
     let boot = |first: &[f64], second: &[f64], stream| {
         let diffs: Vec<f64> = second.iter().zip(first).map(|(s, f)| s - f).collect();
-        bootstrap_ci_par(&diffs, mean_diff, 0.95, cfg.bootstrap_reps, ctx.stream_seed(stream), 1)
-            .expect("cohort has variance")
+        bootstrap_ci_par(
+            &diffs,
+            mean_diff,
+            0.95,
+            cfg.bootstrap_reps,
+            ctx.stream_seed(stream),
+            1,
+        )
+        .expect("cohort has variance")
     };
     let scores = &e2;
     let mut section: Vec<Vec<f64>> = [0usize, 1]
@@ -257,9 +266,32 @@ fn summarize_replicate(cfg: &ReplicationConfig, ctx: &ReplicateCtx) -> Replicate
 /// Runs the batch: `cfg.replicates` independent studies on up to
 /// `cfg.threads` OS threads, bit-identical for every thread count.
 pub fn run_replication(cfg: &ReplicationConfig) -> ReplicationReport {
-    let summaries = ReplicationEngine::new(cfg.threads).run(cfg.replicates, cfg.master_seed, |ctx| {
-        summarize_replicate(cfg, ctx)
-    });
+    let summaries =
+        ReplicationEngine::new(cfg.threads).run(cfg.replicates, cfg.master_seed, |ctx| {
+            summarize_replicate(cfg, ctx)
+        });
+    ReplicationReport {
+        config: cfg.clone(),
+        summaries,
+    }
+}
+
+/// [`run_replication`], additionally recording engine metrics into
+/// `registry`: virtual counters for chunks dispatched and replicates
+/// completed (thread-count invariant, part of the deterministic
+/// snapshot) plus wall-domain chunk-latency and queue-drain
+/// diagnostics. The report itself is bit-identical to
+/// [`run_replication`].
+pub fn run_replication_with_metrics(
+    cfg: &ReplicationConfig,
+    registry: &obs::Registry,
+) -> ReplicationReport {
+    let summaries = ReplicationEngine::new(cfg.threads).run_with_metrics(
+        cfg.replicates,
+        cfg.master_seed,
+        registry,
+        |ctx| summarize_replicate(cfg, ctx),
+    );
     ReplicationReport {
         config: cfg.clone(),
         summaries,
@@ -312,6 +344,23 @@ mod tests {
         other.master_seed = 78;
         let b = run_replication(&other);
         assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn instrumented_batch_matches_plain_and_snapshot_is_thread_invariant() {
+        let plain = run_replication(&small_config(2));
+        let mut json = Vec::new();
+        for threads in [1, 4] {
+            let registry = obs::Registry::new();
+            let got = run_replication_with_metrics(&small_config(threads), &registry);
+            assert_eq!(plain.digest(), got.digest(), "threads = {threads}");
+            json.push(registry.snapshot().to_json());
+        }
+        assert_eq!(
+            json[0], json[1],
+            "virtual metrics are thread-count invariant"
+        );
+        assert!(json[0].contains("replicate/replicates_completed"));
     }
 
     #[test]

@@ -180,7 +180,11 @@ mod tests {
         // positive (the paper prints first − second, negative).
         assert!(r.emphasis_ttest.mean_difference > 0.0);
         assert!(r.growth_ttest.mean_difference > 0.0);
-        assert!(r.emphasis_ttest.significant_at(0.05), "{:?}", r.emphasis_ttest);
+        assert!(
+            r.emphasis_ttest.significant_at(0.05),
+            "{:?}",
+            r.emphasis_ttest
+        );
         assert!(r.growth_ttest.significant_at(0.05), "{:?}", r.growth_ttest);
         assert_eq!(r.emphasis_ttest.n, 124);
         // Growth moved more than emphasis, as published (0.20 vs 0.10).
@@ -216,10 +220,7 @@ mod tests {
         let r = report();
         let d = r.growth_d.d;
         assert!(d > 0.6, "d = {d} should be a large-ish effect");
-        assert_eq!(
-            EffectSizeBand::classify(d.max(0.8)),
-            EffectSizeBand::Large
-        );
+        assert_eq!(EffectSizeBand::classify(d.max(0.8)), EffectSizeBand::Large);
         assert!((r.growth_d.mean_first - 3.81).abs() < 0.07);
         assert!((r.growth_d.mean_second - 4.01).abs() < 0.07);
         // Growth effect exceeds emphasis effect, as published.
@@ -233,7 +234,12 @@ mod tests {
         for row in &r.correlations {
             for half in [&row.first_half, &row.second_half] {
                 assert!(half.r > 0.0, "{:?}", row.element);
-                assert!(half.p_two_sided < 0.001, "{:?}: p {}", row.element, half.p_two_sided);
+                assert!(
+                    half.p_two_sided < 0.001,
+                    "{:?}: p {}",
+                    row.element,
+                    half.p_two_sided
+                );
             }
         }
     }
@@ -300,7 +306,10 @@ mod tests {
         // The paper's one near-zero emphasis-vs-growth gap (0.03).
         let r = report();
         let gap = r.emphasis_growth_gap(Element::Implementation, 2);
-        assert!(gap.abs() < crate::published::EMPHASIS_GROWTH_GAP_THRESHOLD, "gap {gap}");
+        assert!(
+            gap.abs() < crate::published::EMPHASIS_GROWTH_GAP_THRESHOLD,
+            "gap {gap}"
+        );
     }
 
     #[test]

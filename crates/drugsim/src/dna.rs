@@ -53,7 +53,10 @@ pub struct DnaWorkload {
 /// fragments of the reference (with one mutation), half are random —
 /// so alignment scores separate the populations.
 pub fn generate(config: &DnaConfig) -> DnaWorkload {
-    assert!(config.reference_len >= config.read_len, "reads longer than reference");
+    assert!(
+        config.reference_len >= config.read_len,
+        "reads longer than reference"
+    );
     assert!(config.read_len >= 1, "reads need at least one base");
     let mut rng = SmallRng::seed_from_u64(config.seed);
     let reference: String = (0..config.reference_len)
@@ -136,9 +139,14 @@ mod tests {
     fn true_fragments_score_higher_than_random_reads() {
         let w = generate(&DnaConfig::default());
         let scores = score_reads_sequential(&w);
-        let fragment_mean: f64 = scores.iter().step_by(2).map(|&s| s as f64).sum::<f64>()
-            / (scores.len() / 2) as f64;
-        let random_mean: f64 = scores.iter().skip(1).step_by(2).map(|&s| s as f64).sum::<f64>()
+        let fragment_mean: f64 =
+            scores.iter().step_by(2).map(|&s| s as f64).sum::<f64>() / (scores.len() / 2) as f64;
+        let random_mean: f64 = scores
+            .iter()
+            .skip(1)
+            .step_by(2)
+            .map(|&s| s as f64)
+            .sum::<f64>()
             / (scores.len() / 2) as f64;
         assert!(
             fragment_mean > random_mean,

@@ -49,7 +49,10 @@ impl DrugDesignConfig {
 /// few expensive candidates dominate the work — the property that makes
 /// dynamic scheduling worthwhile.
 pub fn generate_ligands(config: &DrugDesignConfig) -> Vec<String> {
-    assert!(config.max_ligand_len >= 1, "ligands need at least one character");
+    assert!(
+        config.max_ligand_len >= 1,
+        "ligands need at least one character"
+    );
     let mut rng = SmallRng::seed_from_u64(config.seed);
     (0..config.num_ligands)
         .map(|_| {

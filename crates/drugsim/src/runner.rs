@@ -107,7 +107,11 @@ pub fn run(config: &DrugDesignConfig, approach: Approach, threads: usize) -> Dru
     best.sort_unstable();
     DrugDesignResult {
         approach,
-        threads: if approach == Approach::Sequential { 1 } else { threads },
+        threads: if approach == Approach::Sequential {
+            1
+        } else {
+            threads
+        },
         best_score,
         best_ligands: best,
         wall_time: start.elapsed(),

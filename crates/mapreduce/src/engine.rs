@@ -13,8 +13,12 @@ use std::collections::{HashMap, HashSet};
 
 use crossbeam::channel;
 
-use crate::partition::{bucket_of, split_inputs};
+use crate::partition::{bucket_of, partition_skew, split_inputs};
 use crate::MapReduce;
+
+/// One reduce bucket after the shuffle: each distinct key with its
+/// grouped values, in ascending key order.
+type GroupedBucket<M> = Vec<(<M as MapReduce>::Key, Vec<<M as MapReduce>::Value>)>;
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -61,6 +65,9 @@ pub struct JobStats {
     /// pair: that estimate minus the comparisons the one-shot sort
     /// actually performed (counted in its comparator), floored at zero.
     pub shuffle_comparisons_avoided: usize,
+    /// Intermediate pairs landing in each reduce bucket, indexed by
+    /// bucket — the partition-skew evidence.
+    pub bucket_pairs: Vec<usize>,
 }
 
 /// Job result: outputs sorted by key, plus statistics.
@@ -154,7 +161,8 @@ pub fn run_job<M: MapReduce>(
     });
 
     // ---- Shuffle: hash-group each bucket, then sort its keys once. ----
-    let grouped: Vec<Vec<(M::Key, Vec<M::Value>)>> = buckets
+    stats.bucket_pairs = buckets.iter().map(Vec::len).collect();
+    let grouped: Vec<GroupedBucket<M>> = buckets
         .into_iter()
         .map(|bucket| {
             let pairs_in = bucket.len();
@@ -196,6 +204,57 @@ pub fn run_job<M: MapReduce>(
     results.sort_by(|a, b| a.0.cmp(&b.0));
     stats.reduced_keys = results.len();
     JobOutput { results, stats }
+}
+
+/// [`run_job`] additionally recording observability counters into
+/// `registry` under `mapreduce/*`.
+///
+/// Pair counts, bucket sizes, and partition skew are functions of the
+/// inputs and configuration alone, so they land in
+/// [`obs::Domain::Virtual`] and are byte-identical across reruns and
+/// worker counts. The shuffle's avoided-comparison estimate depends on
+/// the host's hash-map iteration order, so it is recorded under
+/// [`obs::Domain::Wall`] and stays out of the deterministic snapshot.
+pub fn run_job_with_metrics<M: MapReduce>(
+    job: &M,
+    inputs: Vec<M::Input>,
+    config: &JobConfig,
+    registry: &obs::Registry,
+) -> JobOutput<M::Key, M::Output> {
+    use obs::Domain::{Virtual, Wall};
+    let out = run_job(job, inputs, config);
+    let s = &out.stats;
+    let counter = |name, domain, value: usize| {
+        registry.counter(name, domain).add(value as u64);
+    };
+    counter("mapreduce/map/attempts", Virtual, s.map_attempts);
+    counter("mapreduce/map/failures", Virtual, s.map_failures);
+    counter("mapreduce/shuffle/emitted_pairs", Virtual, s.emitted_pairs);
+    counter(
+        "mapreduce/shuffle/shuffled_pairs",
+        Virtual,
+        s.shuffled_pairs,
+    );
+    counter("mapreduce/reduce/keys", Virtual, s.reduced_keys);
+    counter(
+        "mapreduce/partition/skew",
+        Virtual,
+        partition_skew(&s.bucket_pairs),
+    );
+    counter(
+        "mapreduce/shuffle/comparisons_avoided",
+        Wall,
+        s.shuffle_comparisons_avoided,
+    );
+    let bucket_hist = registry.histogram(
+        "mapreduce/partition/bucket_pairs",
+        Virtual,
+        &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096],
+    );
+    for &pairs in &s.bucket_pairs {
+        bucket_hist.record(pairs as u64);
+    }
+    out
 }
 
 /// Groups a map task's output by key and applies the job's combiner.
@@ -373,12 +432,12 @@ mod tests {
                 ..JobConfig::default()
             },
         );
-        assert_eq!(baseline.results, faulty.results, "results identical despite crashes");
-        assert_eq!(faulty.stats.map_failures, 2);
         assert_eq!(
-            faulty.stats.map_attempts,
-            baseline.stats.map_attempts + 2
+            baseline.results, faulty.results,
+            "results identical despite crashes"
         );
+        assert_eq!(faulty.stats.map_failures, 2);
+        assert_eq!(faulty.stats.map_attempts, baseline.stats.map_attempts + 2);
     }
 
     #[test]
@@ -426,11 +485,62 @@ mod tests {
     }
 
     #[test]
+    fn instrumented_job_matches_plain_and_virtual_metrics_are_deterministic() {
+        let plain = run_job(&WordCount, corpus(), &JobConfig::default());
+        let run = |map_workers: usize| {
+            let registry = obs::Registry::new();
+            let out = run_job_with_metrics(
+                &WordCount,
+                corpus(),
+                &JobConfig {
+                    map_workers,
+                    ..JobConfig::default()
+                },
+                &registry,
+            );
+            (out, registry.snapshot())
+        };
+        let (out_a, snap_a) = run(2);
+        let (out_b, snap_b) = run(2);
+        let (out_c, _) = run(5);
+        assert_eq!(out_a.results, plain.results);
+        assert_eq!(out_b.results, plain.results);
+        assert_eq!(out_c.results, plain.results);
+        // Virtual metrics are byte-identical across reruns, whichever
+        // threads raced for which split; the host-order-dependent
+        // comparison estimate is Wall-domain and so excluded from this
+        // comparison by construction.
+        assert_eq!(snap_a.to_json(), snap_b.to_json());
+        assert!(snap_a
+            .metrics
+            .iter()
+            .any(|m| m.name == "mapreduce/partition/skew"));
+        assert!(snap_a
+            .metrics
+            .iter()
+            .all(|m| m.name != "mapreduce/shuffle/comparisons_avoided"));
+    }
+
+    #[test]
+    fn job_stats_report_bucket_sizes() {
+        let out = run_job(&WordCount, corpus(), &JobConfig::default());
+        assert_eq!(out.stats.bucket_pairs.len(), 4, "one per reduce worker");
+        assert_eq!(
+            out.stats.bucket_pairs.iter().sum::<usize>(),
+            out.stats.shuffled_pairs
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "at least one map worker")]
     fn zero_map_workers_panics() {
-        let _ = run_job(&WordCount, vec![], &JobConfig {
-            map_workers: 0,
-            ..JobConfig::default()
-        });
+        let _ = run_job(
+            &WordCount,
+            vec![],
+            &JobConfig {
+                map_workers: 0,
+                ..JobConfig::default()
+            },
+        );
     }
 }

@@ -151,7 +151,10 @@ mod tests {
         let docs = vec![
             (1usize, "alpha beta\ngamma target delta".to_string()),
             (2usize, "no match here".to_string()),
-            (3usize, "gamma target delta\nanother target line".to_string()),
+            (
+                3usize,
+                "gamma target delta\nanother target line".to_string(),
+            ),
         ];
         let out = run_job(
             &Grep {
@@ -221,6 +224,9 @@ mod tests {
                 ..JobConfig::default()
             },
         );
-        assert_eq!(out.results, vec![("a".to_string(), 400), ("b".to_string(), 200)]);
+        assert_eq!(
+            out.results,
+            vec![("a".to_string(), 400), ("b".to_string(), 200)]
+        );
     }
 }

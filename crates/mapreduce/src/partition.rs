@@ -18,6 +18,15 @@ pub fn bucket_of<K: Hash>(key: &K, buckets: usize) -> usize {
     (hasher.finish() % buckets as u64) as usize
 }
 
+/// Partition skew: largest minus smallest bucket size. Zero means the
+/// hash spread intermediate pairs perfectly evenly over the reducers;
+/// large values mean some reduce worker is the straggler.
+pub fn partition_skew(bucket_sizes: &[usize]) -> usize {
+    let max = bucket_sizes.iter().copied().max().unwrap_or(0);
+    let min = bucket_sizes.iter().copied().min().unwrap_or(0);
+    max - min
+}
+
 /// Splits `items` into `parts` contiguous input splits of near-equal
 /// size — how the engine carves map tasks from the input list.
 pub fn split_inputs<T>(items: Vec<T>, parts: usize) -> Vec<Vec<T>> {
@@ -70,6 +79,14 @@ mod tests {
     #[should_panic(expected = "at least one reduce bucket")]
     fn zero_buckets_panics() {
         let _ = bucket_of(&1u32, 0);
+    }
+
+    #[test]
+    fn partition_skew_is_max_minus_min() {
+        assert_eq!(partition_skew(&[]), 0);
+        assert_eq!(partition_skew(&[5]), 0);
+        assert_eq!(partition_skew(&[3, 3, 3]), 0);
+        assert_eq!(partition_skew(&[1, 9, 4]), 8);
     }
 
     #[test]

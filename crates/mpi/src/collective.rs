@@ -79,7 +79,12 @@ impl Rank {
                 let (src, _, v) = self.recv::<T>(crate::ANY_SOURCE, TAG_GATHER);
                 slots[src] = Some(v);
             }
-            Some(slots.into_iter().map(|s| s.expect("every rank sent")).collect())
+            Some(
+                slots
+                    .into_iter()
+                    .map(|s| s.expect("every rank sent"))
+                    .collect(),
+            )
         } else {
             self.send_raw(root, TAG_GATHER, value);
             None
@@ -137,7 +142,6 @@ mod tests {
     #[test]
     fn broadcast_delivers_to_everyone() {
         let got = run(4, |rank| {
-            
             if rank.is_root() {
                 rank.broadcast(0, Some("config".to_string()))
             } else {
@@ -162,9 +166,7 @@ mod tests {
     #[test]
     fn scatter_splits_in_rank_order() {
         let got = run(4, |rank| {
-            let data = rank
-                .is_root()
-                .then(|| (0..8u32).collect::<Vec<_>>());
+            let data = rank.is_root().then(|| (0..8u32).collect::<Vec<_>>());
             rank.scatter(0, data)
         });
         assert_eq!(got, vec![vec![0, 1], vec![2, 3], vec![4, 5], vec![6, 7]]);
@@ -188,7 +190,9 @@ mod tests {
 
     #[test]
     fn reduce_sums_at_the_root() {
-        let got = run(5, |rank| rank.reduce(0, rank.rank() as u64 + 1, |a, b| a + b));
+        let got = run(5, |rank| {
+            rank.reduce(0, rank.rank() as u64 + 1, |a, b| a + b)
+        });
         assert_eq!(got[0], Some(15));
         assert!(got[1..].iter().all(|g| g.is_none()));
     }

@@ -11,7 +11,11 @@ pub fn rank_hello(ranks: usize) -> Vec<String> {
         let line = format!("hello from rank {} of {}", rank.rank(), rank.size());
         rank.gather(0, line)
     });
-    gathered.into_iter().next().flatten().expect("root gathered")
+    gathered
+        .into_iter()
+        .next()
+        .flatten()
+        .expect("root gathered")
 }
 
 /// Patternlet 2: ring pass — a token starts at rank 0 and visits every
@@ -34,14 +38,21 @@ pub fn ring_pass(ranks: usize) -> Vec<usize> {
             None
         }
     });
-    results.into_iter().next().flatten().expect("token returned to root")
+    results
+        .into_iter()
+        .next()
+        .flatten()
+        .expect("token returned to root")
 }
 
 /// Patternlet 3: distributed sum — the root scatters a slice, each rank
 /// sums its part, and a reduce collects the total. Returns
 /// `(parallel total, sequential check)`.
 pub fn distributed_sum(data: Vec<u64>, ranks: usize) -> (u64, u64) {
-    assert!(ranks > 0 && data.len().is_multiple_of(ranks), "data must split evenly");
+    assert!(
+        ranks > 0 && data.len().is_multiple_of(ranks),
+        "data must split evenly"
+    );
     let sequential: u64 = data.iter().sum();
     let results = run(ranks, |rank| {
         let chunk = rank.scatter(0, rank.is_root().then(|| data.clone()));

@@ -1,0 +1,240 @@
+//! The exported form of a registry: a stable, diffable snapshot.
+
+use std::fmt::Write as _;
+
+use crate::registry::Domain;
+
+/// The value part of one exported metric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricData {
+    /// A monotonic counter's value.
+    Counter {
+        /// Current (saturating) count.
+        value: u64,
+    },
+    /// A histogram's buckets and moments.
+    Histogram {
+        /// Inclusive upper edges.
+        edges: Vec<u64>,
+        /// Per-bucket counts; one per edge plus the trailing overflow
+        /// bucket.
+        counts: Vec<u64>,
+        /// Total observations.
+        count: u64,
+        /// Saturating sum of observations.
+        sum: u64,
+        /// Smallest observation (0 when empty).
+        min: u64,
+        /// Largest observation (0 when empty).
+        max: u64,
+    },
+    /// A span's accumulated time.
+    Span {
+        /// Total accumulated duration.
+        total: u64,
+        /// Number of entries.
+        entries: u64,
+    },
+}
+
+/// One metric in a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricSample {
+    /// Registered name (a `/`-separated path for spans).
+    pub name: String,
+    /// Time domain the metric was recorded against.
+    pub domain: Domain,
+    /// The exported value.
+    pub data: MetricData,
+}
+
+/// An ordered snapshot of a [`crate::Registry`] — the stable JSON
+/// schema CI diffs and the bench bins embed.
+///
+/// Two snapshots of the same metrics are byte-identical in both
+/// exports: order is registration order, numbers are plain `u64`s, and
+/// nothing host-dependent is interpolated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Exported metrics in registration order.
+    pub metrics: Vec<MetricSample>,
+}
+
+fn json_u64_array(values: &[u64]) -> String {
+    let inner: Vec<String> = values.iter().map(u64::to_string).collect();
+    format!("[{}]", inner.join(", "))
+}
+
+impl MetricsSnapshot {
+    /// Schema version of the JSON export; bump on any layout change so
+    /// downstream diffs fail loudly instead of silently comparing
+    /// different shapes.
+    pub const SCHEMA_VERSION: u32 = 1;
+
+    /// Serialises to the stable JSON schema:
+    ///
+    /// ```json
+    /// {
+    ///   "schema": "pbl-obs/v1",
+    ///   "metrics": [
+    ///     {"name": "...", "kind": "counter", "domain": "virtual", "value": 7},
+    ///     {"name": "...", "kind": "histogram", "domain": "virtual",
+    ///      "edges": [..], "counts": [..], "count": 3, "sum": 9, "min": 1, "max": 5},
+    ///     {"name": "...", "kind": "span", "domain": "virtual", "total": 40, "entries": 2}
+    ///   ]
+    /// }
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": \"pbl-obs/v{}\",", Self::SCHEMA_VERSION);
+        out.push_str("  \"metrics\": [\n");
+        for (i, m) in self.metrics.iter().enumerate() {
+            let body = match &m.data {
+                MetricData::Counter { value } => {
+                    format!("\"kind\": \"counter\", \"domain\": \"{}\", \"value\": {value}", m.domain.label())
+                }
+                MetricData::Histogram {
+                    edges,
+                    counts,
+                    count,
+                    sum,
+                    min,
+                    max,
+                } => format!(
+                    "\"kind\": \"histogram\", \"domain\": \"{}\", \"edges\": {}, \"counts\": {}, \"count\": {count}, \"sum\": {sum}, \"min\": {min}, \"max\": {max}",
+                    m.domain.label(),
+                    json_u64_array(edges),
+                    json_u64_array(counts),
+                ),
+                MetricData::Span { total, entries } => format!(
+                    "\"kind\": \"span\", \"domain\": \"{}\", \"total\": {total}, \"entries\": {entries}",
+                    m.domain.label()
+                ),
+            };
+            let comma = if i + 1 == self.metrics.len() { "" } else { "," };
+            let _ = writeln!(out, "    {{\"name\": \"{}\", {body}}}{comma}", m.name);
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Renders a human-readable listing, indenting each metric by the
+    /// depth of its `/`-separated path so span hierarchies read as a
+    /// tree.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "metrics snapshot ({} metrics)", self.metrics.len());
+        for m in &self.metrics {
+            let depth = m.name.matches('/').count();
+            let pad = "  ".repeat(depth + 1);
+            let leaf = m.name.rsplit('/').next().unwrap_or(&m.name);
+            match &m.data {
+                MetricData::Counter { value } => {
+                    let _ = writeln!(out, "{pad}{leaf:<28} {value:>14}  [counter] ({})", m.name);
+                }
+                MetricData::Histogram {
+                    edges,
+                    counts,
+                    count,
+                    sum,
+                    min,
+                    max,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "{pad}{leaf:<28} n={count} sum={sum} min={min} max={max}  [histogram] ({})",
+                        m.name
+                    );
+                    for (j, c) in counts.iter().enumerate() {
+                        if *c == 0 {
+                            continue;
+                        }
+                        let label = if j < edges.len() {
+                            format!("<= {}", edges[j])
+                        } else {
+                            "overflow".to_string()
+                        };
+                        let _ = writeln!(out, "{pad}  {label:>12}: {c}");
+                    }
+                }
+                MetricData::Span { total, entries } => {
+                    let _ = writeln!(
+                        out,
+                        "{pad}{leaf:<28} total={total} entries={entries}  [span] ({})",
+                        m.name
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// FNV-1a digest of the JSON bytes — two snapshots are bit-identical
+    /// iff their digests match, the currency of the CI determinism
+    /// smokes.
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for byte in self.to_json().bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Domain, Registry};
+
+    fn sample_registry() -> Registry {
+        let r = Registry::new();
+        r.counter("cache/l1_hits", Domain::Virtual).add(12);
+        let h = r.histogram("events/queue_depth", Domain::Virtual, &[1, 4]);
+        h.record(1);
+        h.record(3);
+        h.record(9);
+        r.span("core/0/busy", Domain::Virtual).record(500);
+        r
+    }
+
+    #[test]
+    fn json_is_stable_and_complete() {
+        let json = sample_registry().snapshot().to_json();
+        assert!(json.contains("\"schema\": \"pbl-obs/v1\""));
+        assert!(json.contains(
+            "{\"name\": \"cache/l1_hits\", \"kind\": \"counter\", \"domain\": \"virtual\", \"value\": 12}"
+        ));
+        assert!(json.contains("\"edges\": [1, 4], \"counts\": [1, 1, 1], \"count\": 3"));
+        assert!(json.contains(
+            "{\"name\": \"core/0/busy\", \"kind\": \"span\", \"domain\": \"virtual\", \"total\": 500, \"entries\": 1}"
+        ));
+    }
+
+    #[test]
+    fn identical_recordings_give_byte_identical_json_and_equal_digests() {
+        let a = sample_registry().snapshot();
+        let b = sample_registry().snapshot();
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn digest_is_sensitive_to_values() {
+        let r = sample_registry();
+        let before = r.snapshot().digest();
+        r.counter("cache/l1_hits", Domain::Virtual).incr();
+        assert_ne!(before, r.snapshot().digest());
+    }
+
+    #[test]
+    fn text_rendering_nests_by_path_depth() {
+        let text = sample_registry().snapshot().render_text();
+        assert!(text.contains("metrics snapshot (3 metrics)"));
+        assert!(text.contains("l1_hits"));
+        assert!(text.contains("overflow"), "9 > last edge 4");
+        // core/0/busy sits two levels deep → three pads of indent.
+        assert!(text.contains("      busy"));
+    }
+}

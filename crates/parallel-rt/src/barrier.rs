@@ -26,6 +26,7 @@ pub struct SenseBarrier {
     remaining: AtomicUsize,
     sense: AtomicBool,
     episodes: AtomicUsize,
+    wait_span: Option<obs::Span>,
 }
 
 impl SenseBarrier {
@@ -40,12 +41,19 @@ impl SenseBarrier {
             remaining: AtomicUsize::new(team_size),
             sense: AtomicBool::new(false),
             episodes: AtomicUsize::new(0),
+            wait_span: None,
         }
     }
-}
 
-impl TeamBarrier for SenseBarrier {
-    fn wait(&self) -> bool {
+    /// Attaches a span that accumulates wall-clock nanoseconds spent in
+    /// [`TeamBarrier::wait`] across all threads. Barrier waits are host
+    /// timing, so register the span under [`obs::Domain::Wall`] — it is
+    /// a diagnostic, never part of the deterministic snapshot.
+    pub fn instrument(&mut self, span: obs::Span) {
+        self.wait_span = Some(span);
+    }
+
+    fn wait_inner(&self) -> bool {
         let my_sense = !self.sense.load(Ordering::Acquire);
         if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
             // Last arrival: reset the counter and release everyone by
@@ -69,6 +77,15 @@ impl TeamBarrier for SenseBarrier {
             false
         }
     }
+}
+
+impl TeamBarrier for SenseBarrier {
+    fn wait(&self) -> bool {
+        match &self.wait_span {
+            Some(span) => span.time_wall(|| self.wait_inner()),
+            None => self.wait_inner(),
+        }
+    }
 
     fn episodes(&self) -> usize {
         self.episodes.load(Ordering::Relaxed)
@@ -82,6 +99,7 @@ pub struct CondvarBarrier {
     team_size: usize,
     state: Mutex<CondvarState>,
     condvar: Condvar,
+    wait_span: Option<obs::Span>,
 }
 
 #[derive(Debug)]
@@ -106,12 +124,16 @@ impl CondvarBarrier {
                 episodes: 0,
             }),
             condvar: Condvar::new(),
+            wait_span: None,
         }
     }
-}
 
-impl TeamBarrier for CondvarBarrier {
-    fn wait(&self) -> bool {
+    /// Attaches a wall-clock wait span; see [`SenseBarrier::instrument`].
+    pub fn instrument(&mut self, span: obs::Span) {
+        self.wait_span = Some(span);
+    }
+
+    fn wait_inner(&self) -> bool {
         let mut state = self.state.lock();
         state.arrived += 1;
         if state.arrived == self.team_size {
@@ -126,6 +148,15 @@ impl TeamBarrier for CondvarBarrier {
                 self.condvar.wait(&mut state);
             }
             false
+        }
+    }
+}
+
+impl TeamBarrier for CondvarBarrier {
+    fn wait(&self) -> bool {
+        match &self.wait_span {
+            Some(span) => span.time_wall(|| self.wait_inner()),
+            None => self.wait_inner(),
         }
     }
 
@@ -210,6 +241,46 @@ mod tests {
     #[should_panic(expected = "team size must be positive")]
     fn zero_team_panics_condvar() {
         let _ = CondvarBarrier::new(0);
+    }
+
+    #[test]
+    fn instrumented_barriers_record_wall_wait_spans() {
+        let registry = obs::Registry::new();
+        let mut barrier = SenseBarrier::new(3);
+        barrier.instrument(registry.span("parallel_rt/barrier/wait", obs::Domain::Wall));
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| {
+                    for _ in 0..5 {
+                        barrier.wait();
+                    }
+                });
+            }
+        });
+        assert_eq!(barrier.episodes(), 5);
+        // Wall-domain: absent from the deterministic snapshot, present
+        // in the full one, with one entry per wait call.
+        assert!(registry.snapshot().metrics.is_empty());
+        let all = registry.snapshot_all();
+        assert_eq!(all.metrics.len(), 1);
+        assert!(
+            matches!(
+                all.metrics[0].data,
+                obs::MetricData::Span { entries: 15, .. }
+            ),
+            "{:?}",
+            all.metrics[0].data
+        );
+        let mut cv = CondvarBarrier::new(2);
+        cv.instrument(registry.span("parallel_rt/barrier/condvar_wait", obs::Domain::Wall));
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| {
+                    cv.wait();
+                });
+            }
+        });
+        assert_eq!(cv.episodes(), 1);
     }
 
     #[test]

@@ -7,16 +7,31 @@ use crate::reduction::Reduction;
 use crate::schedule::{ChunkDispenser, Schedule};
 use crate::team::Team;
 
-/// Applies `body` to every index in `range`, work-shared across the
-/// team under `schedule`. Equivalent to
-/// `#pragma omp parallel for schedule(...)`.
-pub fn parallel_for<F>(team: &Team, range: Range<usize>, schedule: Schedule, body: F)
+/// Bucket edges for the per-policy chunk-size histograms: power-of-two
+/// sizes up to 4096 iterations.
+pub(crate) const CHUNK_SIZE_EDGES: [u64; 13] =
+    [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096];
+
+/// Registers the chunk-size histogram for `schedule` in `registry` and
+/// attaches it to `dispenser`. The metric is keyed by policy
+/// (`parallel_rt/chunks/<label>`), so loops sharing a policy accumulate
+/// into one distribution.
+fn instrument_dispenser(
+    dispenser: &mut ChunkDispenser,
+    schedule: Schedule,
+    registry: &obs::Registry,
+) {
+    dispenser.instrument(registry.histogram(
+        &format!("parallel_rt/chunks/{}", schedule.label()),
+        obs::Domain::Virtual,
+        &CHUNK_SIZE_EDGES,
+    ));
+}
+
+fn run_work_shared<F>(team: &Team, dispenser: &ChunkDispenser, body: &F)
 where
     F: Fn(usize) + Sync,
 {
-    let dispenser = ChunkDispenser::new(range, team.num_threads(), schedule);
-    let dispenser = &dispenser;
-    let body = &body;
     team.parallel(|ctx| {
         if dispenser.is_dynamic() {
             while let Some(chunk) = dispenser.next_chunk() {
@@ -32,6 +47,35 @@ where
             }
         }
     });
+}
+
+/// Applies `body` to every index in `range`, work-shared across the
+/// team under `schedule`. Equivalent to
+/// `#pragma omp parallel for schedule(...)`.
+pub fn parallel_for<F>(team: &Team, range: Range<usize>, schedule: Schedule, body: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let dispenser = ChunkDispenser::new(range, team.num_threads(), schedule);
+    run_work_shared(team, &dispenser, &body);
+}
+
+/// [`parallel_for`] recording the chunk-size distribution into
+/// `registry` under `parallel_rt/chunks/<policy>`. The multiset of
+/// chunk sizes is determined by the range and policy alone, so the
+/// histogram is identical whatever the thread count or host timing.
+pub fn parallel_for_with_metrics<F>(
+    team: &Team,
+    range: Range<usize>,
+    schedule: Schedule,
+    registry: &obs::Registry,
+    body: F,
+) where
+    F: Fn(usize) + Sync,
+{
+    let mut dispenser = ChunkDispenser::new(range, team.num_threads(), schedule);
+    instrument_dispenser(&mut dispenser, schedule, registry);
+    run_work_shared(team, &dispenser, &body);
 }
 
 /// `parallel for` with a `reduction` clause: maps every index through
@@ -102,13 +146,11 @@ where
             let slices = parking_lot::Mutex::new(slices);
             let f = &f;
             let slices = &slices;
-            team.parallel(|_ctx| {
-                loop {
-                    let part = slices.lock().pop();
-                    let Some((start, slice)) = part else { break };
-                    for (k, slot) in slice.iter_mut().enumerate() {
-                        *slot = f(start + k);
-                    }
+            team.parallel(|_ctx| loop {
+                let part = slices.lock().pop();
+                let Some((start, slice)) = part else { break };
+                for (k, slot) in slice.iter_mut().enumerate() {
+                    *slot = f(start + k);
                 }
             });
         }
@@ -242,6 +284,62 @@ mod tests {
         let mut out: Vec<usize> = vec![];
         parallel_fill(&team, &mut out, Schedule::StaticBlock, |i| i);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn instrumented_loop_records_a_thread_count_invariant_histogram() {
+        // Dynamic(7) over 0..500 hands out 71 full chunks and one of 3,
+        // whichever threads grab them — so the histogram must be
+        // byte-identical across team sizes.
+        let snapshot_for = |threads: usize| {
+            let registry = obs::Registry::new();
+            let team = Team::new(threads);
+            let visits = AtomicUsize::new(0);
+            parallel_for_with_metrics(&team, 0..500, Schedule::Dynamic(7), &registry, |_| {
+                visits.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(visits.load(Ordering::Relaxed), 500, "threads={threads}");
+            registry.snapshot()
+        };
+        let one = snapshot_for(1);
+        assert_eq!(one.to_json(), snapshot_for(2).to_json());
+        assert_eq!(one.to_json(), snapshot_for(4).to_json());
+        let m = &one.metrics[0];
+        assert_eq!(m.name, "parallel_rt/chunks/dynamic");
+        assert!(
+            matches!(
+                m.data,
+                obs::MetricData::Histogram {
+                    count: 72,
+                    sum: 500,
+                    min: 3,
+                    max: 7,
+                    ..
+                }
+            ),
+            "{m:?}"
+        );
+    }
+
+    #[test]
+    fn instrumented_static_loop_records_per_thread_blocks() {
+        let registry = obs::Registry::new();
+        let team = Team::new(4);
+        parallel_for_with_metrics(&team, 0..100, Schedule::StaticBlock, &registry, |_| {});
+        let snap = registry.snapshot();
+        assert_eq!(snap.metrics[0].name, "parallel_rt/chunks/static_block");
+        assert!(
+            matches!(
+                snap.metrics[0].data,
+                obs::MetricData::Histogram {
+                    count: 4,
+                    sum: 100,
+                    ..
+                }
+            ),
+            "{:?}",
+            snap.metrics[0].data
+        );
     }
 
     #[test]

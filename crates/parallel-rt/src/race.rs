@@ -142,7 +142,10 @@ mod tests {
     #[test]
     fn racy_run_never_overcounts() {
         let out = shared_counter_demo(4, 20_000, FixStrategy::None);
-        assert!(out.observed <= out.expected, "lost updates only, never gained");
+        assert!(
+            out.observed <= out.expected,
+            "lost updates only, never gained"
+        );
         assert_eq!(out.expected, 80_000);
     }
 

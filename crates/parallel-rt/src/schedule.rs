@@ -25,6 +25,17 @@ pub enum Schedule {
 }
 
 impl Schedule {
+    /// Stable lowercase policy name, used to key per-policy metrics
+    /// (`parallel_rt/chunks/<label>`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Schedule::StaticBlock => "static_block",
+            Schedule::StaticChunk(_) => "static_chunk",
+            Schedule::Dynamic(_) => "dynamic",
+            Schedule::Guided(_) => "guided",
+        }
+    }
+
     /// The chunk-size parameter, if the policy has one.
     pub fn chunk(&self) -> Option<usize> {
         match self {
@@ -99,6 +110,8 @@ pub struct ChunkDispenser {
     schedule: Schedule,
     cursor: std::sync::atomic::AtomicUsize,
     guided: parking_lot::Mutex<usize>,
+    /// Observability hook: records the size of every chunk handed out.
+    chunk_sizes: Option<obs::Histogram>,
 }
 
 impl ChunkDispenser {
@@ -112,13 +125,30 @@ impl ChunkDispenser {
             range,
             nthreads,
             schedule,
+            chunk_sizes: None,
+        }
+    }
+
+    /// Attaches a histogram that records the length of every chunk this
+    /// dispenser hands out. The multiset of chunk sizes is a function of
+    /// the range and policy alone (dynamic grabs race for *which thread*
+    /// gets a chunk, never for its size; guided sizes are serialised
+    /// under the cursor lock), so the recorded distribution is
+    /// invariant across thread counts and grab interleavings.
+    pub fn instrument(&mut self, histogram: obs::Histogram) {
+        self.chunk_sizes = Some(histogram);
+    }
+
+    fn observe(&self, chunk: &Range<usize>) {
+        if let Some(h) = &self.chunk_sizes {
+            h.record(chunk.len() as u64);
         }
     }
 
     /// All chunks for `thread` under a static policy, computed without
     /// synchronisation (static schedules are deterministic by design).
     pub fn static_assignment(&self, thread: usize) -> Vec<Range<usize>> {
-        match self.schedule {
+        let chunks = match self.schedule {
             Schedule::StaticBlock => {
                 let r = static_block(self.range.clone(), self.nthreads, thread);
                 if r.is_empty() {
@@ -127,11 +157,13 @@ impl ChunkDispenser {
                     vec![r]
                 }
             }
-            Schedule::StaticChunk(c) => {
-                static_chunks(self.range.clone(), self.nthreads, thread, c)
-            }
+            Schedule::StaticChunk(c) => static_chunks(self.range.clone(), self.nthreads, thread, c),
             _ => panic!("static_assignment on a dynamic policy"),
+        };
+        for chunk in &chunks {
+            self.observe(chunk);
         }
+        chunks
     }
 
     /// Grabs the next chunk under a dynamic/guided policy; `None` when
@@ -162,6 +194,7 @@ impl ChunkDispenser {
             }
             _ => panic!("next_chunk on a static policy"),
         }
+        .inspect(|chunk| self.observe(chunk))
     }
 
     /// Whether this policy hands out chunks dynamically.

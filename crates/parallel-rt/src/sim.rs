@@ -114,8 +114,18 @@ pub struct SimLoopOutcome {
 impl SimLoopOutcome {
     /// Largest minus smallest per-thread iteration count.
     pub fn imbalance(&self) -> usize {
-        let max = self.iterations_per_thread.iter().copied().max().unwrap_or(0);
-        let min = self.iterations_per_thread.iter().copied().min().unwrap_or(0);
+        let max = self
+            .iterations_per_thread
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0);
+        let min = self
+            .iterations_per_thread
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(0);
         max - min
     }
 }
@@ -155,9 +165,11 @@ pub fn plan_assignment(
             }
             greedy_assign(chunks, cost, threads)
         }
-        Schedule::Guided(min_chunk) => {
-            greedy_assign(guided_chunks(0..iterations, threads, min_chunk), cost, threads)
-        }
+        Schedule::Guided(min_chunk) => greedy_assign(
+            guided_chunks(0..iterations, threads, min_chunk),
+            cost,
+            threads,
+        ),
     }
 }
 
@@ -245,6 +257,42 @@ pub fn simulate_parallel_loop(
     opts: &SimOptions,
 ) -> SimLoopOutcome {
     simulate_parallel_loop_lowered(iterations, cost, schedule, threads, opts, Lowering::Rle)
+}
+
+/// [`simulate_parallel_loop`] additionally recording metrics into
+/// `registry`: the planned chunk-size distribution under
+/// `parallel_rt/chunks/<policy>` and the machine's `pi_sim/*` metrics
+/// (per-core busy spans, bus contention, cache counters, event-queue
+/// depth). All recorded values are virtual-time or counts, so the
+/// snapshot is as deterministic as the outcome.
+pub fn simulate_parallel_loop_with_metrics(
+    iterations: usize,
+    cost: &CostModel,
+    schedule: Schedule,
+    threads: usize,
+    opts: &SimOptions,
+    registry: &obs::Registry,
+) -> SimLoopOutcome {
+    let assignment = plan_assignment(iterations, cost, schedule, threads);
+    let chunk_sizes = registry.histogram(
+        &format!("parallel_rt/chunks/{}", schedule.label()),
+        obs::Domain::Virtual,
+        &crate::forloop::CHUNK_SIZE_EDGES,
+    );
+    for chunk in assignment.iter().flatten() {
+        chunk_sizes.record(chunk.len() as u64);
+    }
+    let iterations_per_thread: Vec<usize> = assignment
+        .iter()
+        .map(|chunks| chunks.iter().map(|c| c.len()).sum())
+        .collect();
+    let programs = lower_programs(&assignment, cost, opts.fork_overhead, Lowering::Rle);
+    let report = Machine::new(opts.machine).run_with_metrics(programs, registry);
+    SimLoopOutcome {
+        cycles: report.total_cycles,
+        iterations_per_thread,
+        report,
+    }
 }
 
 /// [`simulate_parallel_loop`] with an explicit lowering choice.
@@ -357,6 +405,42 @@ mod tests {
     use pi_sim::perf::speedup;
 
     #[test]
+    fn metrics_variant_matches_plain_simulation_and_is_deterministic() {
+        let cost = CostModel::Linear {
+            base: 100,
+            slope: 7,
+        };
+        let opts = SimOptions::default();
+        let plain = simulate_parallel_loop(5_000, &cost, Schedule::Guided(8), 4, &opts);
+        let run = || {
+            let registry = obs::Registry::new();
+            let outcome = simulate_parallel_loop_with_metrics(
+                5_000,
+                &cost,
+                Schedule::Guided(8),
+                4,
+                &opts,
+                &registry,
+            );
+            (outcome, registry.snapshot())
+        };
+        let (a, snap_a) = run();
+        let (b, snap_b) = run();
+        assert_eq!(a.cycles, plain.cycles, "observer effect on the makespan");
+        assert_eq!(a.iterations_per_thread, plain.iterations_per_thread);
+        assert_eq!(b.cycles, plain.cycles);
+        assert_eq!(snap_a.to_json(), snap_b.to_json());
+        assert!(snap_a
+            .metrics
+            .iter()
+            .any(|m| m.name == "parallel_rt/chunks/guided"));
+        assert!(snap_a
+            .metrics
+            .iter()
+            .any(|m| m.name == "pi_sim/cache/l1_hits"));
+    }
+
+    #[test]
     fn cost_models_evaluate() {
         assert_eq!(CostModel::Uniform(10).cost(1234), 10);
         assert_eq!(CostModel::Linear { base: 5, slope: 2 }.cost(10), 25);
@@ -424,10 +508,20 @@ mod tests {
             ] {
                 for threads in [1usize, 3, 4, 6] {
                     let rle = simulate_parallel_loop_lowered(
-                        2_003, &cost, schedule, threads, &opts, Lowering::Rle,
+                        2_003,
+                        &cost,
+                        schedule,
+                        threads,
+                        &opts,
+                        Lowering::Rle,
                     );
                     let unit = simulate_parallel_loop_lowered(
-                        2_003, &cost, schedule, threads, &opts, Lowering::PerIteration,
+                        2_003,
+                        &cost,
+                        schedule,
+                        threads,
+                        &opts,
+                        Lowering::PerIteration,
                     );
                     assert_eq!(
                         rle.cycles, unit.cycles,
@@ -498,7 +592,10 @@ mod tests {
     fn dynamic_beats_static_on_skewed_work() {
         // Linear (triangular) cost: static block gives the last thread
         // far more work; dynamic chunks rebalance.
-        let cost = CostModel::Linear { base: 10, slope: 10 };
+        let cost = CostModel::Linear {
+            base: 10,
+            slope: 10,
+        };
         let opts = SimOptions::default();
         let stat = simulate_parallel_loop(4_000, &cost, Schedule::StaticBlock, 4, &opts);
         let dyn_ = simulate_parallel_loop(4_000, &cost, Schedule::Dynamic(16), 4, &opts);
@@ -518,7 +615,10 @@ mod tests {
         // pairs one heavy with one light per chunk and balances. This is
         // the Assignment 3 lesson that the chunk size, not just the
         // policy, determines load balance.
-        let cost = CostModel::Alternating { even: 10, odd: 1_000 };
+        let cost = CostModel::Alternating {
+            even: 10,
+            odd: 1_000,
+        };
         let opts = SimOptions::default();
         let c1 = simulate_parallel_loop(1_000, &cost, Schedule::StaticChunk(1), 2, &opts);
         let c2 = simulate_parallel_loop(1_000, &cost, Schedule::StaticChunk(2), 2, &opts);
@@ -535,7 +635,8 @@ mod tests {
     #[test]
     fn imbalance_metric() {
         let cost = CostModel::Uniform(10);
-        let plan = simulate_parallel_loop(10, &cost, Schedule::StaticBlock, 4, &SimOptions::default());
+        let plan =
+            simulate_parallel_loop(10, &cost, Schedule::StaticBlock, 4, &SimOptions::default());
         // 10 over 4 → 3,3,2,2.
         assert_eq!(plan.imbalance(), 1);
     }

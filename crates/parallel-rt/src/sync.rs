@@ -62,12 +62,10 @@ impl AtomicF64 {
         let mut current = self.bits.load(Ordering::Relaxed);
         loop {
             let new = (f64::from_bits(current) + delta).to_bits();
-            match self.bits.compare_exchange_weak(
-                current,
-                new,
-                Ordering::AcqRel,
-                Ordering::Relaxed,
-            ) {
+            match self
+                .bits
+                .compare_exchange_weak(current, new, Ordering::AcqRel, Ordering::Relaxed)
+            {
                 Ok(_) => return f64::from_bits(new),
                 Err(observed) => current = observed,
             }

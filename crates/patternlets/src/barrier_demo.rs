@@ -57,8 +57,14 @@ mod tests {
     #[test]
     fn all_threads_participate() {
         let trace = run(6);
-        assert_eq!(trace.threads_in_phase("before-barrier"), (0..6).collect::<Vec<_>>());
-        assert_eq!(trace.threads_in_phase("after-barrier"), (0..6).collect::<Vec<_>>());
+        assert_eq!(
+            trace.threads_in_phase("before-barrier"),
+            (0..6).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            trace.threads_in_phase("after-barrier"),
+            (0..6).collect::<Vec<_>>()
+        );
     }
 
     #[test]

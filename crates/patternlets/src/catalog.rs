@@ -44,7 +44,10 @@ pub fn catalog() -> Vec<Patternlet> {
             concept: "the fork-join programming pattern",
             smoke: || {
                 let t = crate::forkjoin::run(4);
-                format!("fork-join: {} hello lines between fork and join", t.phase_events("parallel").len())
+                format!(
+                    "fork-join: {} hello lines between fork and join",
+                    t.phase_events("parallel").len()
+                )
             },
         },
         Patternlet {

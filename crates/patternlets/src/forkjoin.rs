@@ -13,7 +13,11 @@ use crate::trace::{Trace, SEQUENTIAL};
 /// trace.
 pub fn run(threads: usize) -> Trace {
     let trace = Trace::new();
-    trace.record(SEQUENTIAL, "before-fork", "only the master thread runs here");
+    trace.record(
+        SEQUENTIAL,
+        "before-fork",
+        "only the master thread runs here",
+    );
     let team = Team::new(threads);
     let trace_ref = &trace;
     team.parallel(|ctx| {

@@ -45,8 +45,7 @@ pub fn run(n: usize, threads: usize) -> ScopeDemo {
         cursor_ref.store(i + 1, Ordering::Relaxed);
         visits_ref[i].fetch_add(1, Ordering::Relaxed);
     });
-    let shared_index_iterations: usize =
-        visits.iter().map(|v| v.load(Ordering::Relaxed)).sum();
+    let shared_index_iterations: usize = visits.iter().map(|v| v.load(Ordering::Relaxed)).sum();
     let shared_index_anomalies = visits
         .iter()
         .filter(|v| v.load(Ordering::Relaxed) != 1)

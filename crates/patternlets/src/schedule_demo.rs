@@ -54,8 +54,7 @@ pub fn run(n: usize, threads: usize, schedule: Schedule) -> LoopMap {
     let owner_ref = &owner;
     // Record ids via the static assignment (deterministic) or the
     // dynamic dispenser by tagging from inside a plain parallel region.
-    let dispenser =
-        parallel_rt::schedule::ChunkDispenser::new(0..n, threads, schedule);
+    let dispenser = parallel_rt::schedule::ChunkDispenser::new(0..n, threads, schedule);
     let dispenser = &dispenser;
     team.parallel(|ctx| {
         if dispenser.is_dynamic() {

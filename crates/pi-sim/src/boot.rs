@@ -173,10 +173,7 @@ mod tests {
         let mut pi = PiSetup::new();
         pi.insert_card(SdCard::Blank);
         pi.connect_display();
-        assert_eq!(
-            pi.boot(),
-            Err(BootError::NoOperatingSystem(SdCard::Blank))
-        );
+        assert_eq!(pi.boot(), Err(BootError::NoOperatingSystem(SdCard::Blank)));
         assert_eq!(pi.stage(), BootStage::PoweredOff);
     }
 

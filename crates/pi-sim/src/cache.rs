@@ -179,7 +179,10 @@ impl Hierarchy {
     /// two levels disagree on line size.
     pub fn new(cores: usize, l1: CacheConfig, l2: CacheConfig) -> Self {
         assert!((1..=32).contains(&cores), "1..=32 cores supported");
-        assert_eq!(l1.line_bytes, l2.line_bytes, "levels must share a line size");
+        assert_eq!(
+            l1.line_bytes, l2.line_bytes,
+            "levels must share a line size"
+        );
         Hierarchy {
             l1: (0..cores).map(|_| SetAssocCache::new(l1)).collect(),
             l2: SetAssocCache::new(l2),
@@ -192,6 +195,26 @@ impl Hierarchy {
     /// Number of cores this hierarchy serves.
     pub fn cores(&self) -> usize {
         self.l1.len()
+    }
+
+    /// Exports the accumulated statistics, aggregated over cores, as
+    /// `pi_sim/cache/*` counters. Called once at the end of a run; the
+    /// counters add across runs sharing a registry.
+    pub fn export_metrics(&self, registry: &obs::Registry) {
+        let mut agg = CacheStats::default();
+        for s in &self.stats {
+            agg.l1_hits += s.l1_hits;
+            agg.l2_hits += s.l2_hits;
+            agg.memory_accesses += s.memory_accesses;
+            agg.invalidations_received += s.invalidations_received;
+        }
+        let counter = |name, value| {
+            registry.counter(name, obs::Domain::Virtual).add(value);
+        };
+        counter("pi_sim/cache/l1_hits", agg.l1_hits);
+        counter("pi_sim/cache/l2_hits", agg.l2_hits);
+        counter("pi_sim/cache/memory_accesses", agg.memory_accesses);
+        counter("pi_sim/cache/invalidations", agg.invalidations_received);
     }
 
     /// Performs a read (`write = false`) or write access by `core` to

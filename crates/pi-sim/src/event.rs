@@ -54,6 +54,8 @@ pub struct EventQueue<E> {
     in_overflow: usize,
     next_seq: u64,
     now: Cycles,
+    /// Observability hook: records the pending-event count at each pop.
+    depth: Option<obs::Histogram>,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -73,7 +75,16 @@ impl<E> EventQueue<E> {
             in_overflow: 0,
             next_seq: 0,
             now: 0,
+            depth: None,
         }
+    }
+
+    /// Attaches a histogram that records the pending-event count at
+    /// every subsequent [`EventQueue::pop`]. The depth sequence is a
+    /// pure function of the schedule/pop interleaving, so the recorded
+    /// distribution is deterministic for a deterministic simulation.
+    pub fn attach_depth_histogram(&mut self, histogram: obs::Histogram) {
+        self.depth = Some(histogram);
     }
 
     /// Current virtual time (the time of the last popped event).
@@ -86,7 +97,11 @@ impl<E> EventQueue<E> {
     /// # Panics
     /// Panics if `at` is in the past — events may not rewrite history.
     pub fn schedule_at(&mut self, at: Cycles, payload: E) {
-        assert!(at >= self.now, "cannot schedule into the past ({at} < {})", self.now);
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past ({at} < {})",
+            self.now
+        );
         let entry = Entry {
             time: at,
             seq: self.next_seq,
@@ -151,6 +166,12 @@ impl<E> EventQueue<E> {
 
     /// Pops the earliest event, advancing virtual time to it.
     pub fn pop(&mut self) -> Option<(Cycles, E)> {
+        if let Some(h) = &self.depth {
+            let pending = self.len();
+            if pending > 0 {
+                h.record(pending as u64);
+            }
+        }
         let wheel_slot = self.wheel_min_slot();
         let wheel_key = wheel_slot.map(|s| {
             let e = self.wheel[s].last().expect("occupied bucket is non-empty");
@@ -169,15 +190,23 @@ impl<E> EventQueue<E> {
         };
         let entry = if from_wheel {
             let slot = wheel_slot.expect("wheel key implies a slot");
-            let entry = self.wheel[slot].pop().expect("occupied bucket is non-empty");
+            let entry = self.wheel[slot]
+                .pop()
+                .expect("occupied bucket is non-empty");
             if self.wheel[slot].is_empty() {
                 self.occupied[slot / 64] &= !(1 << (slot % 64));
             }
             self.in_wheel -= 1;
             entry
         } else {
-            let mut first = self.overflow.first_entry().expect("overflow key implies entry");
-            let entry = first.get_mut().pop_front().expect("per-time queue is non-empty");
+            let mut first = self
+                .overflow
+                .first_entry()
+                .expect("overflow key implies entry");
+            let entry = first
+                .get_mut()
+                .pop_front()
+                .expect("per-time queue is non-empty");
             if first.get().is_empty() {
                 first.remove();
             }
@@ -190,9 +219,12 @@ impl<E> EventQueue<E> {
 
     /// Time of the next event without popping it.
     pub fn peek_time(&self) -> Option<Cycles> {
-        let wheel_time = self
-            .wheel_min_slot()
-            .map(|s| self.wheel[s].last().expect("occupied bucket is non-empty").time);
+        let wheel_time = self.wheel_min_slot().map(|s| {
+            self.wheel[s]
+                .last()
+                .expect("occupied bucket is non-empty")
+                .time
+        });
         let overflow_time = self.overflow.keys().next().copied();
         match (wheel_time, overflow_time) {
             (None, None) => None,

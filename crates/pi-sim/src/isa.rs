@@ -214,9 +214,15 @@ mod tests {
 
     #[test]
     fn large_constant_needs_two_arm_instructions() {
-        let l = lower(AbstractInsn::LoadImmediate { value: 0x1234_5678 }, IsaFamily::Arm);
+        let l = lower(
+            AbstractInsn::LoadImmediate { value: 0x1234_5678 },
+            IsaFamily::Arm,
+        );
         assert_eq!(l.instruction_count, 2);
-        let x = lower(AbstractInsn::LoadImmediate { value: 0x1234_5678 }, IsaFamily::X86);
+        let x = lower(
+            AbstractInsn::LoadImmediate { value: 0x1234_5678 },
+            IsaFamily::X86,
+        );
         assert_eq!(x.instruction_count, 1);
         assert_eq!(x.encoded_bytes, 5);
     }

@@ -54,5 +54,5 @@ pub mod trace;
 
 pub use machine::{Machine, MachineConfig, RunReport, ThreadReport};
 pub use program::{Op, Program};
-pub use trace::{ExecutionTrace, TraceSegment};
 pub use soc::{PiModel, SocSpec};
+pub use trace::{ExecutionTrace, TraceSegment};

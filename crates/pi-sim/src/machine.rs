@@ -206,6 +206,17 @@ impl Machine {
         Simulation::new(&self.config, programs).run().0
     }
 
+    /// Like [`Machine::run`], additionally recording observability
+    /// metrics into `registry`: per-core busy spans, bus-contention
+    /// counters, the event-queue depth histogram, and the aggregate
+    /// cache counters. Everything recorded is in virtual time or pure
+    /// event counts, so the metrics are as deterministic as the report.
+    pub fn run_with_metrics(&self, programs: Vec<Program>, registry: &obs::Registry) -> RunReport {
+        let mut sim = Simulation::new(&self.config, programs);
+        sim.attach_metrics(registry);
+        sim.run().0
+    }
+
     /// Like [`Machine::run`], additionally recording the schedule as an
     /// [`ExecutionTrace`] (who ran where, when).
     pub fn run_traced(&self, programs: Vec<Program>) -> (RunReport, ExecutionTrace) {
@@ -221,6 +232,19 @@ impl Machine {
     }
 }
 
+/// Metric handles a simulation records into when observability is
+/// attached. All values are virtual-time or event counts.
+struct SimMetrics {
+    registry: obs::Registry,
+    /// Memory-level accesses issued while another core was also busy.
+    contended_accesses: obs::Counter,
+    /// Extra cycles charged by the bus-contention model on top of the
+    /// uncontended memory latency.
+    contention_extra_cycles: obs::Counter,
+    /// Busy virtual cycles per core, one span each.
+    core_busy: Vec<obs::Span>,
+}
+
 struct Simulation<'c> {
     config: &'c MachineConfig,
     threads: Vec<Thread>,
@@ -233,6 +257,7 @@ struct Simulation<'c> {
     events: EventQueue<SliceEvent>,
     context_switches: u64,
     trace: Option<Vec<TraceSegment>>,
+    metrics: Option<SimMetrics>,
 }
 
 impl<'c> Simulation<'c> {
@@ -267,7 +292,26 @@ impl<'c> Simulation<'c> {
             events: EventQueue::new(),
             context_switches: 0,
             trace: None,
+            metrics: None,
         }
+    }
+
+    fn attach_metrics(&mut self, registry: &obs::Registry) {
+        use obs::Domain::Virtual;
+        self.events.attach_depth_histogram(registry.histogram(
+            "pi_sim/events/queue_depth",
+            Virtual,
+            &[1, 2, 4, 8, 16, 32, 64],
+        ));
+        self.metrics = Some(SimMetrics {
+            registry: registry.clone(),
+            contended_accesses: registry.counter("pi_sim/bus/contended_memory_accesses", Virtual),
+            contention_extra_cycles: registry
+                .counter("pi_sim/bus/contention_extra_cycles", Virtual),
+            core_busy: (0..self.config.cores)
+                .map(|core| registry.span(&format!("pi_sim/core/{core}/busy"), Virtual))
+                .collect(),
+        });
     }
 
     fn busy_cores(&self) -> usize {
@@ -284,7 +328,15 @@ impl<'c> Simulation<'c> {
                 let busy = self.busy_cores().max(1);
                 let scaled = self.config.memory_latency as f64
                     * (1.0 + self.config.contention_factor * (busy - 1) as f64);
-                scaled.round() as Cycles
+                let cost = scaled.round() as Cycles;
+                if busy > 1 {
+                    if let Some(m) = &self.metrics {
+                        m.contended_accesses.incr();
+                        m.contention_extra_cycles
+                            .add(cost.saturating_sub(self.config.memory_latency));
+                    }
+                }
+                cost
             }
         };
         let coherence = outcome.invalidations as Cycles * self.config.l2_latency;
@@ -378,7 +430,16 @@ impl<'c> Simulation<'c> {
                     elapsed += cost;
                     mem_ops_left -= 1;
                 }
-                Op::ReadStride { base, stride, count } | Op::WriteStride { base, stride, count } => {
+                Op::ReadStride {
+                    base,
+                    stride,
+                    count,
+                }
+                | Op::WriteStride {
+                    base,
+                    stride,
+                    count,
+                } => {
                     // One access per loop iteration, so the quantum and
                     // memory-batch checks interleave exactly as they
                     // would between the expanded unit ops.
@@ -409,6 +470,9 @@ impl<'c> Simulation<'c> {
             }
         }
         if elapsed > 0 {
+            if let Some(m) = &self.metrics {
+                m.core_busy[core].record(elapsed);
+            }
             if let Some(trace) = &mut self.trace {
                 let now = self.events.now();
                 trace.push(TraceSegment {
@@ -558,6 +622,9 @@ impl<'c> Simulation<'c> {
             self.threads.iter().all(|t| t.state == ThreadState::Done),
             "deadlock: some threads never finished"
         );
+        if let Some(m) = &self.metrics {
+            self.caches.export_metrics(&m.registry);
+        }
         let trace = self.trace.take().map(|segments| ExecutionTrace {
             segments,
             total: makespan,
@@ -622,7 +689,10 @@ mod tests {
         // 5 threads of equal work on 4 cores: makespan ≈ 2x the 4-thread
         // case is wrong (time-slicing spreads it) but must exceed it.
         assert!(five.total_cycles > four.total_cycles);
-        assert!(five.context_switches > 0, "oversubscription forces switches");
+        assert!(
+            five.context_switches > 0,
+            "oversubscription forces switches"
+        );
         // Total work conserved.
         let total: Cycles = five.threads.iter().map(|t| t.compute_cycles).sum();
         assert_eq!(total, 5_000_000);
@@ -668,9 +738,7 @@ mod tests {
         let r = Machine::pi().run(vec![p0, p1]);
         assert_eq!(r.barrier_episodes, 1);
         assert!(r.threads[0].sync_wait >= 490_000, "fast thread waited");
-        let gap = r.threads[0]
-            .finish_time
-            .abs_diff(r.threads[1].finish_time);
+        let gap = r.threads[0].finish_time.abs_diff(r.threads[1].finish_time);
         assert!(gap < 1_000, "both finish shortly after the barrier");
     }
 
@@ -857,11 +925,7 @@ mod tests {
         assert!((0..4).any(|c| trace.threads_on_core(c).len() > 1));
         // Segments never overlap on one core.
         for core in 0..4 {
-            let mut segs: Vec<_> = trace
-                .segments
-                .iter()
-                .filter(|s| s.core == core)
-                .collect();
+            let mut segs: Vec<_> = trace.segments.iter().filter(|s| s.core == core).collect();
             segs.sort_by_key(|s| s.start);
             assert!(segs.windows(2).all(|w| w[0].end <= w[1].start));
         }
@@ -874,6 +938,55 @@ mod tests {
         assert_eq!(gantt.lines().count(), 4);
         assert!(gantt.contains('0'));
         assert!(gantt.contains('1'));
+    }
+
+    #[test]
+    fn metrics_do_not_perturb_the_run_and_are_deterministic() {
+        let programs = || -> Vec<Program> {
+            (0..6u64)
+                .map(|t| {
+                    Program::new()
+                        .compute(10_000 + t * 777)
+                        .read_stride(t * 512, 64, 200)
+                        .lock(0)
+                        .write_stride(0x9000, 8, 30)
+                        .unlock(0)
+                        .barrier(1, 6)
+                        .compute(2_000)
+                })
+                .collect()
+        };
+        let plain = Machine::pi().run(programs());
+        let run_instrumented = || {
+            let registry = obs::Registry::new();
+            let report = Machine::pi().run_with_metrics(programs(), &registry);
+            (report, registry.snapshot())
+        };
+        let (ra, sa) = run_instrumented();
+        let (rb, sb) = run_instrumented();
+        assert_eq!(ra.total_cycles, plain.total_cycles, "observer effect");
+        assert_eq!(ra.threads, plain.threads);
+        assert_eq!(rb.total_cycles, ra.total_cycles, "rerun must agree");
+        assert_eq!(
+            sa.to_json(),
+            sb.to_json(),
+            "snapshot must be byte-identical"
+        );
+        // The exported cache counters agree with the report's stats.
+        let l1_total: u64 = ra.cache_stats.iter().map(|s| s.l1_hits).sum();
+        let sample = sa
+            .metrics
+            .iter()
+            .find(|m| m.name == "pi_sim/cache/l1_hits")
+            .expect("cache counter exported");
+        assert!(matches!(sample.data, obs::MetricData::Counter { value } if value == l1_total));
+        // Busy spans and the queue-depth histogram were populated.
+        assert!(sa.metrics.iter().any(|m| m.name == "pi_sim/core/0/busy"));
+        assert!(sa
+            .metrics
+            .iter()
+            .any(|m| m.name == "pi_sim/events/queue_depth"
+                && matches!(m.data, obs::MetricData::Histogram { count, .. } if count > 0)));
     }
 
     #[test]

@@ -141,14 +141,22 @@ impl Program {
     /// Builder: append `count` strided reads as one run-length-encoded
     /// op.
     pub fn read_stride(mut self, base: u64, stride: u64, count: u64) -> Self {
-        self.ops.push(Op::ReadStride { base, stride, count });
+        self.ops.push(Op::ReadStride {
+            base,
+            stride,
+            count,
+        });
         self
     }
 
     /// Builder: append `count` strided writes as one run-length-encoded
     /// op.
     pub fn write_stride(mut self, base: u64, stride: u64, count: u64) -> Self {
-        self.ops.push(Op::WriteStride { base, stride, count });
+        self.ops.push(Op::WriteStride {
+            base,
+            stride,
+            count,
+        });
         self
     }
 
@@ -213,11 +221,23 @@ impl Program {
                 Op::ComputeRepeat { cost, count } => {
                     ops.extend((0..count).map(|_| Op::Compute(cost)));
                 }
-                Op::ReadStride { base, stride, count } => {
-                    ops.extend((0..count).map(|i| Op::Read(base.wrapping_add(i.wrapping_mul(stride)))));
+                Op::ReadStride {
+                    base,
+                    stride,
+                    count,
+                } => {
+                    ops.extend(
+                        (0..count).map(|i| Op::Read(base.wrapping_add(i.wrapping_mul(stride)))),
+                    );
                 }
-                Op::WriteStride { base, stride, count } => {
-                    ops.extend((0..count).map(|i| Op::Write(base.wrapping_add(i.wrapping_mul(stride)))));
+                Op::WriteStride {
+                    base,
+                    stride,
+                    count,
+                } => {
+                    ops.extend(
+                        (0..count).map(|i| Op::Write(base.wrapping_add(i.wrapping_mul(stride)))),
+                    );
                 }
                 unit => ops.push(unit),
             }
@@ -264,7 +284,13 @@ mod tests {
             .atomic_rmw(0x30);
         assert_eq!(p.len(), 7);
         assert_eq!(p.ops()[0], Op::Compute(100));
-        assert_eq!(p.ops()[3], Op::Barrier { id: 0, participants: 4 });
+        assert_eq!(
+            p.ops()[3],
+            Op::Barrier {
+                id: 0,
+                participants: 4
+            }
+        );
     }
 
     #[test]
@@ -326,7 +352,10 @@ mod tests {
                 Op::Read(110),
                 Op::Write(200),
                 Op::Write(200),
-                Op::Barrier { id: 1, participants: 2 },
+                Op::Barrier {
+                    id: 1,
+                    participants: 2
+                },
             ]
         );
         assert_eq!(e.unit_len(), e.len() as u64);

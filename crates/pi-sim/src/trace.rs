@@ -72,8 +72,8 @@ impl ExecutionTrace {
             let mut row = vec!['.'; width];
             for seg in self.segments.iter().filter(|s| s.core == core) {
                 let a = (seg.start as u128 * width as u128 / total as u128) as usize;
-                let b = ((seg.end as u128 * width as u128).div_ceil(total as u128) as usize)
-                    .min(width);
+                let b =
+                    ((seg.end as u128 * width as u128).div_ceil(total as u128) as usize).min(width);
                 let ch = char::from_digit((seg.thread % 10) as u32, 10).expect("digit");
                 for cell in row.iter_mut().take(b).skip(a) {
                     *cell = ch;
@@ -94,9 +94,24 @@ mod tests {
     fn sample() -> ExecutionTrace {
         ExecutionTrace {
             segments: vec![
-                TraceSegment { core: 0, thread: 0, start: 0, end: 50 },
-                TraceSegment { core: 0, thread: 2, start: 50, end: 100 },
-                TraceSegment { core: 1, thread: 1, start: 0, end: 25 },
+                TraceSegment {
+                    core: 0,
+                    thread: 0,
+                    start: 0,
+                    end: 50,
+                },
+                TraceSegment {
+                    core: 0,
+                    thread: 2,
+                    start: 50,
+                    end: 100,
+                },
+                TraceSegment {
+                    core: 1,
+                    thread: 1,
+                    start: 0,
+                    end: 25,
+                },
             ],
             total: 100,
         }

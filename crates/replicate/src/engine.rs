@@ -4,6 +4,32 @@
 use crossbeam::channel;
 use stats::rng::{StreamSeeder, Xoshiro256};
 
+/// Nanosecond bucket edges for the chunk-latency histogram: 1 µs to 1 s
+/// in decades.
+const LATENCY_EDGES_NS: [u64; 7] = [
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+];
+
+/// Metric handles recorded by [`ReplicationEngine::run_with_metrics`].
+///
+/// The virtual-domain counters (chunks dispatched, replicates
+/// completed) are functions of the batch shape alone, so they are
+/// byte-identical across thread counts — like the results themselves.
+/// Chunk latency and worker drains are host timing and live in the wall
+/// domain.
+struct EngineMetrics {
+    chunks_dispatched: obs::Counter,
+    replicates_completed: obs::Counter,
+    worker_drains: obs::Counter,
+    chunk_latency: obs::Histogram,
+}
+
 /// Replicates handed to a worker per queue message. Small enough that a
 /// straggler replicate cannot serialise the tail of a batch, large
 /// enough to amortise channel traffic. Chunking affects only *when* a
@@ -79,6 +105,60 @@ impl ReplicationEngine {
         T: Send,
         F: Fn(&ReplicateCtx) -> T + Sync,
     {
+        self.run_impl(replicates, master_seed, None, body)
+    }
+
+    /// [`run`](Self::run), recording engine metrics into `registry`:
+    /// virtual counters `replicate/chunks_dispatched` and
+    /// `replicate/replicates_completed` (batch shape only, so identical
+    /// for every thread count), plus wall-domain diagnostics
+    /// `replicate/chunk_latency_ns` (per-chunk wall latency histogram)
+    /// and `replicate/worker_drains` (workers that drained the queue to
+    /// disconnection). The batch itself is bit-identical to `run`.
+    pub fn run_with_metrics<T, F>(
+        &self,
+        replicates: usize,
+        master_seed: u64,
+        registry: &obs::Registry,
+        body: F,
+    ) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&ReplicateCtx) -> T + Sync,
+    {
+        let metrics = EngineMetrics {
+            chunks_dispatched: registry
+                .counter("replicate/chunks_dispatched", obs::Domain::Virtual),
+            replicates_completed: registry
+                .counter("replicate/replicates_completed", obs::Domain::Virtual),
+            worker_drains: registry.counter("replicate/worker_drains", obs::Domain::Wall),
+            chunk_latency: registry.histogram(
+                "replicate/chunk_latency_ns",
+                obs::Domain::Wall,
+                &LATENCY_EDGES_NS,
+            ),
+        };
+        self.run_impl(replicates, master_seed, Some(&metrics), body)
+    }
+
+    fn run_impl<T, F>(
+        &self,
+        replicates: usize,
+        master_seed: u64,
+        metrics: Option<&EngineMetrics>,
+        body: F,
+    ) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&ReplicateCtx) -> T + Sync,
+    {
+        if let Some(m) = metrics {
+            // Batch shape only — the same on the inline and threaded
+            // paths, so the virtual snapshot is thread-count invariant.
+            m.chunks_dispatched
+                .add(replicates.div_ceil(self.chunk) as u64);
+            m.replicates_completed.add(replicates as u64);
+        }
         let seeder = StreamSeeder::new(master_seed);
         let ctx = |index: usize| ReplicateCtx {
             index,
@@ -110,10 +190,18 @@ impl ReplicationEngine {
                 scope.spawn(move || {
                     while let Ok(range) = chunk_rx.recv() {
                         let base = range.start;
+                        let started = metrics.map(|_| std::time::Instant::now());
                         let values: Vec<T> = range.map(|i| body(&ctx(i))).collect();
+                        if let (Some(m), Some(t0)) = (metrics, started) {
+                            let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                            m.chunk_latency.record(ns);
+                        }
                         if result_tx.send((base, values)).is_err() {
                             break;
                         }
+                    }
+                    if let Some(m) = metrics {
+                        m.worker_drains.incr();
                     }
                 });
             }
@@ -145,7 +233,9 @@ mod tests {
 
     #[test]
     fn results_come_back_in_replicate_order() {
-        let out = ReplicationEngine::new(4).with_chunk(3).run(97, 7, replicate_body);
+        let out = ReplicationEngine::new(4)
+            .with_chunk(3)
+            .run(97, 7, replicate_body);
         assert_eq!(out.len(), 97);
         for (i, (index, _, _)) in out.iter().enumerate() {
             assert_eq!(*index, i);
@@ -157,9 +247,10 @@ mod tests {
         let reference = ReplicationEngine::new(1).run(200, 42, replicate_body);
         for threads in [2, 4, 8] {
             for chunk in [1, 5, 16, 64, 1024] {
-                let got = ReplicationEngine::new(threads)
-                    .with_chunk(chunk)
-                    .run(200, 42, replicate_body);
+                let got =
+                    ReplicationEngine::new(threads)
+                        .with_chunk(chunk)
+                        .run(200, 42, replicate_body);
                 assert_eq!(reference, got, "threads={threads} chunk={chunk}");
             }
         }
@@ -183,7 +274,10 @@ mod tests {
 
     #[test]
     fn sub_streams_differ_from_the_primary_stream() {
-        let ctx = ReplicateCtx { index: 0, seed: 1234 };
+        let ctx = ReplicateCtx {
+            index: 0,
+            seed: 1234,
+        };
         let mut primary = ctx.rng();
         let mut sub = ctx.stream(0);
         assert_ne!(primary.next_u64(), sub.next_u64());
@@ -201,8 +295,61 @@ mod tests {
     }
 
     #[test]
+    fn instrumented_run_is_bit_identical_and_virtual_metrics_are_thread_invariant() {
+        let plain = ReplicationEngine::new(4)
+            .with_chunk(8)
+            .run(100, 11, replicate_body);
+        let mut virtual_json: Vec<String> = Vec::new();
+        for threads in [1, 2, 4, 8] {
+            let registry = obs::Registry::new();
+            let engine = ReplicationEngine::new(threads).with_chunk(8);
+            let got = engine.run_with_metrics(100, 11, &registry, replicate_body);
+            assert_eq!(plain, got, "threads={threads}");
+            virtual_json.push(registry.snapshot().to_json());
+        }
+        // The virtual snapshot (chunks dispatched, replicates completed)
+        // is byte-identical for every thread count, like the batch.
+        for json in &virtual_json[1..] {
+            assert_eq!(&virtual_json[0], json);
+        }
+        assert!(virtual_json[0].contains("replicate/chunks_dispatched"));
+        assert!(virtual_json[0].contains("replicate/replicates_completed"));
+        // Wall diagnostics never leak into the deterministic snapshot,
+        // but the threaded path does record them.
+        assert!(!virtual_json[0].contains("replicate/chunk_latency_ns"));
+        let registry = obs::Registry::new();
+        let _ = ReplicationEngine::new(4).with_chunk(8).run_with_metrics(
+            100,
+            11,
+            &registry,
+            replicate_body,
+        );
+        let all = registry.snapshot_all();
+        let latency = all
+            .metrics
+            .iter()
+            .find(|m| m.name == "replicate/chunk_latency_ns")
+            .expect("latency histogram registered");
+        match &latency.data {
+            obs::MetricData::Histogram { count, .. } => assert_eq!(*count, 13),
+            other => panic!("expected histogram, got {other:?}"),
+        }
+        let drains = all
+            .metrics
+            .iter()
+            .find(|m| m.name == "replicate/worker_drains")
+            .expect("drain counter registered");
+        match &drains.data {
+            obs::MetricData::Counter { value } => assert_eq!(*value, 4),
+            other => panic!("expected counter, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn uneven_tail_chunk_is_processed() {
-        let out = ReplicationEngine::new(2).with_chunk(7).run(23, 3, |ctx| ctx.index * 2);
+        let out = ReplicationEngine::new(2)
+            .with_chunk(7)
+            .run(23, 3, |ctx| ctx.index * 2);
         assert_eq!(out, (0..23).map(|i| i * 2).collect::<Vec<_>>());
     }
 }

@@ -38,7 +38,9 @@ impl AnovaResult {
 /// `P(F(d1, d2) >= f) = I_{d2/(d2 + d1 f)}(d2/2, d1/2)`.
 pub fn f_sf(f: f64, d1: f64, d2: f64) -> Result<f64> {
     if d1 <= 0.0 || d2 <= 0.0 {
-        return Err(StatsError::InvalidParameter("f_sf: degrees of freedom must be > 0"));
+        return Err(StatsError::InvalidParameter(
+            "f_sf: degrees of freedom must be > 0",
+        ));
     }
     if !f.is_finite() || f < 0.0 {
         return Err(StatsError::NonFinite);
@@ -159,7 +161,9 @@ mod tests {
     fn unbalanced_groups_are_handled() {
         let groups = vec![
             vec![1.0, 1.2, 0.8],
-            (0..40).map(|i| 2.0 + 0.01 * (i % 9) as f64).collect::<Vec<_>>(),
+            (0..40)
+                .map(|i| 2.0 + 0.01 * (i % 9) as f64)
+                .collect::<Vec<_>>(),
         ];
         let r = anova_one_way(&groups).unwrap();
         assert!(r.significant_at(0.001));

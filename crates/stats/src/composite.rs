@@ -79,8 +79,14 @@ mod tests {
 
     #[test]
     fn non_finite_rejected() {
-        assert_eq!(composite_score(f64::NAN, &[1.0]), Err(StatsError::NonFinite));
-        assert_eq!(composite_score(1.0, &[f64::INFINITY]), Err(StatsError::NonFinite));
+        assert_eq!(
+            composite_score(f64::NAN, &[1.0]),
+            Err(StatsError::NonFinite)
+        );
+        assert_eq!(
+            composite_score(1.0, &[f64::INFINITY]),
+            Err(StatsError::NonFinite)
+        );
     }
 
     #[test]

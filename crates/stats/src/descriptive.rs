@@ -62,8 +62,7 @@ impl Summary {
         let delta_n2 = delta_n * delta_n;
         let term1 = delta * delta_n * n1;
         self.mean += delta_n;
-        self.m4 += term1 * delta_n2 * (n * n - 3.0 * n + 3.0)
-            + 6.0 * delta_n2 * self.m2
+        self.m4 += term1 * delta_n2 * (n * n - 3.0 * n + 3.0) + 6.0 * delta_n2 * self.m2
             - 4.0 * delta_n * self.m3;
         self.m3 += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * self.m2;
         self.m2 += term1;
@@ -319,9 +318,15 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.n(), whole.n());
         assert!(close(a.mean(), whole.mean()));
-        assert!(close(a.sample_variance().unwrap(), whole.sample_variance().unwrap()));
+        assert!(close(
+            a.sample_variance().unwrap(),
+            whole.sample_variance().unwrap()
+        ));
         assert!(close(a.skewness().unwrap(), whole.skewness().unwrap()));
-        assert!(close(a.excess_kurtosis().unwrap(), whole.excess_kurtosis().unwrap()));
+        assert!(close(
+            a.excess_kurtosis().unwrap(),
+            whole.excess_kurtosis().unwrap()
+        ));
         assert_eq!(a.min(), whole.min());
         assert_eq!(a.max(), whole.max());
     }

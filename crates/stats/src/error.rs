@@ -68,9 +68,14 @@ mod tests {
         assert_eq!(e.to_string(), "not enough data: needed 2, got 1");
         let e = StatsError::LengthMismatch { left: 3, right: 4 };
         assert!(e.to_string().contains("3 vs 4"));
-        assert_eq!(StatsError::ZeroVariance.to_string(), "input has zero variance");
+        assert_eq!(
+            StatsError::ZeroVariance.to_string(),
+            "input has zero variance"
+        );
         assert!(StatsError::NonFinite.to_string().contains("NaN"));
-        assert!(StatsError::InvalidParameter("df").to_string().contains("df"));
+        assert!(StatsError::InvalidParameter("df")
+            .to_string()
+            .contains("df"));
     }
 
     #[test]
@@ -83,7 +88,10 @@ mod tests {
     fn ensure_finite_rejects_nan_and_inf() {
         assert_eq!(ensure_finite(&[1.0, f64::NAN]), Err(StatsError::NonFinite));
         assert_eq!(ensure_finite(&[f64::INFINITY]), Err(StatsError::NonFinite));
-        assert_eq!(ensure_finite(&[f64::NEG_INFINITY, 0.0]), Err(StatsError::NonFinite));
+        assert_eq!(
+            ensure_finite(&[f64::NEG_INFINITY, 0.0]),
+            Err(StatsError::NonFinite)
+        );
     }
 
     #[test]

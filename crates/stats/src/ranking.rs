@@ -62,7 +62,11 @@ pub fn spread(ranking: &[RankedItem]) -> Result<f64> {
 /// label set (a simple stability measure between the two halves).
 pub fn rank_changes(a: &[RankedItem], b: &[RankedItem]) -> usize {
     a.iter()
-        .filter(|ia| rank_of(b, &ia.label).map(|rb| rb != ia.rank).unwrap_or(true))
+        .filter(|ia| {
+            rank_of(b, &ia.label)
+                .map(|rb| rb != ia.rank)
+                .unwrap_or(true)
+        })
         .count()
 }
 

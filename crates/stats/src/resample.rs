@@ -28,7 +28,7 @@ use crate::Result;
 pub const SHARD_REPS: usize = 256;
 
 fn shard_count(reps: usize) -> usize {
-    (reps + SHARD_REPS - 1) / SHARD_REPS
+    reps.div_ceil(SHARD_REPS)
 }
 
 fn reps_in_shard(reps: usize, shard: usize) -> usize {
@@ -153,10 +153,14 @@ fn validate_bootstrap(data: &[f64], level: f64, reps: usize) -> Result<()> {
         });
     }
     if !(0.0 < level && level < 1.0) {
-        return Err(StatsError::InvalidParameter("bootstrap level must be in (0,1)"));
+        return Err(StatsError::InvalidParameter(
+            "bootstrap level must be in (0,1)",
+        ));
     }
     if reps == 0 {
-        return Err(StatsError::InvalidParameter("bootstrap reps must be positive"));
+        return Err(StatsError::InvalidParameter(
+            "bootstrap reps must be positive",
+        ));
     }
     ensure_finite(data)
 }
@@ -263,7 +267,9 @@ fn validate_paired(first: &[f64], second: &[f64], permutations: usize) -> Result
         });
     }
     if permutations == 0 {
-        return Err(StatsError::InvalidParameter("permutations must be positive"));
+        return Err(StatsError::InvalidParameter(
+            "permutations must be positive",
+        ));
     }
     ensure_finite(first)?;
     ensure_finite(second)
@@ -348,7 +354,11 @@ pub fn permutation_test_paired_par(
     threads: usize,
 ) -> Result<PermutationTest> {
     validate_paired(first, second, permutations)?;
-    let diffs_doubled: Vec<f64> = second.iter().zip(first).map(|(s, f)| 2.0 * (s - f)).collect();
+    let diffs_doubled: Vec<f64> = second
+        .iter()
+        .zip(first)
+        .map(|(s, f)| 2.0 * (s - f))
+        .collect();
     let total: f64 = diffs_doubled.iter().sum::<f64>() / 2.0;
     let observed = total / diffs_doubled.len() as f64;
     let threshold = observed.abs() - 1e-15;
@@ -380,7 +390,9 @@ fn validate_two_sample(a: &[f64], b: &[f64], permutations: usize) -> Result<()> 
         });
     }
     if permutations == 0 {
-        return Err(StatsError::InvalidParameter("permutations must be positive"));
+        return Err(StatsError::InvalidParameter(
+            "permutations must be positive",
+        ));
     }
     ensure_finite(a)?;
     ensure_finite(b)
@@ -395,8 +407,7 @@ pub fn permutation_test_two_sample(
     seed: u64,
 ) -> Result<PermutationTest> {
     validate_two_sample(a, b, permutations)?;
-    let observed =
-        a.iter().sum::<f64>() / a.len() as f64 - b.iter().sum::<f64>() / b.len() as f64;
+    let observed = a.iter().sum::<f64>() / a.len() as f64 - b.iter().sum::<f64>() / b.len() as f64;
     let mut pooled: Vec<f64> = a.iter().chain(b).copied().collect();
     let mut rng = Xoshiro256::seed_from_u64(seed);
     let mut extreme = 0usize;
@@ -459,8 +470,7 @@ pub fn permutation_test_two_sample_par(
     threads: usize,
 ) -> Result<PermutationTest> {
     validate_two_sample(a, b, permutations)?;
-    let observed =
-        a.iter().sum::<f64>() / a.len() as f64 - b.iter().sum::<f64>() / b.len() as f64;
+    let observed = a.iter().sum::<f64>() / a.len() as f64 - b.iter().sum::<f64>() / b.len() as f64;
     let threshold = observed.abs() - 1e-15;
     let pooled: Vec<f64> = a.iter().chain(b).copied().collect();
     let total: f64 = pooled.iter().sum();
@@ -495,7 +505,9 @@ mod tests {
 
     #[test]
     fn bootstrap_ci_covers_the_mean() {
-        let data: Vec<f64> = (0..60).map(|i| 4.0 + 0.2 * ((i * 37 % 11) as f64 - 5.0)).collect();
+        let data: Vec<f64> = (0..60)
+            .map(|i| 4.0 + 0.2 * ((i * 37 % 11) as f64 - 5.0))
+            .collect();
         let ci = bootstrap_ci(&data, |d| mean(d).unwrap(), 0.95, 500, 42).unwrap();
         assert!(ci.lo <= ci.estimate && ci.estimate <= ci.hi);
         assert!(ci.hi - ci.lo < 1.0);
@@ -571,11 +583,9 @@ mod tests {
     #[test]
     fn bootstrap_par_is_thread_count_invariant() {
         let data: Vec<f64> = (0..80).map(|i| (i * 13 % 17) as f64).collect();
-        let reference =
-            bootstrap_ci_par(&data, |d| mean(d).unwrap(), 0.95, 700, 9, 1).unwrap();
+        let reference = bootstrap_ci_par(&data, |d| mean(d).unwrap(), 0.95, 700, 9, 1).unwrap();
         for threads in [2, 4, 8] {
-            let got =
-                bootstrap_ci_par(&data, |d| mean(d).unwrap(), 0.95, 700, 9, threads).unwrap();
+            let got = bootstrap_ci_par(&data, |d| mean(d).unwrap(), 0.95, 700, 9, threads).unwrap();
             assert_eq!(reference, got, "threads = {threads}");
         }
     }
@@ -631,7 +641,9 @@ mod tests {
         assert!((serial.observed - par.observed).abs() < 1e-12);
         assert!(serial.p_two_sided < 0.01 && par.p_two_sided < 0.01);
 
-        let data: Vec<f64> = (0..60).map(|i| 4.0 + 0.2 * ((i * 37 % 11) as f64 - 5.0)).collect();
+        let data: Vec<f64> = (0..60)
+            .map(|i| 4.0 + 0.2 * ((i * 37 % 11) as f64 - 5.0))
+            .collect();
         let s = bootstrap_ci(&data, |d| mean(d).unwrap(), 0.95, 2000, 42).unwrap();
         let p = bootstrap_ci_par(&data, |d| mean(d).unwrap(), 0.95, 2000, 42, 4).unwrap();
         assert_eq!(s.estimate, p.estimate);
@@ -641,7 +653,10 @@ mod tests {
     #[test]
     fn paired_permutation_agrees_with_t_test_on_strong_effect() {
         let first: Vec<f64> = (0..40).map(|i| 3.5 + 0.05 * (i % 5) as f64).collect();
-        let second: Vec<f64> = first.iter().map(|x| x + 0.3 + 0.02 * (x * 10.0).sin()).collect();
+        let second: Vec<f64> = first
+            .iter()
+            .map(|x| x + 0.3 + 0.02 * (x * 10.0).sin())
+            .collect();
         let p = permutation_test_paired(&first, &second, 2000, 99).unwrap();
         let t = t_test_paired(&first, &second).unwrap();
         assert!(p.p_two_sided < 0.01);

@@ -35,7 +35,10 @@ impl Xoshiro256 {
             splitmix64(&mut sm),
             splitmix64(&mut sm),
         ];
-        Xoshiro256 { s, spare_normal: None }
+        Xoshiro256 {
+            s,
+            spare_normal: None,
+        }
     }
 
     /// Next raw 64-bit output.
@@ -330,6 +333,10 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
-        assert_ne!(v, (0..50).collect::<Vec<u32>>(), "shuffle should move elements");
+        assert_ne!(
+            v,
+            (0..50).collect::<Vec<u32>>(),
+            "shuffle should move elements"
+        );
     }
 }

@@ -43,10 +43,14 @@ pub fn ln_gamma(x: f64) -> f64 {
 /// symmetry transformation for fast convergence.
 pub fn incomplete_beta(a: f64, b: f64, x: f64) -> Result<f64> {
     if a <= 0.0 || b <= 0.0 {
-        return Err(StatsError::InvalidParameter("incomplete_beta: a,b must be > 0"));
+        return Err(StatsError::InvalidParameter(
+            "incomplete_beta: a,b must be > 0",
+        ));
     }
     if !(0.0..=1.0).contains(&x) {
-        return Err(StatsError::InvalidParameter("incomplete_beta: x must be in [0,1]"));
+        return Err(StatsError::InvalidParameter(
+            "incomplete_beta: x must be in [0,1]",
+        ));
     }
     if x == 0.0 {
         return Ok(0.0);
@@ -138,7 +142,9 @@ pub fn normal_cdf(z: f64) -> f64 {
 /// |relative error| < 1.15e-9).
 pub fn normal_quantile(p: f64) -> Result<f64> {
     if !(0.0..=1.0).contains(&p) {
-        return Err(StatsError::InvalidParameter("normal_quantile: p must be in [0,1]"));
+        return Err(StatsError::InvalidParameter(
+            "normal_quantile: p must be in [0,1]",
+        ));
     }
     if p == 0.0 {
         return Ok(f64::NEG_INFINITY);
@@ -197,7 +203,9 @@ pub fn normal_quantile(p: f64) -> Result<f64> {
 /// freedom: P(|T| >= |t|).
 pub fn t_sf_two_sided(t: f64, df: f64) -> Result<f64> {
     if df <= 0.0 {
-        return Err(StatsError::InvalidParameter("t_sf_two_sided: df must be > 0"));
+        return Err(StatsError::InvalidParameter(
+            "t_sf_two_sided: df must be > 0",
+        ));
     }
     if !t.is_finite() {
         return Err(StatsError::NonFinite);
@@ -216,7 +224,9 @@ pub fn t_cdf(t: f64, df: f64) -> Result<f64> {
 /// bisection on [`t_sf_two_sided`].
 pub fn t_critical_two_sided(alpha: f64, df: f64) -> Result<f64> {
     if !(0.0 < alpha && alpha < 1.0) {
-        return Err(StatsError::InvalidParameter("t_critical: alpha must be in (0,1)"));
+        return Err(StatsError::InvalidParameter(
+            "t_critical: alpha must be in (0,1)",
+        ));
     }
     if df <= 0.0 {
         return Err(StatsError::InvalidParameter("t_critical: df must be > 0"));
@@ -341,8 +351,16 @@ mod tests {
     #[test]
     fn t_critical_matches_tables() {
         // t*(alpha=.05, df=10) ≈ 2.228; df=120 ≈ 1.980
-        assert!(close(t_critical_two_sided(0.05, 10.0).unwrap(), 2.228, 2e-3));
-        assert!(close(t_critical_two_sided(0.05, 120.0).unwrap(), 1.980, 2e-3));
+        assert!(close(
+            t_critical_two_sided(0.05, 10.0).unwrap(),
+            2.228,
+            2e-3
+        ));
+        assert!(close(
+            t_critical_two_sided(0.05, 120.0).unwrap(),
+            1.980,
+            2e-3
+        ));
         assert!(t_critical_two_sided(0.0, 5.0).is_err());
         assert!(t_critical_two_sided(0.05, 0.0).is_err());
     }

@@ -187,7 +187,14 @@ pub fn t_test_one_sample(data: &[f64], mu: f64) -> Result<TTestResult> {
     let se = sd / n.sqrt();
     let mean_diff = s.mean() - mu;
     let t = mean_diff / se;
-    finish(TTestKind::OneSample, mean_diff, t, n - 1.0, s.n() as usize, se)
+    finish(
+        TTestKind::OneSample,
+        mean_diff,
+        t,
+        n - 1.0,
+        s.n() as usize,
+        se,
+    )
 }
 
 #[cfg(test)]
@@ -197,7 +204,10 @@ mod tests {
     #[test]
     fn paired_detects_consistent_shift() {
         let first: Vec<f64> = (0..30).map(|i| 3.5 + 0.01 * (i % 7) as f64).collect();
-        let second: Vec<f64> = first.iter().map(|x| x + 0.2 + 0.001 * (x * 100.0).sin()).collect();
+        let second: Vec<f64> = first
+            .iter()
+            .map(|x| x + 0.2 + 0.001 * (x * 100.0).sin())
+            .collect();
         let r = t_test_paired(&first, &second).unwrap();
         assert_eq!(r.kind, TTestKind::Paired);
         assert!(r.mean_difference > 0.19 && r.mean_difference < 0.21);

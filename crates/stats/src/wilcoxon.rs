@@ -200,6 +200,9 @@ mod tests {
         let w = wilcoxon_signed_rank(&first, &second).unwrap();
         assert!(w.w_plus > w.w_minus);
         let t = crate::t_test_paired(&first, &second).unwrap();
-        assert!(t.mean_difference < 0.0, "the outlier drags the mean negative");
+        assert!(
+            t.mean_difference < 0.0,
+            "the outlier drags the mean negative"
+        );
     }
 }

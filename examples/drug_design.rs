@@ -6,9 +6,9 @@
 //! cargo run --example drug_design
 //! ```
 
-use pbl::prelude::*;
 use drugsim::dna::{self, DnaConfig};
 use drugsim::{assignment5_report, generate_ligands, run, Approach, DrugDesignConfig};
+use pbl::prelude::*;
 
 fn main() {
     let config = DrugDesignConfig::default();
@@ -24,8 +24,11 @@ fn main() {
     let seq = run(&config, Approach::Sequential, 1);
     let omp = run(&config, Approach::OpenMp, 4);
     let cxx = run(&config, Approach::CxxThreads, 4);
-    println!("best score: {} (all approaches agree: {})", seq.best_score,
-        seq.best_ligands == omp.best_ligands && seq.best_ligands == cxx.best_ligands);
+    println!(
+        "best score: {} (all approaches agree: {})",
+        seq.best_score,
+        seq.best_ligands == omp.best_ligands && seq.best_ligands == cxx.best_ligands
+    );
     for &idx in seq.best_ligands.iter().take(5) {
         println!("  winning ligand #{idx}: {:?}", ligands[idx]);
     }

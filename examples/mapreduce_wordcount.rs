@@ -7,9 +7,9 @@
 //! cargo run --example mapreduce_wordcount
 //! ```
 
-use pbl::prelude::*;
 use mapreduce::examples::{Grep, InvertedIndex, UrlAccessCount, WordCount};
 use mapreduce::{run_job, JobConfig};
+use pbl::prelude::*;
 
 fn main() {
     let docs: Vec<String> = vec![
@@ -51,7 +51,10 @@ fn main() {
         indexed.clone(),
         &JobConfig::default(),
     );
-    println!("Grep for \"memory\" found {} matching lines:", grep.results.len());
+    println!(
+        "Grep for \"memory\" found {} matching lines:",
+        grep.results.len()
+    );
     for (line, docs) in &grep.results {
         println!("  {line:?} in documents {docs:?}");
     }

@@ -6,10 +6,10 @@
 //! cargo run --example mpi_messaging
 //! ```
 
-use pbl::prelude::*;
 use mpi_rt::memory_models::Model;
 use mpi_rt::patternlets::{distributed_sum, master_worker_messages, rank_hello, ring_pass};
 use mpi_rt::run;
+use pbl::prelude::*;
 
 fn main() {
     println!("== Rank hello (MPI_Comm_rank / MPI_Comm_size) ==");
@@ -23,7 +23,10 @@ fn main() {
     println!("\n== Distributed sum (scatter + local work + reduce) ==");
     let data: Vec<u64> = (1..=1000).collect();
     let (parallel, sequential) = distributed_sum(data, 4);
-    println!("  parallel {parallel} == sequential {sequential}: {}", parallel == sequential);
+    println!(
+        "  parallel {parallel} == sequential {sequential}: {}",
+        parallel == sequential
+    );
 
     println!("\n== Master-worker over messages ==");
     let per_worker = master_worker_messages(24, 5);
@@ -51,7 +54,8 @@ fn main() {
         println!("    use when {}", model.when_to_use());
         println!("    data movement is {}", model.data_movement());
     }
-    let [openmp, mpi, mapreduce] = mpi_rt::memory_models::sum_three_ways(&(1..=500).collect::<Vec<u64>>(), 4);
+    let [openmp, mpi, mapreduce] =
+        mpi_rt::memory_models::sum_three_ways(&(1..=500).collect::<Vec<u64>>(), 4);
     println!(
         "\n  the same sum three ways: OpenMP {openmp}, MPI {mpi}, MapReduce {mapreduce} — all equal: {}",
         openmp == mpi && mpi == mapreduce

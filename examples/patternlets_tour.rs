@@ -6,10 +6,12 @@
 //! cargo run --example patternlets_tour
 //! ```
 
-use pbl::prelude::*;
 use parallel_rt::Schedule;
 use patternlets::catalog::{catalog, Assignment};
-use patternlets::{barrier_demo, forkjoin, private_shared, reduction_demo, schedule_demo, spmd, trapezoid};
+use patternlets::{
+    barrier_demo, forkjoin, private_shared, reduction_demo, schedule_demo, spmd, trapezoid,
+};
+use pbl::prelude::*;
 
 fn main() {
     println!("== Assignment 2: fork-join, SPMD, scope matters ==\n");

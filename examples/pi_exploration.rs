@@ -23,7 +23,11 @@ fn main() {
                 "  {:<24} {} [{}]",
                 c.name,
                 c.description,
-                if c.on_die { "on the SoC die" } else { "board part" }
+                if c.on_die {
+                    "on the SoC die"
+                } else {
+                    "board part"
+                }
             );
         }
         println!(
@@ -44,7 +48,10 @@ fn main() {
     pi.flash_raspbian(false).expect("flash succeeds");
     pi.connect_display();
     pi.connect_keyboard();
-    println!("after flashing RASPBIAN: booted to {:?}", pi.boot().unwrap());
+    println!(
+        "after flashing RASPBIAN: booted to {:?}",
+        pi.boot().unwrap()
+    );
     for (step, done) in pi.checklist() {
         println!("  [{}] {step}", if done { "x" } else { " " });
     }
@@ -71,10 +78,18 @@ fn main() {
 
     println!("\n== Cache coherence: why the shared counter is slow ==\n");
     let shared: Vec<Program> = (0..4)
-        .map(|_| (0..200).map(|_| pi_sim::program::Op::AtomicRmw(0x100)).collect())
+        .map(|_| {
+            (0..200)
+                .map(|_| pi_sim::program::Op::AtomicRmw(0x100))
+                .collect()
+        })
         .collect();
     let disjoint: Vec<Program> = (0..4u64)
-        .map(|t| (0..200).map(|_| pi_sim::program::Op::AtomicRmw(0x100 + t * 4096)).collect())
+        .map(|t| {
+            (0..200)
+                .map(|_| pi_sim::program::Op::AtomicRmw(0x100 + t * 4096))
+                .collect()
+        })
         .collect();
     let rs = Machine::pi().run(shared);
     let rd = Machine::pi().run(disjoint);
@@ -85,6 +100,10 @@ fn main() {
         rd.total_cycles,
         rs.total_cycles as f64 / rd.total_cycles as f64
     );
-    let invalidations: u64 = rs.cache_stats.iter().map(|s| s.invalidations_received).sum();
+    let invalidations: u64 = rs
+        .cache_stats
+        .iter()
+        .map(|s| s.invalidations_received)
+        .sum();
     println!("coherence invalidations during the contended run: {invalidations}");
 }

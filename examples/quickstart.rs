@@ -24,7 +24,11 @@ fn main() {
         println!(
             "H{} {}: {}",
             v.hypothesis,
-            if v.supported { "supported" } else { "NOT supported" },
+            if v.supported {
+                "supported"
+            } else {
+                "NOT supported"
+            },
             v.evidence
         );
     }

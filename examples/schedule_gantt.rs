@@ -6,9 +6,9 @@
 //! cargo run --example schedule_gantt
 //! ```
 
-use pbl::prelude::*;
 use parallel_rt::sim::{plan_assignment, CostModel, SimOptions};
 use parallel_rt::Schedule;
+use pbl::prelude::*;
 use pi_sim::machine::Machine;
 use pi_sim::program::Program;
 
@@ -39,16 +39,18 @@ fn gantt_for_plan(
 
 fn main() {
     println!("== Four equal threads on four cores (perfect fit) ==");
-    let (report, trace) = Machine::pi().run_traced(
-        (0..4).map(|_| Program::new().compute(400_000)).collect(),
-    );
+    let (report, trace) =
+        Machine::pi().run_traced((0..4).map(|_| Program::new().compute(400_000)).collect());
     println!("{}", trace.render_gantt(4, 64));
-    println!("makespan {} cycles; utilization {:?}\n", report.total_cycles, trace.utilization(4));
+    println!(
+        "makespan {} cycles; utilization {:?}\n",
+        report.total_cycles,
+        trace.utilization(4)
+    );
 
     println!("== Five equal threads on four cores (the Assignment 5 question) ==");
-    let (report, trace) = Machine::pi().run_traced(
-        (0..5).map(|_| Program::new().compute(400_000)).collect(),
-    );
+    let (report, trace) =
+        Machine::pi().run_traced((0..5).map(|_| Program::new().compute(400_000)).collect());
     println!("{}", trace.render_gantt(4, 64));
     println!(
         "makespan {} cycles — the fifth thread time-slices, so 5 threads \

@@ -8,10 +8,10 @@
 //! cargo run --example semester_simulation
 //! ```
 
-use pbl::prelude::*;
 use classroom::assignment::{assignments, Focus, GradingPolicy};
 use classroom::roster::gender_counts;
 use classroom::team::balance_report;
+use pbl::prelude::*;
 use pbl_core::module::{presentation_guide, Technology, PI_KIT_COST_USD};
 use pbl_core::{experiments, PblStudy};
 
@@ -68,13 +68,8 @@ fn main() {
 
     println!("\n== A team works Assignment 2 ==\n");
     let team = &report.cohort.teams[0];
-    let collab = classroom::collaboration::simulate_collaboration(
-        team,
-        &report.cohort.students,
-        2,
-        7,
-        None,
-    );
+    let collab =
+        classroom::collaboration::simulate_collaboration(team, &report.cohort.students, 2, 7, None);
     println!(
         "Team {} activity: {} total contribution units, balance {:.2}, everyone on video: {}",
         team.id,

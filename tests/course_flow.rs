@@ -37,11 +37,13 @@ fn a_team_completes_the_whole_module() {
     // Grading: everyone cooperated, so the team grade propagates.
     let ratings: Vec<PeerRating> = (0..5)
         .flat_map(|rater| {
-            (0..5).filter(move |&ratee| ratee != rater).map(move |ratee| PeerRating {
-                rater,
-                ratee,
-                rating: 90.0,
-            })
+            (0..5)
+                .filter(move |&ratee| ratee != rater)
+                .map(move |ratee| PeerRating {
+                    rater,
+                    ratee,
+                    rating: 90.0,
+                })
         })
         .collect();
     let grades = individual_grades(93.0, &[0, 1, 2, 3, 4], &ratings, 50.0);
@@ -55,7 +57,9 @@ fn module_structure_matches_the_paper() {
     // Soft skills first, then four technical assignments.
     assert_eq!(all[0].focus, Focus::SoftSkills);
     assert_eq!(
-        all.iter().filter(|a| a.focus == Focus::TechnicalSkills).count(),
+        all.iter()
+            .filter(|a| a.focus == Focus::TechnicalSkills)
+            .count(),
         4
     );
     // Assignment 5 reads the MapReduce paper; earlier ones do not.
@@ -86,9 +90,21 @@ fn skipping_setup_steps_fails_like_a_graded_checklist() {
 #[test]
 fn a_non_cooperator_gets_zero_and_the_team_moves_on() {
     let ratings = vec![
-        PeerRating { rater: 0, ratee: 3, rating: 10.0 },
-        PeerRating { rater: 1, ratee: 3, rating: 15.0 },
-        PeerRating { rater: 2, ratee: 3, rating: 5.0 },
+        PeerRating {
+            rater: 0,
+            ratee: 3,
+            rating: 10.0,
+        },
+        PeerRating {
+            rater: 1,
+            ratee: 3,
+            rating: 15.0,
+        },
+        PeerRating {
+            rater: 2,
+            ratee: 3,
+            rating: 5.0,
+        },
     ];
     let grades = individual_grades(85.0, &[0, 1, 2, 3], &ratings, 50.0);
     assert_eq!(grades[3], (3, 0.0));

@@ -1,0 +1,55 @@
+//! Golden-snapshot integration test: the end-to-end observability
+//! layer exports byte-identical `MetricsSnapshot` JSON across repeated
+//! runs and across replication thread counts — the cross-crate
+//! statement of the observability determinism invariant in DESIGN.md.
+
+use pbl_core::experiments::metrics_snapshot;
+use pbl_core::replicate::{run_replication, run_replication_with_metrics, ReplicationConfig};
+
+fn small_config(threads: usize) -> ReplicationConfig {
+    ReplicationConfig {
+        replicates: 6,
+        threads,
+        num_students: 40,
+        master_seed: 20_180_824,
+        permutations: 300,
+        bootstrap_reps: 200,
+        section_permutations: 200,
+    }
+}
+
+#[test]
+fn metrics_snapshot_json_is_golden_across_runs_and_thread_counts() {
+    let golden = metrics_snapshot(1).to_json();
+    for threads in [1, 2, 4, 8] {
+        let snap = metrics_snapshot(threads);
+        assert_eq!(golden, snap.to_json(), "threads = {threads}");
+        assert_eq!(
+            snap.digest(),
+            metrics_snapshot(threads).digest(),
+            "rerun at threads = {threads}"
+        );
+    }
+    // The golden export speaks the stable schema and covers every
+    // instrumented layer.
+    assert!(golden.starts_with("{\n  \"schema\": \"pbl-obs/v1\""));
+    for layer in ["pi_sim/", "parallel_rt/", "mapreduce/", "replicate/"] {
+        assert!(golden.contains(layer), "missing {layer} metrics");
+    }
+    // Nothing wall-domain leaks into the deterministic export.
+    assert!(!golden.contains("\"domain\": \"wall\""));
+}
+
+#[test]
+fn instrumentation_does_not_perturb_the_replication_batch() {
+    let plain = run_replication(&small_config(4));
+    for threads in [1, 8] {
+        let registry = obs::Registry::new();
+        let instrumented = run_replication_with_metrics(&small_config(threads), &registry);
+        assert_eq!(
+            plain.summaries, instrumented.summaries,
+            "threads = {threads}"
+        );
+        assert_eq!(plain.digest(), instrumented.digest());
+    }
+}

@@ -104,9 +104,8 @@ fn traced_virtual_pi_shows_the_oversubscription_story() {
     use pi_sim::program::Program;
     // 5 equal threads on 4 cores: every core ends up running more than
     // one thread, and utilization is near 1 on all cores.
-    let (report, trace) = Machine::pi().run_traced(
-        (0..5).map(|_| Program::new().compute(300_000)).collect(),
-    );
+    let (report, trace) =
+        Machine::pi().run_traced((0..5).map(|_| Program::new().compute(300_000)).collect());
     // Cores idle briefly at the tail as threads drain, so utilization
     // is high but not 1.0 everywhere.
     let utilization = trace.utilization(4);
@@ -114,9 +113,8 @@ fn traced_virtual_pi_shows_the_oversubscription_story() {
     assert!((0..4).all(|c| trace.threads_on_core(c).len() >= 2));
     assert!(report.context_switches > 0);
     // 4 threads on 4 cores: one thread per core, no switches.
-    let (report4, trace4) = Machine::pi().run_traced(
-        (0..4).map(|_| Program::new().compute(300_000)).collect(),
-    );
+    let (report4, trace4) =
+        Machine::pi().run_traced((0..4).map(|_| Program::new().compute(300_000)).collect());
     assert_eq!(report4.context_switches, 0);
     assert!((0..4).all(|c| trace4.threads_on_core(c).len() == 1));
 }

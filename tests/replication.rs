@@ -61,6 +61,9 @@ fn replication_conclusions_are_stable_across_master_seeds() {
             master_seed: master,
             ..small_config(4)
         });
-        assert!(report.growth_effect_larger_fraction() > 0.5, "master = {master}");
+        assert!(
+            report.growth_effect_larger_fraction() > 0.5,
+            "master = {master}"
+        );
     }
 }

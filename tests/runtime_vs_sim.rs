@@ -31,7 +31,11 @@ fn real_runtime_result_equals_simulated_workload_semantics() {
     // The sim models time; the real runtime computes values. Both must
     // agree on *what* is computed: the sum over the same index set.
     let team = Team::new(4);
-    for schedule in [Schedule::StaticBlock, Schedule::Dynamic(5), Schedule::Guided(3)] {
+    for schedule in [
+        Schedule::StaticBlock,
+        Schedule::Dynamic(5),
+        Schedule::Guided(3),
+    ] {
         let real: u64 = team.parallel_for_reduce(0..12_345, schedule, Sum, |i| i as u64);
         assert_eq!(real, (0..12_345u64).sum::<u64>(), "{schedule:?}");
         let plan = plan_assignment(12_345, &CostModel::Uniform(1), schedule, 4);
@@ -111,11 +115,8 @@ fn patternlet_race_and_machine_coherence_tell_the_same_story() {
     // single-core host, serendipitously serialises); the simulated
     // machine shows the same contended address costing coherence
     // traffic. Both support the course's "scope matters" lesson.
-    let outcome = parallel_rt::race::shared_counter_demo(
-        4,
-        30_000,
-        parallel_rt::race::FixStrategy::None,
-    );
+    let outcome =
+        parallel_rt::race::shared_counter_demo(4, 30_000, parallel_rt::race::FixStrategy::None);
     assert!(outcome.observed <= outcome.expected);
 
     use pi_sim::machine::Machine;
@@ -129,5 +130,8 @@ fn patternlet_race_and_machine_coherence_tell_the_same_story() {
         .iter()
         .map(|s| s.invalidations_received)
         .sum();
-    assert!(invalidations >= 90, "contended counter ping-pongs: {invalidations}");
+    assert!(
+        invalidations >= 90,
+        "contended counter ping-pongs: {invalidations}"
+    );
 }

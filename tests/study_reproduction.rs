@@ -15,11 +15,13 @@ fn report() -> StudyReport {
 fn table1_reproduces_sign_significance_and_magnitude() {
     let r = report();
     // Our convention is second − first; the paper prints first − second.
-    assert!((r.emphasis_ttest.mean_difference - (-published::TABLE1_EMPHASIS.mean_difference))
-        .abs()
-        < 0.05);
-    assert!((r.growth_ttest.mean_difference - (-published::TABLE1_GROWTH.mean_difference)).abs()
-        < 0.05);
+    assert!(
+        (r.emphasis_ttest.mean_difference - (-published::TABLE1_EMPHASIS.mean_difference)).abs()
+            < 0.05
+    );
+    assert!(
+        (r.growth_ttest.mean_difference - (-published::TABLE1_GROWTH.mean_difference)).abs() < 0.05
+    );
     assert!(r.emphasis_ttest.significant_at(0.05));
     assert!(r.growth_ttest.significant_at(0.05));
     // Growth is the stronger effect in both t and mean difference.
@@ -29,7 +31,11 @@ fn table1_reproduces_sign_significance_and_magnitude() {
 #[test]
 fn table2_reproduces_the_medium_effect() {
     let r = report();
-    assert!((r.emphasis_d.d - published::TABLE2.d).abs() < 0.12, "d = {}", r.emphasis_d.d);
+    assert!(
+        (r.emphasis_d.d - published::TABLE2.d).abs() < 0.12,
+        "d = {}",
+        r.emphasis_d.d
+    );
     assert_eq!(r.emphasis_d.band(), EffectSizeBand::Medium);
     assert!((r.emphasis_d.mean_first - published::TABLE2.mean1).abs() < 0.05);
     assert!((r.emphasis_d.mean_second - published::TABLE2.mean2).abs() < 0.05);
@@ -40,7 +46,11 @@ fn table2_reproduces_the_medium_effect() {
 #[test]
 fn table3_reproduces_the_large_effect() {
     let r = report();
-    assert!((r.growth_d.d - published::TABLE3.d).abs() < 0.12, "d = {}", r.growth_d.d);
+    assert!(
+        (r.growth_d.d - published::TABLE3.d).abs() < 0.12,
+        "d = {}",
+        r.growth_d.d
+    );
     assert_eq!(r.growth_d.band(), EffectSizeBand::Large);
     assert!((r.growth_d.mean_first - published::TABLE3.mean1).abs() < 0.05);
     assert!((r.growth_d.mean_second - published::TABLE3.mean2).abs() < 0.05);
@@ -118,8 +128,14 @@ fn element_means_reproduce_tables_5_and_6_cells() {
             let (pub_e, pub_g) = published::table56_means(e, wave);
             let got_e = r.element_mean(Category::ClassEmphasis, e, wave);
             let got_g = r.element_mean(Category::PersonalGrowth, e, wave);
-            assert!((got_e - pub_e).abs() < 0.15, "{e:?} emphasis wave {wave}: {got_e} vs {pub_e}");
-            assert!((got_g - pub_g).abs() < 0.15, "{e:?} growth wave {wave}: {got_g} vs {pub_g}");
+            assert!(
+                (got_e - pub_e).abs() < 0.15,
+                "{e:?} emphasis wave {wave}: {got_e} vs {pub_e}"
+            );
+            assert!(
+                (got_g - pub_g).abs() < 0.15,
+                "{e:?} growth wave {wave}: {got_g} vs {pub_g}"
+            );
         }
     }
 }
@@ -153,8 +169,14 @@ fn all_hypotheses_supported_and_full_report_renders() {
         assert!(v.supported, "H{}: {}", v.hypothesis, v.evidence);
     }
     let text = experiments::full_report(&r);
-    assert!(text.len() > 4_000, "report is substantial: {} chars", text.len());
-    for table in ["Table 1.", "Table 2.", "Table 3.", "Table 4.", "Table 5.", "Table 6."] {
+    assert!(
+        text.len() > 4_000,
+        "report is substantial: {} chars",
+        text.len()
+    );
+    for table in [
+        "Table 1.", "Table 2.", "Table 3.", "Table 4.", "Table 5.", "Table 6.",
+    ] {
         assert!(text.contains(table));
     }
 }

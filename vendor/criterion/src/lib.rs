@@ -136,8 +136,10 @@ impl Default for Criterion {
                 | "--save-baseline" | "--baseline" | "--color" => {
                     // Flags cargo/criterion users pass; values (if any)
                     // are consumed where syntactically obvious.
-                    if matches!(arg.as_str(), "--profile-time" | "--save-baseline" | "--baseline" | "--color")
-                    {
+                    if matches!(
+                        arg.as_str(),
+                        "--profile-time" | "--save-baseline" | "--baseline" | "--color"
+                    ) {
                         args.next();
                     }
                 }
@@ -347,7 +349,9 @@ mod tests {
         };
         let mut group = c.benchmark_group("g");
         let mut ran = 0u32;
-        group.sample_size(10).bench_function("once", |b| b.iter(|| ran += 1));
+        group
+            .sample_size(10)
+            .bench_function("once", |b| b.iter(|| ran += 1));
         group.finish();
         assert_eq!(ran, 1);
     }

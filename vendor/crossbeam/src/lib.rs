@@ -295,7 +295,7 @@ pub mod channel {
                     let rx = rx.clone();
                     let total = &total;
                     s.spawn(move || {
-                        while let Ok(_) = rx.recv() {
+                        while rx.recv().is_ok() {
                             total.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         }
                     });
