@@ -2,16 +2,22 @@
 //! against the committed one and fails if any headline speedup lost
 //! more than 25% of its committed ratio (or vanished).
 //!
+//! It is also the metrics-provenance gate: any document that embeds a
+//! `"metrics"` section must carry the snapshot's own `"digest"` inside
+//! it (non-empty), or the gate fails — a digestless snapshot cannot be
+//! cross-checked against a fresh deterministic run.
+//!
 //! Usage:
 //!   bench_gate <committed.json> <fresh.json>
 //!
 //! Exit status: 0 when every committed scenario holds, 1 on any
-//! regression, 2 on usage or I/O errors. Wired into CI after the
-//! determinism smokes, once the fresh files exist.
+//! regression or missing metrics digest, 2 on usage or I/O errors.
+//! Wired into CI after the determinism smokes, once the fresh files
+//! exist.
 
-use pbl_bench::gate::{self, Speedup};
+use pbl_bench::gate::{self, MetricsDigest, Speedup};
 
-fn load(path: &str) -> Vec<Speedup> {
+fn load(path: &str) -> (String, Vec<Speedup>) {
     let doc = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("bench_gate: cannot read {path}: {e}");
         std::process::exit(2);
@@ -21,7 +27,29 @@ fn load(path: &str) -> Vec<Speedup> {
         eprintln!("bench_gate: no \"speedup\" entries found in {path}");
         std::process::exit(2);
     }
-    speedups
+    (doc, speedups)
+}
+
+/// True if the document passes the metrics-provenance gate; prints the
+/// verdict either way.
+fn metrics_digest_ok(path: &str, doc: &str) -> bool {
+    match gate::metrics_digest(doc) {
+        MetricsDigest::Absent => {
+            println!("bench_gate: {path}: no embedded metrics section");
+            true
+        }
+        MetricsDigest::Missing => {
+            eprintln!(
+                "bench_gate: PROVENANCE FAILURE {path}: embedded \"metrics\" \
+                 section has a missing or empty \"digest\""
+            );
+            false
+        }
+        MetricsDigest::Present(d) => {
+            println!("bench_gate: {path}: metrics digest {d}");
+            true
+        }
+    }
 }
 
 fn main() {
@@ -31,8 +59,12 @@ fn main() {
         std::process::exit(2);
     };
 
-    let committed = load(&committed_path);
-    let fresh = load(&fresh_path);
+    let (committed_doc, committed) = load(&committed_path);
+    let (fresh_doc, fresh) = load(&fresh_path);
+
+    let provenance_ok = metrics_digest_ok(&committed_path, &committed_doc)
+        & metrics_digest_ok(&fresh_path, &fresh_doc);
+
     for c in &committed {
         let fresh_ratio = fresh
             .iter()
@@ -46,6 +78,9 @@ fn main() {
 
     let regressions = gate::regressions(&committed, &fresh, gate::MAX_LOSS);
     if regressions.is_empty() {
+        if !provenance_ok {
+            std::process::exit(1);
+        }
         println!(
             "bench_gate: OK — {} scenario(s) within {:.0}% of committed speedups",
             committed.len(),

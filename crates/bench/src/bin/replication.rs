@@ -24,10 +24,17 @@
 //! Usage:
 //!   cargo run --release -p pbl-bench --bin replication [out.json]
 //!   cargo run --release -p pbl-bench --bin replication -- --check
+//!   cargo run --release -p pbl-bench --bin replication -- --trace-out trace.json
 //!
 //! `--check` runs a small batch across a 1/2/4/8 worker-thread matrix
 //! and exits non-zero if any digest differs from the 1-thread
 //! reference — wired into CI as the determinism smoke step.
+//!
+//! `--trace-out` runs a small traced batch, asserts the traced report
+//! is bit-identical to an untraced one (the observer-effect invariant),
+//! and writes the chunk-lifecycle trace as Chrome trace-event JSON.
+//! Chunk events are emitted by the coordinator in replicate-index
+//! virtual time, so the export is byte-identical at any thread count.
 
 use std::time::Instant;
 
@@ -301,10 +308,45 @@ fn json(
     out
 }
 
+/// `--trace-out` mode: a small traced batch, gated on the traced and
+/// untraced reports being bit-identical before anything is written.
+fn trace_mode(out: &str) -> ! {
+    let cfg = ReplicationConfig {
+        replicates: 100,
+        threads: 4,
+        ..ReplicationConfig::default()
+    };
+    let plain = run_replication(&cfg);
+    let (traced, trace) =
+        pbl_core::replicate::run_replication_traced(&cfg, &obs::trace::TraceConfig::default());
+    assert_eq!(
+        plain.digest(),
+        traced.digest(),
+        "determinism violated: trace instrumentation perturbed the batch"
+    );
+    std::fs::write(out, trace.to_chrome_json()).unwrap_or_else(|e| {
+        eprintln!("replication: cannot write {out}: {e}");
+        std::process::exit(2);
+    });
+    println!(
+        "replication trace: {} replicates, digest 0x{:016x}, report digest unchanged -> {out}",
+        cfg.replicates,
+        trace.digest()
+    );
+    std::process::exit(0);
+}
+
 fn main() {
     let arg = std::env::args().nth(1);
     if arg.as_deref() == Some("--check") {
         check_mode();
+    }
+    if arg.as_deref() == Some("--trace-out") {
+        let out = std::env::args().nth(2).unwrap_or_else(|| {
+            eprintln!("replication: --trace-out needs a path");
+            std::process::exit(2);
+        });
+        trace_mode(&out);
     }
     let out_path = arg.unwrap_or_else(|| "BENCH_replication.json".to_string());
 
@@ -350,7 +392,7 @@ fn main() {
         instrumented.digest(),
         "determinism violated: metrics instrumentation perturbed the batch"
     );
-    let metrics_json = registry.snapshot().to_json();
+    let metrics_json = registry.snapshot().to_json_with_digest();
 
     let speedup = serial_ms / engine4_ms;
     println!(

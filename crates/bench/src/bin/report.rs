@@ -58,6 +58,13 @@ fn main() {
             print!("{}", snapshot.render_text());
             println!("digest: {:016x}", snapshot.digest());
         }
+        "trace" => {
+            let trace = experiments::demo_trace(
+                std::thread::available_parallelism().map_or(1, |n| n.get()),
+            );
+            let analysis = obs::trace::analyze::analyze(&trace);
+            print!("{}", analysis.render_text());
+        }
         _ => {
             print!("{}", experiments::full_report(&report));
             println!("Hypotheses:");

@@ -7,8 +7,19 @@
 //! the same virtual workload and must report bit-identical virtual
 //! cycles — the binary asserts this before recording anything.
 //!
-//! Usage: `cargo run --release -p pbl-bench --bin simcore [out.json]`
-//! (default output path: `BENCH_simcore.json` in the current directory).
+//! Usage:
+//!   cargo run --release -p pbl-bench --bin simcore [out.json]
+//!   cargo run --release -p pbl-bench --bin simcore -- \
+//!       --trace-out trace.json [--trace-golden tests/golden/simcore_trace.digest]
+//!
+//! Default output path: `BENCH_simcore.json` in the current directory.
+//! `--trace-out` skips the wall-clock measurements and instead exports
+//! the canonical four-layer demo trace (`pbl_core::experiments::
+//! demo_trace`) as Chrome trace-event JSON — loadable in Perfetto — and
+//! prints its FNV-1a digest. Every timestamp in it is virtual, so the
+//! file is byte-identical across hosts, runs, and thread counts. With
+//! `--trace-golden FILE` the digest is compared against the committed
+//! golden and the binary exits 1 on any mismatch (the CI trace smoke).
 
 use std::time::Instant;
 
@@ -130,7 +141,47 @@ fn metrics_section() -> String {
         &SimOptions::default(),
         &registry,
     );
-    registry.snapshot().to_json()
+    registry.snapshot().to_json_with_digest()
+}
+
+/// `--trace-out` mode: export the canonical four-layer demo trace and
+/// optionally compare its digest against a committed golden file.
+fn trace_mode(out: &str, golden: Option<&str>) -> ! {
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let trace = pbl_core::experiments::demo_trace(threads);
+    let json = trace.to_chrome_json();
+    std::fs::write(out, &json).unwrap_or_else(|e| {
+        eprintln!("simcore: cannot write {out}: {e}");
+        std::process::exit(2);
+    });
+    let digest = format!("0x{:016x}", trace.digest());
+    let analysis = obs::trace::analyze::analyze(&trace);
+    println!(
+        "simcore trace: {} events, {} lanes, digest {digest} -> {out}",
+        analysis.events,
+        analysis.lanes.len()
+    );
+    if let Some(golden_path) = golden {
+        let committed = std::fs::read_to_string(golden_path).unwrap_or_else(|e| {
+            eprintln!("simcore: cannot read {golden_path}: {e}");
+            std::process::exit(2);
+        });
+        let committed = committed.trim();
+        if committed == digest {
+            println!("simcore trace: digest matches {golden_path}");
+        } else {
+            eprintln!(
+                "simcore trace: DIGEST MISMATCH: fresh {digest}, committed \
+                 {committed} ({golden_path}) — the trace stream changed"
+            );
+            std::process::exit(1);
+        }
+    }
+    if !analysis.attribution_is_exact() {
+        eprintln!("simcore trace: attribution identity violated");
+        std::process::exit(1);
+    }
+    std::process::exit(0);
 }
 
 fn json(scenarios: &[Scenario], metrics_json: &str) -> String {
@@ -176,9 +227,30 @@ fn json(scenarios: &[Scenario], metrics_json: &str) -> String {
 }
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_simcore.json".to_string());
+    let mut out_path = "BENCH_simcore.json".to_string();
+    let mut trace_out = None;
+    let mut trace_golden = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--trace-out" => {
+                trace_out = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("simcore: --trace-out needs a path");
+                    std::process::exit(2);
+                }))
+            }
+            "--trace-golden" => {
+                trace_golden = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("simcore: --trace-golden needs a path");
+                    std::process::exit(2);
+                }))
+            }
+            other => out_path = other.to_string(),
+        }
+    }
+    if let Some(out) = &trace_out {
+        trace_mode(out, trace_golden.as_deref());
+    }
 
     let scenarios = vec![
         pi_sim_scenario(1, 1_000_000),

@@ -16,7 +16,7 @@
 #![forbid(unsafe_code)]
 
 /// The artefact names the report binary accepts.
-pub const ARTEFACTS: [&str; 19] = [
+pub const ARTEFACTS: [&str; 20] = [
     "fig1",
     "fig2",
     "descriptive",
@@ -36,6 +36,7 @@ pub const ARTEFACTS: [&str; 19] = [
     "anova",
     "replication",
     "metrics",
+    "trace",
 ];
 
 /// True if `name` is a known artefact (case-insensitive).
@@ -130,6 +131,51 @@ pub mod gate {
         out
     }
 
+    /// The embedded `"metrics"` section's provenance state in a BENCH
+    /// document: whether the section exists at all and, if it does,
+    /// its snapshot `"digest"` value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum MetricsDigest {
+        /// The document has no `"metrics"` section (older BENCH files).
+        Absent,
+        /// A `"metrics"` section exists but carries no (non-empty)
+        /// `"digest"` — an unverifiable snapshot, which the gate fails.
+        Missing,
+        /// The section's digest value (without the `0x` prefix's case
+        /// normalised away — returned verbatim).
+        Present(String),
+    }
+
+    /// Scans a BENCH document for its embedded `"metrics"` section and
+    /// extracts the snapshot digest inside it. The BENCH files are
+    /// hand-rendered one-pair-per-line JSON, so the first `"digest"`
+    /// string after the `"metrics":` key is the snapshot's own digest
+    /// line (`MetricsSnapshot::to_json_with_digest` places it directly
+    /// under the schema stamp).
+    pub fn metrics_digest(json: &str) -> MetricsDigest {
+        let mut in_metrics = false;
+        for line in json.lines() {
+            if value_after(line, "metrics").is_some() {
+                in_metrics = true;
+                continue;
+            }
+            if in_metrics {
+                if let Some(d) = string_value(line, "digest") {
+                    return if d.is_empty() {
+                        MetricsDigest::Missing
+                    } else {
+                        MetricsDigest::Present(d.to_string())
+                    };
+                }
+            }
+        }
+        if in_metrics {
+            MetricsDigest::Missing
+        } else {
+            MetricsDigest::Absent
+        }
+    }
+
     /// Every committed scenario the fresh run lost by more than
     /// `max_loss` (as a fraction of the committed ratio) or dropped
     /// outright. Empty means the gate passes; fresh-only scenarios are
@@ -164,8 +210,9 @@ mod tests {
         assert!(is_artefact("Table4"));
         assert!(is_artefact("ALL"));
         assert!(!is_artefact("table9"));
-        assert_eq!(ARTEFACTS.len(), 19);
+        assert_eq!(ARTEFACTS.len(), 20);
         assert!(is_artefact("metrics"));
+        assert!(is_artefact("trace"));
         assert!(is_artefact("robustness"));
         assert!(is_artefact("spring2019"));
         assert!(is_artefact("replication"));
@@ -235,6 +282,25 @@ mod tests {
         assert_eq!(r.len(), 1);
         assert_eq!(r[0].name, "pi_sim/uniform_loop");
         assert_eq!(r[0].fresh, Some(29.9));
+    }
+
+    #[test]
+    fn gate_metrics_digest_distinguishes_absent_missing_and_present() {
+        // No metrics section at all: older files are tolerated.
+        assert_eq!(gate::metrics_digest(BENCH_DOC), gate::MetricsDigest::Absent);
+        // A metrics section without a digest fails the provenance gate.
+        let missing =
+            "{\n  \"metrics\": {\n    \"schema\": \"pbl-obs/v1\",\n    \"counters\": []\n  }\n}\n";
+        assert_eq!(gate::metrics_digest(missing), gate::MetricsDigest::Missing);
+        let empty =
+            "{\n  \"metrics\": {\n    \"schema\": \"pbl-obs/v1\",\n    \"digest\": \"\"\n  }\n}\n";
+        assert_eq!(gate::metrics_digest(empty), gate::MetricsDigest::Missing);
+        // The digest right under the schema stamp is extracted verbatim.
+        let ok = "{\n  \"metrics\": {\n    \"schema\": \"pbl-obs/v1\",\n    \"digest\": \"0x00ff\",\n    \"counters\": []\n  }\n}\n";
+        assert_eq!(
+            gate::metrics_digest(ok),
+            gate::MetricsDigest::Present("0x00ff".to_string())
+        );
     }
 
     #[test]

@@ -469,6 +469,78 @@ pub fn metrics_snapshot(threads: usize) -> obs::MetricsSnapshot {
     registry.snapshot()
 }
 
+/// The canonical four-layer demo trace: the same workloads as
+/// [`metrics_snapshot`], but captured as a virtual-time event stream
+/// and merged into one Chrome-trace document (one Perfetto process per
+/// layer). Every event is timestamped in the owning layer's virtual
+/// clock — simulated cycles for the machine layers, pairs processed
+/// for MapReduce, replicate index for the replication engine — so the
+/// export is byte-identical across hosts, runs, and thread counts.
+pub fn demo_trace(threads: usize) -> obs::trace::Trace {
+    let tcfg = obs::trace::TraceConfig::default();
+
+    // Layers 1+2: the guided loop on the simulated machine (per-core
+    // schedule slices, cache counters, bus-contention instants, wait
+    // spans) plus the runtime's chunk-dispatch lane.
+    let (_, loop_trace) = parallel_rt::sim::simulate_parallel_loop_traced(
+        2_000,
+        &parallel_rt::sim::CostModel::Linear { base: 40, slope: 2 },
+        parallel_rt::Schedule::Guided(8),
+        4,
+        &parallel_rt::sim::SimOptions::default(),
+        &tcfg,
+    );
+
+    // A tree reduction for its barrier-wait spans between combine
+    // levels — the sync cost the ablation in DESIGN.md studies.
+    let (_, reduce_trace) = parallel_rt::sim::simulate_reduction_traced(
+        1_024,
+        25,
+        4,
+        parallel_rt::sim::ReductionStyle::Tree,
+        &parallel_rt::sim::SimOptions::default(),
+        &tcfg,
+    );
+
+    // Layer 3: word-count phase spans in pairs-processed virtual time.
+    let docs: Vec<String> = (0..24)
+        .map(|i| format!("pbl module assignment {} teaches parallel thinking", i % 5))
+        .collect();
+    let (_, job_trace) = mapreduce::run_job_traced(
+        &mapreduce::examples::WordCount,
+        docs,
+        &mapreduce::JobConfig {
+            map_workers: 2,
+            use_combiner: true,
+            ..Default::default()
+        },
+        &tcfg,
+    );
+
+    // Layer 4: replication chunk lifecycles in replicate-index virtual
+    // time. `threads` only changes which OS workers run the chunks,
+    // never the batch shape, so the merged trace is thread invariant.
+    let (_, rep_trace) = crate::replicate::run_replication_traced(
+        &crate::replicate::ReplicationConfig {
+            replicates: 6,
+            threads,
+            num_students: 40,
+            master_seed: 77,
+            permutations: 200,
+            bootstrap_reps: 150,
+            section_permutations: 150,
+        },
+        &tcfg,
+    );
+
+    obs::trace::Trace::merge(vec![
+        ("sim-loop", loop_trace),
+        ("tree-reduction", reduce_trace),
+        ("word-count", job_trace),
+        ("replication", rep_trace),
+    ])
+}
+
 /// Section equivalence (§II: both sections "taught by the same
 /// instructor and with the same instructional strategy"): compares the
 /// two sections' wave-2 scores; no significant difference is expected,
@@ -835,6 +907,40 @@ mod tests {
             assert!(a.to_json().contains(needle), "missing {needle}");
         }
         assert!(a.render_text().contains("metrics snapshot"));
+    }
+
+    #[test]
+    fn demo_trace_merges_all_four_layers_and_is_thread_invariant() {
+        let a = demo_trace(1);
+        let b = demo_trace(4);
+        assert_eq!(
+            a.to_chrome_json(),
+            b.to_chrome_json(),
+            "golden trace invariant"
+        );
+        assert_eq!(a.digest(), b.digest());
+
+        let json = a.to_chrome_json();
+        for process in ["sim-loop", "tree-reduction", "word-count", "replication"] {
+            assert!(json.contains(process), "missing process {process}");
+        }
+        let analysis = obs::trace::analyze::analyze(&a);
+        assert!(analysis.attribution_is_exact());
+        assert!(!analysis.critical_path.is_empty());
+        for cat in [
+            obs::trace::category::SLICE,
+            obs::trace::category::BARRIER_WAIT,
+            obs::trace::category::PHASE,
+            obs::trace::category::CHUNK,
+        ] {
+            assert!(
+                analysis
+                    .lanes
+                    .iter()
+                    .any(|l| l.busy.iter().any(|(c, cycles)| c == cat && *cycles > 0)),
+                "no busy cycles attributed to {cat}"
+            );
+        }
     }
 
     #[test]

@@ -298,6 +298,31 @@ pub fn run_replication_with_metrics(
     }
 }
 
+/// [`run_replication`], additionally recording the deterministic
+/// chunk-lifecycle trace (virtual time = replicate index; see
+/// `ReplicationEngine::run_traced`). The report is bit-identical to
+/// [`run_replication`] — the observer-effect invariant the root
+/// `trace_golden` test enforces — and the trace is byte-identical for
+/// every `cfg.threads`.
+pub fn run_replication_traced(
+    cfg: &ReplicationConfig,
+    tcfg: &obs::trace::TraceConfig,
+) -> (ReplicationReport, obs::trace::Trace) {
+    let (summaries, trace) = ReplicationEngine::new(cfg.threads).run_traced(
+        cfg.replicates,
+        cfg.master_seed,
+        tcfg,
+        |ctx| summarize_replicate(cfg, ctx),
+    );
+    (
+        ReplicationReport {
+            config: cfg.clone(),
+            summaries,
+        },
+        trace,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

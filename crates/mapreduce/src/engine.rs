@@ -257,6 +257,57 @@ pub fn run_job_with_metrics<M: MapReduce>(
     out
 }
 
+/// Like [`run_job`], additionally recording the deterministic event
+/// trace of the job's phases.
+///
+/// Mapreduce has no cycle clock, so the trace's virtual time is the
+/// job's own deterministic unit: **pairs processed**. The `engine`
+/// lane carries three consecutive phase spans — `map` spanning the
+/// emitted pairs, `shuffle` spanning the shuffled (post-combiner)
+/// pairs, `reduce` spanning the reduced keys — plus one counter sample
+/// per shuffle bucket at the shuffle/reduce boundary. Everything is a
+/// pure function of [`JobStats`], which is worker-count invariant, so
+/// the export is byte-identical for any `map_workers`/`reduce_workers`
+/// setting.
+pub fn run_job_traced<M: MapReduce>(
+    job: &M,
+    inputs: Vec<M::Input>,
+    config: &JobConfig,
+    tcfg: &obs::trace::TraceConfig,
+) -> (JobOutput<M::Key, M::Output>, obs::trace::Trace) {
+    use obs::trace::category;
+    let out = run_job(job, inputs, config);
+    let s = &out.stats;
+    let mut rec = obs::trace::TraceRecorder::new(tcfg);
+    let lane = rec.lane("engine");
+    let buf = rec.buf(lane);
+    let map_end = s.emitted_pairs as u64;
+    let shuffle_end = map_end + s.shuffled_pairs as u64;
+    let reduce_end = shuffle_end + s.reduced_keys as u64;
+    // Span payloads use pair/key counts only: map_attempts is batched
+    // per worker and so would break worker-count invariance.
+    buf.begin(0, "map", category::PHASE, s.emitted_pairs as u64);
+    buf.end(map_end);
+    buf.begin(map_end, "shuffle", category::PHASE, s.shuffled_pairs as u64);
+    buf.end(shuffle_end);
+    for (i, &pairs) in s.bucket_pairs.iter().enumerate() {
+        buf.counter(
+            shuffle_end,
+            format!("bucket/{i}"),
+            category::CHUNK,
+            pairs as u64,
+        );
+    }
+    buf.begin(
+        shuffle_end,
+        "reduce",
+        category::PHASE,
+        s.reduced_keys as u64,
+    );
+    buf.end(reduce_end);
+    (out, rec.finish())
+}
+
 /// Groups a map task's output by key and applies the job's combiner.
 fn combine_locally<M: MapReduce>(
     job: &M,
@@ -519,6 +570,43 @@ mod tests {
             .metrics
             .iter()
             .all(|m| m.name != "mapreduce/shuffle/comparisons_avoided"));
+    }
+
+    #[test]
+    fn traced_job_matches_plain_and_is_worker_count_invariant() {
+        let plain = run_job(&WordCount, corpus(), &JobConfig::default());
+        let tcfg = obs::trace::TraceConfig::default();
+        let run = |map_workers: usize| {
+            run_job_traced(
+                &WordCount,
+                corpus(),
+                &JobConfig {
+                    map_workers,
+                    ..JobConfig::default()
+                },
+                &tcfg,
+            )
+        };
+        let (out_a, trace_a) = run(2);
+        let (out_b, trace_b) = run(5);
+        assert_eq!(out_a.results, plain.results, "observer effect");
+        assert_eq!(out_b.results, plain.results);
+        // Virtual time is pairs processed — a pure function of the
+        // stats — so the export ignores how many workers raced.
+        assert_eq!(trace_a.to_chrome_json(), trace_b.to_chrome_json());
+        let phases: Vec<&str> = trace_a
+            .events
+            .iter()
+            .filter(|e| e.kind == obs::trace::EventKind::Begin)
+            .map(|e| e.name.as_str())
+            .collect();
+        assert_eq!(phases, vec!["map", "shuffle", "reduce"]);
+        assert_eq!(
+            trace_a.makespan(),
+            (out_a.stats.emitted_pairs + out_a.stats.shuffled_pairs + out_a.stats.reduced_keys)
+                as u64
+        );
+        assert!(obs::trace::analyze::analyze(&trace_a).attribution_is_exact());
     }
 
     #[test]

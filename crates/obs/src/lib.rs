@@ -56,6 +56,7 @@
 mod metric;
 mod registry;
 mod snapshot;
+pub mod trace;
 
 pub use metric::{Counter, Histogram, Span};
 pub use registry::{Domain, Registry};

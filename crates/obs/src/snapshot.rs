@@ -174,12 +174,25 @@ impl MetricsSnapshot {
     /// iff their digests match, the currency of the CI determinism
     /// smokes.
     pub fn digest(&self) -> u64 {
-        let mut h = 0xcbf2_9ce4_8422_2325u64;
-        for byte in self.to_json().bytes() {
-            h ^= byte as u64;
-            h = h.wrapping_mul(0x0000_0100_0000_01B3);
-        }
-        h
+        crate::trace::fnv1a(self.to_json().as_bytes())
+    }
+
+    /// Like [`MetricsSnapshot::to_json`] with one extra field: a
+    /// `"digest"` line (the FNV-1a fingerprint of the undecorated
+    /// JSON) inserted after the schema header. This is the form the
+    /// bench bins embed, so committed BENCH files carry a
+    /// determinism fingerprint `bench_gate` can insist on.
+    pub fn to_json_with_digest(&self) -> String {
+        let digest = format!("  \"digest\": \"0x{:016x}\",\n", self.digest());
+        let json = self.to_json();
+        let Some(schema_end) = json.find(",\n") else {
+            return json;
+        };
+        let mut out = String::with_capacity(json.len() + digest.len());
+        out.push_str(&json[..schema_end + 2]);
+        out.push_str(&digest);
+        out.push_str(&json[schema_end + 2..]);
+        out
     }
 }
 
@@ -218,6 +231,20 @@ mod tests {
         assert_eq!(a.to_json(), b.to_json());
         assert_eq!(a.digest(), b.digest());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn json_with_digest_embeds_the_plain_digest() {
+        let snap = sample_registry().snapshot();
+        let with = snap.to_json_with_digest();
+        assert!(with.contains(&format!("\"digest\": \"0x{:016x}\"", snap.digest())));
+        // Removing the digest line recovers the plain JSON byte-for-byte.
+        let stripped: String = with
+            .lines()
+            .filter(|l| !l.contains("\"digest\""))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert_eq!(stripped, snap.to_json());
     }
 
     #[test]

@@ -1,0 +1,523 @@
+//! Trace analysis: critical path, per-lane utilization, and the
+//! time-attribution table ("where did the cycles go").
+//!
+//! The analyzer reconstructs spans from the merged event stream and
+//! answers the question aggregates cannot: *why* is the 4-thread run
+//! only 3.1× faster. The per-lane attribution is an identity, not an
+//! estimate — for every lane, attributed category cycles plus idle
+//! equal the lane's process-group makespan exactly (top-level spans
+//! recorded by the layers never overlap within a lane).
+
+use std::collections::BTreeMap;
+
+use super::{EventKind, Trace, VirtualTime};
+
+/// A reconstructed span (a matched Begin/End pair).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRec {
+    /// Lane the span lives on.
+    pub lane: u32,
+    /// Name from the Begin event.
+    pub name: String,
+    /// Category from the Begin event.
+    pub category: &'static str,
+    /// Open time.
+    pub start: VirtualTime,
+    /// Close time (an unclosed span is clipped to its group makespan).
+    pub end: VirtualTime,
+    /// Begin event's sequence number (deterministic tiebreaker).
+    pub seq: u64,
+    /// Payload of the Begin event.
+    pub value: u64,
+    /// True when no span on the same lane was open underneath.
+    pub top_level: bool,
+}
+
+impl SpanRec {
+    fn duration(&self) -> u64 {
+        self.end - self.start
+    }
+}
+
+/// Per-lane attribution row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaneSummary {
+    /// Lane id.
+    pub lane: u32,
+    /// Lane name.
+    pub name: String,
+    /// Process group.
+    pub pid: u32,
+    /// Cycles covered by top-level spans, per category, sorted by
+    /// category name.
+    pub busy: Vec<(String, u64)>,
+    /// Cycles not covered by any top-level span.
+    pub idle: u64,
+    /// The lane's process-group makespan (`busy + idle` sums to this).
+    pub makespan: u64,
+}
+
+impl LaneSummary {
+    /// Total attributed (non-idle) cycles.
+    pub fn attributed(&self) -> u64 {
+        self.busy.iter().map(|(_, c)| c).sum()
+    }
+
+    /// Fraction of the makespan covered by top-level spans, in [0, 1].
+    pub fn utilization(&self) -> f64 {
+        utilization_ratio(self.attributed(), self.makespan)
+    }
+}
+
+/// One step of the critical path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CriticalStep {
+    /// Lane the step ran on.
+    pub lane: u32,
+    /// Lane name.
+    pub lane_name: String,
+    /// Span name.
+    pub name: String,
+    /// Span category.
+    pub category: &'static str,
+    /// Step start.
+    pub start: VirtualTime,
+    /// Step end.
+    pub end: VirtualTime,
+}
+
+/// An aggregated counter/instant stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSummary {
+    /// `category/name` key.
+    pub key: String,
+    /// Number of samples.
+    pub samples: u64,
+    /// Sum of sample values.
+    pub total: u64,
+    /// Last sampled value (in merged order).
+    pub last: u64,
+}
+
+/// Everything the `report -- trace` consumer prints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceAnalysis {
+    /// Global makespan across all process groups.
+    pub makespan: VirtualTime,
+    /// Total events analyzed.
+    pub events: usize,
+    /// Events dropped by full ring buffers.
+    pub dropped: u64,
+    /// Spans clipped because their End was never recorded.
+    pub unclosed_spans: u64,
+    /// Per-lane attribution rows, in lane order.
+    pub lanes: Vec<LaneSummary>,
+    /// The longest dependency-free chain of non-overlapping spans.
+    pub critical_path: Vec<CriticalStep>,
+    /// Summed duration of the critical path.
+    pub critical_cycles: u64,
+    /// Aggregated instant/counter streams, sorted by key.
+    pub counters: Vec<CounterSummary>,
+    /// FNV-1a digest of the trace's Chrome JSON.
+    pub digest: u64,
+}
+
+/// Total length of a set of `(start, end)` intervals — the one shared
+/// implementation of "busy cycles" (pi-sim's `ExecutionTrace` view
+/// delegates here instead of re-deriving it).
+pub fn intervals_total(intervals: impl IntoIterator<Item = (u64, u64)>) -> u64 {
+    intervals
+        .into_iter()
+        .map(|(s, e)| e.saturating_sub(s))
+        .sum()
+}
+
+/// `busy / makespan`, 0 when the makespan is 0.
+pub fn utilization_ratio(busy: u64, makespan: u64) -> f64 {
+    if makespan == 0 {
+        0.0
+    } else {
+        busy as f64 / makespan as f64
+    }
+}
+
+/// Reconstructs spans lane by lane. Events are already in the stable
+/// merged order, so a per-lane stack suffices: Begin pushes, End pops.
+/// Unmatched Ends are ignored; unclosed Begins clip to `clip_end` of
+/// their lane and are counted.
+fn reconstruct_spans(trace: &Trace, clip_end: &BTreeMap<u32, u64>) -> (Vec<SpanRec>, u64) {
+    let mut stacks: BTreeMap<u32, Vec<SpanRec>> = BTreeMap::new();
+    let mut spans: Vec<SpanRec> = Vec::new();
+    let mut unclosed = 0u64;
+    for ev in &trace.events {
+        match ev.kind {
+            EventKind::Begin => {
+                let stack = stacks.entry(ev.lane).or_default();
+                let top_level = stack.is_empty();
+                stack.push(SpanRec {
+                    lane: ev.lane,
+                    name: ev.name.clone(),
+                    category: ev.category,
+                    start: ev.time,
+                    end: ev.time,
+                    seq: ev.seq,
+                    value: ev.value,
+                    top_level,
+                });
+            }
+            EventKind::End => {
+                if let Some(mut span) = stacks.entry(ev.lane).or_default().pop() {
+                    span.end = ev.time.max(span.start);
+                    spans.push(span);
+                }
+            }
+            EventKind::Instant | EventKind::Counter => {}
+        }
+    }
+    for (lane, stack) in stacks {
+        let clip = clip_end.get(&lane).copied().unwrap_or(0);
+        for mut span in stack {
+            span.end = clip.max(span.start);
+            unclosed += 1;
+            spans.push(span);
+        }
+    }
+    spans.sort_by_key(|s| (s.start, s.end, s.lane, s.seq));
+    (spans, unclosed)
+}
+
+/// Longest chain of non-overlapping spans (next.start ≥ prev.end),
+/// maximising summed duration — the critical path through the event
+/// DAG. O(n log n), deterministic: ties resolve to the earliest span
+/// in `(end, start, lane, seq)` order.
+fn critical_path(spans: &[SpanRec]) -> (Vec<usize>, u64) {
+    let mut order: Vec<usize> = (0..spans.len()).collect();
+    order.sort_by_key(|&i| (spans[i].end, spans[i].start, spans[i].lane, spans[i].seq));
+    // Frontier of (end, best_chain_cycles, span_index), strictly
+    // increasing in both end and chain length.
+    let mut frontier: Vec<(u64, u64, usize)> = Vec::new();
+    let mut chain = vec![0u64; spans.len()];
+    let mut parent = vec![usize::MAX; spans.len()];
+    let mut best = (0u64, usize::MAX);
+    for &i in &order {
+        let span = &spans[i];
+        // Best chain ending no later than this span starts.
+        let pred = match frontier.partition_point(|&(end, _, _)| end <= span.start) {
+            0 => None,
+            p => Some(frontier[p - 1]),
+        };
+        let base = pred.map_or(0, |(_, cycles, _)| cycles);
+        chain[i] = base + span.duration();
+        parent[i] = pred.map_or(usize::MAX, |(_, _, idx)| idx);
+        if chain[i] > best.0 {
+            best = (chain[i], i);
+        }
+        if frontier
+            .last()
+            .is_none_or(|&(_, cycles, _)| chain[i] > cycles)
+        {
+            frontier.push((span.end, chain[i], i));
+        }
+    }
+    let mut path = Vec::new();
+    let mut at = best.1;
+    while at != usize::MAX {
+        path.push(at);
+        at = parent[at];
+    }
+    path.reverse();
+    (path, best.0)
+}
+
+/// Analyzes a merged trace: span reconstruction, critical path,
+/// per-lane attribution, counter aggregation, digest.
+pub fn analyze(trace: &Trace) -> TraceAnalysis {
+    let group_makespan: BTreeMap<u32, u64> = trace
+        .processes
+        .iter()
+        .map(|p| (p.pid, trace.makespan_of(p.pid)))
+        .collect();
+    let lane_makespan: BTreeMap<u32, u64> = trace
+        .lanes
+        .iter()
+        .map(|l| (l.id, group_makespan.get(&l.pid).copied().unwrap_or(0)))
+        .collect();
+    let (spans, unclosed_spans) = reconstruct_spans(trace, &lane_makespan);
+    let (path_idx, critical_cycles) = critical_path(&spans);
+
+    let mut lanes = Vec::new();
+    for lane in &trace.lanes {
+        let makespan = lane_makespan.get(&lane.id).copied().unwrap_or(0);
+        let mut busy: BTreeMap<String, u64> = BTreeMap::new();
+        let mut attributed = 0u64;
+        for span in spans.iter().filter(|s| s.lane == lane.id && s.top_level) {
+            *busy.entry(span.category.to_string()).or_default() += span.duration();
+            attributed += span.duration();
+        }
+        lanes.push(LaneSummary {
+            lane: lane.id,
+            name: lane.name.clone(),
+            pid: lane.pid,
+            busy: busy.into_iter().collect(),
+            idle: makespan.saturating_sub(attributed),
+            makespan,
+        });
+    }
+
+    let mut counters: BTreeMap<String, CounterSummary> = BTreeMap::new();
+    for ev in &trace.events {
+        if matches!(ev.kind, EventKind::Instant | EventKind::Counter) {
+            let key = format!("{}/{}", ev.category, ev.name);
+            let entry = counters.entry(key.clone()).or_insert(CounterSummary {
+                key,
+                samples: 0,
+                total: 0,
+                last: 0,
+            });
+            entry.samples += 1;
+            entry.total = entry.total.saturating_add(ev.value);
+            entry.last = ev.value;
+        }
+    }
+
+    let lane_name = |id: u32| -> String {
+        trace
+            .lanes
+            .iter()
+            .find(|l| l.id == id)
+            .map(|l| l.name.clone())
+            .unwrap_or_else(|| format!("lane/{id}"))
+    };
+    let critical_path = path_idx
+        .iter()
+        .map(|&i| CriticalStep {
+            lane: spans[i].lane,
+            lane_name: lane_name(spans[i].lane),
+            name: spans[i].name.clone(),
+            category: spans[i].category,
+            start: spans[i].start,
+            end: spans[i].end,
+        })
+        .collect();
+
+    TraceAnalysis {
+        makespan: trace.makespan(),
+        events: trace.events.len(),
+        dropped: trace.dropped,
+        unclosed_spans,
+        lanes,
+        critical_path,
+        critical_cycles,
+        counters: counters.into_values().collect(),
+        digest: trace.digest(),
+    }
+}
+
+impl TraceAnalysis {
+    /// True when every lane's attribution is exact: category cycles
+    /// plus idle equal the lane's makespan.
+    pub fn attribution_is_exact(&self) -> bool {
+        self.lanes
+            .iter()
+            .all(|l| l.attributed() + l.idle == l.makespan)
+    }
+
+    /// Renders the critical path and the time-attribution table.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "trace analysis: makespan {} cycles, {} lanes, {} events ({} dropped, {} unclosed), digest 0x{:016x}",
+            self.makespan,
+            self.lanes.len(),
+            self.events,
+            self.dropped,
+            self.unclosed_spans,
+            self.digest
+        );
+        let pct = 100.0 * utilization_ratio(self.critical_cycles, self.makespan);
+        let _ = writeln!(
+            out,
+            "critical path: {} steps, {} cycles ({pct:.1}% of makespan)",
+            self.critical_path.len(),
+            self.critical_cycles
+        );
+        for step in &self.critical_path {
+            let _ = writeln!(
+                out,
+                "  [{}] {} ({}) {}..{} +{}",
+                step.lane_name,
+                step.name,
+                step.category,
+                step.start,
+                step.end,
+                step.end - step.start
+            );
+        }
+        // Attribution table over the union of categories.
+        let mut categories: Vec<String> = Vec::new();
+        for lane in &self.lanes {
+            for (cat, _) in &lane.busy {
+                if !categories.contains(cat) {
+                    categories.push(cat.clone());
+                }
+            }
+        }
+        categories.sort();
+        let _ = writeln!(
+            out,
+            "time attribution (virtual cycles; categories + idle = lane makespan):"
+        );
+        let mut header = format!("  {:<24}", "lane");
+        for cat in &categories {
+            header.push_str(&format!(" {cat:>14}"));
+        }
+        header.push_str(&format!(
+            " {:>14} {:>14} {:>6}",
+            "idle", "makespan", "util%"
+        ));
+        let _ = writeln!(out, "{header}");
+        for lane in &self.lanes {
+            let mut row = format!("  {:<24}", lane.name);
+            for cat in &categories {
+                let cycles = lane
+                    .busy
+                    .iter()
+                    .find(|(c, _)| c == cat)
+                    .map(|(_, v)| *v)
+                    .unwrap_or(0);
+                row.push_str(&format!(" {cycles:>14}"));
+            }
+            row.push_str(&format!(
+                " {:>14} {:>14} {:>6.1}",
+                lane.idle,
+                lane.makespan,
+                100.0 * lane.utilization()
+            ));
+            let _ = writeln!(out, "{row}");
+        }
+        let _ = writeln!(
+            out,
+            "attribution identity: {}",
+            if self.attribution_is_exact() {
+                "exact (categories + idle = makespan on every lane)"
+            } else {
+                "INEXACT (overlapping top-level spans)"
+            }
+        );
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "counters:");
+            for c in &self.counters {
+                let _ = writeln!(
+                    out,
+                    "  {:<32} {:>8} samples, total {}, last {}",
+                    c.key, c.samples, c.total, c.last
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{category, TraceConfig, TraceRecorder};
+
+    /// Two cores: core 0 runs 0..60 and 70..100, core 1 runs 0..40.
+    fn sample() -> Trace {
+        let mut rec = TraceRecorder::new(&TraceConfig::default());
+        let c0 = rec.lane("core/0");
+        let c1 = rec.lane("core/1");
+        rec.buf(c0).begin(0, "t0", category::SLICE, 0);
+        rec.buf(c0).end(60);
+        rec.buf(c0).begin(70, "t2", category::SLICE, 2);
+        rec.buf(c0).end(100);
+        rec.buf(c1).begin(0, "t1", category::SLICE, 1);
+        rec.buf(c1).end(40);
+        rec.buf(c1).instant(20, "contention", category::BUS, 18);
+        rec.finish()
+    }
+
+    #[test]
+    fn attribution_sums_to_makespan_per_lane() {
+        let a = analyze(&sample());
+        assert_eq!(a.makespan, 100);
+        assert!(a.attribution_is_exact());
+        let c0 = &a.lanes[0];
+        assert_eq!(c0.busy, vec![("slice".to_string(), 90)]);
+        assert_eq!(c0.idle, 10);
+        assert!((c0.utilization() - 0.9).abs() < 1e-12);
+        let c1 = &a.lanes[1];
+        assert_eq!(c1.attributed(), 40);
+        assert_eq!(c1.idle, 60);
+    }
+
+    #[test]
+    fn critical_path_picks_longest_nonoverlapping_chain() {
+        let a = analyze(&sample());
+        // 0..60 then 70..100 on core 0 = 90 cycles beats core 1's 40.
+        assert_eq!(a.critical_cycles, 90);
+        assert_eq!(a.critical_path.len(), 2);
+        assert_eq!(a.critical_path[0].name, "t0");
+        assert_eq!(a.critical_path[1].name, "t2");
+    }
+
+    #[test]
+    fn counters_aggregate_instants() {
+        let a = analyze(&sample());
+        assert_eq!(a.counters.len(), 1);
+        assert_eq!(a.counters[0].key, "bus/contention");
+        assert_eq!(a.counters[0].samples, 1);
+        assert_eq!(a.counters[0].total, 18);
+    }
+
+    #[test]
+    fn unclosed_spans_clip_to_makespan() {
+        let mut rec = TraceRecorder::new(&TraceConfig::default());
+        let lane = rec.lane("core/0");
+        rec.buf(lane).begin(10, "open", category::SLICE, 0);
+        rec.buf(lane).instant(50, "tick", category::BUS, 0);
+        let a = analyze(&rec.finish());
+        assert_eq!(a.unclosed_spans, 1);
+        assert_eq!(a.lanes[0].attributed(), 40, "clipped to makespan 50");
+        assert!(a.attribution_is_exact());
+    }
+
+    #[test]
+    fn nested_spans_attribute_only_top_level() {
+        let mut rec = TraceRecorder::new(&TraceConfig::default());
+        let lane = rec.lane("worker");
+        rec.buf(lane).begin(0, "outer", category::CHUNK, 0);
+        rec.buf(lane).begin(10, "inner", category::PHASE, 0);
+        rec.buf(lane).end(20);
+        rec.buf(lane).end(100);
+        let a = analyze(&rec.finish());
+        assert_eq!(
+            a.lanes[0].attributed(),
+            100,
+            "inner span not double-counted"
+        );
+        assert!(a.attribution_is_exact());
+    }
+
+    #[test]
+    fn render_text_contains_table_and_path() {
+        let text = analyze(&sample()).render_text();
+        assert!(text.contains("critical path: 2 steps, 90 cycles"));
+        assert!(text.contains("time attribution"));
+        assert!(text.contains("core/0"));
+        assert!(text.contains("attribution identity: exact"));
+        assert!(text.contains("bus/contention"));
+    }
+
+    #[test]
+    fn empty_trace_analyzes_cleanly() {
+        let rec = TraceRecorder::new(&TraceConfig::default());
+        let a = analyze(&rec.finish());
+        assert_eq!(a.makespan, 0);
+        assert!(a.critical_path.is_empty());
+        assert!(a.attribution_is_exact());
+    }
+}

@@ -295,6 +295,51 @@ pub fn simulate_parallel_loop_with_metrics(
     }
 }
 
+/// [`simulate_parallel_loop`] additionally recording the deterministic
+/// event trace: the machine's per-core slice spans and per-thread wait
+/// spans, plus a `dispatch` lane of chunk-dispatch instants at each
+/// chunk's *planned* start time (fork overhead plus the closed-form
+/// cost of the chunks before it on the same thread — the uncontended
+/// schedule the runtime intended, against which the machine lanes show
+/// what actually happened).
+pub fn simulate_parallel_loop_traced(
+    iterations: usize,
+    cost: &CostModel,
+    schedule: Schedule,
+    threads: usize,
+    opts: &SimOptions,
+    tcfg: &obs::trace::TraceConfig,
+) -> (SimLoopOutcome, obs::trace::Trace) {
+    let assignment = plan_assignment(iterations, cost, schedule, threads);
+    let iterations_per_thread: Vec<usize> = assignment
+        .iter()
+        .map(|chunks| chunks.iter().map(|c| c.len()).sum())
+        .collect();
+    let programs = lower_programs(&assignment, cost, opts.fork_overhead, Lowering::Rle);
+    let (report, mut trace) = Machine::new(opts.machine).run_with_trace(programs, tcfg);
+    let mut dispatch =
+        obs::trace::TraceBuffer::new(trace.next_lane(), "dispatch", tcfg.capacity_per_lane);
+    for (t, chunks) in assignment.iter().enumerate() {
+        let mut planned = opts.fork_overhead;
+        for chunk in chunks {
+            dispatch.instant(
+                planned,
+                format!("t{t} {}..{}", chunk.start, chunk.end),
+                obs::trace::category::CHUNK,
+                chunk.len() as u64,
+            );
+            planned += cost.chunk_cost(chunk);
+        }
+    }
+    trace.absorb(dispatch);
+    let outcome = SimLoopOutcome {
+        cycles: report.total_cycles,
+        iterations_per_thread,
+        report,
+    };
+    (outcome, trace)
+}
+
 /// [`simulate_parallel_loop`] with an explicit lowering choice.
 pub fn simulate_parallel_loop_lowered(
     iterations: usize,
@@ -350,10 +395,37 @@ pub fn simulate_reduction(
     style: ReductionStyle,
     opts: &SimOptions,
 ) -> Cycles {
+    let programs = reduction_programs(iterations, iter_cost, threads, style, opts);
+    Machine::new(opts.machine).run(programs).total_cycles
+}
+
+/// [`simulate_reduction`] additionally recording the deterministic
+/// event trace — the barrier-wait spans between tree-combine rounds
+/// are where a reduction's lost time becomes visible.
+pub fn simulate_reduction_traced(
+    iterations: usize,
+    iter_cost: Cycles,
+    threads: usize,
+    style: ReductionStyle,
+    opts: &SimOptions,
+    tcfg: &obs::trace::TraceConfig,
+) -> (Cycles, obs::trace::Trace) {
+    let programs = reduction_programs(iterations, iter_cost, threads, style, opts);
+    let (report, trace) = Machine::new(opts.machine).run_with_trace(programs, tcfg);
+    (report.total_cycles, trace)
+}
+
+fn reduction_programs(
+    iterations: usize,
+    iter_cost: Cycles,
+    threads: usize,
+    style: ReductionStyle,
+    opts: &SimOptions,
+) -> Vec<Program> {
     assert!(threads > 0);
     let combine_cost: Cycles = 50; // one partial-combine step
     let acc_addr = 0x9000_0000u64;
-    let programs: Vec<Program> = (0..threads)
+    (0..threads)
         .map(|t| {
             let my_iters = static_block(0..iterations, threads, t).len();
             let mut p = Program::new().compute(opts.fork_overhead);
@@ -395,8 +467,7 @@ pub fn simulate_reduction(
             }
             p
         })
-        .collect();
-    Machine::new(opts.machine).run(programs).total_cycles
+        .collect()
 }
 
 #[cfg(test)]
@@ -438,6 +509,53 @@ mod tests {
             .metrics
             .iter()
             .any(|m| m.name == "pi_sim/cache/l1_hits"));
+    }
+
+    #[test]
+    fn traced_loop_matches_plain_and_trace_is_byte_stable() {
+        let cost = CostModel::Linear {
+            base: 100,
+            slope: 7,
+        };
+        let opts = SimOptions::default();
+        let tcfg = obs::trace::TraceConfig::default();
+        let plain = simulate_parallel_loop(5_000, &cost, Schedule::Guided(8), 4, &opts);
+        let (a, ta) =
+            simulate_parallel_loop_traced(5_000, &cost, Schedule::Guided(8), 4, &opts, &tcfg);
+        let (_, tb) =
+            simulate_parallel_loop_traced(5_000, &cost, Schedule::Guided(8), 4, &opts, &tcfg);
+        assert_eq!(a.cycles, plain.cycles, "observer effect on the makespan");
+        assert_eq!(ta.to_chrome_json(), tb.to_chrome_json());
+        // The dispatch lane carries one instant per planned chunk.
+        let chunks: usize = plan_assignment(5_000, &cost, Schedule::Guided(8), 4)
+            .iter()
+            .map(|c| c.len())
+            .sum();
+        let dispatch_lane = ta
+            .lanes
+            .iter()
+            .find(|l| l.name == "dispatch")
+            .expect("dispatch lane")
+            .id;
+        let dispatched = ta.events.iter().filter(|e| e.lane == dispatch_lane).count();
+        assert_eq!(dispatched, chunks);
+    }
+
+    #[test]
+    fn traced_tree_reduction_shows_barrier_waits() {
+        let opts = SimOptions::default();
+        let tcfg = obs::trace::TraceConfig::default();
+        let plain = simulate_reduction(4_000, 25, 4, ReductionStyle::Tree, &opts);
+        let (cycles, trace) =
+            simulate_reduction_traced(4_000, 25, 4, ReductionStyle::Tree, &opts, &tcfg);
+        assert_eq!(cycles, plain, "observer effect");
+        assert!(trace
+            .events
+            .iter()
+            .any(|e| e.category == obs::trace::category::BARRIER_WAIT));
+        let analysis = obs::trace::analyze::analyze(&trace);
+        assert!(analysis.attribution_is_exact());
+        assert!(analysis.critical_cycles > 0);
     }
 
     #[test]

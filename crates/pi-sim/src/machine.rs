@@ -9,10 +9,12 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use obs::trace::{category, Trace, TraceConfig, TraceRecorder};
+
 use crate::cache::{CacheStats, Hierarchy, HitLevel};
 use crate::event::{Cycles, EventQueue};
 use crate::program::{Op, Program};
-use crate::trace::{ExecutionTrace, TraceSegment};
+use crate::trace::ExecutionTrace;
 
 /// Tunable machine parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -217,13 +219,29 @@ impl Machine {
         sim.run().0
     }
 
-    /// Like [`Machine::run`], additionally recording the schedule as an
-    /// [`ExecutionTrace`] (who ran where, when).
-    pub fn run_traced(&self, programs: Vec<Program>) -> (RunReport, ExecutionTrace) {
+    /// Like [`Machine::run`], additionally recording the full
+    /// deterministic event trace: per-core schedule-slice spans,
+    /// per-thread barrier/lock/scheduler wait spans, bus-contention
+    /// instants, and end-of-run cache counter samples — all in virtual
+    /// cycles, so the trace (and its Chrome JSON export) is
+    /// byte-identical across hosts and repeated runs.
+    pub fn run_with_trace(
+        &self,
+        programs: Vec<Program>,
+        config: &TraceConfig,
+    ) -> (RunReport, Trace) {
         let mut sim = Simulation::new(&self.config, programs);
-        sim.trace = Some(Vec::new());
+        sim.attach_trace(config);
         let (report, trace) = sim.run();
         (report, trace.expect("tracing was enabled"))
+    }
+
+    /// Like [`Machine::run`], additionally recording the schedule as an
+    /// [`ExecutionTrace`] (who ran where, when) — a thin view derived
+    /// from the [`Machine::run_with_trace`] event stream.
+    pub fn run_traced(&self, programs: Vec<Program>) -> (RunReport, ExecutionTrace) {
+        let (report, trace) = self.run_with_trace(programs, &TraceConfig::default());
+        (report, ExecutionTrace::from_trace(&trace))
     }
 
     /// Convenience: run a single sequential program.
@@ -245,6 +263,15 @@ struct SimMetrics {
     core_busy: Vec<obs::Span>,
 }
 
+/// Trace lanes a simulation records into when tracing is attached: one
+/// lane per hardware core (schedule slices, contention instants, cache
+/// counters) and one per software thread (wait spans).
+struct SimTracer {
+    rec: TraceRecorder,
+    core_lanes: Vec<u32>,
+    thread_lanes: Vec<u32>,
+}
+
 struct Simulation<'c> {
     config: &'c MachineConfig,
     threads: Vec<Thread>,
@@ -256,7 +283,7 @@ struct Simulation<'c> {
     caches: Hierarchy,
     events: EventQueue<SliceEvent>,
     context_switches: u64,
-    trace: Option<Vec<TraceSegment>>,
+    tracer: Option<SimTracer>,
     metrics: Option<SimMetrics>,
 }
 
@@ -291,9 +318,24 @@ impl<'c> Simulation<'c> {
             caches: Hierarchy::pi(config.cores),
             events: EventQueue::new(),
             context_switches: 0,
-            trace: None,
+            tracer: None,
             metrics: None,
         }
+    }
+
+    fn attach_trace(&mut self, config: &TraceConfig) {
+        let mut rec = TraceRecorder::new(config);
+        let core_lanes = (0..self.config.cores)
+            .map(|c| rec.lane(format!("core/{c}")))
+            .collect();
+        let thread_lanes = (0..self.threads.len())
+            .map(|t| rec.lane(format!("thread/{t}")))
+            .collect();
+        self.tracer = Some(SimTracer {
+            rec,
+            core_lanes,
+            thread_lanes,
+        });
     }
 
     fn attach_metrics(&mut self, registry: &obs::Registry) {
@@ -318,8 +360,16 @@ impl<'c> Simulation<'c> {
         self.cores.iter().filter(|c| c.is_some()).count()
     }
 
-    /// Latency of one memory access for `thread` on `core` right now.
-    fn access_cost(&mut self, core: usize, addr: u64, write: bool, rmw: bool) -> Cycles {
+    /// Latency of one memory access for `thread` on `core`, issued at
+    /// virtual time `at`.
+    fn access_cost(
+        &mut self,
+        core: usize,
+        at: Cycles,
+        addr: u64,
+        write: bool,
+        rmw: bool,
+    ) -> Cycles {
         let outcome = self.caches.access(core, addr, write);
         let base = match outcome.level {
             HitLevel::L1 => self.config.l1_latency,
@@ -330,10 +380,16 @@ impl<'c> Simulation<'c> {
                     * (1.0 + self.config.contention_factor * (busy - 1) as f64);
                 let cost = scaled.round() as Cycles;
                 if busy > 1 {
+                    let extra = cost.saturating_sub(self.config.memory_latency);
                     if let Some(m) = &self.metrics {
                         m.contended_accesses.incr();
-                        m.contention_extra_cycles
-                            .add(cost.saturating_sub(self.config.memory_latency));
+                        m.contention_extra_cycles.add(extra);
+                    }
+                    if let Some(tr) = &mut self.tracer {
+                        let lane = tr.core_lanes[core];
+                        tr.rec
+                            .buf(lane)
+                            .instant(at, "contention", category::BUS, extra);
                     }
                 }
                 cost
@@ -362,6 +418,19 @@ impl<'c> Simulation<'c> {
             self.context_switches += 1;
         }
         self.threads[tid].sched_wait += now.saturating_sub(self.threads[tid].ready_since);
+        if now > self.threads[tid].ready_since {
+            if let Some(tr) = &mut self.tracer {
+                let lane = tr.thread_lanes[tid];
+                let buf = tr.rec.buf(lane);
+                buf.begin(
+                    self.threads[tid].ready_since,
+                    "runnable",
+                    category::SCHED_WAIT,
+                    0,
+                );
+                buf.end(now);
+            }
+        }
         self.threads[tid].state = ThreadState::Running;
         self.cores[core] = Some(tid);
         self.last_on_core[core] = Some(tid);
@@ -370,6 +439,7 @@ impl<'c> Simulation<'c> {
 
     /// Simulates a slice for `tid` on `core`, scheduling its end event.
     fn run_slice(&mut self, core: usize, tid: usize, start_delay: Cycles) {
+        let slice_start = self.events.now();
         let mut elapsed = start_delay;
         let quantum = self.config.quantum;
         let mut mem_ops_left = self.config.mem_ops_per_slice;
@@ -411,21 +481,21 @@ impl<'c> Simulation<'c> {
                 }
                 Op::Read(addr) => {
                     self.threads[tid].pc += 1;
-                    let cost = self.access_cost(core, addr, false, false);
+                    let cost = self.access_cost(core, slice_start + elapsed, addr, false, false);
                     self.threads[tid].memory_cycles += cost;
                     elapsed += cost;
                     mem_ops_left -= 1;
                 }
                 Op::Write(addr) => {
                     self.threads[tid].pc += 1;
-                    let cost = self.access_cost(core, addr, true, false);
+                    let cost = self.access_cost(core, slice_start + elapsed, addr, true, false);
                     self.threads[tid].memory_cycles += cost;
                     elapsed += cost;
                     mem_ops_left -= 1;
                 }
                 Op::AtomicRmw(addr) => {
                     self.threads[tid].pc += 1;
-                    let cost = self.access_cost(core, addr, true, true);
+                    let cost = self.access_cost(core, slice_start + elapsed, addr, true, true);
                     self.threads[tid].memory_cycles += cost;
                     elapsed += cost;
                     mem_ops_left -= 1;
@@ -451,7 +521,7 @@ impl<'c> Simulation<'c> {
                     }
                     let addr = base.wrapping_add(done.wrapping_mul(stride));
                     let write = matches!(op, Op::WriteStride { .. });
-                    let cost = self.access_cost(core, addr, write, false);
+                    let cost = self.access_cost(core, slice_start + elapsed, addr, write, false);
                     self.threads[tid].memory_cycles += cost;
                     elapsed += cost;
                     mem_ops_left -= 1;
@@ -473,14 +543,12 @@ impl<'c> Simulation<'c> {
             if let Some(m) = &self.metrics {
                 m.core_busy[core].record(elapsed);
             }
-            if let Some(trace) = &mut self.trace {
-                let now = self.events.now();
-                trace.push(TraceSegment {
-                    core,
-                    thread: tid,
-                    start: now,
-                    end: now + elapsed,
-                });
+            if let Some(tr) = &mut self.tracer {
+                let lane = tr.core_lanes[core];
+                tr.rec
+                    .buf(lane)
+                    .begin(slice_start, format!("t{tid}"), category::SLICE, tid as u64);
+                tr.rec.buf(lane).end(slice_start + elapsed);
             }
         }
         self.events.schedule_in(
@@ -501,6 +569,10 @@ impl<'c> Simulation<'c> {
             ThreadState::BlockedOnLock(_) | ThreadState::BlockedOnBarrier(_)
         ) {
             t.sync_wait += now - t.block_start;
+            if let Some(tr) = &mut self.tracer {
+                let lane = tr.thread_lanes[tid];
+                tr.rec.buf(lane).end(now);
+            }
         }
         t.state = ThreadState::Ready;
         t.ready_since = now;
@@ -512,6 +584,15 @@ impl<'c> Simulation<'c> {
         self.threads[tid].state = state;
         self.threads[tid].block_start = now;
         self.cores[core] = None;
+        if let Some(tr) = &mut self.tracer {
+            let (name, cat, id) = match state {
+                ThreadState::BlockedOnLock(id) => ("lock", category::LOCK_WAIT, id),
+                ThreadState::BlockedOnBarrier(id) => ("barrier", category::BARRIER_WAIT, id),
+                other => unreachable!("block on non-blocking state {other:?}"),
+            };
+            let lane = tr.thread_lanes[tid];
+            tr.rec.buf(lane).begin(now, name, cat, id as u64);
+        }
     }
 
     /// Handles the sync op at `pc` when its moment arrives. Returns true
@@ -579,7 +660,7 @@ impl<'c> Simulation<'c> {
         }
     }
 
-    fn run(mut self) -> (RunReport, Option<ExecutionTrace>) {
+    fn run(mut self) -> (RunReport, Option<Trace>) {
         self.dispatch_all();
         while let Some((_, ev)) = self.events.pop() {
             let SliceEvent { core, thread, end } = ev;
@@ -625,10 +706,30 @@ impl<'c> Simulation<'c> {
         if let Some(m) = &self.metrics {
             self.caches.export_metrics(&m.registry);
         }
-        let trace = self.trace.take().map(|segments| ExecutionTrace {
-            segments,
-            total: makespan,
-        });
+        if let Some(tr) = &mut self.tracer {
+            // Final per-core cache counter samples, stamped at the
+            // makespan so the L1/L2 hit-miss story rides the trace too.
+            for core in 0..self.config.cores {
+                let stats = &self.caches.stats[core];
+                let lane = tr.core_lanes[core];
+                let buf = tr.rec.buf(lane);
+                buf.counter(makespan, "l1_hits", category::CACHE, stats.l1_hits);
+                buf.counter(makespan, "l2_hits", category::CACHE, stats.l2_hits);
+                buf.counter(
+                    makespan,
+                    "memory_accesses",
+                    category::CACHE,
+                    stats.memory_accesses,
+                );
+                buf.counter(
+                    makespan,
+                    "invalidations",
+                    category::CACHE,
+                    stats.invalidations_received,
+                );
+            }
+        }
+        let trace = self.tracer.take().map(|t| t.rec.finish());
         let report = RunReport {
             total_cycles: makespan,
             threads: self
@@ -928,6 +1029,82 @@ mod tests {
             let mut segs: Vec<_> = trace.segments.iter().filter(|s| s.core == core).collect();
             segs.sort_by_key(|s| s.start);
             assert!(segs.windows(2).all(|w| w[0].end <= w[1].start));
+        }
+    }
+
+    #[test]
+    fn trace_stream_is_deterministic_and_does_not_perturb_the_run() {
+        let programs = || -> Vec<Program> {
+            (0..6u64)
+                .map(|t| {
+                    Program::new()
+                        .compute(10_000 + t * 777)
+                        .read_stride(t * 512, 64, 200)
+                        .lock(0)
+                        .write_stride(0x9000, 8, 30)
+                        .unlock(0)
+                        .barrier(1, 6)
+                        .compute(2_000)
+                })
+                .collect()
+        };
+        let plain = Machine::pi().run(programs());
+        let cfg = TraceConfig::default();
+        let (ra, ta) = Machine::pi().run_with_trace(programs(), &cfg);
+        let (_rb, tb) = Machine::pi().run_with_trace(programs(), &cfg);
+        assert_eq!(ra.total_cycles, plain.total_cycles, "observer effect");
+        assert_eq!(ra.threads, plain.threads);
+        assert_eq!(ra.context_switches, plain.context_switches);
+        assert_eq!(
+            ta.to_chrome_json(),
+            tb.to_chrome_json(),
+            "trace must be byte-identical across runs"
+        );
+        assert_eq!(ta.digest(), tb.digest());
+        assert_eq!(ta.makespan(), ra.total_cycles);
+        // The stream carries every advertised event family.
+        let analysis = obs::trace::analyze::analyze(&ta);
+        assert!(analysis.attribution_is_exact());
+        let categories: Vec<&str> = ta.events.iter().map(|e| e.category).collect();
+        assert!(categories.contains(&category::SLICE));
+        assert!(categories.contains(&category::BARRIER_WAIT));
+        assert!(categories.contains(&category::LOCK_WAIT));
+        assert!(categories.contains(&category::SCHED_WAIT));
+        assert!(categories.contains(&category::CACHE));
+        // Wait spans agree with the report's accounting: per thread,
+        // barrier+lock span cycles equal sync_wait and sched spans
+        // equal sched_wait.
+        for (tid, th) in ra.threads.iter().enumerate() {
+            let lane = ta
+                .lanes
+                .iter()
+                .find(|l| l.name == format!("thread/{tid}"))
+                .expect("thread lane")
+                .id;
+            let sums: std::collections::HashMap<&str, u64> = {
+                let mut open: Vec<(&str, u64)> = Vec::new();
+                let mut sums = std::collections::HashMap::new();
+                for ev in ta.events.iter().filter(|e| e.lane == lane) {
+                    match ev.kind {
+                        obs::trace::EventKind::Begin => open.push((ev.category, ev.time)),
+                        obs::trace::EventKind::End => {
+                            let (cat, start) = open.pop().expect("balanced spans");
+                            *sums.entry(cat).or_default() += ev.time - start;
+                        }
+                        _ => {}
+                    }
+                }
+                assert!(open.is_empty(), "thread lanes close every span");
+                sums
+            };
+            let sync = sums.get(category::BARRIER_WAIT).copied().unwrap_or(0)
+                + sums.get(category::LOCK_WAIT).copied().unwrap_or(0);
+            assert_eq!(sync, th.sync_wait, "thread {tid} sync_wait");
+            assert_eq!(
+                sums.get(category::SCHED_WAIT).copied().unwrap_or(0),
+                th.sched_wait,
+                "thread {tid} sched_wait"
+            );
         }
     }
 

@@ -1,5 +1,14 @@
 //! Execution traces: which thread ran on which core, when — the
 //! schedule visualisation instructors draw on the whiteboard, computed.
+//!
+//! Since the tracing subsystem moved into `obs::trace`, this type is a
+//! **thin view** over the deterministic event stream: it is derived
+//! from a [`obs::trace::Trace`] by [`ExecutionTrace::from_trace`]
+//! (picking the schedule-slice spans off the per-core lanes), and its
+//! busy/utilization arithmetic delegates to the one shared
+//! implementation in [`obs::trace::analyze`].
+
+use obs::trace::{analyze, category, EventKind, Trace};
 
 use crate::event::Cycles;
 
@@ -26,25 +35,62 @@ pub struct ExecutionTrace {
 }
 
 impl ExecutionTrace {
+    /// Derives the schedule view from a machine's deterministic event
+    /// stream: every `slice` span on a `core/N` lane becomes a
+    /// [`TraceSegment`] (the span's value carries the thread id), and
+    /// the makespan is the trace's largest timestamp.
+    pub fn from_trace(trace: &Trace) -> Self {
+        let core_of: Vec<(u32, usize)> = trace
+            .lanes
+            .iter()
+            .filter_map(|l| {
+                let core = l.name.strip_prefix("core/")?.parse().ok()?;
+                Some((l.id, core))
+            })
+            .collect();
+        let mut open: Vec<Option<(usize, Cycles)>> = vec![None; core_of.len()];
+        let mut segments = Vec::new();
+        for ev in &trace.events {
+            let Some(slot) = core_of.iter().position(|&(id, _)| id == ev.lane) else {
+                continue;
+            };
+            match ev.kind {
+                EventKind::Begin if ev.category == category::SLICE => {
+                    open[slot] = Some((ev.value as usize, ev.time));
+                }
+                EventKind::End => {
+                    if let Some((thread, start)) = open[slot].take() {
+                        segments.push(TraceSegment {
+                            core: core_of[slot].1,
+                            thread,
+                            start,
+                            end: ev.time,
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+        ExecutionTrace {
+            segments,
+            total: trace.makespan(),
+        }
+    }
+
     /// Busy cycles on `core`.
     pub fn core_busy(&self, core: usize) -> Cycles {
-        self.segments
-            .iter()
-            .filter(|s| s.core == core)
-            .map(|s| s.end - s.start)
-            .sum()
+        analyze::intervals_total(
+            self.segments
+                .iter()
+                .filter(|s| s.core == core)
+                .map(|s| (s.start, s.end)),
+        )
     }
 
     /// Utilization per core in [0, 1].
     pub fn utilization(&self, cores: usize) -> Vec<f64> {
         (0..cores)
-            .map(|c| {
-                if self.total == 0 {
-                    0.0
-                } else {
-                    self.core_busy(c) as f64 / self.total as f64
-                }
-            })
+            .map(|c| analyze::utilization_ratio(self.core_busy(c), self.total))
             .collect()
     }
 

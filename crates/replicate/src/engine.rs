@@ -141,6 +141,53 @@ impl ReplicationEngine {
         self.run_impl(replicates, master_seed, Some(&metrics), body)
     }
 
+    /// [`run`](Self::run), additionally recording the deterministic
+    /// chunk-lifecycle trace.
+    ///
+    /// The engine's virtual clock is the **replicate index**: chunk
+    /// `k` covering replicates `start..end` becomes a span from
+    /// `start` to `end` on the `chunks` lane, with a running
+    /// `completed` counter sample at each chunk boundary. Chunk
+    /// boundaries are a pure function of the batch shape
+    /// (`replicates`, chunk size) — never of which OS worker happened
+    /// to grab a chunk — so the trace, like the batch itself, is
+    /// byte-identical for every thread count. Wall-clock chunk timing
+    /// stays where it was: in the `Domain::Wall` metrics of
+    /// [`run_with_metrics`](Self::run_with_metrics).
+    pub fn run_traced<T, F>(
+        &self,
+        replicates: usize,
+        master_seed: u64,
+        tcfg: &obs::trace::TraceConfig,
+        body: F,
+    ) -> (Vec<T>, obs::trace::Trace)
+    where
+        T: Send,
+        F: Fn(&ReplicateCtx) -> T + Sync,
+    {
+        use obs::trace::category;
+        let out = self.run_impl(replicates, master_seed, None, body);
+        let mut rec = obs::trace::TraceRecorder::new(tcfg);
+        let lane = rec.lane("chunks");
+        let buf = rec.buf(lane);
+        let mut start = 0;
+        let mut chunk_no = 0u64;
+        while start < replicates {
+            let end = (start + self.chunk).min(replicates);
+            buf.begin(
+                start as u64,
+                format!("chunk/{chunk_no}"),
+                category::CHUNK,
+                (end - start) as u64,
+            );
+            buf.counter(end as u64, "completed", category::CHUNK, end as u64);
+            buf.end(end as u64);
+            start = end;
+            chunk_no += 1;
+        }
+        (out, rec.finish())
+    }
+
     fn run_impl<T, F>(
         &self,
         replicates: usize,
@@ -343,6 +390,48 @@ mod tests {
             obs::MetricData::Counter { value } => assert_eq!(*value, 4),
             other => panic!("expected counter, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn traced_run_is_bit_identical_and_trace_is_thread_invariant() {
+        let tcfg = obs::trace::TraceConfig::default();
+        let plain = ReplicationEngine::new(4)
+            .with_chunk(8)
+            .run(100, 11, replicate_body);
+        let mut exports: Vec<String> = Vec::new();
+        for threads in [1, 2, 4, 8] {
+            let engine = ReplicationEngine::new(threads).with_chunk(8);
+            let (got, trace) = engine.run_traced(100, 11, &tcfg, replicate_body);
+            assert_eq!(plain, got, "threads={threads}");
+            exports.push(trace.to_chrome_json());
+        }
+        // Chunk lifecycles are keyed by replicate index, not OS worker,
+        // so the export is byte-identical for every thread count.
+        for json in &exports[1..] {
+            assert_eq!(&exports[0], json);
+        }
+        // 100 replicates in chunks of 8 → 13 chunk spans, last counter
+        // sample reads 100 completed at virtual time 100.
+        let (_, trace) =
+            ReplicationEngine::new(4)
+                .with_chunk(8)
+                .run_traced(100, 11, &tcfg, replicate_body);
+        let chunks = trace
+            .events
+            .iter()
+            .filter(|e| e.kind == obs::trace::EventKind::Begin)
+            .count();
+        assert_eq!(chunks, 13);
+        assert_eq!(trace.makespan(), 100);
+        let analysis = obs::trace::analyze::analyze(&trace);
+        assert!(analysis.attribution_is_exact());
+        let completed = analysis
+            .counters
+            .iter()
+            .find(|c| c.key == "chunk/completed")
+            .expect("completed counter");
+        assert_eq!(completed.samples, 13);
+        assert_eq!(completed.last, 100);
     }
 
     #[test]
