@@ -1,8 +1,10 @@
 //! Regenerates the paper's tables and figures on the simulated cohort.
 //!
-//! Usage: `report [artefact]` where artefact is one of fig1, fig2,
-//! descriptive, table1..table6, gaps, assignment5, race, metrics, or
-//! all (default).
+//! Usage: `report [artefact]` where artefact is a name from the
+//! [`pbl_core::experiments::ARTEFACTS`] catalog, `list` (print the
+//! catalog, one name per line), or `all` (default: the full report
+//! plus hypothesis verdicts). Unknown names print the catalog and exit
+//! with status 2 instead of panicking, so scripted callers can probe.
 
 use pbl_core::experiments;
 use pbl_core::hypotheses;
@@ -13,74 +15,43 @@ fn main() {
         .nth(1)
         .unwrap_or_else(|| "all".to_string())
         .to_lowercase();
-    if !pbl_bench::is_artefact(&what) {
-        eprintln!(
-            "unknown artefact {what:?}; expected one of {:?} or \"all\"",
-            pbl_bench::ARTEFACTS
-        );
-        std::process::exit(2);
+
+    if what == "list" {
+        for name in experiments::ARTEFACTS {
+            println!("{name}");
+        }
+        return;
     }
 
-    let report = PblStudy::new().run();
-    match what.as_str() {
-        "fig1" => print!("{}", experiments::fig1()),
-        "fig2" => print!("{}", experiments::fig2()),
-        "descriptive" => print!("{}", experiments::descriptive(&report).render_ascii()),
-        "table1" => print!("{}", experiments::table1(&report).render_ascii()),
-        "table2" => print!("{}", experiments::table2(&report).render_ascii()),
-        "table3" => print!("{}", experiments::table3(&report).render_ascii()),
-        "table4" => print!("{}", experiments::table4(&report).render_ascii()),
-        "table5" => print!("{}", experiments::table5(&report).render_ascii()),
-        "table6" => print!("{}", experiments::table6(&report).render_ascii()),
-        "gaps" => print!("{}", experiments::gap_analysis(&report).render_ascii()),
-        "assignment5" => print!("{}", experiments::assignment5().render_ascii()),
-        "race" => print!("{}", experiments::race_demo().render_ascii()),
-        "spring2019" => print!("{}", experiments::spring2019().1.render_ascii()),
-        "robustness" => print!("{}", experiments::robustness(&report).render_ascii()),
-        "sections" => print!(
-            "{}",
-            experiments::section_equivalence(&report).render_ascii()
-        ),
-        "assessment" => print!("{}", experiments::assessment_table(&report).render_ascii()),
-        "anova" => print!("{}", experiments::element_anova(&report).render_ascii()),
-        "replication" => print!(
-            "{}",
-            experiments::replication(
-                200,
-                std::thread::available_parallelism().map_or(1, |n| n.get()),
-            )
-            .render_ascii()
-        ),
-        "metrics" => {
-            let snapshot = experiments::metrics_snapshot(
-                std::thread::available_parallelism().map_or(1, |n| n.get()),
+    if what == "all" {
+        let report = PblStudy::new().run();
+        print!("{}", experiments::full_report(&report));
+        println!("Hypotheses:");
+        for v in hypotheses::evaluate_all(&report) {
+            println!(
+                "  H{} {}: {} — {}",
+                v.hypothesis,
+                if v.supported {
+                    "SUPPORTED"
+                } else {
+                    "NOT SUPPORTED"
+                },
+                v.statement,
+                v.evidence
             );
-            print!("{}", snapshot.render_text());
-            println!("digest: {:016x}", snapshot.digest());
         }
-        "trace" => {
-            let trace = experiments::demo_trace(
-                std::thread::available_parallelism().map_or(1, |n| n.get()),
-            );
-            let analysis = obs::trace::analyze::analyze(&trace);
-            print!("{}", analysis.render_text());
-        }
-        _ => {
-            print!("{}", experiments::full_report(&report));
-            println!("Hypotheses:");
-            for v in hypotheses::evaluate_all(&report) {
-                println!(
-                    "  H{} {}: {} — {}",
-                    v.hypothesis,
-                    if v.supported {
-                        "SUPPORTED"
-                    } else {
-                        "NOT SUPPORTED"
-                    },
-                    v.statement,
-                    v.evidence
-                );
+        return;
+    }
+
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    match experiments::render_artefact(&what, threads) {
+        Some(text) => print!("{text}"),
+        None => {
+            eprintln!("unknown artefact {what:?}; expected \"list\", \"all\" or one of:");
+            for name in experiments::ARTEFACTS {
+                eprintln!("  {name}");
             }
+            std::process::exit(2);
         }
     }
 }

@@ -15,35 +15,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-/// The artefact names the report binary accepts.
-pub const ARTEFACTS: [&str; 20] = [
-    "fig1",
-    "fig2",
-    "descriptive",
-    "table1",
-    "table2",
-    "table3",
-    "table4",
-    "table5",
-    "table6",
-    "gaps",
-    "assignment5",
-    "race",
-    "spring2019",
-    "robustness",
-    "sections",
-    "assessment",
-    "anova",
-    "replication",
-    "metrics",
-    "trace",
-];
-
-/// True if `name` is a known artefact (case-insensitive).
-pub fn is_artefact(name: &str) -> bool {
-    let lower = name.to_lowercase();
-    ARTEFACTS.contains(&lower.as_str()) || lower == "all"
-}
+pub use pbl_core::experiments::{is_artefact, ARTEFACTS};
 
 /// Embeds a pretty-printed JSON document as a value inside another
 /// pretty-printed document: re-indents every line after the first by
@@ -208,7 +180,10 @@ mod tests {
     fn artefact_names() {
         assert!(is_artefact("table1"));
         assert!(is_artefact("Table4"));
-        assert!(is_artefact("ALL"));
+        assert!(
+            !is_artefact("all"),
+            "all is the report binary's default, not an artefact"
+        );
         assert!(!is_artefact("table9"));
         assert_eq!(ARTEFACTS.len(), 20);
         assert!(is_artefact("metrics"));

@@ -10,6 +10,83 @@ use stats::table::{fnum, Table};
 use crate::published;
 use crate::study::StudyReport;
 
+/// Every artefact name the report surface can render, in report order.
+/// This catalog is the single source of truth: the `report` binary, the
+/// serve layer's `Report` jobs and the bench crate all consult it, so a
+/// new artefact added here is immediately listable and servable.
+pub const ARTEFACTS: [&str; 20] = [
+    "fig1",
+    "fig2",
+    "descriptive",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "gaps",
+    "assignment5",
+    "race",
+    "spring2019",
+    "robustness",
+    "sections",
+    "assessment",
+    "anova",
+    "replication",
+    "metrics",
+    "trace",
+];
+
+/// True if `name` (case-insensitive) is a single renderable artefact.
+/// `all` is a composition, not a member — callers that accept it (the
+/// report binary) special-case it themselves.
+pub fn is_artefact(name: &str) -> bool {
+    let lower = name.to_lowercase();
+    ARTEFACTS.contains(&lower.as_str())
+}
+
+/// Renders one artefact from the catalog to its textual form, running
+/// the simulated study where the artefact needs it. `threads` bounds
+/// the worker threads of the replication / metrics / trace artefacts;
+/// their output is thread-count invariant, so the rendering is a pure
+/// function of the artefact name. Returns `None` for names outside
+/// [`ARTEFACTS`].
+pub fn render_artefact(name: &str, threads: usize) -> Option<String> {
+    let lower = name.to_lowercase();
+    let study = || crate::study::PblStudy::new().run();
+    let text = match lower.as_str() {
+        "fig1" => fig1(),
+        "fig2" => fig2(),
+        "descriptive" => descriptive(&study()).render_ascii(),
+        "table1" => table1(&study()).render_ascii(),
+        "table2" => table2(&study()).render_ascii(),
+        "table3" => table3(&study()).render_ascii(),
+        "table4" => table4(&study()).render_ascii(),
+        "table5" => table5(&study()).render_ascii(),
+        "table6" => table6(&study()).render_ascii(),
+        "gaps" => gap_analysis(&study()).render_ascii(),
+        "assignment5" => assignment5().render_ascii(),
+        "race" => race_demo().render_ascii(),
+        "spring2019" => spring2019().1.render_ascii(),
+        "robustness" => robustness(&study()).render_ascii(),
+        "sections" => section_equivalence(&study()).render_ascii(),
+        "assessment" => assessment_table(&study()).render_ascii(),
+        "anova" => element_anova(&study()).render_ascii(),
+        "replication" => replication(200, threads).render_ascii(),
+        "metrics" => {
+            let snapshot = metrics_snapshot(threads);
+            format!(
+                "{}digest: {:016x}\n",
+                snapshot.render_text(),
+                snapshot.digest()
+            )
+        }
+        "trace" => obs::trace::analyze::analyze(&demo_trace(threads)).render_text(),
+        _ => return None,
+    };
+    Some(text)
+}
+
 /// Table 1: the two paired t-tests. Rendered with the paper's sign
 /// convention (first − second).
 pub fn table1(report: &StudyReport) -> Table {
@@ -721,6 +798,28 @@ mod tests {
 
     fn report() -> StudyReport {
         PblStudy::new().run()
+    }
+
+    #[test]
+    fn artefact_catalog_is_complete_and_renderable() {
+        assert_eq!(ARTEFACTS.len(), 20);
+        assert!(is_artefact("table1"));
+        assert!(is_artefact("Table4"));
+        assert!(is_artefact("metrics"));
+        assert!(is_artefact("trace"));
+        assert!(!is_artefact("all"), "all is a composition, not a member");
+        assert!(!is_artefact("table9"));
+        // Every catalog entry renders; names off the catalog do not.
+        // (Cheap entries only — the full sweep is the report binary's
+        // job; here we check the dispatch table has no dead rows.)
+        for name in ["fig1", "fig2", "assignment5", "race"] {
+            let text = render_artefact(name, 1).expect(name);
+            assert!(!text.is_empty(), "{name} rendered empty");
+        }
+        assert!(render_artefact("nope", 1).is_none());
+        for name in ARTEFACTS {
+            assert!(is_artefact(name), "{name} not recognised");
+        }
     }
 
     #[test]

@@ -46,6 +46,11 @@ pub mod category {
     pub const CHUNK: &str = "chunk";
     /// A whole engine phase (map, shuffle, reduce).
     pub const PHASE: &str = "phase";
+    /// A scheduled job occupying its tenant's virtual-time lane in the
+    /// serve layer.
+    pub const JOB: &str = "job";
+    /// Admission-queue depth samples of the serve layer.
+    pub const QUEUE: &str = "queue";
 }
 
 /// What a [`TraceEvent`] marks.

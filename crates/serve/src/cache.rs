@@ -1,0 +1,359 @@
+//! Content-addressed result cache with LRU eviction and single-flight
+//! deduplication.
+//!
+//! Keys are [`JobSpec::digest`](crate::spec::JobSpec::digest) values —
+//! the FNV-1a hash of the spec's canonical encoding — so two textually
+//! independent submissions of the same work share one entry and one
+//! computation.
+//!
+//! The batch scheduler keeps the cache deterministic by mutating it
+//! only from the coordinator in dispatch order (see
+//! [`crate::service`]); the live [`get_or_compute`](ResultCache::get_or_compute)
+//! path additionally provides *single-flight* semantics for concurrent
+//! identical calls: the first caller computes under an in-flight
+//! claim, later callers block on a condvar and receive the leader's
+//! `Arc` — one computation, N results.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::result::JobResult;
+
+/// How a served job's result was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheEvent {
+    /// Found ready in the cache.
+    Hit,
+    /// Computed by this job (and, capacity permitting, stored).
+    Computed,
+    /// Deduplicated onto an identical in-flight computation.
+    Joined,
+}
+
+impl CacheEvent {
+    /// Stable tag byte, mixed into batch digests.
+    pub fn tag(self) -> u8 {
+        match self {
+            CacheEvent::Hit => 0,
+            CacheEvent::Computed => 1,
+            CacheEvent::Joined => 2,
+        }
+    }
+
+    /// Stable label for traces and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            CacheEvent::Hit => "hit",
+            CacheEvent::Computed => "computed",
+            CacheEvent::Joined => "joined",
+        }
+    }
+}
+
+/// Monotonic cache counters, all deterministic under the batch
+/// scheduler (they count dispatch-order events, not host timing).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a ready entry.
+    pub hits: u64,
+    /// Lookups that claimed a computation.
+    pub misses: u64,
+    /// Lookups deduplicated onto an in-flight computation.
+    pub joins: u64,
+    /// Entries evicted by the LRU policy.
+    pub evictions: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// Ready results by spec digest.
+    ready: HashMap<u64, Arc<JobResult>>,
+    /// Digests from coldest (front) to hottest (back) — the LRU order.
+    order: Vec<u64>,
+    /// Digests currently being computed by a live caller.
+    inflight: HashSet<u64>,
+    stats: CacheStats,
+}
+
+impl Inner {
+    fn touch(&mut self, digest: u64) {
+        if let Some(pos) = self.order.iter().position(|d| *d == digest) {
+            self.order.remove(pos);
+            self.order.push(digest);
+        }
+    }
+}
+
+/// The content-addressed cache. `capacity` 0 disables caching entirely
+/// (every lookup misses, nothing is stored, no deduplication) — the
+/// cold baseline the serve benchmark compares against.
+#[derive(Debug)]
+pub struct ResultCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+    ready_cv: Condvar,
+}
+
+/// Clears an in-flight claim if the computing closure panics, so
+/// blocked joiners wake and retry instead of deadlocking.
+struct InflightGuard<'a> {
+    cache: &'a ResultCache,
+    digest: u64,
+    armed: bool,
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            let mut inner = self.cache.inner.lock().expect("cache lock");
+            inner.inflight.remove(&self.digest);
+            self.cache.ready_cv.notify_all();
+        }
+    }
+}
+
+impl ResultCache {
+    /// Creates a cache holding at most `capacity` results.
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            capacity,
+            inner: Mutex::new(Inner::default()),
+            ready_cv: Condvar::new(),
+        }
+    }
+
+    /// Looks `digest` up; on a hit, bumps the entry to hottest and
+    /// counts the hit. Used by the batch coordinator in dispatch
+    /// order, which is what keeps the LRU state deterministic.
+    pub fn lookup_touch(&self, digest: u64) -> Option<Arc<JobResult>> {
+        let mut inner = self.inner.lock().expect("cache lock");
+        if let Some(result) = inner.ready.get(&digest).cloned() {
+            inner.stats.hits += 1;
+            inner.touch(digest);
+            Some(result)
+        } else {
+            inner.stats.misses += 1;
+            None
+        }
+    }
+
+    /// Inserts a computed result, evicting coldest entries past
+    /// capacity. Returns how many entries were evicted. A no-op (and
+    /// 0) when the cache is disabled or the digest is already present.
+    pub fn insert(&self, digest: u64, result: Arc<JobResult>) -> u64 {
+        if self.capacity == 0 {
+            return 0;
+        }
+        let mut inner = self.inner.lock().expect("cache lock");
+        if inner.ready.contains_key(&digest) {
+            inner.touch(digest);
+            return 0;
+        }
+        inner.ready.insert(digest, result);
+        inner.order.push(digest);
+        let mut evicted = 0;
+        while inner.order.len() > self.capacity {
+            let coldest = inner.order.remove(0);
+            inner.ready.remove(&coldest);
+            evicted += 1;
+        }
+        inner.stats.evictions += evicted;
+        evicted
+    }
+
+    /// Counts a batch-level join (deduplication onto an earlier job in
+    /// the same batch) without touching entry state.
+    pub fn note_join(&self) {
+        self.inner.lock().expect("cache lock").stats.joins += 1;
+    }
+
+    /// The live single-flight path: returns the cached result, or
+    /// computes it via `compute` while concurrent identical calls
+    /// block and then share the leader's result. With caching disabled
+    /// every caller computes independently.
+    pub fn get_or_compute(
+        &self,
+        digest: u64,
+        compute: impl FnOnce() -> JobResult,
+    ) -> (Arc<JobResult>, CacheEvent) {
+        if self.capacity == 0 {
+            let mut inner = self.inner.lock().expect("cache lock");
+            inner.stats.misses += 1;
+            drop(inner);
+            return (Arc::new(compute()), CacheEvent::Computed);
+        }
+        loop {
+            let mut inner = self.inner.lock().expect("cache lock");
+            if let Some(result) = inner.ready.get(&digest).cloned() {
+                inner.stats.hits += 1;
+                inner.touch(digest);
+                return (result, CacheEvent::Hit);
+            }
+            if inner.inflight.contains(&digest) {
+                // A leader is computing this digest: wait for it.
+                inner.stats.joins += 1;
+                let mut guard = inner;
+                while guard.inflight.contains(&digest) {
+                    guard = self.ready_cv.wait(guard).expect("cache lock");
+                }
+                if let Some(result) = guard.ready.get(&digest).cloned() {
+                    guard.touch(digest);
+                    return (result, CacheEvent::Joined);
+                }
+                // Leader panicked or was evicted before we woke:
+                // retry from the top (the retry may claim leadership).
+                continue;
+            }
+            inner.stats.misses += 1;
+            inner.inflight.insert(digest);
+            drop(inner);
+
+            let mut guard = InflightGuard {
+                cache: self,
+                digest,
+                armed: true,
+            };
+            let result = Arc::new(compute());
+            guard.armed = false;
+            drop(guard);
+
+            self.insert(digest, Arc::clone(&result));
+            let mut inner = self.inner.lock().expect("cache lock");
+            inner.inflight.remove(&digest);
+            drop(inner);
+            self.ready_cv.notify_all();
+            return (result, CacheEvent::Computed);
+        }
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().expect("cache lock").stats
+    }
+
+    /// Number of ready entries currently held.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock").ready.len()
+    }
+
+    /// True when no results are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// FNV-1a digest of the LRU order (coldest to hottest) — the
+    /// cache-state half of the service determinism contract: two runs
+    /// of the same workload must leave the cache in the same state.
+    pub fn digest(&self) -> u64 {
+        let inner = self.inner.lock().expect("cache lock");
+        let mut bytes = Vec::with_capacity(inner.order.len() * 8);
+        for d in &inner.order {
+            bytes.extend(d.to_le_bytes());
+        }
+        obs::trace::fnv1a(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(tag: &str) -> JobResult {
+        JobResult {
+            payload: tag.to_string(),
+            metrics_json: format!("{{\"tag\": \"{tag}\"}}"),
+        }
+    }
+
+    #[test]
+    fn insert_then_lookup_hits_and_counts() {
+        let cache = ResultCache::new(4);
+        assert!(cache.lookup_touch(1).is_none());
+        cache.insert(1, Arc::new(result("a")));
+        let hit = cache.lookup_touch(1).expect("hit");
+        assert_eq!(hit.payload, "a");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_coldest_first_and_touch_protects() {
+        let cache = ResultCache::new(2);
+        cache.insert(1, Arc::new(result("a")));
+        cache.insert(2, Arc::new(result("b")));
+        // Touch 1 so 2 becomes coldest.
+        assert!(cache.lookup_touch(1).is_some());
+        let evicted = cache.insert(3, Arc::new(result("c")));
+        assert_eq!(evicted, 1);
+        assert!(cache.lookup_touch(2).is_none(), "2 was coldest");
+        assert!(cache.lookup_touch(1).is_some());
+        assert!(cache.lookup_touch(3).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_storage_and_dedup() {
+        let cache = ResultCache::new(0);
+        cache.insert(1, Arc::new(result("a")));
+        assert!(cache.lookup_touch(1).is_none());
+        let (_, ev) = cache.get_or_compute(1, || result("a"));
+        assert_eq!(ev, CacheEvent::Computed);
+        let (_, ev) = cache.get_or_compute(1, || result("a"));
+        assert_eq!(ev, CacheEvent::Computed, "no dedup when disabled");
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn single_flight_computes_once_across_threads() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let cache = ResultCache::new(8);
+        let computed = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    let (r, _) = cache.get_or_compute(42, || {
+                        computed.fetch_add(1, Ordering::SeqCst);
+                        // Widen the in-flight window so joiners pile up.
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        result("shared")
+                    });
+                    assert_eq!(r.payload, "shared");
+                });
+            }
+        });
+        assert_eq!(computed.load(Ordering::SeqCst), 1, "exactly one compute");
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits + stats.joins, 7);
+    }
+
+    #[test]
+    fn panicking_leader_releases_the_claim() {
+        let cache = Arc::new(ResultCache::new(8));
+        let c = Arc::clone(&cache);
+        let leader = std::thread::spawn(move || {
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                c.get_or_compute(7, || panic!("leader dies"));
+            }));
+        });
+        leader.join().expect("leader thread");
+        // The claim is gone: a follow-up call computes normally.
+        let (r, ev) = cache.get_or_compute(7, || result("second"));
+        assert_eq!(ev, CacheEvent::Computed);
+        assert_eq!(r.payload, "second");
+    }
+
+    #[test]
+    fn digest_tracks_lru_order() {
+        let a = ResultCache::new(4);
+        let b = ResultCache::new(4);
+        for cache in [&a, &b] {
+            cache.insert(1, Arc::new(result("x")));
+            cache.insert(2, Arc::new(result("y")));
+        }
+        assert_eq!(a.digest(), b.digest());
+        // Touching reorders, so the digests diverge.
+        a.lookup_touch(1);
+        assert_ne!(a.digest(), b.digest());
+    }
+}

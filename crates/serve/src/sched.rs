@@ -1,0 +1,173 @@
+//! Weighted fair queueing with virtual-time ticket accounting.
+//!
+//! The scheduler answers one question: given everything admitted this
+//! batch, in what order do jobs dispatch? The answer is a **pure
+//! function of the submitted workload** — tenants, tickets, specs —
+//! computed before any worker thread starts, so it is bit-identical
+//! for every worker-pool size. This is the service-layer extension of
+//! the repo-wide determinism contract.
+//!
+//! The accounting is classic WFQ: each tenant owns a virtual clock.
+//! A job's virtual span is its [`cost_estimate`](crate::spec::JobSpec::cost_estimate)
+//! scaled down by the tenant's tickets (more tickets → shorter spans →
+//! more frequent dispatch). A job starts at its tenant's clock,
+//! finishes `span` later, and advances the clock; dispatch order is
+//! the stable sort by `(finish_vt, tenant, submission index)` — total,
+//! so the order (and every digest downstream of it) is unambiguous.
+
+use crate::spec::JobSpec;
+
+/// One admitted submission, as the scheduler sees it.
+#[derive(Debug, Clone)]
+pub struct Submission {
+    /// Submitting tenant (a team number in the course workload).
+    pub tenant: u32,
+    /// The tenant's ticket weight (≥ 1; 0 is clamped to 1).
+    pub tickets: u32,
+    /// The work.
+    pub spec: JobSpec,
+}
+
+impl Submission {
+    /// Convenience constructor.
+    pub fn new(tenant: u32, tickets: u32, spec: JobSpec) -> Self {
+        Submission {
+            tenant,
+            tickets,
+            spec,
+        }
+    }
+}
+
+/// A scheduled job: the WFQ plan's row for one admitted submission.
+#[derive(Debug, Clone)]
+pub struct Planned {
+    /// Index into the batch's accepted-submission list.
+    pub submission: usize,
+    /// Submitting tenant.
+    pub tenant: u32,
+    /// The spec's content digest (cache key).
+    pub digest: u64,
+    /// The spec's deterministic cost estimate.
+    pub cost: u64,
+    /// Virtual time the job starts on its tenant's clock.
+    pub start_vt: u64,
+    /// Virtual time the job finishes — the dispatch sort key.
+    pub finish_vt: u64,
+}
+
+/// Scale factor between cost units and virtual time, so ticket
+/// division keeps resolution (`cost * SCALE / tickets`).
+const VT_SCALE: u64 = 1_000;
+
+/// Computes the WFQ dispatch plan for one batch of admitted
+/// submissions, returned in dispatch order.
+///
+/// `accepted` pairs each admitted submission with its index in the
+/// batch's accepted list (indices need not be contiguous — rejected
+/// submissions leave holes).
+pub fn plan(accepted: &[(usize, &Submission)]) -> Vec<Planned> {
+    use std::collections::HashMap;
+
+    let mut clocks: HashMap<u32, u64> = HashMap::new();
+    let mut rows: Vec<Planned> = Vec::with_capacity(accepted.len());
+    for (index, sub) in accepted {
+        let tickets = sub.tickets.max(1) as u64;
+        let cost = sub.spec.cost_estimate().max(1);
+        let span = (cost.saturating_mul(VT_SCALE) / tickets).max(1);
+        let clock = clocks.entry(sub.tenant).or_insert(0);
+        let start_vt = *clock;
+        let finish_vt = start_vt.saturating_add(span);
+        *clock = finish_vt;
+        rows.push(Planned {
+            submission: *index,
+            tenant: sub.tenant,
+            digest: sub.spec.digest(),
+            cost,
+            start_vt,
+            finish_vt,
+        });
+    }
+    // Total order: finish_vt, then tenant, then submission index. The
+    // last key is unique per row, so the sort is deterministic even
+    // between tenants with identical clocks and costs.
+    rows.sort_by_key(|p| (p.finish_vt, p.tenant, p.submission));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{CostSpec, ScheduleSpec};
+
+    fn loop_spec(iterations: u64) -> JobSpec {
+        JobSpec::LoopSim {
+            iterations,
+            cost: CostSpec::Uniform { cycles: 100 },
+            schedule: ScheduleSpec::StaticBlock,
+            threads: 4,
+        }
+    }
+
+    #[test]
+    fn plan_is_a_pure_function_of_the_workload() {
+        let subs: Vec<Submission> = (0..10)
+            .map(|t| Submission::new(t % 3, 1 + t % 2, loop_spec(1_000 + t as u64)))
+            .collect();
+        let accepted: Vec<(usize, &Submission)> = subs.iter().enumerate().collect();
+        let a = plan(&accepted);
+        let b = plan(&accepted);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.submission, y.submission);
+            assert_eq!((x.start_vt, x.finish_vt), (y.start_vt, y.finish_vt));
+        }
+    }
+
+    #[test]
+    fn more_tickets_means_earlier_finish_for_equal_work() {
+        let heavy = Submission::new(0, 4, loop_spec(10_000));
+        let light = Submission::new(1, 1, loop_spec(10_000));
+        let subs = [(0usize, &heavy), (1usize, &light)];
+        let rows = plan(&subs);
+        assert_eq!(rows[0].tenant, 0, "4-ticket tenant dispatches first");
+        assert!(rows[0].finish_vt < rows[1].finish_vt);
+    }
+
+    #[test]
+    fn per_tenant_clocks_interleave_tenants_fairly() {
+        // Tenant 0 submits three jobs, tenant 1 submits one of the
+        // same size: tenant 1's single job must not queue behind all
+        // of tenant 0's backlog.
+        let t0: Vec<Submission> = (0..3)
+            .map(|_| Submission::new(0, 1, loop_spec(5_000)))
+            .collect();
+        let t1 = Submission::new(1, 1, loop_spec(5_000));
+        let mut accepted: Vec<(usize, &Submission)> = t0.iter().enumerate().collect();
+        accepted.push((3, &t1));
+        let rows = plan(&accepted);
+        let pos_t1 = rows.iter().position(|p| p.tenant == 1).expect("t1");
+        assert!(
+            pos_t1 <= 1,
+            "tenant 1's first job dispatches among the first two, got {pos_t1}"
+        );
+    }
+
+    #[test]
+    fn tie_break_is_total_and_stable() {
+        // Identical tenants-with-identical-costs tie on finish_vt;
+        // submission index must break the tie deterministically.
+        let a = Submission::new(0, 1, loop_spec(1_000));
+        let b = Submission::new(1, 1, loop_spec(1_000));
+        let rows = plan(&[(5, &b), (2, &a)]);
+        assert_eq!(rows[0].tenant, 0, "tenant id breaks the finish tie");
+        assert_eq!(rows[0].submission, 2);
+    }
+
+    #[test]
+    fn zero_tickets_clamp_to_one() {
+        let s = Submission::new(0, 0, loop_spec(1_000));
+        let rows = plan(&[(0, &s)]);
+        assert!(rows[0].finish_vt > 0);
+    }
+}

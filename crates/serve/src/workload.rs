@@ -1,0 +1,216 @@
+//! The synthetic course-week submission trace.
+//!
+//! The paper's course is, operationally, a multi-tenant job service:
+//! 26 teams (13 per section × 2 sections) repeatedly submit
+//! near-identical patternlet and assignment runs against shared
+//! Raspberry Pi hardware. [`course_week`] reproduces one week of that
+//! traffic as five daily batches, with exactly the reuse structure
+//! that makes content-addressed caching pay:
+//!
+//! * every team runs the **day's patternlet** (same spec for the whole
+//!   class — one compute, 25 joins per day);
+//! * every team re-runs the **week's reduction exercise** unchanged
+//!   (computed Monday, a cache hit for the rest of the week);
+//! * a few teams explore **custom parameters** (unique specs — the
+//!   cold tail);
+//! * midweek adds a shared **MapReduce reading exercise** plus a
+//!   couple of team-specific greps, a **report-artefact day**, and a
+//!   Friday **replication mini-study** with a revisit of Monday's
+//!   patternlet (still warm in the cache).
+//!
+//! The trace is a pure function — no RNG, no clocks — so every serve
+//! run of the course week sees byte-identical submissions.
+
+use crate::sched::Submission;
+use crate::spec::{CostSpec, JobSpec, MrWorkload, ReductionStyleSpec, ScheduleSpec};
+
+/// Teams submitting (13 per section, two sections — the paper's
+/// cohort).
+pub const TEAMS: u32 = 26;
+
+/// Days in the trace.
+pub const DAYS: usize = 5;
+
+/// Ticket weight of a team: project-phase teams get more scheduler
+/// share, cycling 1..=3 so every weight class is populated.
+pub fn tickets(team: u32) -> u32 {
+    1 + team % 3
+}
+
+fn day_schedule(day: usize) -> ScheduleSpec {
+    [
+        ScheduleSpec::StaticBlock,
+        ScheduleSpec::StaticChunk { chunk: 16 },
+        ScheduleSpec::Dynamic { chunk: 16 },
+        ScheduleSpec::Guided { min_chunk: 8 },
+        ScheduleSpec::Dynamic { chunk: 32 },
+    ][day % DAYS]
+}
+
+fn daily_patternlet(day: usize) -> JobSpec {
+    JobSpec::LoopSim {
+        iterations: 4_000 + 1_000 * day as u64,
+        cost: CostSpec::Uniform { cycles: 100 },
+        schedule: day_schedule(day),
+        threads: 4,
+    }
+}
+
+fn weekly_reduction() -> JobSpec {
+    JobSpec::ReductionSim {
+        iterations: 3_000,
+        iter_cost: 90,
+        threads: 4,
+        style: ReductionStyleSpec::Tree,
+    }
+}
+
+/// One week of course traffic: five daily batches over [`TEAMS`]
+/// tenants. Team numbers are the tenant ids; ticket weights come from
+/// [`tickets`].
+pub fn course_week() -> Vec<Vec<Submission>> {
+    let mut week = Vec::with_capacity(DAYS);
+    for day in 0..DAYS {
+        let mut batch = Vec::new();
+        for team in 0..TEAMS {
+            let weight = tickets(team);
+            // The day's patternlet — identical across the class.
+            batch.push(Submission::new(team, weight, daily_patternlet(day)));
+            // The week-long reduction exercise — identical all week.
+            batch.push(Submission::new(team, weight, weekly_reduction()));
+            // Exploratory teams sweep their own parameters: unique
+            // specs that can never hit the cache.
+            if team % 5 == 0 {
+                batch.push(Submission::new(
+                    team,
+                    weight,
+                    JobSpec::LoopSim {
+                        iterations: 2_000 + 97 * team as u64 + 13 * day as u64,
+                        cost: CostSpec::Linear {
+                            base: 60,
+                            slope: 1 + team as u64 % 3,
+                        },
+                        schedule: ScheduleSpec::Guided { min_chunk: 4 },
+                        threads: 2 + team % 3,
+                    },
+                ));
+            }
+            match day {
+                2 => {
+                    // MapReduce reading day: the shared word-count
+                    // exercise, plus two teams grepping on their own.
+                    batch.push(Submission::new(
+                        team,
+                        weight,
+                        JobSpec::MapReduce {
+                            workload: MrWorkload::WordCount,
+                            docs: 18,
+                            seed: 2_019,
+                            map_workers: 4,
+                            reduce_workers: 2,
+                        },
+                    ));
+                    if team == 7 || team == 14 {
+                        batch.push(Submission::new(
+                            team,
+                            weight,
+                            JobSpec::MapReduce {
+                                workload: MrWorkload::Grep {
+                                    pattern: if team == 7 {
+                                        "race".to_string()
+                                    } else {
+                                        "parallel".to_string()
+                                    },
+                                },
+                                docs: 18,
+                                seed: 2_019,
+                                map_workers: 2,
+                                reduce_workers: 2,
+                            },
+                        ));
+                    }
+                }
+                3 => {
+                    // Report day: three artefacts split across the
+                    // class — three computes, the rest join.
+                    let artefact = ["fig1", "fig2", "table1"][(team % 3) as usize];
+                    batch.push(Submission::new(
+                        team,
+                        weight,
+                        JobSpec::Report {
+                            artefact: artefact.to_string(),
+                        },
+                    ));
+                }
+                4 => {
+                    // Friday: the shared replication mini-study, and a
+                    // revisit of Monday's patternlet — still cached.
+                    batch.push(Submission::new(
+                        team,
+                        weight,
+                        JobSpec::Replication {
+                            replicates: 4,
+                            num_students: 40,
+                            master_seed: 77,
+                            permutations: 150,
+                            bootstrap_reps: 100,
+                            section_permutations: 100,
+                        },
+                    ));
+                    batch.push(Submission::new(team, weight, daily_patternlet(0)));
+                }
+                _ => {}
+            }
+        }
+        week.push(batch);
+    }
+    week
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn trace_is_pure_and_sized_as_documented() {
+        let a = course_week();
+        let b = course_week();
+        assert_eq!(a.len(), DAYS);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.len(), y.len());
+            for (sa, sb) in x.iter().zip(y) {
+                assert_eq!(sa.spec, sb.spec);
+                assert_eq!((sa.tenant, sa.tickets), (sb.tenant, sb.tickets));
+            }
+        }
+        let total: usize = a.iter().map(Vec::len).sum();
+        assert_eq!(total, 396, "trace shape changed — update the docs");
+    }
+
+    #[test]
+    fn reuse_structure_leaves_few_unique_specs() {
+        let week = course_week();
+        let unique: HashSet<u64> = week.iter().flatten().map(|s| s.spec.digest()).collect();
+        let total: usize = week.iter().map(Vec::len).sum();
+        // The workload's point: far more submissions than distinct jobs.
+        assert_eq!(unique.len(), 43, "unique spec count changed");
+        assert!(unique.len() * 4 < total);
+    }
+
+    #[test]
+    fn every_spec_in_the_trace_validates() {
+        for sub in course_week().iter().flatten() {
+            assert!(sub.spec.validate().is_ok(), "{:?}", sub.spec);
+        }
+    }
+
+    #[test]
+    fn all_tenants_and_weights_appear() {
+        let week = course_week();
+        let tenants: HashSet<u32> = week.iter().flatten().map(|s| s.tenant).collect();
+        assert_eq!(tenants.len(), TEAMS as usize);
+        let weights: HashSet<u32> = week.iter().flatten().map(|s| s.tickets).collect();
+        assert_eq!(weights, HashSet::from([1, 2, 3]));
+    }
+}

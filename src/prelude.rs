@@ -3,9 +3,11 @@ pub use classroom;
 pub use drugsim;
 pub use mapreduce;
 pub use mpi_rt;
+pub use obs;
 pub use parallel_rt;
 pub use patternlets;
 pub use pbl_core;
 pub use pi_sim;
 pub use replicate;
+pub use serve;
 pub use stats;

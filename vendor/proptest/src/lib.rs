@@ -326,6 +326,60 @@ impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, 
     }
 }
 
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy, E: Strategy> Strategy for (A, B, C, D, E) {
+    type Value = (A::Value, B::Value, C::Value, D::Value, E::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.sample(rng),
+            self.1.sample(rng),
+            self.2.sample(rng),
+            self.3.sample(rng),
+            self.4.sample(rng),
+        )
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy, E: Strategy, F: Strategy> Strategy
+    for (A, B, C, D, E, F)
+{
+    type Value = (A::Value, B::Value, C::Value, D::Value, E::Value, F::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.sample(rng),
+            self.1.sample(rng),
+            self.2.sample(rng),
+            self.3.sample(rng),
+            self.4.sample(rng),
+            self.5.sample(rng),
+        )
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy, E: Strategy, F: Strategy, G: Strategy>
+    Strategy for (A, B, C, D, E, F, G)
+{
+    type Value = (
+        A::Value,
+        B::Value,
+        C::Value,
+        D::Value,
+        E::Value,
+        F::Value,
+        G::Value,
+    );
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.sample(rng),
+            self.1.sample(rng),
+            self.2.sample(rng),
+            self.3.sample(rng),
+            self.4.sample(rng),
+            self.5.sample(rng),
+            self.6.sample(rng),
+        )
+    }
+}
+
 pub mod prop {
     pub mod collection {
         use crate::{Strategy, TestRng};
