@@ -1,0 +1,170 @@
+//! The batch-major resampling kernels against their scalar
+//! counterparts at the replication engine's own shapes: 8-lane cohort
+//! groups of n = 124 with the engine's permutation and bootstrap
+//! budgets. Scalar/batched pairs share inputs and seeds so the ratio is
+//! the lockstep win itself, not a workload difference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use classroom::cohort::CohortScoreModel;
+use classroom::StudyConfig;
+use stats::batch::{
+    bootstrap_mean_ci_batch, permutation_test_paired_batch, permutation_test_two_sample_batch,
+    BatchScratch,
+};
+use stats::resample::{bootstrap_ci, permutation_test_paired, permutation_test_two_sample};
+
+const LANES: usize = 8;
+const N: usize = 124;
+
+fn lane_samples() -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+    let firsts: Vec<Vec<f64>> = (0..LANES)
+        .map(|k| {
+            (0..N)
+                .map(|i| 3.5 + ((i * 7 + k) % 13) as f64 * 0.05)
+                .collect()
+        })
+        .collect();
+    let seconds = firsts
+        .iter()
+        .map(|f| f.iter().map(|x| x + 0.2).collect())
+        .collect();
+    (firsts, seconds)
+}
+
+fn as_refs(cols: &[Vec<f64>]) -> Vec<&[f64]> {
+    cols.iter().map(|v| v.as_slice()).collect()
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch");
+    group.sample_size(20);
+
+    let (firsts, seconds) = lane_samples();
+    let diffs: Vec<Vec<f64>> = firsts
+        .iter()
+        .zip(&seconds)
+        .map(|(f, s)| s.iter().zip(f).map(|(a, b)| a - b).collect())
+        .collect();
+    let a_s: Vec<Vec<f64>> = firsts.iter().map(|f| f[..N / 2].to_vec()).collect();
+    let b_s: Vec<Vec<f64>> = firsts.iter().map(|f| f[N / 2..].to_vec()).collect();
+    let seeds: Vec<u64> = (0..LANES as u64).map(|k| 100 + k).collect();
+    let (fr, sr, dr) = (as_refs(&firsts), as_refs(&seconds), as_refs(&diffs));
+    let (ar, br) = (as_refs(&a_s), as_refs(&b_s));
+    let mut scratch = BatchScratch::new();
+
+    // Sign-flip permutation test: per-lane scalar kernel vs the SoA
+    // lockstep group (one RNG word bank drives all lanes per draw).
+    group.bench_function("signflip_scalar_x8_p1000", |b| {
+        b.iter(|| {
+            for k in 0..LANES {
+                let _ = permutation_test_paired(
+                    black_box(&firsts[k]),
+                    black_box(&seconds[k]),
+                    1000,
+                    seeds[k],
+                )
+                .unwrap();
+            }
+        })
+    });
+    group.bench_function("signflip_batch_x8_p1000", |b| {
+        b.iter(|| {
+            permutation_test_paired_batch(
+                black_box(&fr),
+                black_box(&sr),
+                1000,
+                &seeds,
+                &mut scratch,
+            )
+            .unwrap()
+        })
+    });
+
+    // Packed-draw bootstrap: one 64-bit word yields two 32-bit Lemire
+    // indices; the batched path gathers 8 lanes per index vector.
+    group.bench_function("bootstrap_scalar_x8_r1000", |b| {
+        b.iter(|| {
+            for k in 0..LANES {
+                let _ = bootstrap_ci(
+                    black_box(&diffs[k]),
+                    |d| d.iter().sum::<f64>() / d.len() as f64,
+                    0.95,
+                    1000,
+                    seeds[k],
+                );
+            }
+        })
+    });
+    group.bench_function("bootstrap_batch_x8_r1000", |b| {
+        b.iter(|| {
+            bootstrap_mean_ci_batch(black_box(&dr), 0.95, 1000, &seeds, &mut scratch).unwrap()
+        })
+    });
+
+    // Lane-uniform two-sample shuffle (all lanes share n and n_a, so
+    // the partial Fisher-Yates bound is lane-uniform).
+    group.bench_function("twosample_scalar_x8_p1000", |b| {
+        b.iter(|| {
+            for k in 0..LANES {
+                let _ = permutation_test_two_sample(
+                    black_box(&a_s[k]),
+                    black_box(&b_s[k]),
+                    1000,
+                    seeds[k],
+                )
+                .unwrap();
+            }
+        })
+    });
+    group.bench_function("twosample_batch_x8_p1000", |b| {
+        b.iter(|| {
+            permutation_test_two_sample_batch(
+                black_box(&ar),
+                black_box(&br),
+                1000,
+                &seeds,
+                &mut scratch,
+            )
+            .unwrap()
+        })
+    });
+
+    // Cohort generation through the hoisted score model (the batched
+    // engine builds the model once per chunk) vs from scratch per call.
+    let study = StudyConfig::default();
+    group.bench_function("cohort_gen_fresh_model_x8", |b| {
+        b.iter(|| {
+            let mut w1 = vec![0.0f64; study.num_students];
+            let mut w2 = vec![0.0f64; study.num_students];
+            for k in 0..LANES as u64 {
+                let model = CohortScoreModel::new();
+                let cfg = StudyConfig {
+                    seed: study.seed + k,
+                    ..study
+                };
+                model.wave_scores_into(black_box(&cfg), 1, &mut w1, &mut w2);
+            }
+        })
+    });
+    group.bench_function("cohort_gen_hoisted_model_x8", |b| {
+        let model = CohortScoreModel::new();
+        b.iter(|| {
+            let mut w1 = vec![0.0f64; study.num_students];
+            let mut w2 = vec![0.0f64; study.num_students];
+            for k in 0..LANES as u64 {
+                let cfg = StudyConfig {
+                    seed: study.seed + k,
+                    ..study
+                };
+                model.wave_scores_into(black_box(&cfg), 1, &mut w1, &mut w2);
+            }
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch);
+criterion_main!(benches);

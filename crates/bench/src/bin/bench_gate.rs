@@ -66,12 +66,16 @@ fn main() {
         & metrics_digest_ok(&fresh_path, &fresh_doc);
 
     for c in &committed {
-        let fresh_ratio = fresh
-            .iter()
-            .find(|f| f.name == c.name)
-            .map_or_else(|| "missing".to_string(), |f| format!("{:.1}", f.ratio));
+        let fresh_ratio = match fresh.iter().find(|f| f.name == c.name) {
+            Some(f) => format!("{:.1}x", f.ratio),
+            None if gate::is_superseded(c, &fresh) => format!(
+                "superseded by {}",
+                c.superseded_by.as_deref().unwrap_or_default()
+            ),
+            None => "missing".to_string(),
+        };
         println!(
-            "bench_gate: {:<46} committed {:>8.1}x  fresh {:>8}x",
+            "bench_gate: {:<46} committed {:>8.1}x  fresh {}",
             c.name, c.ratio, fresh_ratio
         );
     }

@@ -158,7 +158,7 @@ fn json(
     week_digest: u64,
     metrics_json: &str,
 ) -> String {
-    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let host_cores = pbl_bench::host_cores();
     let hit_rate = cached.hits_and_joins as f64 / cached.accepted as f64;
     let throughput_cold = submissions as f64 / (cold_ms / 1e3);
     let throughput_cached = submissions as f64 / (cached_ms / 1e3);

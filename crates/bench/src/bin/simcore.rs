@@ -23,9 +23,11 @@
 
 use std::time::Instant;
 
-use parallel_rt::sim::{simulate_parallel_loop_lowered, CostModel, Lowering, SimOptions};
+use parallel_rt::sim::{
+    simulate_parallel_loop_lowered, CostModel, LoweredLoop, Lowering, SimOptions, SweepPoint,
+};
 use parallel_rt::Schedule;
-use pi_sim::machine::Machine;
+use pi_sim::machine::{Machine, MachineConfig};
 use pi_sim::program::{Op, Program};
 
 /// Wall-clock repetitions per measurement; the minimum is recorded
@@ -128,6 +130,73 @@ fn parallel_rt_scenario(
     }
 }
 
+/// parallel-rt: a multi-scenario parameter sweep (cost scale x fork
+/// overhead x machine width) over one loop, run as N independent full
+/// pipelines vs one lowering fast-forwarded through the shared prefix
+/// tables (`LoweredLoop::sweep`). The sweep plans (chunk boundaries +
+/// greedy assignment + prefix tables) once and only re-synthesises
+/// per-point programs, so the win is the amortised planning share of
+/// the pipeline; the simulation run itself is paid by both paths.
+/// Costs are kept small so virtual time stays cheap to simulate (the
+/// machine is quantum-sliced).
+fn sweep_scenario(iterations: usize, threads: usize) -> Scenario {
+    let cost = CostModel::Alternating { even: 3, odd: 7 };
+    let schedule = Schedule::Dynamic(250);
+    let points: Vec<SweepPoint> = (0..16)
+        .map(|i| SweepPoint {
+            machine: MachineConfig {
+                cores: if i % 2 == 0 { 4 } else { 2 },
+                ..MachineConfig::pi()
+            },
+            cost_scale: 1 + i as u64,
+            fork_overhead: 500 + 1_000 * (i as u64 % 4),
+        })
+        .collect();
+    let full = |point: &SweepPoint| {
+        simulate_parallel_loop_lowered(
+            iterations,
+            &cost.scaled(point.cost_scale),
+            schedule,
+            threads,
+            &SimOptions {
+                machine: point.machine,
+                fork_overhead: point.fork_overhead,
+            },
+            Lowering::Rle,
+        )
+        .cycles
+    };
+    let (before_ms, before_cycles) = time_min_ms(|| {
+        points
+            .iter()
+            .map(full)
+            .fold(0u64, |acc, c| acc.wrapping_add(c))
+    });
+    let (after_ms, after_cycles) = time_min_ms(|| {
+        let lowered = LoweredLoop::plan(iterations, &cost, schedule, threads);
+        lowered
+            .sweep(&points)
+            .iter()
+            .map(|o| o.cycles)
+            .fold(0u64, |acc, c| acc.wrapping_add(c))
+    });
+    assert_eq!(
+        before_cycles, after_cycles,
+        "determinism violated: per-point pipeline and batched sweep disagree"
+    );
+    Scenario {
+        name: "parallel_rt/sweep_16pt_dynamic_250_1m",
+        crate_name: "parallel-rt",
+        before: "one full pipeline per sweep point (re-chunk + re-plan + re-lower + run, x16)",
+        after: "LoweredLoop::plan once (chunks, assignment, prefix tables) + per-point RLE fast-forward (sweep x16)",
+        iterations: iterations as u64,
+        threads,
+        before_ms,
+        after_ms,
+        virtual_cycles: after_cycles,
+    }
+}
+
 /// A deterministic observability snapshot of an instrumented guided
 /// loop on the simulated Pi — virtual-domain metrics only, so the
 /// embedded section is byte-identical run to run.
@@ -194,6 +263,13 @@ fn json(scenarios: &[Scenario], metrics_json: &str) -> String {
     out.push_str("  \"command\": \"cargo run --release -p pbl-bench --bin simcore\",\n");
     out.push_str(&format!("  \"reps_per_measurement\": {REPS},\n"));
     out.push_str("  \"timer\": \"std::time::Instant, minimum of reps, milliseconds\",\n");
+    let host_cores = pbl_bench::host_cores();
+    let max_threads = scenarios.iter().map(|s| s.threads).max().unwrap_or(1);
+    out.push_str(&format!("  \"host_cores\": {host_cores},\n"));
+    out.push_str(&format!(
+        "  \"note\": \"{}\",\n",
+        pbl_bench::scaling_note(host_cores, max_threads)
+    ));
     out.push_str("  \"scenarios\": [\n");
     for (i, s) in scenarios.iter().enumerate() {
         out.push_str("    {\n");
@@ -273,6 +349,7 @@ fn main() {
             4_000_000,
             4,
         ),
+        sweep_scenario(1_000_000, 4),
     ];
 
     for s in &scenarios {

@@ -33,6 +33,39 @@ pub fn embed_json(doc: &str, indent: usize) -> String {
     out
 }
 
+/// Logical cores available to this process, for the `"host_cores"`
+/// stamp every BENCH document carries. Falls back to 1 when the
+/// platform cannot report it (the conservative reading: no hardware
+/// parallelism can be assumed).
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Derives the `"note"` line for a BENCH document from the measured
+/// host width and the widest scenario, so the note can never drift
+/// from the machine the numbers were actually taken on.
+pub fn scaling_note(host_cores: usize, max_threads: usize) -> String {
+    if host_cores == 1 {
+        format!(
+            "single-core container: speedups are algorithmic (identical statistical work, \
+             faster kernels), and the {max_threads}-thread run demonstrates thread-count \
+             invariance rather than hardware scaling"
+        )
+    } else if max_threads <= host_cores {
+        format!(
+            "{host_cores}-core host: scenarios up to {max_threads} threads run without \
+             oversubscription, so multi-thread ratios reflect hardware scaling"
+        )
+    } else {
+        format!(
+            "{host_cores}-core host: scenarios above {host_cores} threads are oversubscribed, \
+             so their ratios demonstrate scheduler behaviour rather than hardware scaling"
+        )
+    }
+}
+
 /// The CI perf-regression gate over the committed `BENCH_*.json` files.
 ///
 /// The BENCH files are hand-rendered JSON with one `"key": value` pair
@@ -49,6 +82,12 @@ pub mod gate {
         pub name: String,
         /// The `"speedup"` ratio.
         pub ratio: f64,
+        /// The scenario's `"superseded_by"` successor, if the committed
+        /// file declares one. A committed scenario that vanishes from a
+        /// fresh run is excused if (and only if) its named successor is
+        /// present in that run — an explicit allowlist for renames, so
+        /// the vanished-scenario check stays strict for everything else.
+        pub superseded_by: Option<String>,
     }
 
     /// A gate violation: a fresh ratio more than the allowed fraction
@@ -85,18 +124,29 @@ pub mod gate {
     }
 
     /// Extracts every `"speedup"` in document order, attributed to the
-    /// most recent `"name"`.
+    /// most recent `"name"`. A `"superseded_by"` pair anywhere in the
+    /// same scenario block (before or after the ratio line) attaches to
+    /// that scenario's entry.
     pub fn speedups(json: &str) -> Vec<Speedup> {
         let mut name = String::new();
-        let mut out = Vec::new();
+        let mut pending_successor: Option<String> = None;
+        let mut out: Vec<Speedup> = Vec::new();
         for line in json.lines() {
             if let Some(v) = string_value(line, "name") {
                 name = v.to_string();
+                pending_successor = None;
+            }
+            if let Some(v) = string_value(line, "superseded_by") {
+                match out.last_mut() {
+                    Some(last) if last.name == name => last.superseded_by = Some(v.to_string()),
+                    _ => pending_successor = Some(v.to_string()),
+                }
             }
             if let Some(ratio) = number_value(line, "speedup") {
                 out.push(Speedup {
                     name: name.clone(),
                     ratio,
+                    superseded_by: pending_successor.take(),
                 });
             }
         }
@@ -148,14 +198,27 @@ pub mod gate {
         }
     }
 
+    /// True when a committed scenario that vanished from the fresh run
+    /// is excused by its declared successor: the committed entry names a
+    /// `"superseded_by"` scenario and that scenario exists in `fresh`.
+    pub fn is_superseded(committed: &Speedup, fresh: &[Speedup]) -> bool {
+        committed
+            .superseded_by
+            .as_ref()
+            .is_some_and(|s| fresh.iter().any(|f| f.name == *s))
+    }
+
     /// Every committed scenario the fresh run lost by more than
     /// `max_loss` (as a fraction of the committed ratio) or dropped
     /// outright. Empty means the gate passes; fresh-only scenarios are
-    /// ignored (adding benchmarks is not a regression).
+    /// ignored (adding benchmarks is not a regression), and a vanished
+    /// scenario whose declared `"superseded_by"` successor is present
+    /// in the fresh run is excused.
     pub fn regressions(committed: &[Speedup], fresh: &[Speedup], max_loss: f64) -> Vec<Regression> {
         committed
             .iter()
             .filter_map(|c| match fresh.iter().find(|f| f.name == c.name) {
+                None if is_superseded(c, fresh) => None,
                 None => Some(Regression {
                     name: c.name.clone(),
                     committed: c.ratio,
@@ -235,10 +298,12 @@ mod tests {
             gate::Speedup {
                 name: "pi_sim/uniform_loop".into(),
                 ratio: 30.0,
+                superseded_by: None,
             },
             gate::Speedup {
                 name: "parallel_rt/guided".into(),
                 ratio: 11.0,
+                superseded_by: None,
             },
         ];
         assert!(gate::regressions(&committed, &fresh, gate::MAX_LOSS).is_empty());
@@ -247,10 +312,12 @@ mod tests {
             gate::Speedup {
                 name: "pi_sim/uniform_loop".into(),
                 ratio: 29.9,
+                superseded_by: None,
             },
             gate::Speedup {
                 name: "parallel_rt/guided".into(),
                 ratio: 10.0,
+                superseded_by: None,
             },
         ];
         let r = gate::regressions(&committed, &slow, gate::MAX_LOSS);
@@ -279,16 +346,107 @@ mod tests {
     }
 
     #[test]
+    fn scaling_note_is_derived_from_host_width() {
+        assert!(scaling_note(1, 4).contains("single-core container"));
+        assert!(scaling_note(1, 4).contains("4-thread"));
+        assert!(scaling_note(8, 4).contains("hardware scaling"));
+        assert!(scaling_note(2, 8).contains("oversubscribed"));
+        // host_cores() reports at least one core on every platform.
+        assert!(host_cores() >= 1);
+    }
+
+    const SUPERSEDED_DOC: &str = r#"{
+  "scenarios": [
+    {
+      "name": "pi_sim/uniform_loop",
+      "superseded_by": "pi_sim/uniform_loop_v2",
+      "speedup": 40.0
+    },
+    {
+      "name": "parallel_rt/guided",
+      "speedup": 10.0,
+      "superseded_by": "parallel_rt/guided_v2"
+    }
+  ]
+}
+"#;
+
+    #[test]
+    fn gate_parses_superseded_by_before_or_after_the_ratio() {
+        let s = gate::speedups(SUPERSEDED_DOC);
+        assert_eq!(s.len(), 2);
+        assert_eq!(
+            s[0].superseded_by.as_deref(),
+            Some("pi_sim/uniform_loop_v2")
+        );
+        assert_eq!(s[1].superseded_by.as_deref(), Some("parallel_rt/guided_v2"));
+        // Plain documents carry no successor.
+        assert!(gate::speedups(BENCH_DOC)
+            .iter()
+            .all(|s| s.superseded_by.is_none()));
+    }
+
+    #[test]
+    fn gate_excuses_vanished_scenarios_only_when_their_successor_exists() {
+        let committed = gate::speedups(SUPERSEDED_DOC);
+        // Both successors present: the renames are allowlisted.
+        let fresh = vec![
+            gate::Speedup {
+                name: "pi_sim/uniform_loop_v2".into(),
+                ratio: 1.0,
+                superseded_by: None,
+            },
+            gate::Speedup {
+                name: "parallel_rt/guided_v2".into(),
+                ratio: 1.0,
+                superseded_by: None,
+            },
+        ];
+        assert!(gate::is_superseded(&committed[0], &fresh));
+        assert!(gate::regressions(&committed, &fresh, gate::MAX_LOSS).is_empty());
+        // One successor missing: that vanished scenario still fails.
+        let partial = vec![gate::Speedup {
+            name: "pi_sim/uniform_loop_v2".into(),
+            ratio: 1.0,
+            superseded_by: None,
+        }];
+        let r = gate::regressions(&committed, &partial, gate::MAX_LOSS);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].name, "parallel_rt/guided");
+        assert_eq!(r[0].fresh, None);
+        // A committed scenario that still exists is gated on its ratio
+        // as usual; the successor field does not weaken the loss check.
+        let renamed_and_slow = vec![
+            gate::Speedup {
+                name: "pi_sim/uniform_loop".into(),
+                ratio: 1.0,
+                superseded_by: None,
+            },
+            gate::Speedup {
+                name: "parallel_rt/guided_v2".into(),
+                ratio: 1.0,
+                superseded_by: None,
+            },
+        ];
+        let r = gate::regressions(&committed, &renamed_and_slow, gate::MAX_LOSS);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].name, "pi_sim/uniform_loop");
+        assert_eq!(r[0].fresh, Some(1.0));
+    }
+
+    #[test]
     fn gate_flags_vanished_scenarios_but_ignores_new_ones() {
         let committed = gate::speedups(BENCH_DOC);
         let fresh = vec![
             gate::Speedup {
                 name: "pi_sim/uniform_loop".into(),
                 ratio: 40.0,
+                superseded_by: None,
             },
             gate::Speedup {
                 name: "brand/new".into(),
                 ratio: 1.0,
+                superseded_by: None,
             },
         ];
         let r = gate::regressions(&committed, &fresh, gate::MAX_LOSS);

@@ -1,7 +1,7 @@
 //! The assembled study dataset: roster, teams, and both survey waves —
 //! everything the analysis pipeline in `pbl-core` consumes.
 
-use crate::response::{Category, WaveResponses};
+use crate::response::{Category, WaveResponses, WaveScoreModel};
 use crate::roster::generate_cohort;
 use crate::student::Student;
 use crate::team::{form_teams, Team};
@@ -118,9 +118,109 @@ impl CohortData {
         self.wave(wave).student_scores(category)
     }
 
+    /// [`student_scores`](Self::student_scores) written into a caller
+    /// buffer (see `WaveResponses::student_scores_into`); the
+    /// allocation-free form the batch-major replication path uses.
+    pub fn student_scores_into(&self, category: Category, wave: usize, out: &mut [f64]) {
+        self.wave(wave).student_scores_into(category, out)
+    }
+
     /// Number of enrolled students.
     pub fn n(&self) -> usize {
         self.students.len()
+    }
+
+    /// The number of students [`generate`](Self::generate) actually
+    /// enrols for a requested size: the roster generator produces at
+    /// most [`COHORT_SIZE`](crate::roster::COHORT_SIZE) students and
+    /// truncation only shrinks.
+    pub fn effective_size(requested: usize) -> usize {
+        requested.min(crate::roster::COHORT_SIZE)
+    }
+}
+
+/// The score-relevant slice of [`CohortData::generate`], with every
+/// replicate-invariant computation hoisted. A full `CohortData` builds
+/// the roster, the teams, and both waves' per-element response matrices;
+/// the replication battery consumes only the four per-student overall
+/// score columns and the (positional) section split. This model
+/// produces exactly those columns — bit-identical to the full path —
+/// with no per-cohort allocation and no repeated clamp-compensation
+/// bisections.
+///
+/// Draw discipline: the waves draw from their own generators (seeded
+/// `seed` and `seed+1`, as `generate` does), and the roster's
+/// demographic draws live on a separate generator entirely, so skipping
+/// them cannot shift a wave draw. Sections are positional by roster
+/// construction — ids are assigned section-major — so the split needs
+/// no roster at all.
+#[derive(Debug, Clone)]
+pub struct CohortScoreModel {
+    wave1: WaveScoreModel,
+    wave2: WaveScoreModel,
+}
+
+impl CohortScoreModel {
+    /// Builds both waves' hoisted models (no intervention, matching
+    /// [`CohortData::generate`]).
+    pub fn new() -> Self {
+        CohortScoreModel {
+            wave1: WaveScoreModel::new(1),
+            wave2: WaveScoreModel::new(2),
+        }
+    }
+
+    /// Writes the four per-student overall score columns for the cohort
+    /// `config` describes. All four slices must have length
+    /// `CohortData::effective_size(config.num_students)`. Each value is
+    /// bit-identical to the corresponding
+    /// `CohortData::generate(config).student_scores(…)` entry.
+    pub fn scores_into(
+        &self,
+        config: &StudyConfig,
+        emphasis1: &mut [f64],
+        emphasis2: &mut [f64],
+        growth1: &mut [f64],
+        growth2: &mut [f64],
+    ) {
+        self.wave_scores_into(config, 1, emphasis1, growth1);
+        self.wave_scores_into(config, 2, emphasis2, growth2);
+    }
+
+    /// One wave of [`scores_into`](Self::scores_into), for writers that
+    /// can only borrow two columns at a time. Applies the same per-wave
+    /// seed derivation as [`CohortData::generate`].
+    ///
+    /// # Panics
+    /// Panics for any wave other than 1 or 2.
+    pub fn wave_scores_into(
+        &self,
+        config: &StudyConfig,
+        wave: usize,
+        emphasis: &mut [f64],
+        growth: &mut [f64],
+    ) {
+        match wave {
+            1 => self.wave1.scores_into(config.seed, emphasis, growth),
+            2 => self
+                .wave2
+                .scores_into(config.seed.wrapping_add(1), emphasis, growth),
+            w => panic!("wave must be 1 or 2, got {w}"),
+        }
+    }
+
+    /// Where the section-0/section-1 boundary falls in a cohort of `n`
+    /// students: ids are section-major, so the first
+    /// [`SECTION_SIZE`](crate::roster::SECTION_SIZE) students are
+    /// section 0 and the rest section 1, for any truncated prefix.
+    pub fn section_split(n: usize) -> usize {
+        n.min(crate::roster::SECTION_SIZE)
+    }
+}
+
+impl Default for CohortScoreModel {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -215,6 +315,38 @@ mod tests {
                     .len(),
                 124
             );
+        }
+    }
+
+    #[test]
+    fn score_model_matches_the_full_cohort_path_bit_for_bit() {
+        let model = CohortScoreModel::new();
+        for (num_students, seed) in [(124usize, 278u64), (40, 7), (200, 3)] {
+            let config = StudyConfig { num_students, seed };
+            let full = CohortData::generate(&config);
+            let n = CohortData::effective_size(num_students);
+            assert_eq!(full.n(), n);
+            let mut cols = vec![vec![f64::NAN; n]; 4];
+            let (e, rest) = cols.split_at_mut(2);
+            let (e1, e2) = e.split_at_mut(1);
+            let (g1, g2) = rest.split_at_mut(1);
+            model.scores_into(&config, &mut e1[0], &mut e2[0], &mut g1[0], &mut g2[0]);
+            for (col, (category, wave)) in cols.iter().zip([
+                (Category::ClassEmphasis, 1),
+                (Category::ClassEmphasis, 2),
+                (Category::PersonalGrowth, 1),
+                (Category::PersonalGrowth, 2),
+            ]) {
+                for (got, want) in col.iter().zip(full.student_scores(category, wave)) {
+                    assert_eq!(got.to_bits(), want.to_bits(), "{category:?} wave {wave}");
+                }
+            }
+            // Positional sections equal the roster-derived ones.
+            let split = CohortScoreModel::section_split(n);
+            let by_roster: Vec<usize> = full.students.iter().map(|s| s.section).collect();
+            for (id, section) in by_roster.iter().enumerate() {
+                assert_eq!(*section, usize::from(id >= split), "id {id}");
+            }
         }
     }
 

@@ -42,6 +42,22 @@ impl WaveResponses {
             .collect()
     }
 
+    /// [`student_scores`](Self::student_scores) written into a caller
+    /// buffer, for batch consumers that pack many cohorts' scores into
+    /// one structure-of-arrays arena without per-cohort allocation.
+    /// `out.len()` must equal the student count; values are identical
+    /// to the allocating form.
+    pub fn student_scores_into(&self, category: Category, out: &mut [f64]) {
+        let per_element = match category {
+            Category::ClassEmphasis => &self.emphasis,
+            Category::PersonalGrowth => &self.growth,
+        };
+        assert_eq!(out.len(), per_element.len(), "output length mismatch");
+        for (slot, row) in out.iter_mut().zip(per_element) {
+            *slot = row.iter().sum::<f64>() / row.len() as f64;
+        }
+    }
+
     /// All students' scores on one element.
     pub fn element_scores(&self, category: Category, element_idx: usize) -> Vec<f64> {
         let per_element = match category {
@@ -150,6 +166,100 @@ pub fn generate_wave_with(
     }
 }
 
+/// The replicate-invariant part of [`generate_wave_with`], hoisted: the
+/// clamp-compensation bisections (60 `normal_cdf` evaluations per
+/// element) and the loop-invariant factor weights depend only on the
+/// wave and intervention, never on the seed, yet the wave generator
+/// recomputes them per cohort. Batch consumers build the model once per
+/// run and stamp out per-seed score columns with
+/// [`WaveScoreModel::scores_into`].
+#[derive(Debug, Clone)]
+pub struct WaveScoreModel {
+    rng_salt: u64,
+    emphasis_sd: f64,
+    growth_sd: f64,
+    root_e: f64,
+    root_e1: f64,
+    root_g: f64,
+    root_g1: f64,
+    /// Per element: compensated means, correlation, and `√(1−r²)`.
+    comp: Vec<(f64, f64, f64, f64)>,
+}
+
+impl WaveScoreModel {
+    /// Builds the model for `wave` with no intervention.
+    pub fn new(wave: Wave) -> Self {
+        Self::with_intervention(wave, None)
+    }
+
+    /// Builds the model for `wave` under an optional intervention —
+    /// the same adjustment path [`generate_wave_with`] applies.
+    pub fn with_intervention(
+        wave: Wave,
+        intervention: Option<&crate::learning::Intervention>,
+    ) -> Self {
+        let params = wave_params(wave);
+        let comp = ALL_ELEMENTS
+            .iter()
+            .map(|&e| {
+                let mut t = targets(e, wave);
+                if let Some(i) = intervention {
+                    t = i.adjust(e, t);
+                }
+                let r = t.correlation;
+                (
+                    compensate_for_clamp(t.emphasis_mean, params.emphasis_sd),
+                    compensate_for_clamp(t.growth_mean, params.growth_sd),
+                    r,
+                    (1.0 - r * r).sqrt(),
+                )
+            })
+            .collect();
+        WaveScoreModel {
+            rng_salt: (wave as u64).wrapping_mul(0x9E37_79B9),
+            emphasis_sd: params.emphasis_sd,
+            growth_sd: params.growth_sd,
+            root_e: params.emphasis_rho.sqrt(),
+            root_e1: (1.0 - params.emphasis_rho).sqrt(),
+            root_g: params.growth_rho.sqrt(),
+            root_g1: (1.0 - params.growth_rho).sqrt(),
+            comp,
+        }
+    }
+
+    /// Per-student overall scores for one seed, written straight into
+    /// caller columns (`emphasis.len()` students; the slices must have
+    /// equal length). Bit-identical to
+    /// `generate_wave_with(n, wave, seed, …).student_scores(category)`:
+    /// the generator is seeded and stepped in exactly the scalar order,
+    /// every hoisted weight is the same pure function of the same
+    /// inputs, and each student's element scores fold left-to-right
+    /// before the same division — only the per-row allocations and the
+    /// per-cohort bisections are gone.
+    pub fn scores_into(&self, seed: u64, emphasis: &mut [f64], growth: &mut [f64]) {
+        assert_eq!(emphasis.len(), growth.len(), "column length mismatch");
+        let mut rng = Xoshiro256::seed_from_u64(seed ^ self.rng_salt);
+        let elements = self.comp.len() as f64;
+        for (e_slot, g_slot) in emphasis.iter_mut().zip(growth.iter_mut()) {
+            let u = rng.next_normal(); // perception factor
+            let g = rng.next_normal(); // growth factor
+            let mut e_sum = 0.0f64;
+            let mut g_sum = 0.0f64;
+            for &(mu_e, mu_g, r, root_r) in &self.comp {
+                let v = rng.next_normal();
+                let w = rng.next_normal();
+                let z_e = self.root_e * u + self.root_e1 * v;
+                let resid = self.root_g * g + self.root_g1 * w;
+                let z_g = r * z_e + root_r * resid;
+                e_sum += (mu_e + self.emphasis_sd * z_e).clamp(1.0, 5.0);
+                g_sum += (mu_g + self.growth_sd * z_g).clamp(1.0, 5.0);
+            }
+            *e_slot = e_sum / elements;
+            *g_slot = g_sum / elements;
+        }
+    }
+}
+
 /// Renders integer item responses consistent with an element score —
 /// what one student's filled-in survey block looks like. Uses unbiased
 /// stochastic rounding, so the item mean converges on `score`.
@@ -241,6 +351,16 @@ mod tests {
     }
 
     #[test]
+    fn student_scores_into_matches_the_allocating_form() {
+        let w = generate_wave(10, 2, 9);
+        for category in [Category::ClassEmphasis, Category::PersonalGrowth] {
+            let mut buf = vec![f64::NAN; 10];
+            w.student_scores_into(category, &mut buf);
+            assert_eq!(buf, w.student_scores(category));
+        }
+    }
+
+    #[test]
     fn large_cohort_hits_calibrated_moments() {
         // With many students the generator must land on the published
         // wave-1 moments (124-student draws scatter around these).
@@ -273,6 +393,37 @@ mod tests {
             let target = targets(e, 1).correlation;
             assert!((r - target).abs() < 0.05, "{e:?}: r {r} target {target}");
         }
+    }
+
+    #[test]
+    fn wave_score_model_is_bit_identical_to_the_wave_generator() {
+        for wave in [1usize, 2] {
+            let model = WaveScoreModel::new(wave);
+            for (n, seed) in [(124usize, 278u64), (40, 7), (5, 99)] {
+                let full = generate_wave(n, wave, seed);
+                let mut e = vec![f64::NAN; n];
+                let mut g = vec![f64::NAN; n];
+                model.scores_into(seed, &mut e, &mut g);
+                for (got, want) in e.iter().zip(full.student_scores(Category::ClassEmphasis)) {
+                    assert_eq!(got.to_bits(), want.to_bits(), "wave {wave} emphasis");
+                }
+                for (got, want) in g.iter().zip(full.student_scores(Category::PersonalGrowth)) {
+                    assert_eq!(got.to_bits(), want.to_bits(), "wave {wave} growth");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wave_score_model_honours_interventions() {
+        let plan = crate::learning::Intervention::spring2019();
+        let model = WaveScoreModel::with_intervention(2, Some(&plan));
+        let full = generate_wave_with(30, 2, 11, Some(&plan));
+        let mut e = vec![0.0; 30];
+        let mut g = vec![0.0; 30];
+        model.scores_into(11, &mut e, &mut g);
+        assert_eq!(e, full.student_scores(Category::ClassEmphasis));
+        assert_eq!(g, full.student_scores(Category::PersonalGrowth));
     }
 
     #[test]

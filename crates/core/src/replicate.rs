@@ -11,8 +11,13 @@
 //! determinism invariant").
 
 use ::replicate::{ReplicateCtx, ReplicationEngine};
+use classroom::cohort::CohortScoreModel;
 use classroom::response::Category;
 use classroom::{CohortData, StudyConfig};
+use stats::batch::{
+    bootstrap_mean_ci_batch, permutation_test_paired_batch, permutation_test_two_sample_batch,
+    BatchScratch, CohortBatch,
+};
 use stats::resample::{
     bootstrap_ci_par, permutation_test_paired_par, permutation_test_two_sample_par, BootstrapCi,
 };
@@ -263,6 +268,195 @@ fn summarize_replicate(cfg: &ReplicationConfig, ctx: &ReplicateCtx) -> Replicate
     }
 }
 
+/// Column indices of the per-chunk [`CohortBatch`]: the four
+/// per-student score vectors of Tables 1–3 plus the two paired
+/// difference columns the bootstrap consumes.
+mod field {
+    pub const E1: usize = 0;
+    pub const E2: usize = 1;
+    pub const G1: usize = 2;
+    pub const G2: usize = 3;
+    pub const EDIFF: usize = 4;
+    pub const GDIFF: usize = 5;
+    pub const COUNT: usize = 6;
+}
+
+/// Per-worker arena for the batch-major path: the structure-of-arrays
+/// cohort columns, the resampling kernels' scratch, the section-pool
+/// buffers, and the hoisted cohort score model (whose
+/// clamp-compensation bisections are replicate-invariant), all reused
+/// across every chunk a worker processes.
+#[derive(Debug, Default)]
+struct BatchArena {
+    cols: CohortBatch,
+    kernels: BatchScratch,
+    sections: Vec<(Vec<f64>, Vec<f64>)>,
+    model: CohortScoreModel,
+}
+
+/// One chunk of the batch-major path: lays the chunk's cohorts out as
+/// [`CohortBatch`] columns, then advances every replicate's battery in
+/// lockstep through the `stats::batch` kernels. Each lane consumes
+/// exactly the streams the scalar [`summarize_replicate`] would, so
+/// the summaries are bit-identical to the scalar path (the
+/// `scalar_and_batched_paths_are_bit_identical` tests and the
+/// replication bin's `--scalar-check` mode enforce this).
+fn run_chunk_batched(
+    cfg: &ReplicationConfig,
+    arena: &mut BatchArena,
+    ctxs: &[ReplicateCtx],
+) -> Vec<ReplicateSummary> {
+    let lanes = ctxs.len();
+    let n = CohortData::effective_size(cfg.num_students);
+    arena.cols.reset(field::COUNT, lanes, n);
+    arena
+        .sections
+        .resize_with(lanes, || (Vec::new(), Vec::new()));
+
+    let mut parametrics = Vec::with_capacity(lanes);
+    for (lane, ctx) in ctxs.iter().enumerate() {
+        // The hoisted score model writes the four per-student score
+        // columns straight into the arena — bit-identical to generating
+        // the full `CohortData` and extracting them, without the
+        // roster, teams, per-element response matrices, or the
+        // per-cohort clamp-compensation bisections.
+        let study = StudyConfig {
+            num_students: cfg.num_students,
+            seed: ctx.seed,
+        };
+        let (e1, g1) = arena.cols.lane_pair_mut(field::E1, field::G1, lane);
+        arena.model.wave_scores_into(&study, 1, e1, g1);
+        let (e2, g2) = arena.cols.lane_pair_mut(field::E2, field::G2, lane);
+        arena.model.wave_scores_into(&study, 2, e2, g2);
+        arena
+            .cols
+            .lane_diff(field::EDIFF, field::E2, field::E1, lane);
+        arena
+            .cols
+            .lane_diff(field::GDIFF, field::G2, field::G1, lane);
+
+        let e1 = arena.cols.lane(field::E1, lane);
+        let e2 = arena.cols.lane(field::E2, lane);
+        let g1 = arena.cols.lane(field::G1, lane);
+        let g2 = arena.cols.lane(field::G2, lane);
+        parametrics.push((
+            t_test_paired(e1, e2).expect("cohort has variance"),
+            t_test_paired(g1, g2).expect("cohort has variance"),
+            cohen_d_independent(e1, e2).expect("cohort has variance"),
+            cohen_d_independent(g1, g2).expect("cohort has variance"),
+        ));
+
+        // Section pools — positional, because roster ids are assigned
+        // section-major — with the scalar path's small-cohort fallback.
+        let scores = arena.cols.lane(field::E2, lane);
+        let (sec_a, sec_b) = &mut arena.sections[lane];
+        let split = CohortScoreModel::section_split(scores.len());
+        sec_a.clear();
+        sec_a.extend_from_slice(&scores[..split]);
+        sec_b.clear();
+        sec_b.extend_from_slice(&scores[split..]);
+        if sec_a.len() < 2 || sec_b.len() < 2 {
+            let half = scores.len() / 2;
+            sec_a.clear();
+            sec_a.extend_from_slice(&scores[..half]);
+            sec_b.clear();
+            sec_b.extend_from_slice(&scores[half..]);
+        }
+    }
+
+    // Per-lane sub-stream seeds per battery — the same
+    // `ctx.stream_seed(stream)` values the scalar path feeds `*_par`.
+    let seeds_for =
+        |stream: u64| -> Vec<u64> { ctxs.iter().map(|c| c.stream_seed(stream)).collect() };
+    let seeds = seeds_for(stream::EMPHASIS_PERM);
+    let emphasis_perm = permutation_test_paired_batch(
+        &arena.cols.lane_refs(field::E1),
+        &arena.cols.lane_refs(field::E2),
+        cfg.permutations,
+        &seeds,
+        &mut arena.kernels,
+    )
+    .expect("cohort has variance");
+    let seeds = seeds_for(stream::GROWTH_PERM);
+    let growth_perm = permutation_test_paired_batch(
+        &arena.cols.lane_refs(field::G1),
+        &arena.cols.lane_refs(field::G2),
+        cfg.permutations,
+        &seeds,
+        &mut arena.kernels,
+    )
+    .expect("cohort has variance");
+    let seeds = seeds_for(stream::EMPHASIS_BOOT);
+    let emphasis_boot = bootstrap_mean_ci_batch(
+        &arena.cols.lane_refs(field::EDIFF),
+        0.95,
+        cfg.bootstrap_reps,
+        &seeds,
+        &mut arena.kernels,
+    )
+    .expect("cohort has variance");
+    let seeds = seeds_for(stream::GROWTH_BOOT);
+    let growth_boot = bootstrap_mean_ci_batch(
+        &arena.cols.lane_refs(field::GDIFF),
+        0.95,
+        cfg.bootstrap_reps,
+        &seeds,
+        &mut arena.kernels,
+    )
+    .expect("cohort has variance");
+    let seeds = seeds_for(stream::SECTION_PERM);
+    let sec_a_refs: Vec<&[f64]> = arena.sections.iter().map(|(a, _)| a.as_slice()).collect();
+    let sec_b_refs: Vec<&[f64]> = arena.sections.iter().map(|(_, b)| b.as_slice()).collect();
+    let section_perm = permutation_test_two_sample_batch(
+        &sec_a_refs[..lanes],
+        &sec_b_refs[..lanes],
+        cfg.section_permutations,
+        &seeds,
+        &mut arena.kernels,
+    )
+    .expect("both sections populated");
+
+    ctxs.iter()
+        .enumerate()
+        .map(|(lane, ctx)| {
+            let (emphasis_ttest, growth_ttest, emphasis_d, growth_d) = parametrics[lane].clone();
+            ReplicateSummary {
+                index: ctx.index,
+                seed: ctx.seed,
+                emphasis_ttest,
+                growth_ttest,
+                emphasis_d,
+                growth_d,
+                emphasis_perm_p: emphasis_perm[lane].p_two_sided,
+                growth_perm_p: growth_perm[lane].p_two_sided,
+                emphasis_diff_ci: emphasis_boot[lane].clone(),
+                growth_diff_ci: growth_boot[lane].clone(),
+                section_perm_p: section_perm[lane].p_two_sided,
+            }
+        })
+        .collect()
+}
+
+/// [`run_replication`] on the batch-major path: each work-queue chunk
+/// runs [`run_chunk_batched`] over a structure-of-arrays
+/// [`CohortBatch`] with per-worker arenas. Bit-identical to
+/// [`run_replication`] for every thread count — same summaries, same
+/// digest — just faster, because lockstep lanes overlap the resampling
+/// kernels' accumulator chains and steady-state chunks allocate
+/// nothing.
+pub fn run_replication_batched(cfg: &ReplicationConfig) -> ReplicationReport {
+    let summaries = ReplicationEngine::new(cfg.threads).run_chunked(
+        cfg.replicates,
+        cfg.master_seed,
+        BatchArena::default,
+        |arena, ctxs| run_chunk_batched(cfg, arena, ctxs),
+    );
+    ReplicationReport {
+        config: cfg.clone(),
+        summaries,
+    }
+}
+
 /// Runs the batch: `cfg.replicates` independent studies on up to
 /// `cfg.threads` OS threads, bit-identical for every thread count.
 pub fn run_replication(cfg: &ReplicationConfig) -> ReplicationReport {
@@ -347,6 +541,50 @@ mod tests {
             assert_eq!(reference.summaries, got.summaries, "threads = {threads}");
             assert_eq!(reference.digest(), got.digest());
         }
+    }
+
+    #[test]
+    fn scalar_and_batched_paths_are_bit_identical() {
+        // The tentpole invariant: batch-major execution changes *when*
+        // work happens, never *what* is computed. Replicate counts are
+        // chosen to exercise full chunks, 4-lane groups, and scalar
+        // tail lanes (13 = 8 + 4 + 1 inside one chunk).
+        for replicates in [1usize, 5, 8, 13, 16, 35] {
+            let cfg = ReplicationConfig {
+                replicates,
+                ..small_config(1)
+            };
+            let scalar = run_replication(&cfg);
+            for threads in [1, 2, 4, 8] {
+                let batched = run_replication_batched(&ReplicationConfig {
+                    threads,
+                    ..cfg.clone()
+                });
+                assert_eq!(
+                    scalar.summaries, batched.summaries,
+                    "replicates={replicates} threads={threads}"
+                );
+                assert_eq!(scalar.digest(), batched.digest());
+            }
+        }
+    }
+
+    #[test]
+    fn batched_path_is_bit_identical_at_the_full_cohort_size() {
+        // Same statement at the paper's 124-student cohort, where the
+        // sign-flip word count per permutation differs from the small
+        // configs (124 = 64 + 60-bit masked block).
+        let cfg = ReplicationConfig {
+            replicates: 6,
+            threads: 2,
+            permutations: 200,
+            bootstrap_reps: 150,
+            section_permutations: 100,
+            ..Default::default()
+        };
+        let scalar = run_replication(&cfg);
+        let batched = run_replication_batched(&cfg);
+        assert_eq!(scalar.summaries, batched.summaries);
     }
 
     #[test]

@@ -188,6 +188,37 @@ impl ReplicationEngine {
         (out, rec.finish())
     }
 
+    /// Runs `replicates` replicates with a **chunk-granular** body: the
+    /// work queue is the same as [`run`](Self::run), but each dequeued
+    /// chunk is handed to `chunk_body` whole, as a slice of
+    /// [`ReplicateCtx`]s, together with a per-worker scratch value
+    /// built once by `init` and reused across every chunk that worker
+    /// processes. This is the batch-major entry point: a chunk body can
+    /// lay its replicates out in structure-of-arrays form and advance
+    /// them in lockstep, with all intermediates living in the scratch
+    /// arena so steady-state chunks allocate nothing.
+    ///
+    /// The determinism contract is unchanged — value `i` must be a pure
+    /// function of `ctxs[i]` alone (chunk boundaries are a pure
+    /// function of the batch shape, but lockstep grouping inside a
+    /// chunk must not let lanes influence one another) — and
+    /// `chunk_body` must return exactly one value per context, in
+    /// order.
+    pub fn run_chunked<S, T, I, F>(
+        &self,
+        replicates: usize,
+        master_seed: u64,
+        init: I,
+        chunk_body: F,
+    ) -> Vec<T>
+    where
+        T: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, &[ReplicateCtx]) -> Vec<T> + Sync,
+    {
+        self.run_chunked_impl(replicates, master_seed, None, init, chunk_body)
+    }
+
     fn run_impl<T, F>(
         &self,
         replicates: usize,
@@ -198,6 +229,28 @@ impl ReplicationEngine {
     where
         T: Send,
         F: Fn(&ReplicateCtx) -> T + Sync,
+    {
+        self.run_chunked_impl(
+            replicates,
+            master_seed,
+            metrics,
+            || (),
+            |_scratch, ctxs| ctxs.iter().map(&body).collect(),
+        )
+    }
+
+    fn run_chunked_impl<S, T, I, F>(
+        &self,
+        replicates: usize,
+        master_seed: u64,
+        metrics: Option<&EngineMetrics>,
+        init: I,
+        chunk_body: F,
+    ) -> Vec<T>
+    where
+        T: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, &[ReplicateCtx]) -> Vec<T> + Sync,
     {
         if let Some(m) = metrics {
             // Batch shape only — the same on the inline and threaded
@@ -211,8 +264,29 @@ impl ReplicationEngine {
             index,
             seed: seeder.split_seed(index as u64),
         };
+        let run_chunk =
+            |scratch: &mut S, ctxs: &mut Vec<ReplicateCtx>, range: std::ops::Range<usize>| {
+                ctxs.clear();
+                ctxs.extend(range.clone().map(&ctx));
+                let values = chunk_body(scratch, ctxs.as_slice());
+                assert_eq!(
+                    values.len(),
+                    range.len(),
+                    "chunk body must return one value per replicate"
+                );
+                values
+            };
         if self.threads <= 1 || replicates <= 1 {
-            return (0..replicates).map(|i| body(&ctx(i))).collect();
+            let mut scratch = init();
+            let mut ctxs = Vec::with_capacity(self.chunk);
+            let mut out = Vec::with_capacity(replicates);
+            let mut start = 0;
+            while start < replicates {
+                let end = (start + self.chunk).min(replicates);
+                out.extend(run_chunk(&mut scratch, &mut ctxs, start..end));
+                start = end;
+            }
+            return out;
         }
 
         // Enqueue every chunk up front (the channel is unbounded), then
@@ -232,13 +306,15 @@ impl ReplicationEngine {
             for _ in 0..self.threads.min(replicates) {
                 let chunk_rx = chunk_rx.clone();
                 let result_tx = result_tx.clone();
-                let body = &body;
-                let ctx = &ctx;
+                let init = &init;
+                let run_chunk = &run_chunk;
                 scope.spawn(move || {
+                    let mut scratch = init();
+                    let mut ctxs = Vec::with_capacity(self.chunk);
                     while let Ok(range) = chunk_rx.recv() {
                         let base = range.start;
                         let started = metrics.map(|_| std::time::Instant::now());
-                        let values: Vec<T> = range.map(|i| body(&ctx(i))).collect();
+                        let values = run_chunk(&mut scratch, &mut ctxs, range);
                         if let (Some(m), Some(t0)) = (metrics, started) {
                             let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
                             m.chunk_latency.record(ns);
@@ -432,6 +508,40 @@ mod tests {
             .expect("completed counter");
         assert_eq!(completed.samples, 13);
         assert_eq!(completed.last, 100);
+    }
+
+    #[test]
+    fn run_chunked_equals_run_for_any_threads_and_chunks() {
+        let reference = ReplicationEngine::new(1).run(97, 7, replicate_body);
+        for threads in [1, 2, 4, 8] {
+            for chunk in [1, 3, 16, 200] {
+                let got = ReplicationEngine::new(threads)
+                    .with_chunk(chunk)
+                    .run_chunked(
+                        97,
+                        7,
+                        // A stateful per-worker scratch: growth across chunks
+                        // must never leak into results.
+                        Vec::<usize>::new,
+                        |scratch, ctxs| {
+                            scratch.push(ctxs.len());
+                            ctxs.iter().map(replicate_body).collect()
+                        },
+                    );
+                assert_eq!(reference, got, "threads={threads} chunk={chunk}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one value per replicate")]
+    fn run_chunked_rejects_short_chunk_results() {
+        let _ = ReplicationEngine::new(1).run_chunked(
+            10,
+            3,
+            || (),
+            |_, ctxs| ctxs.iter().skip(1).map(|c| c.index).collect::<Vec<_>>(),
+        );
     }
 
     #[test]

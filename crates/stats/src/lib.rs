@@ -23,6 +23,9 @@
 //!   each with a `*_par` form that shards replicates across OS threads
 //!   on seed-split RNG streams with bit-identical results for any
 //!   thread count.
+//! * [`batch`] — structure-of-arrays batch forms of the resampling
+//!   kernels that advance many independent replicates in lockstep,
+//!   bit-identical per lane to the `*_par` forms at one thread.
 //! * [`likert`] — 1–5 Likert-scale helpers for both survey scales.
 //! * [`table`] — plain-text / Markdown table rendering for the report
 //!   binary and EXPERIMENTS.md.
@@ -33,9 +36,14 @@
 //! per-stream seeds for parallel replication work.
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the one sanctioned exception is the batch
+// module's CPU-feature dispatch, which calls a `#[target_feature]`
+// instantiation of the identical safe kernel body behind run-time
+// detection. Every other module remains unsafe-free.
+#![deny(unsafe_code)]
 
 pub mod anova;
+pub mod batch;
 pub mod cohen;
 pub mod composite;
 pub mod descriptive;
@@ -51,6 +59,10 @@ pub mod ttest;
 pub mod wilcoxon;
 
 pub use anova::{anova_one_way, AnovaResult};
+pub use batch::{
+    bootstrap_mean_ci_batch, permutation_test_paired_batch, permutation_test_two_sample_batch,
+    BatchScratch, CohortBatch, RngBank,
+};
 pub use cohen::{cohen_d_independent, cohen_d_paired, CohensD, EffectSizeBand};
 pub use composite::{composite_score, CompositeScore};
 pub use descriptive::Summary;

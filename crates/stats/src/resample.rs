@@ -27,11 +27,11 @@ use crate::Result;
 /// threads execute the shards.
 pub const SHARD_REPS: usize = 256;
 
-fn shard_count(reps: usize) -> usize {
+pub(crate) fn shard_count(reps: usize) -> usize {
     reps.div_ceil(SHARD_REPS)
 }
 
-fn reps_in_shard(reps: usize, shard: usize) -> usize {
+pub(crate) fn reps_in_shard(reps: usize, shard: usize) -> usize {
     SHARD_REPS.min(reps - shard * SHARD_REPS)
 }
 
@@ -139,13 +139,13 @@ pub struct BootstrapCi {
 /// formulation took `ceil((1 − α/2) · reps)`, which makes the upper tail
 /// one rank wider than the lower and, for tiny `reps`, could clamp onto
 /// the lower index and collapse the interval to a point.
-fn percentile_bounds(reps: usize, level: f64) -> (usize, usize) {
+pub(crate) fn percentile_bounds(reps: usize, level: f64) -> (usize, usize) {
     let alpha = 1.0 - level;
     let lo = (((alpha / 2.0) * reps as f64).floor() as usize).min((reps - 1) / 2);
     (lo, reps - 1 - lo)
 }
 
-fn validate_bootstrap(data: &[f64], level: f64, reps: usize) -> Result<()> {
+pub(crate) fn validate_bootstrap(data: &[f64], level: f64, reps: usize) -> Result<()> {
     if data.len() < 2 {
         return Err(StatsError::NotEnoughData {
             needed: 2,
@@ -253,7 +253,7 @@ pub struct PermutationTest {
     pub permutations: usize,
 }
 
-fn validate_paired(first: &[f64], second: &[f64], permutations: usize) -> Result<()> {
+pub(crate) fn validate_paired(first: &[f64], second: &[f64], permutations: usize) -> Result<()> {
     if first.len() != second.len() {
         return Err(StatsError::LengthMismatch {
             left: first.len(),
@@ -382,7 +382,7 @@ pub fn permutation_test_paired_par(
     })
 }
 
-fn validate_two_sample(a: &[f64], b: &[f64], permutations: usize) -> Result<()> {
+pub(crate) fn validate_two_sample(a: &[f64], b: &[f64], permutations: usize) -> Result<()> {
     if a.len() < 2 || b.len() < 2 {
         return Err(StatsError::NotEnoughData {
             needed: 2,

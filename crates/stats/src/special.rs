@@ -231,6 +231,21 @@ pub fn t_critical_two_sided(alpha: f64, df: f64) -> Result<f64> {
     if df <= 0.0 {
         return Err(StatsError::InvalidParameter("t_critical: df must be > 0"));
     }
+    // The replication battery evaluates this at one fixed (alpha, df) for
+    // every replicate, and the bisection dominates the cost of a whole
+    // t-test. A one-entry thread-local memo keyed on the exact argument
+    // bit patterns hands back the previously computed value verbatim, so
+    // cached and uncached calls are bit-identical by construction.
+    thread_local! {
+        static LAST: std::cell::Cell<Option<(u64, u64, u64)>> =
+            const { std::cell::Cell::new(None) };
+    }
+    let key = (alpha.to_bits(), df.to_bits());
+    if let Some((ka, kd, bits)) = LAST.with(|c| c.get()) {
+        if (ka, kd) == key {
+            return Ok(f64::from_bits(bits));
+        }
+    }
     let (mut lo, mut hi) = (0.0_f64, 1e3_f64);
     for _ in 0..200 {
         let mid = 0.5 * (lo + hi);
@@ -240,7 +255,9 @@ pub fn t_critical_two_sided(alpha: f64, df: f64) -> Result<f64> {
             hi = mid;
         }
     }
-    Ok(0.5 * (lo + hi))
+    let critical = 0.5 * (lo + hi);
+    LAST.with(|c| c.set(Some((key.0, key.1, critical.to_bits()))));
+    Ok(critical)
 }
 
 #[cfg(test)]

@@ -3,7 +3,7 @@
 //! replicate-level determinism invariant in DESIGN.md.
 
 use classroom::{CohortData, StudyConfig};
-use pbl_core::replicate::{run_replication, ReplicationConfig};
+use pbl_core::replicate::{run_replication, run_replication_batched, ReplicationConfig};
 use replicate::{ReplicationEngine, StreamSeeder};
 
 fn small_config(threads: usize) -> ReplicationConfig {
@@ -28,6 +28,20 @@ fn full_replication_batch_is_bit_identical_for_threads_1_2_4_8() {
         // this is a bit-for-bit comparison of the whole batch.
         assert_eq!(reference.summaries, got.summaries, "threads = {threads}");
         assert_eq!(reference.digest(), got.digest());
+    }
+}
+
+#[test]
+fn batched_replication_matches_the_scalar_digest_for_threads_1_2_4_8() {
+    // The batch-major path (SoA lockstep kernels over whole chunks)
+    // must reproduce the scalar engine bit for bit at every thread
+    // count — the batched-vs-scalar bit-identity invariant in
+    // DESIGN.md, stated end to end across crates.
+    let reference = run_replication(&small_config(1));
+    for threads in [1, 2, 4, 8] {
+        let got = run_replication_batched(&small_config(threads));
+        assert_eq!(reference.summaries, got.summaries, "threads = {threads}");
+        assert_eq!(reference.digest(), got.digest(), "threads = {threads}");
     }
 }
 
