@@ -7,6 +7,11 @@
 //! it (non-empty), or the gate fails — a digestless snapshot cannot be
 //! cross-checked against a fresh deterministic run.
 //!
+//! And it is the SLO gate: scenarios carrying `"p99_sojourn_vt"` /
+//! `"cache_hit_rate"` fields (the serve cluster's semester sweep) fail
+//! the gate when fresh tail latency grows more than 25% over the
+//! committed value or the hit rate drops more than 5 points.
+//!
 //! Usage:
 //!   bench_gate <committed.json> <fresh.json>
 //!
@@ -80,15 +85,56 @@ fn main() {
         );
     }
 
+    let committed_slos = gate::slos(&committed_doc);
+    let fresh_slos = gate::slos(&fresh_doc);
+    for s in &committed_slos {
+        let fresh_of = |f: fn(&gate::Slo) -> Option<f64>| {
+            fresh_slos
+                .iter()
+                .find(|x| x.name == s.name)
+                .and_then(f)
+                .map_or("missing".to_string(), |v| format!("{v}"))
+        };
+        if let Some(p99) = s.p99_sojourn_vt {
+            println!(
+                "bench_gate: SLO {:<42} p99_sojourn_vt committed {p99}  fresh {}",
+                s.name,
+                fresh_of(|x| x.p99_sojourn_vt)
+            );
+        }
+        if let Some(rate) = s.cache_hit_rate {
+            println!(
+                "bench_gate: SLO {:<42} cache_hit_rate committed {rate}  fresh {}",
+                s.name,
+                fresh_of(|x| x.cache_hit_rate)
+            );
+        }
+    }
+
+    let violations = gate::slo_violations(&committed_slos, &fresh_slos);
+    for v in &violations {
+        match v.fresh {
+            Some(fresh) => eprintln!(
+                "bench_gate: SLO VIOLATION {} {}: committed {}, fresh {fresh}",
+                v.name, v.metric, v.committed
+            ),
+            None => eprintln!(
+                "bench_gate: SLO VIOLATION {} {}: field missing from fresh run",
+                v.name, v.metric
+            ),
+        }
+    }
+
     let regressions = gate::regressions(&committed, &fresh, gate::MAX_LOSS);
     if regressions.is_empty() {
-        if !provenance_ok {
+        if !provenance_ok || !violations.is_empty() {
             std::process::exit(1);
         }
         println!(
-            "bench_gate: OK — {} scenario(s) within {:.0}% of committed speedups",
+            "bench_gate: OK — {} scenario(s) within {:.0}% of committed speedups, {} SLO(s) held",
             committed.len(),
-            gate::MAX_LOSS * 100.0
+            gate::MAX_LOSS * 100.0,
+            committed_slos.len()
         );
         return;
     }

@@ -43,6 +43,14 @@ fn main() {
         return;
     }
 
+    if what == "semester" {
+        // Catalogue member whose renderer lives in the serve layer
+        // (the cluster depends on pbl-core, so core's entry points
+        // here instead of rendering).
+        print!("{}", serve::cluster::semester_artefact());
+        return;
+    }
+
     let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     match experiments::render_artefact(&what, threads) {
         Some(text) => print!("{text}"),

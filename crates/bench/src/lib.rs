@@ -233,6 +233,116 @@ pub mod gate {
             })
             .collect()
     }
+
+    // -----------------------------------------------------------
+    // SLO fields: tail latency and cache effectiveness
+    // -----------------------------------------------------------
+
+    /// The SLO fields a scenario may carry alongside (or instead of)
+    /// its speedup ratio: `"p99_sojourn_vt"` (lower is better) and
+    /// `"cache_hit_rate"` (higher is better). Both are attributed to
+    /// the most recent `"name"`, like speedups.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct Slo {
+        /// The owning scenario's `"name"`.
+        pub name: String,
+        /// The scenario's `"p99_sojourn_vt"` value, if present.
+        pub p99_sojourn_vt: Option<f64>,
+        /// The scenario's `"cache_hit_rate"` value, if present.
+        pub cache_hit_rate: Option<f64>,
+    }
+
+    /// One SLO gate failure.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct SloViolation {
+        /// The offending scenario.
+        pub name: String,
+        /// Which SLO field failed (`"p99_sojourn_vt"` or
+        /// `"cache_hit_rate"`).
+        pub metric: &'static str,
+        /// The committed value.
+        pub committed: f64,
+        /// The fresh value, or `None` when the committed scenario (or
+        /// the field itself) vanished from the fresh run.
+        pub fresh: Option<f64>,
+    }
+
+    /// Largest tolerated relative increase of a committed
+    /// `p99_sojourn_vt` (tail latency may grow at most 25%).
+    pub const MAX_P99_REGRESSION: f64 = 0.25;
+
+    /// Largest tolerated absolute drop of a committed
+    /// `cache_hit_rate` (5 percentage points).
+    pub const MAX_HIT_RATE_DROP: f64 = 0.05;
+
+    /// Extracts every SLO-bearing scenario: any block (by most recent
+    /// `"name"`) carrying a `"p99_sojourn_vt"` or `"cache_hit_rate"`
+    /// pair. Fields of one scenario merge into one entry.
+    pub fn slos(json: &str) -> Vec<Slo> {
+        let mut name = String::new();
+        let mut out: Vec<Slo> = Vec::new();
+        for line in json.lines() {
+            if let Some(v) = string_value(line, "name") {
+                name = v.to_string();
+            }
+            let p99 = number_value(line, "p99_sojourn_vt");
+            let hit = number_value(line, "cache_hit_rate");
+            if p99.is_none() && hit.is_none() {
+                continue;
+            }
+            match out.last_mut() {
+                Some(last) if last.name == name => {
+                    if p99.is_some() {
+                        last.p99_sojourn_vt = p99;
+                    }
+                    if hit.is_some() {
+                        last.cache_hit_rate = hit;
+                    }
+                }
+                _ => out.push(Slo {
+                    name: name.clone(),
+                    p99_sojourn_vt: p99,
+                    cache_hit_rate: hit,
+                }),
+            }
+        }
+        out
+    }
+
+    /// Every committed SLO the fresh run breaks: a `p99_sojourn_vt`
+    /// that grew beyond [`MAX_P99_REGRESSION`], a `cache_hit_rate`
+    /// that dropped more than [`MAX_HIT_RATE_DROP`] points, or a
+    /// committed SLO field missing from the fresh run. Fresh-only
+    /// SLOs are ignored (adding gated scenarios is not a violation).
+    pub fn slo_violations(committed: &[Slo], fresh: &[Slo]) -> Vec<SloViolation> {
+        let mut out = Vec::new();
+        for c in committed {
+            let fresh_slo = fresh.iter().find(|f| f.name == c.name);
+            if let Some(limit) = c.p99_sojourn_vt {
+                match fresh_slo.and_then(|f| f.p99_sojourn_vt) {
+                    Some(p99) if p99 <= limit * (1.0 + MAX_P99_REGRESSION) => {}
+                    got => out.push(SloViolation {
+                        name: c.name.clone(),
+                        metric: "p99_sojourn_vt",
+                        committed: limit,
+                        fresh: got,
+                    }),
+                }
+            }
+            if let Some(floor) = c.cache_hit_rate {
+                match fresh_slo.and_then(|f| f.cache_hit_rate) {
+                    Some(rate) if rate >= floor - MAX_HIT_RATE_DROP => {}
+                    got => out.push(SloViolation {
+                        name: c.name.clone(),
+                        metric: "cache_hit_rate",
+                        committed: floor,
+                        fresh: got,
+                    }),
+                }
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -248,9 +358,10 @@ mod tests {
             "all is the report binary's default, not an artefact"
         );
         assert!(!is_artefact("table9"));
-        assert_eq!(ARTEFACTS.len(), 20);
+        assert_eq!(ARTEFACTS.len(), 21);
         assert!(is_artefact("metrics"));
         assert!(is_artefact("trace"));
+        assert!(is_artefact("semester"));
         assert!(is_artefact("robustness"));
         assert!(is_artefact("spring2019"));
         assert!(is_artefact("replication"));
@@ -432,6 +543,92 @@ mod tests {
         assert_eq!(r.len(), 1);
         assert_eq!(r[0].name, "pi_sim/uniform_loop");
         assert_eq!(r[0].fresh, Some(1.0));
+    }
+
+    const SLO_DOC: &str = r#"{
+  "scenarios": [
+    {
+      "name": "serve/semester_shards_2",
+      "speedup": 4.0,
+      "p99_sojourn_vt": 1000.0,
+      "cache_hit_rate": 0.90
+    },
+    {
+      "name": "serve/week",
+      "speedup": 9.0
+    }
+  ],
+  "serving": {
+    "p99_sojourn_vt": 2000.0,
+    "cache_hit_rate": 0.85
+  }
+}
+"#;
+
+    #[test]
+    fn gate_slos_attribute_fields_to_the_nearest_scenario() {
+        let slos = gate::slos(SLO_DOC);
+        assert_eq!(slos.len(), 2);
+        assert_eq!(slos[0].name, "serve/semester_shards_2");
+        assert_eq!(slos[0].p99_sojourn_vt, Some(1000.0));
+        assert_eq!(slos[0].cache_hit_rate, Some(0.90));
+        // The trailing "serving" block attributes to the last name —
+        // a fresh entry because the earlier one was already complete.
+        assert_eq!(slos[1].name, "serve/week");
+        assert_eq!(slos[1].p99_sojourn_vt, Some(2000.0));
+        assert_eq!(slos[1].cache_hit_rate, Some(0.85));
+        // Speedup-only documents carry no SLOs.
+        assert!(gate::slos(BENCH_DOC).is_empty());
+    }
+
+    #[test]
+    fn gate_slo_violations_enforce_p99_growth_and_hit_rate_drop() {
+        let committed = gate::slos(SLO_DOC);
+        let ok = vec![
+            gate::Slo {
+                name: "serve/semester_shards_2".into(),
+                // Exactly at the limits: 25% more p99, 5 points less.
+                p99_sojourn_vt: Some(1250.0),
+                cache_hit_rate: Some(0.85),
+            },
+            gate::Slo {
+                name: "serve/week".into(),
+                p99_sojourn_vt: Some(500.0),
+                cache_hit_rate: Some(1.0),
+            },
+        ];
+        assert!(gate::slo_violations(&committed, &ok).is_empty());
+
+        let bad = vec![
+            gate::Slo {
+                name: "serve/semester_shards_2".into(),
+                p99_sojourn_vt: Some(1251.0),
+                cache_hit_rate: Some(0.8499),
+            },
+            gate::Slo {
+                name: "serve/week".into(),
+                p99_sojourn_vt: Some(2000.0),
+                cache_hit_rate: Some(0.85),
+            },
+        ];
+        let v = gate::slo_violations(&committed, &bad);
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().any(|x| x.metric == "p99_sojourn_vt"
+            && x.name == "serve/semester_shards_2"
+            && x.fresh == Some(1251.0)));
+        assert!(v.iter().any(|x| x.metric == "cache_hit_rate"
+            && x.name == "serve/semester_shards_2"
+            && x.fresh == Some(0.8499)));
+
+        // A committed SLO scenario vanishing entirely is a violation
+        // for each committed field.
+        let gone: Vec<gate::Slo> = Vec::new();
+        let v = gate::slo_violations(&committed, &gone);
+        assert_eq!(v.len(), 4);
+        assert!(v.iter().all(|x| x.fresh.is_none()));
+
+        // Fresh-only SLOs never violate.
+        assert!(gate::slo_violations(&gone, &committed).is_empty());
     }
 
     #[test]

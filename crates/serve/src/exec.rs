@@ -188,8 +188,15 @@ pub fn execute(spec: &JobSpec) -> JobResult {
             )
         }
         JobSpec::Report { artefact } => {
-            let text = pbl_core::experiments::render_artefact(artefact, 1)
-                .unwrap_or_else(|| format!("unknown artefact {artefact:?}\n"));
+            // The semester artefact's renderer lives in this crate
+            // (core's catalogue entry is a pointer to avoid a
+            // dependency cycle), so dispatch it directly.
+            let text = if artefact.eq_ignore_ascii_case("semester") {
+                crate::cluster::semester_artefact()
+            } else {
+                pbl_core::experiments::render_artefact(artefact, 1)
+                    .unwrap_or_else(|| format!("unknown artefact {artefact:?}\n"))
+            };
             registry
                 .counter("serve/report/bytes", obs::Domain::Virtual)
                 .add(text.len() as u64);

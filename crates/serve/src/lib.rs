@@ -20,7 +20,13 @@
 //! * [`service`] — admission control, the five-phase batch pipeline,
 //!   the worker pool, metrics and trace instrumentation.
 //! * [`workload`] — the synthetic course-week trace the serve
-//!   benchmark and CI determinism smoke replay.
+//!   benchmark and CI determinism smoke replay, plus the open-loop
+//!   semester generator (seeded Poisson arrivals, deadline bursts,
+//!   a bounded Zipf job universe).
+//! * [`cluster`] — the consistent-hash sharded cluster: N coordinator
+//!   shards with private L1 caches behind a shared L2 tier and
+//!   cross-shard single-flight, serving whole semesters with
+//!   shard-count-invariant semantics.
 //!
 //! ## The service determinism contract
 //!
@@ -35,6 +41,7 @@
 #![forbid(unsafe_code)]
 
 pub mod cache;
+pub mod cluster;
 pub mod exec;
 pub mod result;
 pub mod sched;
@@ -43,6 +50,10 @@ pub mod spec;
 pub mod workload;
 
 pub use cache::{CacheEvent, CacheStats, ResultCache};
+pub use cluster::{
+    Cluster, ClusterConfig, ClusterOutcome, ClusterSource, ClusterStats, DayReport, HashRing,
+    SemesterReport,
+};
 pub use result::JobResult;
 pub use sched::{Planned, Submission};
 pub use service::{

@@ -50,10 +50,21 @@ pub struct Planned {
     pub digest: u64,
     /// The spec's deterministic cost estimate.
     pub cost: u64,
+    /// Virtual time the job arrived (0 for closed-loop batches).
+    pub arrival_vt: u64,
     /// Virtual time the job starts on its tenant's clock.
     pub start_vt: u64,
     /// Virtual time the job finishes — the dispatch sort key.
     pub finish_vt: u64,
+}
+
+impl Planned {
+    /// The job's virtual sojourn: finish minus arrival. For
+    /// closed-loop batches (arrival 0) this is just `finish_vt`,
+    /// matching the original service-layer semantics.
+    pub fn sojourn_vt(&self) -> u64 {
+        self.finish_vt.saturating_sub(self.arrival_vt)
+    }
 }
 
 /// Scale factor between cost units and virtual time, so ticket
@@ -67,16 +78,29 @@ const VT_SCALE: u64 = 1_000;
 /// batch's accepted list (indices need not be contiguous — rejected
 /// submissions leave holes).
 pub fn plan(accepted: &[(usize, &Submission)]) -> Vec<Planned> {
+    let timed: Vec<(usize, &Submission, u64)> = accepted.iter().map(|(i, s)| (*i, *s, 0)).collect();
+    plan_arrivals(&timed)
+}
+
+/// Open-loop variant of [`plan`]: each accepted submission carries an
+/// arrival virtual time, and a job cannot start before it arrives —
+/// `start_vt = max(tenant clock, arrival_vt)`. With every arrival at 0
+/// this degenerates to the closed-loop plan. The sojourn of a job is
+/// `finish_vt - arrival_vt`, so deadline-burst backlogs (a tenant
+/// submitting faster than its ticket share drains) show up as growing
+/// sojourns, exactly the open-loop queueing signal the semester
+/// benchmark gates on.
+pub fn plan_arrivals(accepted: &[(usize, &Submission, u64)]) -> Vec<Planned> {
     use std::collections::HashMap;
 
     let mut clocks: HashMap<u32, u64> = HashMap::new();
     let mut rows: Vec<Planned> = Vec::with_capacity(accepted.len());
-    for (index, sub) in accepted {
+    for (index, sub, arrival_vt) in accepted {
         let tickets = sub.tickets.max(1) as u64;
         let cost = sub.spec.cost_estimate().max(1);
         let span = (cost.saturating_mul(VT_SCALE) / tickets).max(1);
         let clock = clocks.entry(sub.tenant).or_insert(0);
-        let start_vt = *clock;
+        let start_vt = (*clock).max(*arrival_vt);
         let finish_vt = start_vt.saturating_add(span);
         *clock = finish_vt;
         rows.push(Planned {
@@ -84,6 +108,7 @@ pub fn plan(accepted: &[(usize, &Submission)]) -> Vec<Planned> {
             tenant: sub.tenant,
             digest: sub.spec.digest(),
             cost,
+            arrival_vt: *arrival_vt,
             start_vt,
             finish_vt,
         });
@@ -169,5 +194,46 @@ mod tests {
         let s = Submission::new(0, 0, loop_spec(1_000));
         let rows = plan(&[(0, &s)]);
         assert!(rows[0].finish_vt > 0);
+    }
+
+    #[test]
+    fn closed_loop_plan_is_the_zero_arrival_special_case() {
+        let subs: Vec<Submission> = (0..8)
+            .map(|t| Submission::new(t % 3, 1 + t % 2, loop_spec(1_000 + t as u64)))
+            .collect();
+        let accepted: Vec<(usize, &Submission)> = subs.iter().enumerate().collect();
+        let timed: Vec<(usize, &Submission, u64)> =
+            subs.iter().enumerate().map(|(i, s)| (i, s, 0)).collect();
+        let a = plan(&accepted);
+        let b = plan_arrivals(&timed);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.submission, y.submission);
+            assert_eq!((x.start_vt, x.finish_vt), (y.start_vt, y.finish_vt));
+            assert_eq!(y.sojourn_vt(), y.finish_vt);
+        }
+    }
+
+    #[test]
+    fn arrivals_gate_start_times_and_backlogs_grow_sojourns() {
+        // An idle tenant's job starts at its arrival; a backlogged
+        // tenant's jobs queue behind the clock, so later arrivals of a
+        // burst see longer sojourns.
+        let s = Submission::new(0, 1, loop_spec(1_000));
+        let late = Submission::new(1, 1, loop_spec(1_000));
+        let rows = plan_arrivals(&[
+            (0, &s, 0),
+            (1, &s, 1),
+            (2, &s, 2),
+            (3, &late, 1_000_000_000_000),
+        ]);
+        let by_sub = |i: usize| rows.iter().find(|p| p.submission == i).unwrap();
+        // The burst: each job starts when the previous finishes.
+        assert_eq!(by_sub(0).start_vt, 0);
+        assert_eq!(by_sub(1).start_vt, by_sub(0).finish_vt);
+        assert!(by_sub(2).sojourn_vt() > by_sub(0).sojourn_vt());
+        // The idle tenant starts exactly at its (late) arrival.
+        let idle = by_sub(3);
+        assert_eq!(idle.start_vt, 1_000_000_000_000);
+        assert_eq!(idle.sojourn_vt(), idle.finish_vt - idle.arrival_vt);
     }
 }

@@ -91,7 +91,7 @@ pub enum RejectReason {
 }
 
 impl RejectReason {
-    fn tag(self) -> u8 {
+    pub(crate) fn tag(self) -> u8 {
         match self {
             RejectReason::QueueFull => 0,
             RejectReason::TenantCap => 1,
@@ -499,7 +499,7 @@ impl Service {
 /// Fans `specs` over `workers` scoped threads via a crossbeam channel,
 /// returning results in input order. Workers compute pure results into
 /// their own slots; nothing here observes completion order.
-fn run_pool(specs: &[&JobSpec], workers: usize) -> Vec<Arc<JobResult>> {
+pub(crate) fn run_pool(specs: &[&JobSpec], workers: usize) -> Vec<Arc<JobResult>> {
     let workers = workers.max(1).min(specs.len().max(1));
     let slots: Vec<Mutex<Option<Arc<JobResult>>>> =
         (0..specs.len()).map(|_| Mutex::new(None)).collect();

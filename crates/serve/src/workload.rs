@@ -20,9 +20,26 @@
 //!
 //! The trace is a pure function — no RNG, no clocks — so every serve
 //! run of the course week sees byte-identical submissions.
+//!
+//! ## The semester workload (open loop)
+//!
+//! [`SemesterConfig`] scales the course three orders of magnitude: a
+//! seeded **Poisson arrival process** over virtual time, one stream
+//! per (tenant, day), modulated by an integer **weekday/deadline-burst
+//! intensity curve** (quiet weekends, a 3× spike every deadline day)
+//! and a linear semester ramp — thousands of course-tenants, around a
+//! million submissions over a simulated semester. Specs are drawn from
+//! a bounded [`JobUniverse`] with Zipf-like popularity, so cache reuse
+//! is realistic: a hot head of shared exercises and a long cold tail
+//! of per-team explorations. Everything is derived from
+//! [`StreamSeeder`](stats::rng::StreamSeeder) streams and basic f64
+//! arithmetic (the Poisson inverse uses a local deterministic
+//! [`exp_neg`], never libm), so the arrival sequence is bit-identical
+//! on every host — no wall clock anywhere.
 
 use crate::sched::Submission;
 use crate::spec::{CostSpec, JobSpec, MrWorkload, ReductionStyleSpec, ScheduleSpec};
+use stats::rng::{StreamSeeder, Xoshiro256};
 
 /// Teams submitting (13 per section, two sections — the paper's
 /// cohort).
@@ -167,6 +184,298 @@ pub fn course_week() -> Vec<Vec<Submission>> {
     week
 }
 
+// ---------------------------------------------------------------
+// Semester-scale open-loop traffic
+// ---------------------------------------------------------------
+
+/// Virtual ticks in one simulated day. Sized against WFQ spans
+/// (`cost × 1000 / tickets`, so ~10⁸–10⁹ per job): a typical tenant's
+/// daily work roughly fills a day, and deadline bursts overflow it —
+/// which is what makes open-loop sojourns an interesting tail.
+pub const DAY_VT: u64 = 4_000_000_000;
+
+/// One open-loop arrival: a submission stamped with the virtual time
+/// it enters the system (an offset within its day, `0..DAY_VT`).
+#[derive(Debug, Clone)]
+pub struct Arrival {
+    /// Arrival virtual time within the day.
+    pub vt: u64,
+    /// The submission.
+    pub sub: Submission,
+}
+
+/// Shape of a simulated semester of open-loop traffic.
+///
+/// Everything downstream — arrival times, counts, specs — is a pure
+/// function of this config, derived through seeded
+/// [`StreamSeeder`] streams. Two hosts with the same config generate
+/// byte-identical semesters.
+#[derive(Debug, Clone)]
+pub struct SemesterConfig {
+    /// Master seed for every derived stream.
+    pub seed: u64,
+    /// Course tenants (teams across all concurrent sections).
+    pub tenants: u32,
+    /// Simulated days (weeks × 7; weekends are quiet, not absent).
+    pub days: usize,
+    /// Baseline mean submissions per tenant per unit-intensity day.
+    /// The realised mean is this times the average intensity (~1.9×).
+    pub base_rate: f64,
+    /// Distinct specs in the bounded job universe.
+    pub unique_jobs: usize,
+}
+
+impl SemesterConfig {
+    /// The full benchmark semester: ~2 000 tenants over 15 weeks at a
+    /// realised ~4.8 submissions/tenant/day — about a million
+    /// submissions, three orders of magnitude past the course week.
+    pub fn full() -> Self {
+        SemesterConfig {
+            seed: 2_026,
+            tenants: 2_000,
+            days: 105,
+            base_rate: 2.54,
+            unique_jobs: 4_096,
+        }
+    }
+
+    /// A down-scaled semester for determinism checks and the report
+    /// artefact: same generator, same curves, ~15 000 submissions.
+    pub fn smoke() -> Self {
+        SemesterConfig {
+            seed: 2_026,
+            tenants: 150,
+            days: 21,
+            base_rate: 2.54,
+            unique_jobs: 512,
+        }
+    }
+
+    /// Ticket weight of a tenant (same 1..=3 cycling as the course
+    /// week).
+    pub fn tenant_tickets(&self, tenant: u32) -> u32 {
+        tickets(tenant)
+    }
+
+    /// Per-mille intensity multiplier for a day: weekday curve (quiet
+    /// weekends), a 3× deadline spike every Friday, and a linear
+    /// semester ramp from 80% to 120%. Integer arithmetic only, so the
+    /// curve is trivially host-independent.
+    pub fn intensity_per_mille(&self, day: usize) -> u64 {
+        // Mon..Sun in per-mille; Friday (index 4) is deadline day.
+        const WEEKDAY: [u64; 7] = [1_000, 1_100, 1_200, 1_300, 4_500, 800, 600];
+        let weekday = WEEKDAY[day % 7];
+        // Linear ramp 800‰ → 1200‰ across the semester.
+        let span = (self.days.max(2) - 1) as u64;
+        let ramp = 800 + 400 * day as u64 / span;
+        weekday * ramp / 1_000
+    }
+
+    /// Per-mille activity multiplier for a tenant: 500‰..2000‰ in 16
+    /// steps, so the cohort mixes lurkers and heavy hitters.
+    pub fn activity_per_mille(&self, tenant: u32) -> u64 {
+        500 + 100 * (tenant % 16) as u64
+    }
+
+    /// The Poisson mean for one (tenant, day) cell.
+    pub fn lambda(&self, tenant: u32, day: usize) -> f64 {
+        let per_mille = self.intensity_per_mille(day) * self.activity_per_mille(tenant);
+        self.base_rate * (per_mille as f64 / 1_000_000.0)
+    }
+}
+
+/// `e^(-x)` for `x ≥ 0` using only `+ - * /` on f64 — IEEE-exact on
+/// every host, unlike libm's `exp`. Halve the argument into
+/// `[0, 1/16]`, run a fixed 8-term Taylor series, square back up.
+/// Absolute error is far below what Poisson inversion can observe,
+/// and — the property we actually need — the result is bit-identical
+/// everywhere.
+pub fn exp_neg(x: f64) -> f64 {
+    debug_assert!(x >= 0.0);
+    let mut x = x;
+    let mut halvings = 0u32;
+    while x > 0.0625 {
+        x *= 0.5;
+        halvings += 1;
+        if halvings > 64 {
+            return 0.0;
+        }
+    }
+    let mut term = 1.0f64;
+    let mut sum = 1.0f64;
+    for k in 1..=8u32 {
+        term *= -x / k as f64;
+        sum += term;
+    }
+    for _ in 0..halvings {
+        sum *= sum;
+    }
+    sum
+}
+
+/// Knuth's product-of-uniforms Poisson sampler over [`exp_neg`].
+/// Deterministic given the RNG stream; fine for the λ ≤ ~30 this
+/// workload produces.
+pub fn poisson(rng: &mut Xoshiro256, lambda: f64) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    let floor = exp_neg(lambda);
+    let mut k = 0u64;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.next_f64();
+        if p <= floor {
+            return k;
+        }
+        k += 1;
+        if k > 100_000 {
+            return k; // unreachable at sane λ; bounds the loop anyway
+        }
+    }
+}
+
+/// The bounded universe of distinct jobs a semester draws from, with
+/// Zipf-like popularity: a hot head of shared exercises everyone
+/// submits, a long cold tail of one-off explorations. Bounding the
+/// universe is what makes cache reuse realistic at ~1M submissions.
+pub struct JobUniverse {
+    specs: Vec<JobSpec>,
+    /// Cumulative integer popularity weights, aligned with `specs`.
+    cumulative: Vec<u64>,
+}
+
+impl JobUniverse {
+    /// Builds `unique` distinct specs from `seed`. Only cheap kinds
+    /// (loop/reduction/map-reduce simulations) — the semester is an
+    /// arrival-process benchmark, not a compute one.
+    pub fn new(seed: u64, unique: usize) -> Self {
+        use std::collections::HashSet;
+        let mut rng = StreamSeeder::new(seed).stream(u64::MAX);
+        let mut specs = Vec::with_capacity(unique);
+        let mut seen: HashSet<u64> = HashSet::with_capacity(unique);
+        while specs.len() < unique {
+            let spec = Self::draw_spec(&mut rng);
+            if spec.validate().is_ok() && seen.insert(spec.digest()) {
+                specs.push(spec);
+            }
+        }
+        // Zipf(1) popularity by construction order: rank r gets weight
+        // ~1e6/(r+1), so the head is hot and the tail is long.
+        let mut cumulative = Vec::with_capacity(unique);
+        let mut total = 0u64;
+        for rank in 0..unique as u64 {
+            total += (1_000_000 / (rank + 1)).max(1);
+            cumulative.push(total);
+        }
+        JobUniverse { specs, cumulative }
+    }
+
+    fn draw_spec(rng: &mut Xoshiro256) -> JobSpec {
+        let schedules = [
+            ScheduleSpec::StaticBlock,
+            ScheduleSpec::StaticChunk { chunk: 16 },
+            ScheduleSpec::Dynamic { chunk: 16 },
+            ScheduleSpec::Dynamic { chunk: 32 },
+            ScheduleSpec::Guided { min_chunk: 8 },
+        ];
+        match rng.next_below(20) {
+            // 60%: loop patternlets.
+            0..=11 => JobSpec::LoopSim {
+                iterations: 1_000 + 250 * rng.next_below(64) as u64,
+                cost: match rng.next_below(3) {
+                    0 => CostSpec::Uniform {
+                        cycles: 60 + 20 * rng.next_below(8) as u64,
+                    },
+                    1 => CostSpec::Linear {
+                        base: 40 + 10 * rng.next_below(6) as u64,
+                        slope: 1 + rng.next_below(3) as u64,
+                    },
+                    _ => CostSpec::Alternating {
+                        even: 50 + 10 * rng.next_below(4) as u64,
+                        odd: 200 + 50 * rng.next_below(4) as u64,
+                    },
+                },
+                schedule: schedules[rng.next_below(5)],
+                threads: [2, 4, 8][rng.next_below(3)],
+            },
+            // 25%: reduction exercises.
+            12..=16 => JobSpec::ReductionSim {
+                iterations: 500 + 125 * rng.next_below(32) as u64,
+                iter_cost: 60 + 15 * rng.next_below(8) as u64,
+                threads: [2, 4, 8][rng.next_below(3)],
+                style: [
+                    ReductionStyleSpec::Tree,
+                    ReductionStyleSpec::SerialCombine,
+                    ReductionStyleSpec::AtomicPerIteration,
+                ][rng.next_below(3)],
+            },
+            // 15%: map-reduce reading exercises.
+            _ => JobSpec::MapReduce {
+                workload: if rng.next_below(4) == 0 {
+                    MrWorkload::Grep {
+                        pattern: ["race", "parallel", "thread", "cache"][rng.next_below(4)]
+                            .to_string(),
+                    }
+                } else {
+                    MrWorkload::WordCount
+                },
+                docs: 6 + 2 * rng.next_below(6) as u32,
+                seed: 2_000 + rng.next_below(40) as u64,
+                map_workers: [2, 4][rng.next_below(2)],
+                reduce_workers: 2,
+            },
+        }
+    }
+
+    /// Number of distinct specs.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// True if the universe is empty.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Draws one spec by popularity (binary search over the cumulative
+    /// weights).
+    pub fn sample(&self, rng: &mut Xoshiro256) -> &JobSpec {
+        let total = *self.cumulative.last().expect("non-empty universe");
+        let r = rng.next_below(total as usize) as u64;
+        let idx = self.cumulative.partition_point(|&c| c <= r);
+        &self.specs[idx]
+    }
+}
+
+/// Generates one day of open-loop semester traffic, sorted by
+/// `(vt, tenant, per-tenant sequence)` — a total order, so the arrival
+/// list is deterministic and unambiguous.
+///
+/// Each (tenant, day) cell owns its own seeded stream (index
+/// `day·tenants + tenant` — injective), so the traffic for any day is
+/// reproducible in isolation: shard sweeps, resumed runs, and spot
+/// checks all see identical arrivals.
+pub fn semester_day(cfg: &SemesterConfig, universe: &JobUniverse, day: usize) -> Vec<Arrival> {
+    let seeder = StreamSeeder::new(cfg.seed);
+    let mut keyed: Vec<(u64, u32, u64, Submission)> = Vec::new();
+    for tenant in 0..cfg.tenants {
+        let mut rng = seeder.stream(day as u64 * cfg.tenants as u64 + tenant as u64);
+        let n = poisson(&mut rng, cfg.lambda(tenant, day));
+        let weight = cfg.tenant_tickets(tenant);
+        for seq in 0..n {
+            let vt = rng.next_below(DAY_VT as usize) as u64;
+            let spec = universe.sample(&mut rng).clone();
+            keyed.push((vt, tenant, seq, Submission::new(tenant, weight, spec)));
+        }
+    }
+    keyed.sort_by_key(|(vt, tenant, seq, _)| (*vt, *tenant, *seq));
+    keyed
+        .into_iter()
+        .map(|(vt, _, _, sub)| Arrival { vt, sub })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -212,5 +521,88 @@ mod tests {
         assert_eq!(tenants.len(), TEAMS as usize);
         let weights: HashSet<u32> = week.iter().flatten().map(|s| s.tickets).collect();
         assert_eq!(weights, HashSet::from([1, 2, 3]));
+    }
+
+    #[test]
+    fn exp_neg_is_a_faithful_exponential() {
+        assert_eq!(exp_neg(0.0), 1.0);
+        // Spot values against the mathematical exponential.
+        for &(x, want) in &[
+            (1.0, 0.367_879_441_171_442_3),
+            (5.0, 0.006_737_946_999_085_467),
+        ] {
+            let got = exp_neg(x);
+            assert!((got - want).abs() < 1e-12, "exp_neg({x}) = {got}");
+        }
+        // Determinism is the real contract: bit-identical on repeat.
+        assert_eq!(exp_neg(17.3).to_bits(), exp_neg(17.3).to_bits());
+        assert!(exp_neg(700.0) >= 0.0);
+    }
+
+    #[test]
+    fn poisson_mean_tracks_lambda() {
+        let mut rng = Xoshiro256::seed_from_u64(7);
+        let lambda = 6.0;
+        let n = 4_000;
+        let total: u64 = (0..n).map(|_| poisson(&mut rng, lambda)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - lambda).abs() < 0.2, "mean {mean} vs λ {lambda}");
+    }
+
+    #[test]
+    fn universe_is_bounded_valid_and_skewed() {
+        let u = JobUniverse::new(42, 256);
+        assert_eq!(u.len(), 256);
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..10_000 {
+            let spec = u.sample(&mut rng);
+            assert!(spec.validate().is_ok());
+            *counts.entry(spec.digest()).or_insert(0u64) += 1;
+        }
+        // Zipf head: the hottest spec dominates any uniform share.
+        let top = counts.values().max().copied().unwrap_or(0);
+        assert!(top > 500, "head not hot enough: {top}/10000");
+        assert!(counts.len() > 100, "tail collapsed: {}", counts.len());
+    }
+
+    #[test]
+    fn semester_day_is_deterministic_sorted_and_day_local() {
+        let cfg = SemesterConfig::smoke();
+        let u = JobUniverse::new(cfg.seed, cfg.unique_jobs);
+        let a = semester_day(&cfg, &u, 4);
+        let b = semester_day(&cfg, &u, 4);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.vt, y.vt);
+            assert_eq!(x.sub.spec.digest(), y.sub.spec.digest());
+        }
+        assert!(a.windows(2).all(|w| w[0].vt <= w[1].vt), "not sorted");
+        assert!(a.iter().all(|arr| arr.vt < DAY_VT));
+        // Day 4 (first Friday) is deadline day: busier than Sunday.
+        let sunday = semester_day(&cfg, &u, 6);
+        assert!(
+            a.len() > 3 * sunday.len(),
+            "deadline burst missing: fri {} vs sun {}",
+            a.len(),
+            sunday.len()
+        );
+    }
+
+    #[test]
+    fn full_semester_is_about_a_million_submissions() {
+        // Estimate from the analytic means — running the generator for
+        // all 105 days is the benchmark's job, not the unit test's.
+        let cfg = SemesterConfig::full();
+        let mut expected = 0.0;
+        for day in 0..cfg.days {
+            for tenant in 0..cfg.tenants {
+                expected += cfg.lambda(tenant, day);
+            }
+        }
+        assert!(
+            (800_000.0..1_400_000.0).contains(&expected),
+            "semester sized {expected}, want ~1M"
+        );
     }
 }

@@ -280,3 +280,104 @@ fn computed_jobs_equal_distinct_digests() {
         .sum();
     assert_eq!(computed, unique.len() as u64);
 }
+
+// ---------------------------------------------------------------
+// Cluster layer: consistent-hash ring properties and the semester
+// determinism matrix.
+// ---------------------------------------------------------------
+
+use serve::cluster::{self, Cluster, ClusterConfig, HashRing};
+use serve::workload::SemesterConfig;
+
+/// Ring balance: 20k keys over 8 shards land within ±20% of uniform
+/// for every shard — the virtual nodes do their smoothing job.
+#[test]
+fn ring_distributes_keys_within_twenty_percent_of_uniform() {
+    const KEYS: u64 = 20_000;
+    const SHARDS: u32 = 8;
+    let ring = HashRing::new(SHARDS, 128);
+    let mut counts = [0u64; SHARDS as usize];
+    for key in 0..KEYS {
+        // Spread the sample over the keyspace the way real route keys
+        // are: digests, not consecutive integers.
+        counts[ring.route(key.wrapping_mul(0x9E37_79B9_7F4A_7C15)) as usize] += 1;
+    }
+    let uniform = KEYS as f64 / SHARDS as f64;
+    for (shard, &count) in counts.iter().enumerate() {
+        let ratio = count as f64 / uniform;
+        assert!(
+            (0.8..=1.2).contains(&ratio),
+            "shard {shard} holds {count} of {KEYS} keys ({ratio:.3}x uniform)"
+        );
+    }
+}
+
+/// Ring monotonicity: growing N shards to N+1 remaps only keys that
+/// now belong to the new shard — nothing shuffles between survivors —
+/// and the remapped share is ~1/(N+1) of the sample.
+#[test]
+fn ring_growth_remaps_about_one_nth_of_keys_to_the_new_shard_only() {
+    const KEYS: u64 = 20_000;
+    let keys: Vec<u64> = (0..KEYS)
+        .map(|k| k.wrapping_mul(0x2545_F491_4F6C_DD1D))
+        .collect();
+    for shards in 1u32..=7 {
+        let before = HashRing::new(shards, 128);
+        let after = HashRing::new(shards + 1, 128);
+        let mut remapped = 0u64;
+        for &key in &keys {
+            let old = before.route(key);
+            let new = after.route(key);
+            if old != new {
+                assert_eq!(
+                    new, shards,
+                    "key {key:#x} moved between surviving shards {old}->{new}"
+                );
+                remapped += 1;
+            }
+        }
+        let expected = KEYS as f64 / (shards + 1) as f64;
+        let ratio = remapped as f64 / expected;
+        assert!(
+            (0.7..=1.3).contains(&ratio),
+            "{shards}->{} shards remapped {remapped} keys ({ratio:.3}x the 1/N share)",
+            shards + 1
+        );
+    }
+}
+
+/// The tentpole's acceptance oracle at test scale: a small semester
+/// served by every (shards × workers) cell in {1,2,4}×{1,4} produces
+/// one semantic digest (the semester digest), and within each shard
+/// count the full digest is worker-invariant.
+#[test]
+fn semester_digest_matrix_is_bit_identical() {
+    let cfg = SemesterConfig {
+        tenants: 40,
+        days: 7,
+        ..SemesterConfig::smoke()
+    };
+    let run = |shards: u32, workers: usize| {
+        let mut cc = ClusterConfig::with_shards(shards, workers);
+        cc.l1_capacity = 48;
+        cc.l2_capacity_per_shard = 128;
+        cluster::run_semester(&Cluster::new(cc), &cfg)
+    };
+    let mut semantic = HashSet::new();
+    for shards in [1u32, 2, 4] {
+        let a = run(shards, 1);
+        let b = run(shards, 4);
+        assert_eq!(
+            a.full_digest, b.full_digest,
+            "full digest varies with workers at {shards} shards"
+        );
+        assert_eq!(a.stats, b.stats, "stats vary with workers");
+        semantic.insert(a.semantic_digest);
+        semantic.insert(b.semantic_digest);
+    }
+    assert_eq!(
+        semantic.len(),
+        1,
+        "semantic digest must be one value across the whole matrix"
+    );
+}
