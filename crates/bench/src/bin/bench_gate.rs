@@ -16,11 +16,17 @@
 //!   bench_gate <committed.json> <fresh.json>
 //!
 //! Exit status: 0 when every committed scenario holds, 1 on any
-//! regression or missing metrics digest, 2 on usage or I/O errors.
-//! Wired into CI after the determinism smokes, once the fresh files
-//! exist.
+//! regression, missing metrics digest, or an empty/unparseable
+//! scenario set on either side (a fresh run that produced no scenarios
+//! regressed all of them — never a silent pass), 2 on usage or I/O
+//! errors. Wired into CI after the determinism smokes, once the fresh
+//! files exist.
+//!
+//! When `$GITHUB_STEP_SUMMARY` is set (CI), the per-scenario verdict
+//! table is also appended there as markdown; locally this is a no-op.
 
 use pbl_bench::gate::{self, MetricsDigest, Speedup};
+use pbl_bench::summary;
 
 fn load(path: &str) -> (String, Vec<Speedup>) {
     let doc = std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -28,11 +34,37 @@ fn load(path: &str) -> (String, Vec<Speedup>) {
         std::process::exit(2);
     });
     let speedups = gate::speedups(&doc);
-    if speedups.is_empty() {
-        eprintln!("bench_gate: no \"speedup\" entries found in {path}");
-        std::process::exit(2);
-    }
     (doc, speedups)
+}
+
+/// An empty or unparseable scenario set is a gate FAILURE (exit 1), not
+/// an I/O error: a fresh run that produced no scenarios regressed every
+/// committed one, and silently passing it would defeat the gate. Prints
+/// the named diff so the log says exactly which scenarios vanished.
+fn require_scenarios(path: &str, own: &[Speedup], other: &[Speedup]) {
+    if !own.is_empty() {
+        return;
+    }
+    let diff = gate::scenario_diff(other, own);
+    eprintln!(
+        "bench_gate: HARD FAILURE {path}: no \"speedup\" scenarios found \
+         (empty or unparseable document)"
+    );
+    for name in &diff.missing_from_fresh {
+        eprintln!("bench_gate:   missing scenario: {name}");
+    }
+    summary::append_step_summary(&summary::markdown_table(
+        "bench_gate: hard failure",
+        &["file", "problem"],
+        &[vec![
+            path.to_string(),
+            format!(
+                "no speedup scenarios parsed; {} named scenario(s) missing",
+                diff.missing_from_fresh.len()
+            ),
+        ]],
+    ));
+    std::process::exit(1);
 }
 
 /// True if the document passes the metrics-provenance gate; prints the
@@ -66,10 +98,14 @@ fn main() {
 
     let (committed_doc, committed) = load(&committed_path);
     let (fresh_doc, fresh) = load(&fresh_path);
+    require_scenarios(&committed_path, &committed, &fresh);
+    require_scenarios(&fresh_path, &fresh, &committed);
 
     let provenance_ok = metrics_digest_ok(&committed_path, &committed_doc)
         & metrics_digest_ok(&fresh_path, &fresh_doc);
 
+    let regressions = gate::regressions(&committed, &fresh, gate::MAX_LOSS);
+    let mut summary_rows: Vec<Vec<String>> = Vec::new();
     for c in &committed {
         let fresh_ratio = match fresh.iter().find(|f| f.name == c.name) {
             Some(f) => format!("{:.1}x", f.ratio),
@@ -83,6 +119,16 @@ fn main() {
             "bench_gate: {:<46} committed {:>8.1}x  fresh {}",
             c.name, c.ratio, fresh_ratio
         );
+        summary_rows.push(vec![
+            c.name.clone(),
+            format!("{:.1}x", c.ratio),
+            fresh_ratio,
+            if regressions.iter().any(|r| r.name == c.name) {
+                "❌ regression".into()
+            } else {
+                "✅ pass".to_string()
+            },
+        ]);
     }
 
     let committed_slos = gate::slos(&committed_doc);
@@ -124,10 +170,33 @@ fn main() {
             ),
         }
     }
+    for s in &committed_slos {
+        let violated = violations.iter().any(|v| v.name == s.name);
+        summary_rows.push(vec![
+            format!("{} (SLO)", s.name),
+            "—".into(),
+            "—".into(),
+            if violated {
+                "❌ SLO violation".into()
+            } else {
+                "✅ pass".to_string()
+            },
+        ]);
+    }
 
-    let regressions = gate::regressions(&committed, &fresh, gate::MAX_LOSS);
+    let ok = regressions.is_empty() && provenance_ok && violations.is_empty();
+    summary::append_step_summary(&summary::markdown_table(
+        &format!(
+            "bench_gate: {} — {}",
+            fresh_path,
+            if ok { "PASS" } else { "FAIL" }
+        ),
+        &["scenario", "committed", "fresh", "status"],
+        &summary_rows,
+    ));
+
     if regressions.is_empty() {
-        if !provenance_ok || !violations.is_empty() {
+        if !ok {
             std::process::exit(1);
         }
         println!(

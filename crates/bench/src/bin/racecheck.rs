@@ -1,0 +1,454 @@
+//! CI race gate over the schedule-space explorer.
+//!
+//! Runs the `parallel_rt::explore` explorer across the Assignment-2
+//! shared-counter patternlet family and enforces the acceptance oracle:
+//!
+//! * the buggy patternlet (`FixStrategy::None`) must expose its race in
+//!   both search modes (seeded random fuzzing and sleep-set DPOR);
+//! * every fix (`Critical`, `Atomic`, `Reduction`) must certify
+//!   race-free with the systematic space exhausted — a verdict over the
+//!   *entire* bounded schedule space, not a sample;
+//! * the counterexample must shrink to a minimal schedule that still
+//!   reproduces the same race signature;
+//! * replaying the (minimal) schedule from its choice string must be
+//!   bit-identical: same trace digest every time.
+//!
+//! Usage:
+//!   racecheck [--check] [--fuzz-budget N] [--shrink]
+//!             [--counterexample-out FILE] [out.json]
+//!
+//! Default output path: `BENCH_racecheck.json` in the current
+//! directory. `--check` additionally compares the fresh document
+//! against the committed `BENCH_racecheck.json` byte for byte (the
+//! whole document is deterministic) and exits 1 on any oracle failure
+//! or drift. `--shrink` prints the minimized schedule step by step.
+//! `--counterexample-out FILE` writes the minimized counterexample as
+//! a standalone JSON artifact (what CI uploads on failure — and on
+//! success, since the buggy patternlet always yields one).
+//!
+//! When `$GITHUB_STEP_SUMMARY` is set (CI), the per-strategy verdict
+//! table is appended there as markdown; locally this is a no-op.
+
+use parallel_rt::explore::search::{fuzz, systematic, Budget, Counterexample, StrategyReport};
+use parallel_rt::explore::shrink::{reproduces, shrink_counterexample};
+use parallel_rt::explore::vm::replay;
+use parallel_rt::race::{patternlet_program, FixStrategy};
+use pbl_bench::summary;
+
+/// Master seed of the fuzz pass; split per schedule by
+/// `stats::rng::StreamSeeder`, the workspace-wide seed discipline.
+const MASTER_SEED: u64 = 0x5245_4143; // "REAC[h]" — fixed, arbitrary
+
+/// Default random-schedule budget (`--fuzz-budget` overrides).
+const DEFAULT_FUZZ_BUDGET: usize = 64;
+
+/// Systematic budget: the 2-lane × 2-increment patternlets have
+/// schedule spaces of at most a few thousand interleavings after
+/// sleep-set pruning, so this always exhausts them.
+const SYSTEMATIC_BUDGET: usize = 200_000;
+
+/// Lanes / increments of the modeled patternlets. Small enough for the
+/// systematic mode to exhaust, large enough that the racy program has
+/// interleavings that lose updates.
+const LANES: usize = 2;
+const INCREMENTS: usize = 2;
+
+struct StrategyRun {
+    strategy: FixStrategy,
+    fuzz: StrategyReport,
+    systematic: StrategyReport,
+    /// Minimized counterexample (from the systematic find), when any.
+    minimal: Option<Counterexample>,
+    /// Original (unshrunk) choice-string length.
+    original_len: usize,
+    /// Replaying the minimal schedule twice gave the same digest.
+    replay_bit_identical: bool,
+}
+
+fn run_strategy(strategy: FixStrategy, fuzz_budget: usize) -> StrategyRun {
+    let program = patternlet_program(strategy, LANES, INCREMENTS);
+    let fuzz_report = fuzz(&program, MASTER_SEED, Budget::schedules(fuzz_budget));
+    let sys_report = systematic(&program, Budget::schedules(SYSTEMATIC_BUDGET));
+    let (minimal, original_len, replay_bit_identical) = match &sys_report.counterexample {
+        Some(cex) => {
+            let (shrunk, exec) = shrink_counterexample(&program, cex);
+            let again = replay(&program, &shrunk.choices);
+            (
+                Some(shrunk),
+                cex.choices.len(),
+                again.trace_digest == exec.trace_digest && again.trace_digest.is_some(),
+            )
+        }
+        None => {
+            // Certified programs still exercise the replay oracle on
+            // the canonical lane-order schedule.
+            let a = replay(&program, &[]);
+            let b = replay(&program, &[]);
+            (
+                None,
+                0,
+                a.trace_digest == b.trace_digest && a.trace_digest.is_some(),
+            )
+        }
+    };
+    StrategyRun {
+        strategy,
+        fuzz: fuzz_report,
+        systematic: sys_report,
+        minimal,
+        original_len,
+        replay_bit_identical,
+    }
+}
+
+/// The acceptance oracle. Returns every violated clause by name.
+fn oracle_failures(runs: &[StrategyRun]) -> Vec<String> {
+    let mut fails = Vec::new();
+    for run in runs {
+        let name = format!("{:?}", run.strategy);
+        match run.strategy {
+            FixStrategy::None => {
+                if run.fuzz.race_runs == 0 {
+                    fails.push(format!("{name}: fuzzing found no race"));
+                }
+                if run.systematic.race_runs == 0 {
+                    fails.push(format!("{name}: systematic search found no race"));
+                }
+                if !run.systematic.space_exhausted {
+                    fails.push(format!("{name}: schedule space not exhausted"));
+                }
+                match &run.minimal {
+                    None => fails.push(format!("{name}: no counterexample to shrink")),
+                    Some(min) => {
+                        let program = patternlet_program(run.strategy, LANES, INCREMENTS);
+                        if !reproduces(&program, &min.choices, min.race_signature) {
+                            fails.push(format!(
+                                "{name}: minimized schedule no longer reproduces the race"
+                            ));
+                        }
+                        if min.choices.len() > run.original_len {
+                            fails.push(format!("{name}: shrinking grew the schedule"));
+                        }
+                    }
+                }
+            }
+            _ => {
+                if !run.systematic.certified() {
+                    fails.push(format!("{name}: fix not certified race-free"));
+                }
+                if !run.systematic.space_exhausted {
+                    fails.push(format!(
+                        "{name}: certification did not cover the whole space"
+                    ));
+                }
+                if !run.fuzz.certified() {
+                    fails.push(format!("{name}: fuzzing found a race in a fixed program"));
+                }
+            }
+        }
+        if !run.replay_bit_identical {
+            fails.push(format!("{name}: replay is not bit-identical"));
+        }
+    }
+    fails
+}
+
+fn choices_json(choices: &[usize]) -> String {
+    let inner: Vec<String> = choices.iter().map(|c| c.to_string()).collect();
+    format!("[{}]", inner.join(", "))
+}
+
+/// The minimized-counterexample artifact CI uploads.
+fn counterexample_json(run: &StrategyRun) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"program\": \"{}\",\n", run.systematic.program));
+    out.push_str(&format!("  \"strategy\": \"{:?}\",\n", run.strategy));
+    match &run.minimal {
+        Some(min) => {
+            out.push_str(&format!(
+                "  \"race_signature\": \"0x{:016x}\",\n",
+                min.race_signature
+            ));
+            out.push_str(&format!("  \"race\": \"{}\",\n", min.race));
+            out.push_str(&format!("  \"expected\": {},\n", min.expected));
+            out.push_str(&format!("  \"observed\": {},\n", min.observed));
+            out.push_str(&format!("  \"steps\": {},\n", min.steps));
+            out.push_str(&format!("  \"original_choices\": {},\n", run.original_len));
+            out.push_str(&format!(
+                "  \"minimal_choices\": {},\n",
+                choices_json(&min.choices)
+            ));
+            out.push_str(&format!(
+                "  \"trace_digest\": \"0x{:016x}\",\n",
+                min.trace_digest
+            ));
+            out.push_str(
+                "  \"replay\": \"parallel_rt::explore::vm::replay(patternlet_program(strategy, 2, 2), &minimal_choices)\"\n",
+            );
+        }
+        None => {
+            out.push_str("  \"counterexample\": null,\n");
+            out.push_str("  \"note\": \"program certified race-free over the explored space\"\n");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn document(runs: &[StrategyRun], fuzz_budget: usize) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"racecheck\",\n");
+    out.push_str(
+        "  \"description\": \"Schedule-space explorer verdicts over the Assignment-2 shared-counter patternlet family: the buggy program must race, every fix must certify race-free over the exhausted schedule space, counterexamples must shrink and replay bit-identically.\",\n",
+    );
+    out.push_str(
+        "  \"command\": \"cargo run --release -p pbl-bench --bin racecheck -- --check\",\n",
+    );
+    out.push_str(&format!("  \"master_seed\": {MASTER_SEED},\n"));
+    out.push_str(&format!("  \"fuzz_budget\": {fuzz_budget},\n"));
+    out.push_str(&format!("  \"systematic_budget\": {SYSTEMATIC_BUDGET},\n"));
+    out.push_str(&format!(
+        "  \"lanes\": {LANES},\n  \"increments\": {INCREMENTS},\n"
+    ));
+    out.push_str(
+        "  \"note\": \"fully deterministic: modeled programs under a controlled scheduler in virtual time; this file is byte-identical on every host and every run\",\n",
+    );
+    out.push_str("  \"scenarios\": [\n");
+    for (i, run) in runs.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!(
+            "      \"name\": \"{}\",\n",
+            run.systematic.program
+        ));
+        out.push_str(&format!("      \"strategy\": \"{:?}\",\n", run.strategy));
+        out.push_str(&format!(
+            "      \"fuzz_schedules\": {},\n",
+            run.fuzz.schedules
+        ));
+        out.push_str(&format!(
+            "      \"fuzz_race_runs\": {},\n",
+            run.fuzz.race_runs
+        ));
+        out.push_str(&format!(
+            "      \"systematic_schedules\": {},\n",
+            run.systematic.schedules
+        ));
+        out.push_str(&format!(
+            "      \"space_exhausted\": {},\n",
+            run.systematic.space_exhausted
+        ));
+        out.push_str(&format!(
+            "      \"lost_update_runs\": {},\n",
+            run.systematic.lost_update_runs
+        ));
+        out.push_str(&format!(
+            "      \"distinct_races\": {},\n",
+            run.systematic.distinct_races.len()
+        ));
+        match &run.minimal {
+            Some(min) => {
+                out.push_str(&format!(
+                    "      \"race_signature\": \"0x{:016x}\",\n",
+                    min.race_signature
+                ));
+                out.push_str(&format!(
+                    "      \"minimal_choices\": {},\n",
+                    choices_json(&min.choices)
+                ));
+                out.push_str(&format!(
+                    "      \"minimal_trace_digest\": \"0x{:016x}\",\n",
+                    min.trace_digest
+                ));
+            }
+            None => out.push_str("      \"race_signature\": null,\n"),
+        }
+        out.push_str(&format!(
+            "      \"replay_bit_identical\": {},\n",
+            run.replay_bit_identical
+        ));
+        out.push_str(&format!(
+            "      \"certified\": {}\n",
+            run.systematic.certified()
+        ));
+        out.push_str(if i + 1 == runs.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
+
+fn verdict_rows(runs: &[StrategyRun], failures: &[String]) -> Vec<Vec<String>> {
+    runs.iter()
+        .map(|run| {
+            let name = format!("{:?}", run.strategy);
+            let failed = failures.iter().any(|f| f.starts_with(&name));
+            vec![
+                run.systematic.program.clone(),
+                run.systematic.schedules.to_string(),
+                run.systematic.space_exhausted.to_string(),
+                run.systematic.distinct_races.len().to_string(),
+                run.minimal
+                    .as_ref()
+                    .map_or("—".into(), |m| format!("{} choices", m.choices.len())),
+                if failed {
+                    "❌ oracle failed".into()
+                } else if run.systematic.certified() {
+                    "✅ race-free over explored space".into()
+                } else {
+                    "✅ race found, shrunk, replayed".to_string()
+                },
+            ]
+        })
+        .collect()
+}
+
+fn main() {
+    let mut check = false;
+    let mut print_shrink = false;
+    let mut fuzz_budget = DEFAULT_FUZZ_BUDGET;
+    let mut cex_out: Option<String> = None;
+    let mut out_path = "BENCH_racecheck.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--shrink" => print_shrink = true,
+            "--fuzz-budget" => {
+                fuzz_budget = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("racecheck: --fuzz-budget needs a positive integer");
+                    std::process::exit(2);
+                })
+            }
+            "--counterexample-out" => {
+                cex_out = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("racecheck: --counterexample-out needs a path");
+                    std::process::exit(2);
+                }))
+            }
+            other => out_path = other.to_string(),
+        }
+    }
+
+    let runs: Vec<StrategyRun> = [
+        FixStrategy::None,
+        FixStrategy::Critical,
+        FixStrategy::Atomic,
+        FixStrategy::Reduction,
+    ]
+    .into_iter()
+    .map(|s| run_strategy(s, fuzz_budget))
+    .collect();
+
+    for run in &runs {
+        println!(
+            "racecheck: {:<16} fuzz {:>4} schedules ({} racy)   systematic {:>5} schedules \
+             (exhausted {}, {} racy, {} distinct)   {}",
+            run.systematic.program,
+            run.fuzz.schedules,
+            run.fuzz.race_runs,
+            run.systematic.schedules,
+            run.systematic.space_exhausted,
+            run.systematic.race_runs,
+            run.systematic.distinct_races.len(),
+            if run.systematic.certified() {
+                "certified race-free over explored space".to_string()
+            } else {
+                let min = run.minimal.as_ref().expect("uncertified implies cex");
+                format!(
+                    "RACE {} (minimal schedule {} of {} choices)",
+                    min.race,
+                    min.choices.len(),
+                    run.original_len
+                )
+            }
+        );
+        if print_shrink {
+            if let Some(min) = &run.minimal {
+                println!(
+                    "racecheck:   shrink {:?}: {} -> {} choices, signature 0x{:016x}, \
+                     digest 0x{:016x}",
+                    run.strategy,
+                    run.original_len,
+                    min.choices.len(),
+                    min.race_signature,
+                    min.trace_digest
+                );
+                println!("racecheck:   minimal choice string: {:?}", min.choices);
+            }
+        }
+    }
+
+    let failures = oracle_failures(&runs);
+    for f in &failures {
+        eprintln!("racecheck: ORACLE FAILURE: {f}");
+    }
+
+    // The buggy patternlet's minimized counterexample is the artifact.
+    if let Some(path) = &cex_out {
+        let buggy = runs
+            .iter()
+            .find(|r| r.strategy == FixStrategy::None)
+            .expect("None is always run");
+        std::fs::write(path, counterexample_json(buggy)).unwrap_or_else(|e| {
+            eprintln!("racecheck: cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        println!("racecheck: minimized counterexample -> {path}");
+    }
+
+    let doc = document(&runs, fuzz_budget);
+    let mut drifted = false;
+    if check {
+        match std::fs::read_to_string(&out_path) {
+            Ok(committed) if committed == doc => {
+                println!("racecheck: fresh document matches committed {out_path}");
+            }
+            Ok(_) => {
+                eprintln!(
+                    "racecheck: DRIFT: fresh document differs from committed {out_path} \
+                     (the explorer's deterministic verdicts changed — regenerate and review)"
+                );
+                drifted = true;
+            }
+            Err(e) => {
+                eprintln!("racecheck: cannot read committed {out_path}: {e}");
+                drifted = true;
+            }
+        }
+    } else {
+        std::fs::write(&out_path, &doc).unwrap_or_else(|e| {
+            eprintln!("racecheck: cannot write {out_path}: {e}");
+            std::process::exit(2);
+        });
+        println!("racecheck: wrote {out_path}");
+    }
+
+    let ok = failures.is_empty() && !drifted;
+    summary::append_step_summary(&summary::markdown_table(
+        &format!("racecheck — {}", if ok { "PASS" } else { "FAIL" }),
+        &[
+            "program",
+            "schedules",
+            "space exhausted",
+            "distinct races",
+            "minimal counterexample",
+            "verdict",
+        ],
+        &verdict_rows(&runs, &failures),
+    ));
+
+    if !ok {
+        std::process::exit(1);
+    }
+    println!(
+        "racecheck: OK — race found and shrunk in the buggy patternlet; \
+         {} fixes certified race-free over the exhausted schedule space",
+        runs.len() - 1
+    );
+}

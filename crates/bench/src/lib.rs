@@ -343,6 +343,92 @@ pub mod gate {
         }
         out
     }
+
+    /// Named difference between the committed and fresh scenario sets,
+    /// for diagnostics when a run produces no (or the wrong) scenarios.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct ScenarioDiff {
+        /// Committed scenario names absent from the fresh run.
+        pub missing_from_fresh: Vec<String>,
+        /// Fresh scenario names with no committed counterpart.
+        pub fresh_only: Vec<String>,
+        /// Number of names present on both sides.
+        pub shared: usize,
+    }
+
+    /// Compares the two scenario sets by name, in committed order.
+    pub fn scenario_diff(committed: &[Speedup], fresh: &[Speedup]) -> ScenarioDiff {
+        let missing_from_fresh = committed
+            .iter()
+            .filter(|c| fresh.iter().all(|f| f.name != c.name))
+            .map(|c| c.name.clone())
+            .collect::<Vec<_>>();
+        let fresh_only = fresh
+            .iter()
+            .filter(|f| committed.iter().all(|c| c.name != f.name))
+            .map(|f| f.name.clone())
+            .collect::<Vec<_>>();
+        ScenarioDiff {
+            shared: committed.len() - missing_from_fresh.len(),
+            missing_from_fresh,
+            fresh_only,
+        }
+    }
+}
+
+/// Markdown job summaries for CI (`$GITHUB_STEP_SUMMARY`).
+///
+/// GitHub Actions renders whatever a step appends to the file named by
+/// the `GITHUB_STEP_SUMMARY` environment variable as markdown on the
+/// run's summary page. The gate binaries use this to surface their
+/// pass/fail tables without anyone opening the log. Locally the
+/// variable is unset and everything here is a no-op.
+pub mod summary {
+    use std::io::Write as _;
+
+    /// Renders a GitHub-flavoured markdown table with a `###` title.
+    /// Cell text is pipe-escaped so verdict strings cannot break the
+    /// table structure.
+    pub fn markdown_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+        let escape = |s: &str| s.replace('|', "\\|");
+        let mut out = format!("### {title}\n\n");
+        out.push_str(&format!("| {} |\n", headers.join(" | ")));
+        out.push_str(&format!("|{}\n", " --- |".repeat(headers.len())));
+        for row in rows {
+            let cells: Vec<String> = row.iter().map(|c| escape(c)).collect();
+            out.push_str(&format!("| {} |\n", cells.join(" | ")));
+        }
+        out.push('\n');
+        out
+    }
+
+    /// Appends `markdown` to the file at `path`, creating it if needed
+    /// — the testable core of [`append_step_summary`].
+    pub fn append_to(path: &str, markdown: &str) -> std::io::Result<()> {
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        file.write_all(markdown.as_bytes())
+    }
+
+    /// Appends `markdown` to `$GITHUB_STEP_SUMMARY` when the variable
+    /// is set and non-empty; returns whether anything was written.
+    /// Unset (every local run) is a silent no-op, and a summary-file
+    /// write error is reported but never fails the caller — the gate
+    /// verdict must come from the exit code, not the cosmetics.
+    pub fn append_step_summary(markdown: &str) -> bool {
+        match std::env::var("GITHUB_STEP_SUMMARY") {
+            Ok(path) if !path.is_empty() => match append_to(&path, markdown) {
+                Ok(()) => true,
+                Err(e) => {
+                    eprintln!("step summary: cannot append to {path}: {e}");
+                    false
+                }
+            },
+            _ => false,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -358,7 +444,8 @@ mod tests {
             "all is the report binary's default, not an artefact"
         );
         assert!(!is_artefact("table9"));
-        assert_eq!(ARTEFACTS.len(), 21);
+        assert_eq!(ARTEFACTS.len(), 22);
+        assert!(is_artefact("races"));
         assert!(is_artefact("metrics"));
         assert!(is_artefact("trace"));
         assert!(is_artefact("semester"));
@@ -650,5 +737,67 @@ mod tests {
         assert_eq!(r.len(), 1);
         assert_eq!(r[0].name, "parallel_rt/guided");
         assert_eq!(r[0].fresh, None);
+    }
+
+    #[test]
+    fn gate_scenario_diff_names_both_sides() {
+        let committed = gate::speedups(BENCH_DOC);
+        let fresh = vec![
+            gate::Speedup {
+                name: "pi_sim/uniform_loop".into(),
+                ratio: 40.0,
+                superseded_by: None,
+            },
+            gate::Speedup {
+                name: "brand/new".into(),
+                ratio: 1.0,
+                superseded_by: None,
+            },
+        ];
+        let d = gate::scenario_diff(&committed, &fresh);
+        assert_eq!(d.shared, 1);
+        assert_eq!(d.missing_from_fresh, vec!["parallel_rt/guided".to_string()]);
+        assert_eq!(d.fresh_only, vec!["brand/new".to_string()]);
+        // An empty fresh set loses every committed scenario by name —
+        // the diagnostic bench_gate prints before hard-failing.
+        let d = gate::scenario_diff(&committed, &[]);
+        assert_eq!(d.shared, 0);
+        assert_eq!(d.missing_from_fresh.len(), committed.len());
+        assert!(d.fresh_only.is_empty());
+        // And an empty committed set makes everything fresh-only.
+        let d = gate::scenario_diff(&[], &fresh);
+        assert_eq!(d.shared, 0);
+        assert!(d.missing_from_fresh.is_empty());
+        assert_eq!(d.fresh_only.len(), 2);
+    }
+
+    #[test]
+    fn summary_markdown_table_renders_and_escapes() {
+        let md = summary::markdown_table(
+            "Gate verdict",
+            &["scenario", "status"],
+            &[
+                vec!["a/b".into(), "ok".into()],
+                vec!["c|d".into(), "FAIL".into()],
+            ],
+        );
+        assert!(md.starts_with("### Gate verdict\n"));
+        assert!(md.contains("| scenario | status |"));
+        assert!(md.contains("| --- | --- |"));
+        assert!(md.contains("| a/b | ok |"));
+        assert!(md.contains("c\\|d"), "pipes escaped: {md}");
+        assert!(md.ends_with("\n\n"));
+    }
+
+    #[test]
+    fn summary_append_to_accumulates_across_calls() {
+        let path = std::env::temp_dir().join("pbl_bench_summary_test.md");
+        let path = path.to_str().expect("utf-8 temp path");
+        let _ = std::fs::remove_file(path);
+        summary::append_to(path, "first\n").expect("write");
+        summary::append_to(path, "second\n").expect("append");
+        let got = std::fs::read_to_string(path).expect("read back");
+        assert_eq!(got, "first\nsecond\n");
+        let _ = std::fs::remove_file(path);
     }
 }

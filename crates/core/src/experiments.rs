@@ -14,7 +14,7 @@ use crate::study::StudyReport;
 /// This catalog is the single source of truth: the `report` binary, the
 /// serve layer's `Report` jobs and the bench crate all consult it, so a
 /// new artefact added here is immediately listable and servable.
-pub const ARTEFACTS: [&str; 21] = [
+pub const ARTEFACTS: [&str; 22] = [
     "fig1",
     "fig2",
     "descriptive",
@@ -27,6 +27,7 @@ pub const ARTEFACTS: [&str; 21] = [
     "gaps",
     "assignment5",
     "race",
+    "races",
     "spring2019",
     "robustness",
     "sections",
@@ -68,6 +69,7 @@ pub fn render_artefact(name: &str, threads: usize) -> Option<String> {
         "gaps" => gap_analysis(&study()).render_ascii(),
         "assignment5" => assignment5().render_ascii(),
         "race" => race_demo().render_ascii(),
+        "races" => races_table().render_ascii(),
         "spring2019" => spring2019().1.render_ascii(),
         "robustness" => robustness(&study()).render_ascii(),
         "sections" => section_equivalence(&study()).render_ascii(),
@@ -306,6 +308,60 @@ pub fn race_demo() -> Table {
             o.observed.to_string(),
             o.lost_updates().to_string(),
             o.is_correct().to_string(),
+        ]);
+    }
+    t
+}
+
+/// The `races` artefact: the schedule-space explorer's verdict on the
+/// Assignment-2 patternlet family. Complements [`race_demo`] — where
+/// the demo *samples* whatever interleavings the OS happens to produce,
+/// the explorer exhausts the bounded schedule space of a modeled
+/// patternlet: it finds the race in the unfixed program, shrinks the
+/// counterexample to a minimal schedule, and certifies every fix
+/// race-free over the entire explored space. Fully deterministic —
+/// same table on every host and every run.
+pub fn races_table() -> Table {
+    use parallel_rt::explore::search::{systematic, Budget};
+    use parallel_rt::explore::shrink::shrink_counterexample;
+    use parallel_rt::race::{patternlet_program, FixStrategy};
+
+    let mut t = Table::new(vec![
+        "Strategy",
+        "Schedules",
+        "Space exhausted",
+        "Racy runs",
+        "Distinct races",
+        "Minimal schedule",
+        "Verdict",
+    ])
+    .with_title(
+        "Schedule-space exploration of the shared-counter patternlet (2 lanes x 2 increments)",
+    );
+    for strategy in [
+        FixStrategy::None,
+        FixStrategy::Critical,
+        FixStrategy::Atomic,
+        FixStrategy::Reduction,
+    ] {
+        let program = patternlet_program(strategy, 2, 2);
+        let report = systematic(&program, Budget::schedules(200_000));
+        let minimal = report.counterexample.as_ref().map(|cex| {
+            let (shrunk, _) = shrink_counterexample(&program, cex);
+            format!("{} choices", shrunk.choices.len())
+        });
+        t.row(vec![
+            format!("{strategy:?}"),
+            report.schedules.to_string(),
+            report.space_exhausted.to_string(),
+            report.race_runs.to_string(),
+            report.distinct_races.len().to_string(),
+            minimal.unwrap_or_else(|| "-".into()),
+            if report.certified() {
+                "race-free over explored space".into()
+            } else {
+                "RACE".to_string()
+            },
         ]);
     }
     t
@@ -820,8 +876,9 @@ mod tests {
 
     #[test]
     fn artefact_catalog_is_complete_and_renderable() {
-        assert_eq!(ARTEFACTS.len(), 21);
+        assert_eq!(ARTEFACTS.len(), 22);
         assert!(is_artefact("table1"));
+        assert!(is_artefact("races"));
         assert!(is_artefact("Table4"));
         assert!(is_artefact("metrics"));
         assert!(is_artefact("trace"));
@@ -831,7 +888,7 @@ mod tests {
         // Every catalog entry renders; names off the catalog do not.
         // (Cheap entries only — the full sweep is the report binary's
         // job; here we check the dispatch table has no dead rows.)
-        for name in ["fig1", "fig2", "assignment5", "race", "semester"] {
+        for name in ["fig1", "fig2", "assignment5", "race", "races", "semester"] {
             let text = render_artefact(name, 1).expect(name);
             assert!(!text.is_empty(), "{name} rendered empty");
         }
@@ -904,6 +961,18 @@ mod tests {
         let text = t.render_ascii();
         assert!(text.contains("Atomic"));
         assert!(text.contains("true"));
+    }
+
+    #[test]
+    fn races_table_finds_the_bug_and_certifies_the_fixes() {
+        let t = races_table();
+        assert_eq!(t.len(), 4);
+        let text = t.render_ascii();
+        assert_eq!(text.matches("RACE").count(), 1, "only None races: {text}");
+        assert_eq!(text.matches("race-free over explored space").count(), 3);
+        assert!(text.contains("choices"), "counterexample was shrunk");
+        // Deterministic across calls.
+        assert_eq!(text, races_table().render_ascii());
     }
 
     #[test]

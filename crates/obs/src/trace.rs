@@ -51,6 +51,12 @@ pub mod category {
     pub const JOB: &str = "job";
     /// Admission-queue depth samples of the serve layer.
     pub const QUEUE: &str = "queue";
+    /// One controlled-scheduler step of the schedule-space explorer
+    /// (event value = index of the lane that stepped).
+    pub const STEP: &str = "step";
+    /// A happens-before race report from the explorer's vector-clock
+    /// detector (event value = schedule-independent race signature).
+    pub const RACE: &str = "race";
 }
 
 /// What a [`TraceEvent`] marks.

@@ -99,6 +99,21 @@ pub struct CounterSummary {
     pub last: u64,
 }
 
+/// One happens-before race report found in the event stream (an
+/// Instant with category [`super::category::RACE`], as emitted by the
+/// schedule-space explorer's vector-clock detector).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RaceRec {
+    /// Lane whose access completed the racy pair.
+    pub lane: u32,
+    /// Virtual time (scheduler step index) of the report.
+    pub time: VirtualTime,
+    /// Event name ("race v0", ...).
+    pub name: String,
+    /// Schedule-independent race signature (the event value).
+    pub signature: u64,
+}
+
 /// Everything the `report -- trace` consumer prints.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceAnalysis {
@@ -118,6 +133,9 @@ pub struct TraceAnalysis {
     pub critical_cycles: u64,
     /// Aggregated instant/counter streams, sorted by key.
     pub counters: Vec<CounterSummary>,
+    /// Race reports in merged event order (empty for traces that did
+    /// not run under the explorer's race detector).
+    pub races: Vec<RaceRec>,
     /// FNV-1a digest of the trace's Chrome JSON.
     pub digest: u64,
 }
@@ -265,7 +283,16 @@ pub fn analyze(trace: &Trace) -> TraceAnalysis {
     }
 
     let mut counters: BTreeMap<String, CounterSummary> = BTreeMap::new();
+    let mut races = Vec::new();
     for ev in &trace.events {
+        if matches!(ev.kind, EventKind::Instant) && ev.category == super::category::RACE {
+            races.push(RaceRec {
+                lane: ev.lane,
+                time: ev.time,
+                name: ev.name.clone(),
+                signature: ev.value,
+            });
+        }
         if matches!(ev.kind, EventKind::Instant | EventKind::Counter) {
             let key = format!("{}/{}", ev.category, ev.name);
             let entry = counters.entry(key.clone()).or_insert(CounterSummary {
@@ -309,11 +336,20 @@ pub fn analyze(trace: &Trace) -> TraceAnalysis {
         critical_path,
         critical_cycles,
         counters: counters.into_values().collect(),
+        races,
         digest: trace.digest(),
     }
 }
 
 impl TraceAnalysis {
+    /// Sorted distinct race signatures across all reports.
+    pub fn distinct_race_signatures(&self) -> Vec<u64> {
+        let mut sigs: Vec<u64> = self.races.iter().map(|r| r.signature).collect();
+        sigs.sort_unstable();
+        sigs.dedup();
+        sigs
+    }
+
     /// True when every lane's attribution is exact: category cycles
     /// plus idle equal the lane's makespan.
     pub fn attribution_is_exact(&self) -> bool {
@@ -416,6 +452,21 @@ impl TraceAnalysis {
                 );
             }
         }
+        if !self.races.is_empty() {
+            let _ = writeln!(
+                out,
+                "races: {} reports, {} distinct signatures",
+                self.races.len(),
+                self.distinct_race_signatures().len()
+            );
+            for r in &self.races {
+                let _ = writeln!(
+                    out,
+                    "  step {:>6} lane {} {} sig 0x{:016x}",
+                    r.time, r.lane, r.name, r.signature
+                );
+            }
+        }
         out
     }
 }
@@ -510,6 +561,33 @@ mod tests {
         assert!(text.contains("core/0"));
         assert!(text.contains("attribution identity: exact"));
         assert!(text.contains("bus/contention"));
+    }
+
+    #[test]
+    fn race_instants_are_collected_and_rendered() {
+        let mut rec = TraceRecorder::new(&TraceConfig::default());
+        let l0 = rec.lane("lane/0");
+        let l1 = rec.lane("lane/1");
+        rec.buf(l0).instant(0, "store v0", category::STEP, 1);
+        rec.buf(l1).instant(1, "race v0", category::RACE, 0xABCD);
+        rec.buf(l1).instant(2, "race v0", category::RACE, 0xABCD);
+        rec.buf(l0).instant(3, "race v1", category::RACE, 0x1234);
+        let a = analyze(&rec.finish());
+        assert_eq!(a.races.len(), 3);
+        assert_eq!(a.races[0].lane, 1);
+        assert_eq!(a.races[0].signature, 0xABCD);
+        assert_eq!(a.distinct_race_signatures(), vec![0x1234, 0xABCD]);
+        let text = a.render_text();
+        assert!(text.contains("races: 3 reports, 2 distinct signatures"));
+        assert!(text.contains("race v1"));
+    }
+
+    #[test]
+    fn race_free_traces_report_no_races() {
+        let a = analyze(&sample());
+        assert!(a.races.is_empty());
+        assert!(a.distinct_race_signatures().is_empty());
+        assert!(!a.render_text().contains("races:"));
     }
 
     #[test]

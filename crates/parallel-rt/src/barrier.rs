@@ -1,6 +1,12 @@
 //! Barriers: the sense-reversing atomic barrier the runtime uses, plus a
 //! mutex/condvar barrier kept for the ablation bench (DESIGN.md §ablation
 //! 3). Both are reusable across phases, like `#pragma omp barrier`.
+//!
+//! The schedule-space explorer models this construct as
+//! [`crate::explore::program::Op::Barrier`]: lanes park until the team
+//! is complete, and the release joins every lane's vector clock — the
+//! "all arrive, all synchronise" semantics [`TeamBarrier::wait`]
+//! provides on real threads.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 

@@ -1,0 +1,329 @@
+//! The modeled-program language the explorer schedules.
+//!
+//! A [`Program`] is a set of straight-line per-lane operation lists
+//! over shared variables, locks and barriers — the smallest language
+//! that can express every synchronisation shape of the Assignment-2
+//! patternlet family (racy split increment, critical section, atomic
+//! add, per-lane reduction). Modeling the program instead of running
+//! real threads is what makes the schedule space *enumerable*: every
+//! operation is one scheduler step, so an interleaving is exactly a
+//! sequence of lane choices and nothing the host OS does can perturb
+//! it.
+
+use crate::reduction::{Reduction, Sum};
+
+/// Index of a shared variable (`0..Program::num_vars`).
+pub type VarId = usize;
+
+/// Index of a lock (`0..Program::num_locks`).
+pub type LockId = usize;
+
+/// How an operation touches a shared variable — the classification the
+/// happens-before race detector works over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AccessKind {
+    /// A plain (unsynchronised) load.
+    Read,
+    /// A plain (unsynchronised) store.
+    Write,
+    /// A synchronising read-modify-write (`#pragma omp atomic`).
+    Atomic,
+}
+
+impl AccessKind {
+    /// True for accesses that conflict with any other access to the
+    /// same variable (writes and atomics; two reads never conflict).
+    pub fn is_write_like(self) -> bool {
+        matches!(self, AccessKind::Write | AccessKind::Atomic)
+    }
+}
+
+/// One scheduler step of a lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Load a shared variable into the lane's accumulator (plain read).
+    Load(VarId),
+    /// Add an immediate to the accumulator (purely lane-local).
+    AddImm(u64),
+    /// Store the accumulator to a shared variable (plain write).
+    Store(VarId),
+    /// Atomically add an immediate to a shared variable.
+    FetchAdd(VarId, u64),
+    /// Acquire a lock (blocks while another lane holds it).
+    Lock(LockId),
+    /// Release a lock the lane holds.
+    Unlock(LockId),
+    /// Arrive at the team barrier; blocks until every lane arrives.
+    Barrier,
+}
+
+impl Op {
+    /// The shared-variable access this op performs, if any.
+    pub fn access(&self) -> Option<(VarId, AccessKind)> {
+        match *self {
+            Op::Load(v) => Some((v, AccessKind::Read)),
+            Op::Store(v) => Some((v, AccessKind::Write)),
+            Op::FetchAdd(v, _) => Some((v, AccessKind::Atomic)),
+            _ => None,
+        }
+    }
+
+    /// The lock this op acquires or releases, if any.
+    pub fn lock_id(&self) -> Option<LockId> {
+        match *self {
+            Op::Lock(l) | Op::Unlock(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Short assembly-style rendering used for trace event names.
+    pub fn mnemonic(&self) -> String {
+        match *self {
+            Op::Load(v) => format!("load v{v}"),
+            Op::AddImm(k) => format!("add #{k}"),
+            Op::Store(v) => format!("store v{v}"),
+            Op::FetchAdd(v, k) => format!("xadd v{v} #{k}"),
+            Op::Lock(l) => format!("lock l{l}"),
+            Op::Unlock(l) => format!("unlock l{l}"),
+            Op::Barrier => "barrier".to_string(),
+        }
+    }
+}
+
+/// Whether two operations *dependent* — executing them in either order
+/// can lead to different states or different happens-before edges, so
+/// the systematic search must explore both orders. Independent pairs
+/// commute and one order suffices (the sleep-set pruning rule).
+pub fn dependent(a: &Op, b: &Op) -> bool {
+    if matches!(a, Op::Barrier) || matches!(b, Op::Barrier) {
+        return true;
+    }
+    if let (Some(la), Some(lb)) = (a.lock_id(), b.lock_id()) {
+        if la == lb {
+            return true;
+        }
+    }
+    match (a.access(), b.access()) {
+        (Some((va, ka)), Some((vb, kb))) if va == vb => ka.is_write_like() || kb.is_write_like(),
+        _ => false,
+    }
+}
+
+/// How the final observed value is computed once every lane finished —
+/// the model of what happens at the join of the parallel region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Finalize {
+    /// Observed value is one shared variable (the shared-counter shape).
+    Var(VarId),
+    /// Observed value is the fold of a contiguous range of per-lane
+    /// partial variables under [`crate::reduction::Sum`] — the
+    /// `reduction(+:count)` shape, combined at the join exactly like
+    /// [`crate::team::Team::parallel_for_reduce`] folds its partials.
+    SumVars(std::ops::Range<VarId>),
+}
+
+/// A bounded, deterministic modeled program: the unit the explorer
+/// fuzzes and exhausts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Human name ("race/none", "race/critical", ...).
+    pub name: String,
+    /// Per-lane straight-line operation lists.
+    pub lanes: Vec<Vec<Op>>,
+    /// Number of shared variables (all start at 0).
+    pub num_vars: usize,
+    /// Number of locks (all start free).
+    pub num_locks: usize,
+    /// Join-time reduction of the observed value.
+    pub finalize: Finalize,
+    /// The value a correct execution must observe.
+    pub expected: u64,
+}
+
+impl Program {
+    /// Total scheduler steps of any complete execution (every op is
+    /// exactly one step regardless of interleaving).
+    pub fn total_steps(&self) -> usize {
+        self.lanes.iter().map(Vec::len).sum()
+    }
+
+    /// Number of lanes.
+    pub fn num_lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Checks the static well-formedness rules that make every
+    /// schedule of the program deadlock-free and finite:
+    ///
+    /// * variable / lock indices in bounds;
+    /// * per lane, `Lock`/`Unlock` strictly alternate per lock, end
+    ///   released, and never hold more than one lock at once (no
+    ///   hold-and-wait, hence no deadlock);
+    /// * every lane executes the same number of `Barrier` ops (no lane
+    ///   can finish while another still waits).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.lanes.is_empty() {
+            return Err("program has no lanes".into());
+        }
+        let mut barrier_counts = Vec::new();
+        for (lane, ops) in self.lanes.iter().enumerate() {
+            let mut held: Option<LockId> = None;
+            let mut barriers = 0usize;
+            for op in ops {
+                if let Some((v, _)) = op.access() {
+                    if v >= self.num_vars {
+                        return Err(format!("lane {lane}: var v{v} out of bounds"));
+                    }
+                }
+                match *op {
+                    Op::Lock(l) => {
+                        if l >= self.num_locks {
+                            return Err(format!("lane {lane}: lock l{l} out of bounds"));
+                        }
+                        if held.is_some() {
+                            return Err(format!(
+                                "lane {lane}: nested lock acquisition (hold-and-wait)"
+                            ));
+                        }
+                        held = Some(l);
+                    }
+                    Op::Unlock(l) => {
+                        if held != Some(l) {
+                            return Err(format!("lane {lane}: unlock l{l} without holding it"));
+                        }
+                        held = None;
+                    }
+                    Op::Barrier => {
+                        if held.is_some() {
+                            return Err(format!("lane {lane}: barrier while holding a lock"));
+                        }
+                        barriers += 1;
+                    }
+                    _ => {}
+                }
+            }
+            if held.is_some() {
+                return Err(format!("lane {lane}: lock held at lane end"));
+            }
+            barrier_counts.push(barriers);
+        }
+        if barrier_counts.iter().any(|&b| b != barrier_counts[0]) {
+            return Err("lanes disagree on barrier count (deadlock)".into());
+        }
+        match &self.finalize {
+            Finalize::Var(v) if *v >= self.num_vars => {
+                Err(format!("finalize var v{v} out of bounds"))
+            }
+            Finalize::SumVars(r) if r.end > self.num_vars => {
+                Err("finalize range out of bounds".into())
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Applies [`Finalize`] to the terminal shared-variable bank.
+    pub fn finalize_value(&self, vars: &[u64]) -> u64 {
+        match &self.finalize {
+            Finalize::Var(v) => vars[*v],
+            Finalize::SumVars(r) => Sum.fold(vars[r.start..r.end].iter().copied()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_lane(ops: Vec<Op>) -> Program {
+        Program {
+            name: "t".into(),
+            lanes: vec![ops.clone(), ops],
+            num_vars: 4,
+            num_locks: 1,
+            finalize: Finalize::Var(0),
+            expected: 0,
+        }
+    }
+
+    #[test]
+    fn dependence_is_about_shared_state() {
+        assert!(
+            dependent(&Op::Load(0), &Op::Store(0)),
+            "read-write conflict"
+        );
+        assert!(
+            dependent(&Op::Store(0), &Op::Store(0)),
+            "write-write conflict"
+        );
+        assert!(!dependent(&Op::Load(0), &Op::Load(0)), "reads commute");
+        assert!(
+            !dependent(&Op::Load(0), &Op::Store(1)),
+            "distinct vars commute"
+        );
+        assert!(
+            dependent(&Op::FetchAdd(0, 1), &Op::Load(0)),
+            "atomic is write-like"
+        );
+        assert!(dependent(&Op::Lock(0), &Op::Unlock(0)), "same lock");
+        assert!(
+            !dependent(&Op::Lock(0), &Op::AddImm(1)),
+            "local ops commute"
+        );
+        assert!(
+            dependent(&Op::Barrier, &Op::AddImm(1)),
+            "barrier orders everything"
+        );
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_programs() {
+        let p = two_lane(vec![
+            Op::Lock(0),
+            Op::Load(0),
+            Op::AddImm(1),
+            Op::Store(0),
+            Op::Unlock(0),
+        ]);
+        assert_eq!(p.validate(), Ok(()));
+        assert_eq!(p.total_steps(), 10);
+        assert_eq!(p.num_lanes(), 2);
+    }
+
+    #[test]
+    fn validate_rejects_malformed_programs() {
+        assert!(two_lane(vec![Op::Load(9)]).validate().is_err());
+        assert!(two_lane(vec![Op::Lock(0)]).validate().is_err());
+        assert!(two_lane(vec![Op::Unlock(0)]).validate().is_err());
+        assert!(two_lane(vec![Op::Lock(0), Op::Barrier, Op::Unlock(0)])
+            .validate()
+            .is_err());
+        let mut uneven = two_lane(vec![Op::Barrier]);
+        uneven.lanes[1].clear();
+        assert!(uneven.validate().is_err());
+    }
+
+    #[test]
+    fn finalize_folds_partials_with_the_real_reduction() {
+        let p = Program {
+            name: "r".into(),
+            lanes: vec![vec![]],
+            num_vars: 4,
+            num_locks: 0,
+            finalize: Finalize::SumVars(1..4),
+            expected: 0,
+        };
+        assert_eq!(p.finalize_value(&[9, 1, 2, 3]), 6);
+        let single = Program {
+            finalize: Finalize::Var(0),
+            ..p
+        };
+        assert_eq!(single.finalize_value(&[9, 1, 2, 3]), 9);
+    }
+
+    #[test]
+    fn mnemonics_are_stable() {
+        assert_eq!(Op::Load(2).mnemonic(), "load v2");
+        assert_eq!(Op::FetchAdd(0, 3).mnemonic(), "xadd v0 #3");
+        assert_eq!(Op::Barrier.mnemonic(), "barrier");
+    }
+}

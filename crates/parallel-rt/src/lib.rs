@@ -30,6 +30,11 @@
 //! [`race`]: safe Rust forbids true data races, so the racy OpenMP
 //! program is emulated with a non-atomic read–modify–write sequence that
 //! loses updates exactly the way the students' `count++` does.
+//! [`explore`] goes further: it models the patternlet family under a
+//! controlled scheduler and *searches* the interleaving space — finding
+//! the race deterministically, shrinking the counterexample to a
+//! minimal schedule, and certifying each fix race-free over the
+//! explored space.
 //!
 //! ```
 //! use parallel_rt::{Team, Schedule};
@@ -47,6 +52,7 @@
 
 pub mod barrier;
 pub mod data_env;
+pub mod explore;
 pub mod forloop;
 pub mod master_worker;
 pub mod race;

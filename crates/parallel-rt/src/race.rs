@@ -11,6 +11,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::explore::program::{Finalize, Op, Program};
 use crate::reduction::Sum;
 use crate::schedule::Schedule;
 use crate::team::Team;
@@ -111,6 +112,89 @@ pub fn shared_counter_demo(threads: usize, increments: u64, strategy: FixStrateg
     }
 }
 
+/// Models the shared-counter patternlet as an [`explore::Program`] so
+/// the schedule-space explorer can search its interleavings instead of
+/// sampling whatever the OS scheduler happens to produce.
+///
+/// [`explore::Program`]: crate::explore::program::Program
+///
+/// The mapping mirrors [`shared_counter_demo`] op for op:
+///
+/// * [`FixStrategy::None`] — the split `count++`: plain load, local
+///   add, plain store on one shared variable;
+/// * [`FixStrategy::Critical`] — the same three steps inside
+///   `Lock(0)`/`Unlock(0)`;
+/// * [`FixStrategy::Atomic`] — a single `FetchAdd`;
+/// * [`FixStrategy::Reduction`] — each lane increments its own partial
+///   variable, folded at the join by
+///   [`Finalize::SumVars`] using the real [`Sum`] reduction.
+pub fn patternlet_program(strategy: FixStrategy, threads: usize, increments: usize) -> Program {
+    let (name, lanes, num_vars, num_locks, finalize) = match strategy {
+        FixStrategy::None => (
+            "race/none",
+            vec![
+                (0..increments)
+                    .flat_map(|_| [Op::Load(0), Op::AddImm(1), Op::Store(0)])
+                    .collect::<Vec<_>>();
+                threads
+            ],
+            1,
+            0,
+            Finalize::Var(0),
+        ),
+        FixStrategy::Critical => (
+            "race/critical",
+            vec![
+                (0..increments)
+                    .flat_map(|_| {
+                        [
+                            Op::Lock(0),
+                            Op::Load(0),
+                            Op::AddImm(1),
+                            Op::Store(0),
+                            Op::Unlock(0),
+                        ]
+                    })
+                    .collect::<Vec<_>>();
+                threads
+            ],
+            1,
+            1,
+            Finalize::Var(0),
+        ),
+        FixStrategy::Atomic => (
+            "race/atomic",
+            vec![vec![Op::FetchAdd(0, 1); increments]; threads],
+            1,
+            0,
+            Finalize::Var(0),
+        ),
+        FixStrategy::Reduction => (
+            "race/reduction",
+            (0..threads)
+                .map(|lane| {
+                    (0..increments)
+                        .flat_map(|_| [Op::Load(lane), Op::AddImm(1), Op::Store(lane)])
+                        .collect()
+                })
+                .collect(),
+            threads,
+            0,
+            Finalize::SumVars(0..threads),
+        ),
+    };
+    let program = Program {
+        name: name.into(),
+        lanes,
+        num_vars,
+        num_locks,
+        finalize,
+        expected: (threads * increments) as u64,
+    };
+    debug_assert_eq!(program.validate(), Ok(()));
+    program
+}
+
 /// Why the race is hard to reproduce and debug (Assignment 4's
 /// discussion question), as structured teaching points.
 pub fn why_races_are_hard() -> &'static [&'static str] {
@@ -172,5 +256,46 @@ mod tests {
     fn single_thread_cannot_race() {
         let out = shared_counter_demo(1, 10_000, FixStrategy::None);
         assert!(out.is_correct(), "one thread has nobody to race with");
+    }
+
+    #[test]
+    fn patternlet_programs_are_well_formed() {
+        for strategy in [
+            FixStrategy::None,
+            FixStrategy::Critical,
+            FixStrategy::Atomic,
+            FixStrategy::Reduction,
+        ] {
+            let p = patternlet_program(strategy, 3, 2);
+            assert_eq!(p.validate(), Ok(()), "{strategy:?}");
+            assert_eq!(p.num_lanes(), 3);
+            assert_eq!(p.expected, 6);
+        }
+    }
+
+    #[test]
+    fn explorer_verdicts_match_the_demo_semantics() {
+        use crate::explore::search::{systematic, Budget};
+        // The buggy patternlet races; every fix certifies over the
+        // *entire* schedule space — a stronger statement than the
+        // real-thread demo, which can only sample OS interleavings.
+        let buggy = systematic(
+            &patternlet_program(FixStrategy::None, 2, 1),
+            Budget::schedules(100_000),
+        );
+        assert!(buggy.space_exhausted && !buggy.certified());
+        assert!(buggy.lost_update_runs > 0, "some schedule loses an update");
+        for strategy in [
+            FixStrategy::Critical,
+            FixStrategy::Atomic,
+            FixStrategy::Reduction,
+        ] {
+            let r = systematic(
+                &patternlet_program(strategy, 2, 2),
+                Budget::schedules(100_000),
+            );
+            assert!(r.space_exhausted, "{strategy:?}: space within budget");
+            assert!(r.certified(), "{strategy:?}: race-free over the space");
+        }
     }
 }

@@ -4,6 +4,12 @@
 //! runtime accumulates one partial per thread and folds them in
 //! thread-id order, so integer reductions are exact and floating-point
 //! reductions are deterministic for static schedules.
+//!
+//! The schedule-space explorer reuses [`Sum`] verbatim:
+//! [`crate::explore::program::Finalize::SumVars`] folds the modeled
+//! per-lane partials with the same operator the real runtime uses at
+//! the join, so a certification of the reduction patternlet speaks
+//! about this code path, not a re-implementation.
 
 /// An associative reduction with an identity element.
 pub trait Reduction<T> {

@@ -1,5 +1,11 @@
 //! Standalone synchronisation helpers: atomic counters and accumulators
 //! usable outside a parallel region, mirroring `#pragma omp atomic`.
+//!
+//! In the schedule-space explorer these operations are modeled by
+//! [`crate::explore::program::Op::FetchAdd`]; the systematic search
+//! certifies that model race-free over its *entire* schedule space (see
+//! [`crate::explore`]), which is the formal counterpart of the claim
+//! these helpers make informally.
 
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 

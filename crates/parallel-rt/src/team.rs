@@ -1,5 +1,13 @@
 //! Fork–join parallel regions and the per-thread execution context:
 //! the `#pragma omp parallel` of this runtime.
+//!
+//! [`ThreadCtx::critical`]'s named-lock semantics are modeled in the
+//! schedule-space explorer by [`crate::explore::program::Op::Lock`] /
+//! [`Op::Unlock`](crate::explore::program::Op::Unlock): the explorer's
+//! controlled scheduler never steps a lane into a held lock, and the
+//! happens-before detector transfers the releaser's vector clock to
+//! the next acquirer — which is why the `critical` fix certifies
+//! race-free over the whole explored space ([`crate::explore`]).
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};

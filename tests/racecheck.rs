@@ -1,0 +1,114 @@
+//! Property tests for the schedule-space explorer
+//! (`parallel_rt::explore`): replay determinism, shrinking soundness,
+//! and race-freedom of the fixed patternlets under random schedules.
+//!
+//! These are the workspace-level statements of the explorer's
+//! contracts (see DESIGN.md, "explored-space race-freedom"):
+//!
+//! - **Replay determinism** — any `(program, choice string)` pair is a
+//!   complete schedule (out-of-range choices wrap, exhausted strings
+//!   continue deterministically) and replays to a byte-identical
+//!   execution, including the FNV trace digest.
+//! - **Shrinking soundness** — delta-debugging a counterexample's
+//!   choice string never produces a schedule that fails to reproduce
+//!   the original race signature, and never grows the schedule.
+//! - **Fix certification** — the `Critical` / `Atomic` / `Reduction`
+//!   patternlets are race-free and correct under *every* random
+//!   schedule sampled, not just the ones the systematic search visits.
+
+use proptest::prelude::*;
+
+use parallel_rt::explore::{replay, run_random, search, shrink};
+use parallel_rt::race::{patternlet_program, FixStrategy};
+
+const STRATEGIES: [FixStrategy; 4] = [
+    FixStrategy::None,
+    FixStrategy::Critical,
+    FixStrategy::Atomic,
+    FixStrategy::Reduction,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any (strategy, choice-string) pair — including out-of-range and
+    /// too-short strings — replays to a byte-identical execution: same
+    /// schedule, same observed value, same races, same trace digest.
+    #[test]
+    fn any_choice_string_replays_bit_identically(
+        strategy_sel in 0usize..4,
+        threads in 2usize..4,
+        increments in 1usize..3,
+        choices in prop::collection::vec(0usize..100, 0..40),
+    ) {
+        let program = patternlet_program(STRATEGIES[strategy_sel], threads, increments);
+        let a = replay(&program, &choices);
+        let b = replay(&program, &choices);
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.trace_digest.is_some());
+        prop_assert_eq!(a.steps, program.total_steps());
+    }
+
+    /// A random run's recorded choice string is a faithful replay
+    /// recipe: feeding it back reproduces the run bit for bit.
+    #[test]
+    fn random_runs_replay_from_their_recorded_choices(
+        strategy_sel in 0usize..4,
+        threads in 2usize..4,
+        increments in 1usize..3,
+        seed in 0u64..u64::MAX,
+    ) {
+        let program = patternlet_program(STRATEGIES[strategy_sel], threads, increments);
+        let random = run_random(&program, seed);
+        let replayed = replay(&program, &random.choices);
+        prop_assert_eq!(&random, &replayed);
+    }
+
+    /// The fixed patternlets are race-free and observe the expected
+    /// value under every randomly sampled schedule, not only the
+    /// schedules the systematic search enumerates.
+    #[test]
+    fn fixed_strategies_never_race_under_random_schedules(
+        strategy_sel in 1usize..4,
+        threads in 2usize..4,
+        increments in 1usize..4,
+        seed in 0u64..u64::MAX,
+    ) {
+        let program = patternlet_program(STRATEGIES[strategy_sel], threads, increments);
+        let exec = run_random(&program, seed);
+        prop_assert!(exec.races.is_empty(), "unexpected race: {:?}", exec.races);
+        prop_assert!(exec.is_correct(), "observed {} != expected {}", exec.observed, exec.expected);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Shrinking a found counterexample always yields a schedule that
+    /// still reproduces the same race signature, never grows the choice
+    /// string, and is itself deterministic under replay.
+    #[test]
+    fn shrinking_never_loses_the_race(
+        master_seed in 0u64..u64::MAX,
+        threads in 2usize..4,
+        increments in 1usize..3,
+    ) {
+        let buggy = patternlet_program(FixStrategy::None, threads, increments);
+        let report = search::fuzz(&buggy, master_seed, search::Budget::schedules(16));
+        let cex = report.counterexample.expect("the buggy patternlet always races");
+
+        let minimal = shrink::shrink(&buggy, &cex.choices, cex.race_signature);
+        prop_assert!(shrink::reproduces(&buggy, &minimal, cex.race_signature));
+        prop_assert!(minimal.len() <= cex.choices.len());
+
+        // The shrunk schedule replays bit-identically too.
+        prop_assert_eq!(replay(&buggy, &minimal), replay(&buggy, &minimal));
+
+        // And the packaged form refreshes every derived field coherently.
+        let (min_cex, exec) = shrink::shrink_counterexample(&buggy, &cex);
+        prop_assert_eq!(&min_cex.choices, &minimal);
+        prop_assert_eq!(min_cex.race_signature, cex.race_signature);
+        prop_assert_eq!(Some(min_cex.trace_digest), exec.trace_digest);
+        prop_assert!(exec.has_race_signature(cex.race_signature));
+    }
+}
