@@ -1,0 +1,115 @@
+//! The telemetry hot paths: point ingestion into counter / gauge /
+//! histogram series at semester volumes, the per-shard merge, the
+//! cluster rollup, and the byte-stable JSON + digest render. All
+//! inputs are seeded arithmetic, so iteration-to-iteration work is
+//! bit-identical.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use obs::{SeriesSet, CLUSTER_SHARD};
+
+/// Window width and capacity matching the semester collector: one
+/// window per day, enough ring for the 105-day full semester.
+const WIDTH: u64 = 1;
+const CAPACITY: usize = 128;
+
+/// Sojourn-style power-ladder edges, like the serve collector's.
+const EDGES: [u64; 10] = [
+    1_000,
+    4_000,
+    16_000,
+    64_000,
+    256_000,
+    1_024_000,
+    4_096_000,
+    16_384_000,
+    65_536_000,
+    262_144_000,
+];
+
+/// A deterministic value stream: multiplicative hash of the index,
+/// folded into a plausible sojourn magnitude.
+fn value(i: u64) -> u64 {
+    (i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40) + 1
+}
+
+/// Builds a semester-scale per-shard set: `series_per_shard` counters
+/// plus one histogram, 105 daily windows, `points_per_window` samples
+/// each — the shape `collect_day` produces for one shard.
+fn shard_set(shard: u32, series_per_shard: usize, points_per_window: u64) -> SeriesSet {
+    let mut set = SeriesSet::new(WIDTH, CAPACITY);
+    for s in 0..series_per_shard {
+        let name = format!("shard/counter_{s}");
+        for day in 0..105u64 {
+            let series = set.counter(&name, shard, false);
+            for i in 0..points_per_window {
+                series.record(day, value(day * 1_000 + i));
+            }
+        }
+    }
+    for day in 0..105u64 {
+        let series = set.histogram("shard/sojourn_vt", shard, false, &EDGES);
+        for i in 0..points_per_window {
+            series.record(day, value(day * 1_000 + i) * 1_000);
+        }
+    }
+    set
+}
+
+fn bench_ts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("timeseries");
+    group.sample_size(10);
+
+    // Ingestion: 105k points into one counter (the dominant cost of
+    // per-arrival recording) and 105k into a bucketed histogram (the
+    // sojourn path: binary-search a 10-edge ladder per point).
+    group.bench_function("ingest_counter_105k", |b| {
+        b.iter(|| {
+            let mut set = SeriesSet::new(WIDTH, CAPACITY);
+            let series = set.counter("sem/submitted", CLUSTER_SHARD, true);
+            for day in 0..105u64 {
+                for i in 0..1_000u64 {
+                    series.record(black_box(day), value(day * 1_000 + i));
+                }
+            }
+            set.len()
+        })
+    });
+    group.bench_function("ingest_histogram_105k", |b| {
+        b.iter(|| {
+            let mut set = SeriesSet::new(WIDTH, CAPACITY);
+            let series = set.histogram("sem/sojourn_vt", CLUSTER_SHARD, true, &EDGES);
+            for day in 0..105u64 {
+                for i in 0..1_000u64 {
+                    series.record(black_box(day), value(day * 1_000 + i) * 1_000);
+                }
+            }
+            set.len()
+        })
+    });
+
+    // Merge: fold 8 per-shard sets (6 series x 105 windows each) into
+    // one, the per-day join the cluster collector performs.
+    let parts: Vec<SeriesSet> = (0..8u32).map(|s| shard_set(s, 5, 100)).collect();
+    group.bench_function("merge_8_shards", |b| {
+        b.iter(|| SeriesSet::merge(black_box(parts.clone())).len())
+    });
+
+    // Rollup: collapse the merged 8-shard set to cluster totals.
+    let merged = SeriesSet::merge(parts.clone());
+    group.bench_function("rollup_8_shards", |b| {
+        b.iter(|| black_box(&merged).rollup().len())
+    });
+
+    // Render: the byte-stable JSON + FNV digest of the merged set —
+    // what `--series-out` writes and the determinism matrix compares.
+    group.bench_function("json_digest_8_shards", |b| {
+        b.iter(|| black_box(&merged).digest())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ts);
+criterion_main!(benches);

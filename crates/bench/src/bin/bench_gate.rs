@@ -12,6 +12,13 @@
 //! the gate when fresh tail latency grows more than 25% over the
 //! committed value or the hit rate drops more than 5 points.
 //!
+//! And it is the telemetry gate: a scenario carrying a
+//! `"telemetry_digest"` pin (the serve health scenario) fails when the
+//! fresh digest is not bit-identical, and a committed
+//! `"incidents_firing"` count fails when the fresh clean run fires
+//! more incidents than committed — a new firing alert on the
+//! unperturbed semester is a regression, not noise.
+//!
 //! Usage:
 //!   bench_gate <committed.json> <fresh.json>
 //!
@@ -184,7 +191,65 @@ fn main() {
         ]);
     }
 
-    let ok = regressions.is_empty() && provenance_ok && violations.is_empty();
+    let committed_ts = gate::telemetry(&committed_doc);
+    let fresh_ts = gate::telemetry(&fresh_doc);
+    for t in &committed_ts {
+        let fresh_t = fresh_ts.iter().find(|x| x.name == t.name);
+        if let Some(digest) = &t.digest {
+            println!(
+                "bench_gate: telemetry {:<36} digest committed {digest}  fresh {}",
+                t.name,
+                fresh_t
+                    .and_then(|x| x.digest.as_deref())
+                    .unwrap_or("missing")
+            );
+        }
+        if let Some(firing) = t.incidents_firing {
+            println!(
+                "bench_gate: telemetry {:<36} incidents_firing committed {firing}  fresh {}",
+                t.name,
+                fresh_t
+                    .and_then(|x| x.incidents_firing)
+                    .map_or("missing".to_string(), |v| format!("{v}"))
+            );
+        }
+    }
+    let ts_violations = gate::telemetry_violations(&committed_ts, &fresh_ts);
+    for v in &ts_violations {
+        match &v.fresh {
+            Some(fresh) => eprintln!(
+                "bench_gate: TELEMETRY VIOLATION {} {}: committed {}, fresh {fresh}",
+                v.name, v.metric, v.committed
+            ),
+            None => eprintln!(
+                "bench_gate: TELEMETRY VIOLATION {} {}: field missing from fresh run",
+                v.name, v.metric
+            ),
+        }
+    }
+    for t in &committed_ts {
+        let violated = ts_violations.iter().any(|v| v.name == t.name);
+        summary_rows.push(vec![
+            format!("{} (telemetry)", t.name),
+            t.incidents_firing
+                .map_or("—".to_string(), |n| format!("{n} firing")),
+            fresh_ts
+                .iter()
+                .find(|x| x.name == t.name)
+                .and_then(|x| x.incidents_firing)
+                .map_or("—".to_string(), |n| format!("{n} firing")),
+            if violated {
+                "❌ telemetry violation".into()
+            } else {
+                "✅ pass".to_string()
+            },
+        ]);
+    }
+
+    let ok = regressions.is_empty()
+        && provenance_ok
+        && violations.is_empty()
+        && ts_violations.is_empty();
     summary::append_step_summary(&summary::markdown_table(
         &format!(
             "bench_gate: {} — {}",
@@ -200,10 +265,12 @@ fn main() {
             std::process::exit(1);
         }
         println!(
-            "bench_gate: OK — {} scenario(s) within {:.0}% of committed speedups, {} SLO(s) held",
+            "bench_gate: OK — {} scenario(s) within {:.0}% of committed speedups, {} SLO(s) \
+             held, {} telemetry pin(s) held",
             committed.len(),
             gate::MAX_LOSS * 100.0,
-            committed_slos.len()
+            committed_slos.len(),
+            committed_ts.len()
         );
         return;
     }

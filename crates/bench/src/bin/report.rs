@@ -51,6 +51,13 @@ fn main() {
         return;
     }
 
+    if what == "health" {
+        // Same pattern as `semester`: the telemetry + alerting report
+        // is rendered by the serve layer.
+        print!("{}", serve::telemetry::health_artefact());
+        return;
+    }
+
     let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     match experiments::render_artefact(&what, threads) {
         Some(text) => print!("{text}"),

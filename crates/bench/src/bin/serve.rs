@@ -30,20 +30,31 @@
 //! (the SLO fields `bench_gate` enforces), and asserting the semantic
 //! semester digest is bit-identical in every cell.
 //!
+//! The recorded JSON also carries a `semester_health` scenario: the
+//! smoke semester served with time-series telemetry attached and the
+//! SLO burn-rate + anomaly alert policy evaluated over it. The clean
+//! semester must fire zero incidents and its invariant telemetry
+//! digest is pinned by `bench_gate`; the seeded deadline-storm +
+//! shard-hot-spot perturbation must trip every alert rule.
+//!
 //! Usage:
 //!   cargo run --release -p pbl-bench --bin serve [out.json]
 //!   cargo run --release -p pbl-bench --bin serve -- --workload course-week --check
 //!   cargo run --release -p pbl-bench --bin serve -- --trace-out trace.json
+//!   cargo run --release -p pbl-bench --bin serve -- --series-out series.json
 //!
 //! `--check` replays the week across a 1/2/4/8 worker matrix and the
-//! smoke semester across a (shards × workers) = {1,2,4} × {1,4} cluster
-//! matrix, exiting non-zero if any full digest varies with worker
-//! count, or the semantic digest varies at all — wired into CI as the
-//! serve determinism smoke step.
+//! smoke semester (with telemetry attached) across a (shards ×
+//! workers) = {1,2,4} × {1,4} cluster matrix, exiting non-zero if any
+//! full digest varies with worker count, or the semantic digest or
+//! invariant telemetry digest varies at all — wired into CI as the
+//! serve determinism smoke step. `--series-out` writes the clean smoke
+//! semester's `"pbl-ts/v1"` series JSON for artifact upload.
 
 use std::time::Instant;
 
 use serve::cluster::{self, Cluster, ClusterConfig};
+use serve::telemetry;
 use serve::workload::{course_week, SemesterConfig};
 use serve::{Service, ServiceConfig};
 
@@ -88,28 +99,57 @@ fn check_mode() -> ! {
     }
 
     // The cluster matrix: the smoke semester across (shards × workers)
-    // = {1,2,4} × {1,4}. Within a shard count the full digest must be
-    // worker-invariant; the semantic digest must be one value across
-    // every cell.
+    // = {1,2,4} × {1,4}, served with telemetry attached. Within a
+    // shard count the full semester digest and the full telemetry
+    // digest must be worker-invariant; the semantic digest and the
+    // invariant telemetry digest must each be one value across every
+    // cell; and the observed run's digests must equal a bare run's
+    // (the observer-effect invariant).
     let cfg = SemesterConfig::smoke();
     let mut semantic: Option<u64> = None;
+    let mut invariant_ts: Option<u64> = None;
     for shards in [1u32, 2, 4] {
         let mut full: Option<u64> = None;
+        let mut full_ts: Option<u64> = None;
         for workers in [1usize, 4] {
             let cc = ClusterConfig::with_shards(shards, workers);
-            let report = cluster::run_semester(&Cluster::new(cc), &cfg);
+            let bare = cluster::run_semester(&Cluster::new(cc.clone()), &cfg);
+            let (report, series) = telemetry::run_semester_observed(&Cluster::new(cc), &cfg);
+            let ts_full = series.digest();
+            let ts_inv = series.invariant_digest();
             println!(
-                "serve --check: semester {shards}x{workers} full {:#018x} semantic {:#018x}",
+                "serve --check: semester {shards}x{workers} full {:#018x} semantic {:#018x} \
+                 telemetry {ts_inv:#018x} (full {ts_full:#018x})",
                 report.full_digest, report.semantic_digest
             );
+            if (bare.full_digest, bare.semantic_digest)
+                != (report.full_digest, report.semantic_digest)
+            {
+                eprintln!(
+                    "OBSERVER-EFFECT FAILURE: telemetry collection changed the semester \
+                     digests at {shards}x{workers}"
+                );
+                ok = false;
+            }
             if *full.get_or_insert(report.full_digest) != report.full_digest {
                 eprintln!(
                     "DETERMINISM FAILURE: full digest varies with workers at {shards} shard(s)"
                 );
                 ok = false;
             }
+            if *full_ts.get_or_insert(ts_full) != ts_full {
+                eprintln!(
+                    "DETERMINISM FAILURE: telemetry full digest varies with workers at \
+                     {shards} shard(s)"
+                );
+                ok = false;
+            }
             if *semantic.get_or_insert(report.semantic_digest) != report.semantic_digest {
                 eprintln!("DETERMINISM FAILURE: semantic semester digest varies across cells");
+                ok = false;
+            }
+            if *invariant_ts.get_or_insert(ts_inv) != ts_inv {
+                eprintln!("DETERMINISM FAILURE: invariant telemetry digest varies across cells");
                 ok = false;
             }
         }
@@ -120,7 +160,38 @@ fn check_mode() -> ! {
     }
     println!(
         "serve --check: OK (course week bit-identical across 1/2/4/8 workers; \
-         smoke semester bit-identical across the {{1,2,4}}x{{1,4}} shard/worker matrix)"
+         smoke semester + telemetry bit-identical across the {{1,2,4}}x{{1,4}} \
+         shard/worker matrix)"
+    );
+    std::process::exit(0);
+}
+
+/// `--series-out` mode: serves the smoke semester (clean) with
+/// telemetry attached on the canonical 4-shard × 2-worker cluster and
+/// writes the `"pbl-ts/v1"` series JSON, gated on the observer-effect
+/// invariant.
+fn series_mode(out: &str) -> ! {
+    let cfg = SemesterConfig::smoke();
+    let bare = cluster::run_semester(&Cluster::new(ClusterConfig::with_shards(4, 2)), &cfg);
+    let (report, series) =
+        telemetry::run_semester_observed(&Cluster::new(ClusterConfig::with_shards(4, 2)), &cfg);
+    assert_eq!(
+        (bare.full_digest, bare.semantic_digest),
+        (report.full_digest, report.semantic_digest),
+        "determinism violated: telemetry collection perturbed the semester"
+    );
+    std::fs::write(out, series.to_json_with_digest()).unwrap_or_else(|e| {
+        eprintln!("serve: cannot write {out}: {e}");
+        std::process::exit(2);
+    });
+    let timeline = telemetry::evaluate_health(&series);
+    println!(
+        "serve series: {} series, telemetry digest {:#018x} (full {:#018x}), \
+         {} incidents firing -> {out}",
+        series.len(),
+        series.invariant_digest(),
+        series.digest(),
+        timeline.firing_count()
     );
     std::process::exit(0);
 }
@@ -224,6 +295,95 @@ fn semester_sweep(cfg: &SemesterConfig, workers_per_shard: usize) -> Vec<Semeste
         .collect()
 }
 
+struct HealthRun {
+    /// Incidents firing on the clean smoke semester (must be 0).
+    incidents_firing: usize,
+    /// Incidents firing once the seeded deadline-storm + shard
+    /// hot-spot perturbation is switched on.
+    incidents_firing_perturbed: usize,
+    storm_deadline: usize,
+    storm_hotspot: usize,
+    storm_surge: usize,
+    /// Invariant telemetry digest of the clean smoke semester — the
+    /// shard- and worker-invariant number `bench_gate` pins.
+    telemetry_digest: u64,
+    /// Full telemetry digest at the canonical 4 shards × 2 workers.
+    telemetry_full_digest: u64,
+}
+
+/// Runs the telemetry + alerting health scenario: the clean smoke
+/// semester must stay quiet and yield one invariant telemetry digest
+/// across cluster shapes, the perturbed semester must trip all three
+/// alert rules, and attaching telemetry must not move the semester
+/// digests. Every assert here runs before anything is recorded.
+fn semester_health() -> HealthRun {
+    let clean_cfg = SemesterConfig::smoke();
+    let bare = cluster::run_semester(&Cluster::new(ClusterConfig::with_shards(4, 2)), &clean_cfg);
+    let (report, series) = telemetry::run_semester_observed(
+        &Cluster::new(ClusterConfig::with_shards(4, 2)),
+        &clean_cfg,
+    );
+    assert_eq!(
+        (bare.full_digest, bare.semantic_digest),
+        (report.full_digest, report.semantic_digest),
+        "determinism violated: telemetry collection perturbed the smoke semester"
+    );
+    let (_, other_cell) = telemetry::run_semester_observed(
+        &Cluster::new(ClusterConfig::with_shards(2, 1)),
+        &clean_cfg,
+    );
+    assert_eq!(
+        series.invariant_digest(),
+        other_cell.invariant_digest(),
+        "determinism violated: invariant telemetry digest differs between 4x2 and 2x1"
+    );
+    let clean = telemetry::evaluate_health(&series);
+    assert_eq!(
+        clean.firing_count(),
+        0,
+        "alerting gate: clean smoke semester must not fire incidents:\n{}",
+        clean.render_text()
+    );
+
+    let storm_cfg = SemesterConfig::smoke().with_storm();
+    let (storm_report, storm_series) = telemetry::run_semester_observed(
+        &Cluster::new(ClusterConfig::with_shards(4, 2)),
+        &storm_cfg,
+    );
+    assert_ne!(
+        report.semantic_digest, storm_report.semantic_digest,
+        "workload gate: the perturbation must actually change the served semester"
+    );
+    let storm = telemetry::evaluate_health(&storm_series);
+    let storm_deadline = storm.firing_of("deadline-storm");
+    let storm_hotspot = storm.firing_of("shard-hotspot");
+    let storm_surge = storm.firing_of("arrival-surge");
+    assert!(
+        storm_deadline >= 1 && storm_hotspot >= 1 && storm_surge >= 1,
+        "alerting gate: perturbed semester must trip every rule \
+         (deadline-storm {storm_deadline}, shard-hotspot {storm_hotspot}, \
+         arrival-surge {storm_surge}):\n{}",
+        storm.render_text()
+    );
+    println!(
+        "semester health: clean quiet ({} incidents), storm fires {} \
+         (deadline-storm {storm_deadline}, shard-hotspot {storm_hotspot}, \
+         arrival-surge {storm_surge}), telemetry digest {:#018x}",
+        clean.firing_count(),
+        storm.firing_count(),
+        series.invariant_digest()
+    );
+    HealthRun {
+        incidents_firing: clean.firing_count(),
+        incidents_firing_perturbed: storm.firing_count(),
+        storm_deadline,
+        storm_hotspot,
+        storm_surge,
+        telemetry_digest: series.invariant_digest(),
+        telemetry_full_digest: series.digest(),
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn json(
     cold_ms: f64,
@@ -234,6 +394,7 @@ fn json(
     week_digest: u64,
     semester_cfg: &SemesterConfig,
     cells: &[SemesterCell],
+    health: &HealthRun,
     metrics_json: &str,
 ) -> String {
     let host_cores = pbl_bench::host_cores();
@@ -328,6 +489,51 @@ fn json(
         out.push_str("      \"outputs_bit_identical\": true\n");
         out.push_str("    },\n");
     }
+    // The health scenario sits between the semester cells and the
+    // course week: it carries no cache_hit_rate / p99_sojourn_vt
+    // lines, so the gate's line scanner attributes none of the SLO
+    // fields to it — only the pinned telemetry digest and the
+    // incident counters.
+    out.push_str("    {\n");
+    out.push_str("      \"name\": \"serve/semester_health\",\n");
+    out.push_str("      \"crate\": \"pbl-serve\",\n");
+    out.push_str(
+        "      \"workload\": \"smoke semester (150 tenants x 21 days), 4 shards x 2 workers\",\n",
+    );
+    out.push_str(
+        "      \"perturbation\": \"seeded deadline storm (6x intensity, days 18-19) plus a \
+         single hot tenant replaying one expensive job 200x onto one shard\",\n",
+    );
+    out.push_str(&format!(
+        "      \"incidents_firing\": {},\n",
+        health.incidents_firing
+    ));
+    out.push_str(&format!(
+        "      \"incidents_firing_perturbed\": {},\n",
+        health.incidents_firing_perturbed
+    ));
+    out.push_str(&format!(
+        "      \"perturbed_deadline_storm\": {},\n",
+        health.storm_deadline
+    ));
+    out.push_str(&format!(
+        "      \"perturbed_shard_hotspot\": {},\n",
+        health.storm_hotspot
+    ));
+    out.push_str(&format!(
+        "      \"perturbed_arrival_surge\": {},\n",
+        health.storm_surge
+    ));
+    out.push_str(&format!(
+        "      \"telemetry_digest\": \"{:#018x}\",\n",
+        health.telemetry_digest
+    ));
+    out.push_str(&format!(
+        "      \"telemetry_full_digest\": \"{:#018x}\",\n",
+        health.telemetry_full_digest
+    ));
+    out.push_str("      \"outputs_bit_identical\": true\n");
+    out.push_str("    },\n");
     out.push_str("    {\n");
     out.push_str("      \"name\": \"serve/course_week_cold_vs_cached\",\n");
     out.push_str("      \"crate\": \"pbl-serve\",\n");
@@ -403,6 +609,13 @@ fn main() {
             std::process::exit(2);
         };
         trace_mode(out);
+    }
+    if rest.first() == Some(&"--series-out") {
+        let Some(out) = rest.get(1) else {
+            eprintln!("serve: --series-out needs a path");
+            std::process::exit(2);
+        };
+        series_mode(out);
     }
     let out_path = rest
         .first()
@@ -483,6 +696,10 @@ fn main() {
         cells[2].wall_ms
     );
 
+    // Telemetry + alerting health scenario on the smoke semester
+    // (untimed; all of its gates assert inside).
+    let health = semester_health();
+
     // Instrumented pass for the embedded metrics section (untimed);
     // the observer must not perturb any day's report.
     let registry = obs::Registry::new();
@@ -511,6 +728,7 @@ fn main() {
             reference,
             &semester_cfg,
             &cells,
+            &health,
             &metrics_json,
         ),
     )

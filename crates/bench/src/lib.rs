@@ -344,6 +344,115 @@ pub mod gate {
         out
     }
 
+    // -----------------------------------------------------------
+    // Telemetry fields: the pinned series digest and incident count
+    // -----------------------------------------------------------
+
+    /// The telemetry fields a scenario may carry: the pinned
+    /// `"telemetry_digest"` (the shard- and worker-invariant series
+    /// digest, which must be bit-identical run to run) and
+    /// `"incidents_firing"` (alert incidents on the clean semester,
+    /// which must never grow). Attributed to the most recent `"name"`,
+    /// like speedups and SLOs.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct Telemetry {
+        /// The owning scenario's `"name"`.
+        pub name: String,
+        /// The scenario's `"telemetry_digest"` string, if present.
+        pub digest: Option<String>,
+        /// The scenario's `"incidents_firing"` count, if present.
+        pub incidents_firing: Option<f64>,
+    }
+
+    /// One telemetry gate failure.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct TelemetryViolation {
+        /// The offending scenario.
+        pub name: String,
+        /// Which field failed (`"telemetry_digest"` or
+        /// `"incidents_firing"`).
+        pub metric: &'static str,
+        /// The committed value, rendered as text.
+        pub committed: String,
+        /// The fresh value as text, or `None` when the committed
+        /// scenario (or the field itself) vanished from the fresh run.
+        pub fresh: Option<String>,
+    }
+
+    /// Extracts every telemetry-bearing scenario: any block (by most
+    /// recent `"name"`) carrying a `"telemetry_digest"` or
+    /// `"incidents_firing"` pair. Fields of one scenario merge into
+    /// one entry.
+    pub fn telemetry(json: &str) -> Vec<Telemetry> {
+        let mut name = String::new();
+        let mut out: Vec<Telemetry> = Vec::new();
+        for line in json.lines() {
+            if let Some(v) = string_value(line, "name") {
+                name = v.to_string();
+            }
+            let digest = string_value(line, "telemetry_digest").map(str::to_string);
+            let firing = number_value(line, "incidents_firing");
+            if digest.is_none() && firing.is_none() {
+                continue;
+            }
+            match out.last_mut() {
+                Some(last) if last.name == name => {
+                    if digest.is_some() {
+                        last.digest = digest;
+                    }
+                    if firing.is_some() {
+                        last.incidents_firing = firing;
+                    }
+                }
+                _ => out.push(Telemetry {
+                    name: name.clone(),
+                    digest,
+                    incidents_firing: firing,
+                }),
+            }
+        }
+        out
+    }
+
+    /// Every committed telemetry pin the fresh run breaks: a
+    /// `telemetry_digest` that is not bit-identical, an
+    /// `incidents_firing` count that grew (new firing incidents on the
+    /// clean semester), or a committed field missing from the fresh
+    /// run. A count that *shrank* passes — fixing a flapping alert is
+    /// not a regression — and fresh-only telemetry is ignored.
+    pub fn telemetry_violations(
+        committed: &[Telemetry],
+        fresh: &[Telemetry],
+    ) -> Vec<TelemetryViolation> {
+        let mut out = Vec::new();
+        for c in committed {
+            let fresh_t = fresh.iter().find(|f| f.name == c.name);
+            if let Some(pinned) = &c.digest {
+                match fresh_t.and_then(|f| f.digest.as_ref()) {
+                    Some(d) if d == pinned => {}
+                    got => out.push(TelemetryViolation {
+                        name: c.name.clone(),
+                        metric: "telemetry_digest",
+                        committed: pinned.clone(),
+                        fresh: got.cloned(),
+                    }),
+                }
+            }
+            if let Some(ceiling) = c.incidents_firing {
+                match fresh_t.and_then(|f| f.incidents_firing) {
+                    Some(n) if n <= ceiling => {}
+                    got => out.push(TelemetryViolation {
+                        name: c.name.clone(),
+                        metric: "incidents_firing",
+                        committed: format!("{ceiling}"),
+                        fresh: got.map(|n| format!("{n}")),
+                    }),
+                }
+            }
+        }
+        out
+    }
+
     /// Named difference between the committed and fresh scenario sets,
     /// for diagnostics when a run produces no (or the wrong) scenarios.
     #[derive(Debug, Clone, PartialEq, Eq)]
@@ -444,11 +553,12 @@ mod tests {
             "all is the report binary's default, not an artefact"
         );
         assert!(!is_artefact("table9"));
-        assert_eq!(ARTEFACTS.len(), 22);
+        assert_eq!(ARTEFACTS.len(), 23);
         assert!(is_artefact("races"));
         assert!(is_artefact("metrics"));
         assert!(is_artefact("trace"));
         assert!(is_artefact("semester"));
+        assert!(is_artefact("health"));
         assert!(is_artefact("robustness"));
         assert!(is_artefact("spring2019"));
         assert!(is_artefact("replication"));
@@ -716,6 +826,76 @@ mod tests {
 
         // Fresh-only SLOs never violate.
         assert!(gate::slo_violations(&gone, &committed).is_empty());
+    }
+
+    const TELEMETRY_DOC: &str = r#"{
+  "scenarios": [
+    {
+      "name": "serve/semester_shards_4",
+      "speedup": 4.0,
+      "full_digest": "0xdeadbeefdeadbeef"
+    },
+    {
+      "name": "serve/semester_health",
+      "incidents_firing": 0,
+      "incidents_firing_perturbed": 5,
+      "telemetry_digest": "0xa2fae7f8e07291a8",
+      "telemetry_full_digest": "0xd63625c1feffd175"
+    }
+  ]
+}
+"#;
+
+    #[test]
+    fn gate_telemetry_pins_digest_and_incident_count_only() {
+        let t = gate::telemetry(TELEMETRY_DOC);
+        // Only the health scenario carries telemetry fields; the
+        // perturbed count and the full digest are informational and
+        // must NOT be picked up (their keys are supersets of the
+        // pinned keys, which the line scanner must not confuse).
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].name, "serve/semester_health");
+        assert_eq!(t[0].digest.as_deref(), Some("0xa2fae7f8e07291a8"));
+        assert_eq!(t[0].incidents_firing, Some(0.0));
+        assert!(gate::telemetry(BENCH_DOC).is_empty());
+    }
+
+    #[test]
+    fn gate_telemetry_violations_require_bit_identity_and_quiet() {
+        let committed = gate::telemetry(TELEMETRY_DOC);
+        let same = committed.clone();
+        assert!(gate::telemetry_violations(&committed, &same).is_empty());
+
+        // A changed digest and a fresh firing incident both fail.
+        let drifted = vec![gate::Telemetry {
+            name: "serve/semester_health".into(),
+            digest: Some("0x0000000000000001".into()),
+            incidents_firing: Some(2.0),
+        }];
+        let v = gate::telemetry_violations(&committed, &drifted);
+        assert_eq!(v.len(), 2);
+        assert!(v
+            .iter()
+            .any(|x| x.metric == "telemetry_digest"
+                && x.fresh.as_deref() == Some("0x0000000000000001")));
+        assert!(v
+            .iter()
+            .any(|x| x.metric == "incidents_firing" && x.fresh.as_deref() == Some("2")));
+
+        // The scenario vanishing fails both pins.
+        let v = gate::telemetry_violations(&committed, &[]);
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|x| x.fresh.is_none()));
+
+        // Fewer incidents than committed passes (fixing an alert is
+        // not a regression), and fresh-only telemetry never violates.
+        let quieter = vec![gate::Telemetry {
+            name: "serve/semester_health".into(),
+            digest: Some("0xa2fae7f8e07291a8".into()),
+            incidents_firing: Some(0.0),
+        }];
+        assert!(gate::telemetry_violations(&committed, &quieter).is_empty());
+        assert!(gate::telemetry_violations(&[], &committed).is_empty());
     }
 
     #[test]

@@ -14,7 +14,7 @@ use crate::study::StudyReport;
 /// This catalog is the single source of truth: the `report` binary, the
 /// serve layer's `Report` jobs and the bench crate all consult it, so a
 /// new artefact added here is immediately listable and servable.
-pub const ARTEFACTS: [&str; 22] = [
+pub const ARTEFACTS: [&str; 23] = [
     "fig1",
     "fig2",
     "descriptive",
@@ -37,6 +37,7 @@ pub const ARTEFACTS: [&str; 22] = [
     "metrics",
     "trace",
     "semester",
+    "health",
 ];
 
 /// True if `name` (case-insensitive) is a single renderable artefact.
@@ -86,6 +87,7 @@ pub fn render_artefact(name: &str, threads: usize) -> Option<String> {
         }
         "trace" => obs::trace::analyze::analyze(&demo_trace(threads)).render_text(),
         "semester" => semester_pointer(),
+        "health" => health_pointer(),
         _ => return None,
     };
     Some(text)
@@ -103,6 +105,20 @@ fn semester_pointer() -> String {
         "Summary fields: arrivals, admissions, per-shard hit rates,\n",
         "sojourn percentiles, semester digest.\n",
         "Render it with: report -- semester (or serve::cluster::semester_artefact).\n",
+    )
+    .to_string()
+}
+
+/// The `health` catalogue entry. Like `semester`, the renderer lives
+/// in the serve layer (which depends on this crate), so the catalogue
+/// entry is a pointer the `report` binary routes around.
+fn health_pointer() -> String {
+    concat!(
+        "health: the semester telemetry and alerting report — per-day\n",
+        "time series from the sharded cluster, SLO burn-rate and\n",
+        "anomaly evaluation, and the incident timeline for the clean\n",
+        "and the storm-perturbed smoke semester (the clean one is quiet).\n",
+        "Render it with: report -- health (or serve::telemetry::health_artefact).\n",
     )
     .to_string()
 }
@@ -876,19 +892,28 @@ mod tests {
 
     #[test]
     fn artefact_catalog_is_complete_and_renderable() {
-        assert_eq!(ARTEFACTS.len(), 22);
+        assert_eq!(ARTEFACTS.len(), 23);
         assert!(is_artefact("table1"));
         assert!(is_artefact("races"));
         assert!(is_artefact("Table4"));
         assert!(is_artefact("metrics"));
         assert!(is_artefact("trace"));
         assert!(is_artefact("semester"));
+        assert!(is_artefact("health"));
         assert!(!is_artefact("all"), "all is a composition, not a member");
         assert!(!is_artefact("table9"));
         // Every catalog entry renders; names off the catalog do not.
         // (Cheap entries only — the full sweep is the report binary's
         // job; here we check the dispatch table has no dead rows.)
-        for name in ["fig1", "fig2", "assignment5", "race", "races", "semester"] {
+        for name in [
+            "fig1",
+            "fig2",
+            "assignment5",
+            "race",
+            "races",
+            "semester",
+            "health",
+        ] {
             let text = render_artefact(name, 1).expect(name);
             assert!(!text.is_empty(), "{name} rendered empty");
         }

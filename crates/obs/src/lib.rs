@@ -53,11 +53,15 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod alert;
 mod metric;
 mod registry;
 mod snapshot;
+pub mod timeseries;
 pub mod trace;
 
+pub use alert::{AlertPolicy, AnomalyRule, BurnRateSlo, Incident, IncidentEdge, Timeline};
 pub use metric::{Counter, Histogram, Span};
 pub use registry::{Domain, Registry};
 pub use snapshot::{MetricData, MetricSample, MetricsSnapshot};
+pub use timeseries::{SeriesKind, SeriesSet, TimeSeries, WindowPoint, CLUSTER_SHARD};

@@ -227,6 +227,10 @@ pub struct LaneInfo {
     /// Process group the lane belongs to (viewer `pid`); [`Trace::merge`]
     /// gives each merged source its own group.
     pub pid: u32,
+    /// Events this lane's ring buffer dropped on overflow — kept per
+    /// lane so the analyzer can say *which* rows are truncated, not
+    /// just that something somewhere overflowed.
+    pub dropped: u64,
 }
 
 /// A process group in a merged trace.
@@ -329,6 +333,7 @@ impl Trace {
             id: buf.lane,
             name: buf.name,
             pid: 0,
+            dropped: buf.dropped,
         });
         self.lanes.sort_by_key(|l| l.id);
         self.events.extend(buf.events);
@@ -368,6 +373,7 @@ impl Trace {
                     id: lane_base + lane.id,
                     name: lane.name,
                     pid,
+                    dropped: lane.dropped,
                 });
             }
             for mut ev in part.events {

@@ -55,6 +55,9 @@ pub struct LaneSummary {
     pub idle: u64,
     /// The lane's process-group makespan (`busy + idle` sums to this).
     pub makespan: u64,
+    /// Events this lane's ring buffer dropped on overflow: nonzero
+    /// means the lane's attribution is a truncated view.
+    pub dropped: u64,
 }
 
 impl LaneSummary {
@@ -279,6 +282,7 @@ pub fn analyze(trace: &Trace) -> TraceAnalysis {
             busy: busy.into_iter().collect(),
             idle: makespan.saturating_sub(attributed),
             makespan,
+            dropped: lane.dropped,
         });
     }
 
@@ -452,6 +456,16 @@ impl TraceAnalysis {
                 );
             }
         }
+        if self.dropped > 0 {
+            let _ = writeln!(
+                out,
+                "TRUNCATED: {} events dropped by full ring buffers; busy/idle above undercount the affected lanes:",
+                self.dropped
+            );
+            for lane in self.lanes.iter().filter(|l| l.dropped > 0) {
+                let _ = writeln!(out, "  {:<24} {:>8} dropped", lane.name, lane.dropped);
+            }
+        }
         if !self.races.is_empty() {
             let _ = writeln!(
                 out,
@@ -474,7 +488,31 @@ impl TraceAnalysis {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::trace::{category, TraceConfig, TraceRecorder};
+    use crate::trace::{category, TraceBuffer, TraceConfig, TraceRecorder};
+
+    #[test]
+    fn truncated_lanes_are_called_out_per_lane() {
+        let mut full = TraceBuffer::new(0, "tiny", 2);
+        for i in 0..6 {
+            full.instant(i, "e", category::BUS, i);
+        }
+        let mut ok = TraceBuffer::new(1, "roomy", 64);
+        ok.instant(0, "e", category::BUS, 0);
+        let a = analyze(&Trace::from_buffers(vec![full, ok]));
+        assert_eq!(a.dropped, 4);
+        assert_eq!(a.lanes[0].dropped, 4);
+        assert_eq!(a.lanes[1].dropped, 0);
+        let text = a.render_text();
+        assert!(text.contains("TRUNCATED: 4 events dropped"), "{text}");
+        assert!(text.contains("tiny"), "{text}");
+        let warned: Vec<&str> = text
+            .lines()
+            .skip_while(|l| !l.starts_with("TRUNCATED"))
+            .skip(1)
+            .collect();
+        assert!(warned.iter().any(|l| l.contains("tiny")));
+        assert!(!warned.iter().any(|l| l.contains("roomy")), "{text}");
+    }
 
     /// Two cores: core 0 runs 0..60 and 70..100, core 1 runs 0..40.
     fn sample() -> Trace {

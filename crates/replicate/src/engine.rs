@@ -188,6 +188,55 @@ impl ReplicationEngine {
         (out, rec.finish())
     }
 
+    /// [`run`](Self::run), additionally recording deterministic
+    /// engine time series into `series`.
+    ///
+    /// Like [`run_traced`](Self::run_traced), the virtual clock is the
+    /// **replicate index**, so every recorded point is a pure function
+    /// of the batch shape and identical for every worker-thread count:
+    ///
+    /// * `replicate/chunk_span` — histogram of chunk widths (the tail
+    ///   chunk is the interesting bucket), windowed by replicate index;
+    /// * `replicate/queue_occupancy` — gauge of replicates still
+    ///   queued after each chunk is taken;
+    /// * `replicate/completed` — counter of replicates finished per
+    ///   window.
+    ///
+    /// Wall-clock chunk latency stays in the `Domain::Wall` metrics of
+    /// [`run_with_metrics`](Self::run_with_metrics); it never enters
+    /// an exported series.
+    pub fn run_with_timeseries<T, F>(
+        &self,
+        replicates: usize,
+        master_seed: u64,
+        series: &mut obs::SeriesSet,
+        body: F,
+    ) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&ReplicateCtx) -> T + Sync,
+    {
+        const SPAN_EDGES: [u64; 9] = [1, 2, 4, 8, 16, 32, 64, 128, 256];
+        let out = self.run_impl(replicates, master_seed, None, body);
+        let shard = obs::CLUSTER_SHARD;
+        let mut start = 0;
+        while start < replicates {
+            let end = (start + self.chunk).min(replicates);
+            let vt = start as u64;
+            series
+                .histogram("replicate/chunk_span", shard, true, &SPAN_EDGES)
+                .record(vt, (end - start) as u64);
+            series
+                .gauge("replicate/queue_occupancy", shard, true)
+                .record(vt, (replicates - end) as u64);
+            series
+                .counter("replicate/completed", shard, true)
+                .record(vt, (end - start) as u64);
+            start = end;
+        }
+        out
+    }
+
     /// Runs `replicates` replicates with a **chunk-granular** body: the
     /// work queue is the same as [`run`](Self::run), but each dequeued
     /// chunk is handed to `chunk_body` whole, as a slice of
@@ -508,6 +557,50 @@ mod tests {
             .expect("completed counter");
         assert_eq!(completed.samples, 13);
         assert_eq!(completed.last, 100);
+    }
+
+    #[test]
+    fn timeseries_run_is_bit_identical_and_series_thread_invariant() {
+        let plain = ReplicationEngine::new(4)
+            .with_chunk(8)
+            .run(100, 11, replicate_body);
+        let mut exports: Vec<String> = Vec::new();
+        for threads in [1, 2, 4, 8] {
+            let mut series = obs::SeriesSet::new(8, 64);
+            let got = ReplicationEngine::new(threads)
+                .with_chunk(8)
+                .run_with_timeseries(100, 11, &mut series, replicate_body);
+            assert_eq!(plain, got, "threads={threads}");
+            exports.push(series.to_json());
+        }
+        // Every point is a pure function of the batch shape, so the
+        // export is byte-identical for every thread count.
+        for json in &exports[1..] {
+            assert_eq!(&exports[0], json);
+        }
+        // 100 replicates in chunks of 8: the tail chunk is 4 wide, the
+        // queue drains to 0, and completions sum to 100.
+        let mut series = obs::SeriesSet::new(8, 64);
+        ReplicationEngine::new(2).with_chunk(8).run_with_timeseries(
+            100,
+            11,
+            &mut series,
+            replicate_body,
+        );
+        let spans = series
+            .get("replicate/chunk_span", obs::CLUSTER_SHARD)
+            .expect("span series");
+        let total_chunks: u64 = spans.points().map(|p| p.count).sum();
+        assert_eq!(total_chunks, 13);
+        let occupancy = series
+            .get("replicate/queue_occupancy", obs::CLUSTER_SHARD)
+            .expect("occupancy series");
+        assert_eq!(occupancy.points().last().unwrap().value, 0);
+        let completed = series
+            .get("replicate/completed", obs::CLUSTER_SHARD)
+            .expect("completed series");
+        let total: u64 = completed.points().map(|p| p.value).sum();
+        assert_eq!(total, 100);
     }
 
     #[test]

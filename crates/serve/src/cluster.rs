@@ -832,6 +832,20 @@ impl SemesterReport {
 /// Runs a full semester of open-loop traffic through `cluster`,
 /// day by day (caches stay warm across days), chaining the digests.
 pub fn run_semester(cluster: &Cluster, cfg: &SemesterConfig) -> SemesterReport {
+    run_semester_with(cluster, cfg, |_, _, _| {})
+}
+
+/// [`run_semester`] with an observer called once per day, after the
+/// day is served, with `(day, arrivals, day_report)`. The observer
+/// only *reads* finished day reports — it cannot influence routing,
+/// scheduling, or caching — so instrumentation hung off this hook is
+/// observer-effect-safe by construction: the semester digests are the
+/// same closures or no closures.
+pub fn run_semester_with(
+    cluster: &Cluster,
+    cfg: &SemesterConfig,
+    mut observer: impl FnMut(usize, &[Arrival], &DayReport),
+) -> SemesterReport {
     let universe = JobUniverse::new(cfg.seed, cfg.unique_jobs);
     let shards = cluster.config().shards as usize;
     let mut stats = ClusterStats::default();
@@ -854,6 +868,7 @@ pub fn run_semester(cluster: &Cluster, cfg: &SemesterConfig) -> SemesterReport {
         sojourns.extend(report.sojourns_vt());
         full_chain.extend(report.digest().to_le_bytes());
         semantic_chain.extend(report.semantic_digest().to_le_bytes());
+        observer(day, &arrivals, &report);
     }
     full_chain.extend(cluster.state_digest().to_le_bytes());
     sojourns.sort_unstable();

@@ -27,6 +27,10 @@
 //!   shards with private L1 caches behind a shared L2 tier and
 //!   cross-shard single-flight, serving whole semesters with
 //!   shard-count-invariant semantics.
+//! * [`telemetry`] — per-day, per-shard time series over a served
+//!   semester (virtual-time windows, shard-invariant admission series
+//!   vs per-shard service series) and the burn-rate/anomaly health
+//!   policy that watches them.
 //!
 //! ## The service determinism contract
 //!
@@ -47,6 +51,7 @@ pub mod result;
 pub mod sched;
 pub mod service;
 pub mod spec;
+pub mod telemetry;
 pub mod workload;
 
 pub use cache::{CacheEvent, CacheStats, ResultCache};
@@ -60,3 +65,7 @@ pub use service::{
     BatchReport, BatchStats, DoneJob, JobOutcome, RejectReason, Service, ServiceConfig,
 };
 pub use spec::{CostSpec, JobSpec, MrWorkload, ReductionStyleSpec, ScheduleSpec, SpecError};
+pub use telemetry::{
+    collect_day, evaluate_health, health_artefact, health_policy, run_semester_observed,
+};
+pub use workload::{Perturbation, SemesterConfig};

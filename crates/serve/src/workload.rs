@@ -204,6 +204,66 @@ pub struct Arrival {
     pub sub: Submission,
 }
 
+/// A seeded fault-injection overlay on the semester: a **deadline
+/// storm** (every tenant's arrival rate multiplied for a few days)
+/// plus a **shard hot-spot** (one tenant hammering one expensive,
+/// fixed spec — one route key, so the whole burst lands on exactly one
+/// shard and serializes on that tenant's WFQ virtual clock).
+///
+/// The overlay is as deterministic as the clean semester: the burst
+/// draws from its own seeded streams (`u64::MAX - 2 - day`, disjoint
+/// from every organic stream), so a perturbed semester is a pure
+/// function of config too. `None` perturbation reproduces the clean
+/// semester byte for byte.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Perturbation {
+    /// First day of the deadline storm.
+    pub storm_start_day: usize,
+    /// Storm length in days.
+    pub storm_days: usize,
+    /// Per-mille arrival-rate multiplier during the storm (6000 = 6×).
+    pub storm_per_mille: u64,
+    /// The tenant mounting the hot-spot burst.
+    pub hot_tenant: u32,
+    /// Hot-spot submissions per storm day (admission control clips
+    /// them to the per-tenant daily cap; WFQ still serializes the
+    /// admitted ones).
+    pub hot_submissions: u32,
+}
+
+impl Perturbation {
+    /// The canonical storm: 6× arrivals on two late-semester days
+    /// (deep enough into the semester that anomaly baselines exist),
+    /// with tenant 7 bursting an expensive fixed job.
+    pub fn storm() -> Self {
+        Perturbation {
+            storm_start_day: 18,
+            storm_days: 2,
+            storm_per_mille: 6_000,
+            hot_tenant: 7,
+            hot_submissions: 200,
+        }
+    }
+
+    /// True when `day` is inside the storm.
+    pub fn active(&self, day: usize) -> bool {
+        day >= self.storm_start_day && day < self.storm_start_day + self.storm_days
+    }
+
+    /// The hot-spot job: a fixed expensive spec (outside the organic
+    /// [`JobUniverse`] — its iteration count exceeds every generated
+    /// spec) so the burst shares one content digest, one route key,
+    /// one shard.
+    pub fn hot_job(&self) -> JobSpec {
+        JobSpec::LoopSim {
+            iterations: 60_000,
+            cost: CostSpec::Uniform { cycles: 2_000 },
+            schedule: ScheduleSpec::StaticBlock,
+            threads: 4,
+        }
+    }
+}
+
 /// Shape of a simulated semester of open-loop traffic.
 ///
 /// Everything downstream — arrival times, counts, specs — is a pure
@@ -223,6 +283,8 @@ pub struct SemesterConfig {
     pub base_rate: f64,
     /// Distinct specs in the bounded job universe.
     pub unique_jobs: usize,
+    /// Optional seeded fault injection; `None` is the clean semester.
+    pub perturbation: Option<Perturbation>,
 }
 
 impl SemesterConfig {
@@ -236,6 +298,7 @@ impl SemesterConfig {
             days: 105,
             base_rate: 2.54,
             unique_jobs: 4_096,
+            perturbation: None,
         }
     }
 
@@ -248,7 +311,14 @@ impl SemesterConfig {
             days: 21,
             base_rate: 2.54,
             unique_jobs: 512,
+            perturbation: None,
         }
+    }
+
+    /// This config with the canonical [`Perturbation::storm`] applied.
+    pub fn with_storm(mut self) -> Self {
+        self.perturbation = Some(Perturbation::storm());
+        self
     }
 
     /// Ticket weight of a tenant (same 1..=3 cycling as the course
@@ -268,7 +338,11 @@ impl SemesterConfig {
         // Linear ramp 800‰ → 1200‰ across the semester.
         let span = (self.days.max(2) - 1) as u64;
         let ramp = 800 + 400 * day as u64 / span;
-        weekday * ramp / 1_000
+        let base = weekday * ramp / 1_000;
+        match &self.perturbation {
+            Some(p) if p.active(day) => base * p.storm_per_mille / 1_000,
+            _ => base,
+        }
     }
 
     /// Per-mille activity multiplier for a tenant: 500‰..2000‰ in 16
@@ -469,6 +543,26 @@ pub fn semester_day(cfg: &SemesterConfig, universe: &JobUniverse, day: usize) ->
             keyed.push((vt, tenant, seq, Submission::new(tenant, weight, spec)));
         }
     }
+    // The hot-spot burst rides on its own stream family
+    // (`u64::MAX - 2 - day`), disjoint from the per-(tenant, day)
+    // streams and the universe stream, so the organic traffic is
+    // byte-identical with and without the perturbation.
+    if let Some(p) = cfg.perturbation.as_ref().filter(|p| p.active(day)) {
+        let mut rng = seeder.stream(u64::MAX - 2 - day as u64);
+        let spec = p.hot_job();
+        let weight = cfg.tenant_tickets(p.hot_tenant);
+        for i in 0..p.hot_submissions {
+            let vt = rng.next_below(DAY_VT as usize) as u64;
+            // Sequence numbers far past any organic count keep the
+            // (vt, tenant, seq) sort key total and collision-free.
+            keyed.push((
+                vt,
+                p.hot_tenant,
+                1 << 32 | i as u64,
+                Submission::new(p.hot_tenant, weight, spec.clone()),
+            ));
+        }
+    }
     keyed.sort_by_key(|(vt, tenant, seq, _)| (*vt, *tenant, *seq));
     keyed
         .into_iter()
@@ -587,6 +681,57 @@ mod tests {
             a.len(),
             sunday.len()
         );
+    }
+
+    #[test]
+    fn perturbation_leaves_organic_traffic_byte_identical() {
+        let clean = SemesterConfig::smoke();
+        let stormy = SemesterConfig::smoke().with_storm();
+        let u = JobUniverse::new(clean.seed, clean.unique_jobs);
+        let p = stormy.perturbation.clone().unwrap();
+        // Outside the storm the two semesters are the same trace.
+        for day in [0, 4, 17, 20] {
+            assert!(!p.active(day));
+            let a = semester_day(&clean, &u, day);
+            let b = semester_day(&stormy, &u, day);
+            assert_eq!(a.len(), b.len(), "day {day}");
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!((x.vt, x.sub.spec.digest()), (y.vt, y.sub.spec.digest()));
+            }
+        }
+        // Inside the storm arrivals multiply and the hot job appears.
+        let storm_day = p.storm_start_day;
+        let a = semester_day(&clean, &u, storm_day);
+        let b = semester_day(&stormy, &u, storm_day);
+        assert!(
+            b.len() > 4 * a.len(),
+            "storm missing: clean {} vs stormy {}",
+            a.len(),
+            b.len()
+        );
+        let hot = p.hot_job().digest();
+        let hot_count = b.iter().filter(|ar| ar.sub.spec.digest() == hot).count();
+        assert_eq!(hot_count, p.hot_submissions as usize);
+        assert!(a.iter().all(|ar| ar.sub.spec.digest() != hot));
+        // Determinism of the perturbed trace itself.
+        let c = semester_day(&stormy, &u, storm_day);
+        assert_eq!(b.len(), c.len());
+        for (x, y) in b.iter().zip(&c) {
+            assert_eq!((x.vt, x.sub.spec.digest()), (y.vt, y.sub.spec.digest()));
+        }
+    }
+
+    #[test]
+    fn hot_job_validates_and_sits_outside_the_universe() {
+        let p = Perturbation::storm();
+        assert!(p.hot_job().validate().is_ok());
+        let cfg = SemesterConfig::smoke();
+        let u = JobUniverse::new(cfg.seed, cfg.unique_jobs);
+        let hot = p.hot_job().digest();
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        for _ in 0..5_000 {
+            assert_ne!(u.sample(&mut rng).digest(), hot);
+        }
     }
 
     #[test]
