@@ -1,0 +1,72 @@
+//! The OS layer's hot paths: scheduler dispatch (enqueue/pick churn),
+//! the context-switch micro-step machinery under forced preemption,
+//! and the full oversubscription study cell (P = 5 on 4 cores). All
+//! work is virtual-time simulation with deterministic tie-breaks, so
+//! iteration-to-iteration work is bit-identical.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use os::kernel::{Os, OsConfig};
+use os::process::{Pcb, ProcProgram};
+use os::study::{oversub_workload, SchedKind};
+
+/// A pure run-queue churn loop: N PCBs cycled through enqueue → pick →
+/// charge, the inner loop of every dispatch decision.
+fn dispatch_churn(kind: SchedKind, pcbs: &mut [Pcb], rounds: usize) -> u64 {
+    let mut sched = kind.make();
+    let mut picked = 0u64;
+    for _ in 0..rounds {
+        for pcb in pcbs.iter() {
+            sched.enqueue(pcb);
+        }
+        while let Some(pid) = sched.pick() {
+            let pcb = &mut pcbs[pid as usize];
+            sched.charge(pcb, 1_000);
+            picked += 1;
+        }
+    }
+    picked
+}
+
+fn bench_os(c: &mut Criterion) {
+    // Scheduler dispatch: 64 processes × 100 rounds per policy.
+    let mut group = c.benchmark_group("os/dispatch");
+    for kind in SchedKind::ALL {
+        let mut pcbs: Vec<Pcb> = (0..64)
+            .map(|pid| Pcb::new(pid, None, ProcProgram::new(), (pid % 4) as u8))
+            .collect();
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| dispatch_churn(black_box(kind), black_box(&mut pcbs), 100))
+        });
+    }
+    group.finish();
+
+    // Context switching: a tiny timeslice forces a preemption roughly
+    // every 2k cycles, so this measures the switch path, not compute.
+    c.bench_function("os/context_switch", |b| {
+        let mut cfg = OsConfig::pi_with_cores(2);
+        cfg.timeslice = 2_000;
+        cfg.context_switch_cost = 500;
+        let os = Os::new(cfg);
+        b.iter(|| {
+            let procs = (0..4)
+                .map(|_| (ProcProgram::new().compute(100_000), 0))
+                .collect();
+            let r = os.run(procs, SchedKind::RoundRobin.make());
+            black_box(r.context_switches)
+        })
+    });
+
+    // One full oversubscription day: the paper's P = 5 on C = 4 cell.
+    c.bench_function("os/oversub_day_p5", |b| {
+        let os = Os::new(OsConfig::pi_with_cores(4));
+        b.iter(|| {
+            let r = os.run(oversub_workload(5), SchedKind::Cfs.make());
+            black_box(r.digest())
+        })
+    });
+}
+
+criterion_group!(benches, bench_os);
+criterion_main!(benches);

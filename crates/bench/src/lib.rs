@@ -512,12 +512,23 @@ pub mod summary {
     }
 
     /// Appends `markdown` to the file at `path`, creating it if needed
-    /// — the testable core of [`append_step_summary`].
+    /// — the testable core of [`append_step_summary`]. If the existing
+    /// file does not end in a newline (a previous writer left a partial
+    /// line), one is inserted first, so a `###` header appended by a
+    /// repeated gate invocation always starts at column 0 and renders
+    /// as a header rather than fusing into the previous line.
     pub fn append_to(path: &str, markdown: &str) -> std::io::Result<()> {
+        let needs_newline = matches!(
+            std::fs::read(path).as_deref(),
+            Ok([.., last]) if *last != b'\n'
+        );
         let mut file = std::fs::OpenOptions::new()
             .create(true)
             .append(true)
             .open(path)?;
+        if needs_newline {
+            file.write_all(b"\n")?;
+        }
         file.write_all(markdown.as_bytes())
     }
 
@@ -553,7 +564,8 @@ mod tests {
             "all is the report binary's default, not an artefact"
         );
         assert!(!is_artefact("table9"));
-        assert_eq!(ARTEFACTS.len(), 23);
+        assert_eq!(ARTEFACTS.len(), 24);
+        assert!(is_artefact("os"));
         assert!(is_artefact("races"));
         assert!(is_artefact("metrics"));
         assert!(is_artefact("trace"));
@@ -978,6 +990,24 @@ mod tests {
         summary::append_to(path, "second\n").expect("append");
         let got = std::fs::read_to_string(path).expect("read back");
         assert_eq!(got, "first\nsecond\n");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn summary_append_to_guards_the_trailing_newline() {
+        let path = std::env::temp_dir().join("pbl_bench_summary_guard_test.md");
+        let path = path.to_str().expect("utf-8 temp path");
+        let _ = std::fs::remove_file(path);
+        // A previous writer left a partial line: the next append must
+        // start its header on a fresh line so markdown still renders it.
+        summary::append_to(path, "partial").expect("write");
+        summary::append_to(path, "### header\n").expect("append");
+        let got = std::fs::read_to_string(path).expect("read back");
+        assert_eq!(got, "partial\n### header\n");
+        // Newline-terminated content gets no extra separator.
+        summary::append_to(path, "tail\n").expect("append");
+        let got = std::fs::read_to_string(path).expect("read back");
+        assert_eq!(got, "partial\n### header\ntail\n");
         let _ = std::fs::remove_file(path);
     }
 }

@@ -14,7 +14,7 @@ use crate::study::StudyReport;
 /// This catalog is the single source of truth: the `report` binary, the
 /// serve layer's `Report` jobs and the bench crate all consult it, so a
 /// new artefact added here is immediately listable and servable.
-pub const ARTEFACTS: [&str; 23] = [
+pub const ARTEFACTS: [&str; 24] = [
     "fig1",
     "fig2",
     "descriptive",
@@ -38,6 +38,7 @@ pub const ARTEFACTS: [&str; 23] = [
     "trace",
     "semester",
     "health",
+    "os",
 ];
 
 /// True if `name` (case-insensitive) is a single renderable artefact.
@@ -88,6 +89,7 @@ pub fn render_artefact(name: &str, threads: usize) -> Option<String> {
         "trace" => obs::trace::analyze::analyze(&demo_trace(threads)).render_text(),
         "semester" => semester_pointer(),
         "health" => health_pointer(),
+        "os" => os::study::os_artefact(),
         _ => return None,
     };
     Some(text)
@@ -892,7 +894,7 @@ mod tests {
 
     #[test]
     fn artefact_catalog_is_complete_and_renderable() {
-        assert_eq!(ARTEFACTS.len(), 23);
+        assert_eq!(ARTEFACTS.len(), 24);
         assert!(is_artefact("table1"));
         assert!(is_artefact("races"));
         assert!(is_artefact("Table4"));
@@ -900,6 +902,7 @@ mod tests {
         assert!(is_artefact("trace"));
         assert!(is_artefact("semester"));
         assert!(is_artefact("health"));
+        assert!(is_artefact("os"));
         assert!(!is_artefact("all"), "all is a composition, not a member");
         assert!(!is_artefact("table9"));
         // Every catalog entry renders; names off the catalog do not.

@@ -57,6 +57,15 @@ pub mod category {
     /// A happens-before race report from the explorer's vector-clock
     /// detector (event value = schedule-independent race signature).
     pub const RACE: &str = "race";
+    /// Kernel time spent inside an OS trap — the explicit syscall step
+    /// on a core lane, or a process lane blocked in a syscall
+    /// (sleep/wait). Span cycles count toward the lane's attribution.
+    pub const SYSCALL: &str = "syscall";
+    /// A context switch on a core lane: instants named `preempt`
+    /// (involuntary, quantum expiry — event value = descheduled pid) or
+    /// `switch` (voluntary — yield, block, exit). The analyzer's
+    /// context-switch summary row counts these.
+    pub const PREEMPT: &str = "preempt";
 }
 
 /// What a [`TraceEvent`] marks.

@@ -362,6 +362,24 @@ impl TraceAnalysis {
             .all(|l| l.attributed() + l.idle == l.makespan)
     }
 
+    /// Context-switch totals derived from the OS layer's
+    /// [`super::category::PREEMPT`] instants: `(total context switches,
+    /// involuntary preemptions)`. `None` when the trace carries no
+    /// preempt events (traces from the non-OS layers).
+    pub fn context_switches(&self) -> Option<(u64, u64)> {
+        let samples = |name: &str| {
+            let key = format!("{}/{name}", super::category::PREEMPT);
+            self.counters
+                .iter()
+                .find(|c| c.key == key)
+                .map_or(0, |c| c.samples)
+        };
+        let involuntary = samples("preempt");
+        let voluntary = samples("switch");
+        let total = involuntary + voluntary;
+        (total > 0).then_some((total, involuntary))
+    }
+
     /// Renders the critical path and the time-attribution table.
     pub fn render_text(&self) -> String {
         use std::fmt::Write as _;
@@ -446,6 +464,12 @@ impl TraceAnalysis {
                 "INEXACT (overlapping top-level spans)"
             }
         );
+        if let Some((total, involuntary)) = self.context_switches() {
+            let _ = writeln!(
+                out,
+                "context switches: {total} total, {involuntary} involuntary preemptions"
+            );
+        }
         if !self.counters.is_empty() {
             let _ = writeln!(out, "counters:");
             for c in &self.counters {
@@ -527,6 +551,43 @@ mod tests {
         rec.buf(c1).end(40);
         rec.buf(c1).instant(20, "contention", category::BUS, 18);
         rec.finish()
+    }
+
+    #[test]
+    fn syscall_and_preempt_categories_keep_attribution_exact() {
+        // A core lane as the OS layer records it: slice, trap (syscall
+        // span), slice again, with a preempt instant at the quantum
+        // boundary and a voluntary switch at the block. The syscall
+        // cycles must show up as their own attribution column and the
+        // identity must still hold exactly.
+        let mut rec = TraceRecorder::new(&TraceConfig::default());
+        let c0 = rec.lane("core/0");
+        rec.buf(c0).begin(0, "pid/1", category::SLICE, 1);
+        rec.buf(c0).end(50);
+        rec.buf(c0).begin(50, "sleep", category::SYSCALL, 1);
+        rec.buf(c0).end(60);
+        rec.buf(c0).instant(60, "switch", category::PREEMPT, 1);
+        rec.buf(c0).begin(60, "pid/2", category::SLICE, 2);
+        rec.buf(c0).end(90);
+        rec.buf(c0).instant(90, "preempt", category::PREEMPT, 2);
+        let a = analyze(&rec.finish());
+        assert!(a.attribution_is_exact());
+        let busy = &a.lanes[0].busy;
+        assert!(busy.contains(&("syscall".to_string(), 10)));
+        assert!(busy.contains(&("slice".to_string(), 80)));
+        assert_eq!(a.context_switches(), Some((2, 1)));
+        let text = a.render_text();
+        assert!(
+            text.contains("context switches: 2 total, 1 involuntary preemptions"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn traces_without_preempt_events_have_no_context_switch_row() {
+        let a = analyze(&sample());
+        assert_eq!(a.context_switches(), None);
+        assert!(!a.render_text().contains("context switches:"));
     }
 
     #[test]

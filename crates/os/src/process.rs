@@ -1,0 +1,359 @@
+//! Processes as data: programs, registers, PCBs, and the
+//! `Ready/Running/Blocked/Zombie` state machine.
+
+use pi_sim::event::Cycles;
+
+use crate::syscall::Syscall;
+
+/// Process identifier. Pids are allocated sequentially from 0 in spawn
+/// order, which makes every tie-break on pid deterministic.
+pub type Pid = u32;
+
+/// One step of a process program.
+///
+/// Compute and memory ops mirror the pi-sim program vocabulary and are
+/// executed through the same cache hierarchy and bus-contention model;
+/// machine-level sync ops (barriers, locks) are deliberately absent —
+/// OS processes coordinate through syscalls instead, so every blocking
+/// edge is a kernel event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OsOp {
+    /// Burn CPU for the given cycles. Preemptible at cycle granularity:
+    /// a quantum boundary splits the burst and the remainder is saved
+    /// in the PCB's register snapshot.
+    Compute(Cycles),
+    /// `count` repetitions of a `cost`-cycle loop body (run-length
+    /// encoded, same as pi-sim's RLE programs).
+    ComputeRepeat {
+        /// Cycles per repetition.
+        cost: Cycles,
+        /// Number of repetitions.
+        count: u64,
+    },
+    /// One read through the cache hierarchy.
+    Read(u64),
+    /// One write through the cache hierarchy.
+    Write(u64),
+    /// One atomic read-modify-write (write + RMW penalty).
+    AtomicRmw(u64),
+    /// `count` reads at `base + i * stride`. Executed in batches; a
+    /// preemption lands between batches (instruction boundary), with
+    /// progress saved in the PCB.
+    ReadStride {
+        /// First address.
+        base: u64,
+        /// Address step per access.
+        stride: u64,
+        /// Number of accesses.
+        count: u64,
+    },
+    /// `count` writes at `base + i * stride`.
+    WriteStride {
+        /// First address.
+        base: u64,
+        /// Address step per access.
+        stride: u64,
+        /// Number of accesses.
+        count: u64,
+    },
+    /// Skip the next `n` ops when the syscall return register is 0 —
+    /// i.e. in the child after a [`Syscall::Fork`] (and after a `Wait`
+    /// that found no child). The only branch in the op set; costs zero
+    /// cycles.
+    SkipIfChild(usize),
+    /// Enter the kernel: the explicit trap step. Costs
+    /// [`crate::kernel::OsConfig::trap_cost`] cycles on the core.
+    Trap(Syscall),
+}
+
+/// A process program: a finite op list. Running past the end is an
+/// implicit `Exit(0)`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ProcProgram {
+    /// The op list, executed in order (subject to [`OsOp::SkipIfChild`]).
+    pub ops: Vec<OsOp>,
+}
+
+impl ProcProgram {
+    /// An empty program (exits immediately).
+    pub fn new() -> Self {
+        ProcProgram { ops: Vec::new() }
+    }
+
+    /// Appends a compute burst.
+    pub fn compute(mut self, cycles: Cycles) -> Self {
+        self.ops.push(OsOp::Compute(cycles));
+        self
+    }
+
+    /// Appends an RLE compute loop.
+    pub fn compute_repeat(mut self, cost: Cycles, count: u64) -> Self {
+        self.ops.push(OsOp::ComputeRepeat { cost, count });
+        self
+    }
+
+    /// Appends one read.
+    pub fn read(mut self, addr: u64) -> Self {
+        self.ops.push(OsOp::Read(addr));
+        self
+    }
+
+    /// Appends one write.
+    pub fn write(mut self, addr: u64) -> Self {
+        self.ops.push(OsOp::Write(addr));
+        self
+    }
+
+    /// Appends one atomic read-modify-write.
+    pub fn atomic_rmw(mut self, addr: u64) -> Self {
+        self.ops.push(OsOp::AtomicRmw(addr));
+        self
+    }
+
+    /// Appends a strided read batch.
+    pub fn read_stride(mut self, base: u64, stride: u64, count: u64) -> Self {
+        self.ops.push(OsOp::ReadStride {
+            base,
+            stride,
+            count,
+        });
+        self
+    }
+
+    /// Appends a strided write batch.
+    pub fn write_stride(mut self, base: u64, stride: u64, count: u64) -> Self {
+        self.ops.push(OsOp::WriteStride {
+            base,
+            stride,
+            count,
+        });
+        self
+    }
+
+    /// Appends an explicit trap.
+    pub fn trap(mut self, sys: Syscall) -> Self {
+        self.ops.push(OsOp::Trap(sys));
+        self
+    }
+
+    /// Appends a `fork` trap.
+    pub fn fork(self) -> Self {
+        self.trap(Syscall::Fork)
+    }
+
+    /// Appends an `exec` trap.
+    pub fn exec(self, program: ProcProgram) -> Self {
+        self.trap(Syscall::Exec(program))
+    }
+
+    /// Appends a `wait` trap.
+    pub fn wait(self) -> Self {
+        self.trap(Syscall::Wait)
+    }
+
+    /// Appends a `sleep` trap.
+    pub fn sleep(self, cycles: Cycles) -> Self {
+        self.trap(Syscall::Sleep(cycles))
+    }
+
+    /// Appends a `yield` trap.
+    pub fn yield_cpu(self) -> Self {
+        self.trap(Syscall::Yield)
+    }
+
+    /// Appends a `kill` trap.
+    pub fn kill(self, target: Pid) -> Self {
+        self.trap(Syscall::Kill(target))
+    }
+
+    /// Appends a `signal` trap.
+    pub fn signal(self, target: Pid, signal: crate::syscall::Signal) -> Self {
+        self.trap(Syscall::Signal { target, signal })
+    }
+
+    /// Appends an `exit` trap.
+    pub fn exit(self, code: i32) -> Self {
+        self.trap(Syscall::Exit(code))
+    }
+
+    /// Appends a [`OsOp::SkipIfChild`] branch.
+    pub fn skip_if_child(mut self, n: usize) -> Self {
+        self.ops.push(OsOp::SkipIfChild(n));
+        self
+    }
+
+    /// The program's retired-work units when executed straight through
+    /// (no fork/exec): compute cycles plus memory-op count. This is the
+    /// schedule-independent measure of work — memory *latencies* vary
+    /// with cache and contention state, so they are not part of it.
+    pub fn work_units(&self) -> u64 {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                OsOp::Compute(c) => *c,
+                OsOp::ComputeRepeat { cost, count } => cost.saturating_mul(*count),
+                OsOp::Read(_) | OsOp::Write(_) | OsOp::AtomicRmw(_) => 1,
+                OsOp::ReadStride { count, .. } | OsOp::WriteStride { count, .. } => *count,
+                OsOp::SkipIfChild(_) | OsOp::Trap(_) => 0,
+            })
+            .sum()
+    }
+}
+
+/// The register/PC snapshot saved and restored across context switches.
+/// Together with the program text this is the *entire* resumable state
+/// of a process — which is what makes preemption replayable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Regs {
+    /// Index of the next op to execute.
+    pub pc: usize,
+    /// Unexecuted cycles of a partially completed compute burst.
+    pub burst_remaining: Cycles,
+    /// Completed accesses of the current stride op.
+    pub unit_progress: u64,
+    /// Syscall return register: child pid after `fork` in the parent,
+    /// 0 in the child; reaped pid after `wait` (0 if no child).
+    pub last_ret: u64,
+}
+
+/// Why a blocked process is blocked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockReason {
+    /// Sleeping until the given virtual time.
+    Sleep {
+        /// Absolute wake time.
+        until: Cycles,
+    },
+    /// Waiting for a child to exit.
+    WaitChild,
+}
+
+/// The process state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcState {
+    /// Runnable, queued in the scheduler.
+    Ready,
+    /// Currently on a core.
+    Running,
+    /// Off the run queue until an event (wake time, child exit).
+    Blocked(BlockReason),
+    /// Exited; holds its exit code until reaped by the parent.
+    Zombie,
+}
+
+/// A process control block: identity, tree links, saved registers,
+/// scheduling parameters, and per-process accounting.
+#[derive(Debug, Clone)]
+pub struct Pcb {
+    /// This process's pid.
+    pub pid: Pid,
+    /// Parent pid; `None` for initial processes and reparented orphans.
+    pub parent: Option<Pid>,
+    /// Children in spawn order.
+    pub children: Vec<Pid>,
+    /// Current state.
+    pub state: ProcState,
+    /// Saved registers.
+    pub regs: Regs,
+    /// Program text.
+    pub program: ProcProgram,
+    /// Static priority: 0 is highest. Round-robin ignores it, priority
+    /// RR queues by it, CFS weights vruntime by it.
+    pub priority: u8,
+    /// CFS virtual runtime (integer; advances `(1 + priority)` cycles
+    /// per cycle of CPU).
+    pub vruntime: u64,
+    /// Exit code once exited.
+    pub exit_code: Option<i32>,
+    /// True once the parent (or the kernel) collected the zombie.
+    pub reaped: bool,
+    /// Set by `kill`: the process dies at its next scheduling boundary.
+    pub killed: bool,
+    /// Pending (non-wake) signals received.
+    pub pending_signals: u64,
+
+    /// CPU cycles actually executed (compute + memory latencies).
+    pub cpu_cycles: Cycles,
+    /// Schedule-independent retired work: compute cycles + memory ops.
+    pub retired_work: u64,
+    /// Times switched onto a core.
+    pub context_switches: u64,
+    /// Quantum-expiry preemptions suffered.
+    pub involuntary_preemptions: u64,
+    /// Voluntary `yield` calls made.
+    pub voluntary_yields: u64,
+    /// Syscalls entered.
+    pub syscalls: u64,
+    /// When the process last became Ready (for wait accounting).
+    pub ready_since: Cycles,
+    /// Longest single Ready→dispatch wait observed.
+    pub max_ready_wait: Cycles,
+    /// Virtual time of exit (0 until exited).
+    pub completed_at: Cycles,
+}
+
+impl Pcb {
+    /// A fresh PCB in the Ready state.
+    pub fn new(pid: Pid, parent: Option<Pid>, program: ProcProgram, priority: u8) -> Self {
+        Pcb {
+            pid,
+            parent,
+            children: Vec::new(),
+            state: ProcState::Ready,
+            regs: Regs::default(),
+            program,
+            priority,
+            vruntime: 0,
+            exit_code: None,
+            reaped: false,
+            killed: false,
+            pending_signals: 0,
+            cpu_cycles: 0,
+            retired_work: 0,
+            context_switches: 0,
+            involuntary_preemptions: 0,
+            voluntary_yields: 0,
+            syscalls: 0,
+            ready_since: 0,
+            max_ready_wait: 0,
+            completed_at: 0,
+        }
+    }
+
+    /// True while the process can still run or be woken.
+    pub fn alive(&self) -> bool {
+        !matches!(self.state, ProcState::Zombie)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syscall::Signal;
+
+    #[test]
+    fn builder_appends_in_order_and_counts_work() {
+        let p = ProcProgram::new()
+            .compute(100)
+            .compute_repeat(10, 5)
+            .read(64)
+            .write_stride(0, 64, 7)
+            .yield_cpu()
+            .skip_if_child(2)
+            .signal(3, Signal::Interrupt)
+            .exit(0);
+        assert_eq!(p.ops.len(), 8);
+        // 100 + 50 compute cycles, 1 + 7 memory ops; traps are free.
+        assert_eq!(p.work_units(), 158);
+        assert!(matches!(p.ops[4], OsOp::Trap(Syscall::Yield)));
+    }
+
+    #[test]
+    fn pcb_starts_ready_with_clean_registers() {
+        let pcb = Pcb::new(3, Some(1), ProcProgram::new().compute(5), 2);
+        assert_eq!(pcb.state, ProcState::Ready);
+        assert_eq!(pcb.regs, Regs::default());
+        assert!(pcb.alive());
+        assert_eq!(pcb.priority, 2);
+    }
+}

@@ -1,0 +1,76 @@
+//! The syscall surface: what a process can ask the kernel to do.
+//!
+//! Programs enter the kernel through an explicit
+//! [`crate::process::OsOp::Trap`] step that costs
+//! [`crate::kernel::OsConfig::trap_cost`] cycles, so every kernel
+//! entry — and therefore every context switch — is a scheduled,
+//! replayable event in virtual time, never a race.
+
+use pi_sim::event::Cycles;
+
+use crate::process::{Pid, ProcProgram};
+
+/// A signal deliverable with [`Syscall::Signal`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Signal {
+    /// Interrupts a sleeping target: it wakes immediately (EINTR-style)
+    /// instead of at its deadline. Recorded but otherwise inert for
+    /// runnable targets.
+    Interrupt,
+    /// Terminates the target, exactly like [`Syscall::Kill`].
+    Terminate,
+    /// A user-defined signal: counted in the target's pending-signal
+    /// tally, no state change.
+    User(u8),
+}
+
+/// One request a process makes of the kernel via a trap step.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Syscall {
+    /// Duplicate the calling process. Parent and child both resume at
+    /// the op after the trap; the syscall return register distinguishes
+    /// them (child pid in the parent, 0 in the child — branch on it
+    /// with [`crate::process::OsOp::SkipIfChild`]).
+    Fork,
+    /// Replace the calling process's program text and restart it from
+    /// op 0 with fresh registers.
+    Exec(ProcProgram),
+    /// Reap one zombie child, blocking until a child exits if none is
+    /// ready. Returns immediately (register 0) when the caller has no
+    /// unreaped children.
+    Wait,
+    /// Block for the given number of virtual cycles.
+    Sleep(Cycles),
+    /// Voluntarily give up the CPU; the caller goes to the back of the
+    /// run queue.
+    Yield,
+    /// Force-terminate the target process at its next instruction
+    /// boundary (or immediately if it is blocked). Orphaned children
+    /// are reparented to the kernel and auto-reaped.
+    Kill(Pid),
+    /// Deliver `signal` to `target`.
+    Signal {
+        /// Receiving process.
+        target: Pid,
+        /// What to deliver.
+        signal: Signal,
+    },
+    /// Terminate the calling process with an exit code.
+    Exit(i32),
+}
+
+impl Syscall {
+    /// The syscall's name, used as the trap span label on core lanes.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Syscall::Fork => "fork",
+            Syscall::Exec(_) => "exec",
+            Syscall::Wait => "wait",
+            Syscall::Sleep(_) => "sleep",
+            Syscall::Yield => "yield",
+            Syscall::Kill(_) => "kill",
+            Syscall::Signal { .. } => "signal",
+            Syscall::Exit(_) => "exit",
+        }
+    }
+}

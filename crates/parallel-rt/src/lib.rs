@@ -64,4 +64,5 @@ pub mod team;
 
 pub use master_worker::master_worker;
 pub use schedule::Schedule;
+pub use sim::{plan_assignment, CostModel};
 pub use team::{Team, ThreadCtx};
